@@ -1,0 +1,99 @@
+// Command datagen emits the paper's evaluation datasets as delimited text,
+// for inspection or for loading into other systems.
+//
+//	datagen -dataset meter -users 1000 -days 30 > meter.csv
+//	datagen -dataset userinfo -users 1000 > users.csv
+//	datagen -dataset tpch -rows 100000 > lineitem.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+	"github.com/smartgrid-oss/dgfindex/internal/workload"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "meter", "meter, userinfo or tpch")
+		users   = flag.Int("users", 1000, "meter/userinfo: number of users")
+		days    = flag.Int("days", 30, "meter: collection days")
+		perDay  = flag.Int("readings", 1, "meter: readings per day")
+		metrics = flag.Int("metrics", 4, "meter: extra metric columns")
+		rows    = flag.Int("rows", 100000, "tpch: lineitem rows")
+		seed    = flag.Int64("seed", 20121201, "generator seed")
+		header  = flag.Bool("header", false, "emit a header line")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+
+	switch *dataset {
+	case "meter":
+		cfg := workload.DefaultMeterConfig()
+		cfg.Users, cfg.Days, cfg.ReadingsPerDay = *users, *days, *perDay
+		cfg.OtherMetrics, cfg.Seed = *metrics, *seed
+		if *header {
+			writeHeader(w, workload.MeterSchema(cfg.OtherMetrics))
+		}
+		err := cfg.EachPeriod(func(p int, rows []storage.Row) error {
+			for _, r := range rows {
+				if _, err := w.WriteString(storage.EncodeTextRow(r)); err != nil {
+					return err
+				}
+				if err := w.WriteByte('\n'); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "userinfo":
+		cfg := workload.DefaultMeterConfig()
+		cfg.Users = *users
+		if *header {
+			writeHeader(w, workload.UserInfoSchema())
+		}
+		for _, r := range cfg.UserInfoRows() {
+			fmt.Fprintln(w, storage.EncodeTextRow(r))
+		}
+	case "tpch":
+		cfg := workload.TPCHConfig{Rows: *rows, Seed: *seed}
+		if *header {
+			writeHeader(w, workload.LineitemSchema())
+		}
+		err := cfg.EachLineitemBatch(10000, func(rows []storage.Row) error {
+			for _, r := range rows {
+				if _, err := w.WriteString(storage.EncodeTextRow(r)); err != nil {
+					return err
+				}
+				if err := w.WriteByte('\n'); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown dataset %q (meter, userinfo, tpch)", *dataset)
+	}
+}
+
+func writeHeader(w *bufio.Writer, s *storage.Schema) {
+	for i, c := range s.Cols {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(c.Name)
+	}
+	w.WriteByte('\n')
+}

@@ -1,0 +1,156 @@
+// Command dgfcli is an interactive HiveQL shell against an in-process
+// warehouse, in the spirit of the Hive CLI the paper's operators used.
+//
+// Start with -demo to preload a month of generated meter data with a
+// DGFIndex, then explore:
+//
+//	dgf> SELECT sum(powerConsumed) FROM meterdata
+//	     WHERE regionId>=3 AND regionId<=7 AND userId>=100 AND userId<=4000
+//	     AND ts>='2012-12-05' AND ts<'2012-12-20';
+//
+// Statements may span lines and end with ';'. Commands: !stats toggles the
+// per-query cost report, !quit exits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	dgfindex "github.com/smartgrid-oss/dgfindex"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "preload generated meter data with a DGFIndex")
+	demoUsers := flag.Int("demo-users", 2000, "users in the demo dataset")
+	flag.Parse()
+
+	w := dgfindex.NewWithConfig(dgfindex.DefaultCluster().Scaled(500000), 2<<20)
+	if *demo {
+		if err := loadDemo(w, *demoUsers); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("dgfcli — HiveQL subset with DGFIndex (end statements with ';', !quit exits)")
+	showStats := true
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("dgf> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case "!quit", "!q", "exit", "quit":
+			return
+		case "!stats":
+			showStats = !showStats
+			fmt.Printf("stats output %v\n", showStats)
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		// Execute every completed statement; anything after the final ';'
+		// stays buffered.
+		pending := buf.String()
+		buf.Reset()
+		last := strings.LastIndexByte(pending, ';')
+		for _, stmt := range strings.Split(pending[:last], ";") {
+			if sql := strings.TrimSpace(stmt); sql != "" {
+				run(w, sql, showStats)
+			}
+		}
+		if rest := strings.TrimSpace(pending[last+1:]); rest != "" {
+			buf.WriteString(rest)
+			buf.WriteByte('\n')
+		}
+		prompt()
+	}
+}
+
+func run(w *dgfindex.Warehouse, sql string, showStats bool) {
+	res, err := w.Exec(sql)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	if res.Message != "" {
+		fmt.Println(res.Message)
+	}
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, "\t"))
+	}
+	for i, row := range res.Rows {
+		if i == 40 {
+			fmt.Printf("... (%d more rows)\n", len(res.Rows)-40)
+			break
+		}
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.String()
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	if showStats && res.Stats.AccessPath != "" {
+		st := res.Stats
+		fmt.Printf("-- [%s] sim %.1fs (index+other %.1fs, data %.1fs), %d records, %d splits, wall %v\n",
+			st.AccessPath, st.SimTotalSec(), st.IndexSimSec, st.DataSimSec,
+			st.RecordsRead, st.Splits, st.Wall.Round(1e6))
+	}
+}
+
+func loadDemo(w *dgfindex.Warehouse, users int) error {
+	cfg := dgfindex.DefaultMeterConfig()
+	cfg.Users = users
+	cfg.OtherMetrics = 2
+	fmt.Printf("loading demo: %d meter readings across %d days...\n", cfg.Rows(), cfg.Days)
+	if _, err := w.Exec(`CREATE TABLE meterdata (userId bigint, regionId bigint, ts timestamp,
+		powerConsumed double, pate1 double, pate2 double)`); err != nil {
+		return err
+	}
+	t, err := w.Table("meterdata")
+	if err != nil {
+		return err
+	}
+	if err := w.LoadRows(t, cfg.AllRows()); err != nil {
+		return err
+	}
+	if _, err := w.Exec(`CREATE TABLE userInfo (userId bigint, userName string, regionId bigint, address string)`); err != nil {
+		return err
+	}
+	u, err := w.Table("userInfo")
+	if err != nil {
+		return err
+	}
+	if err := w.LoadRows(u, cfg.UserInfoRows()); err != nil {
+		return err
+	}
+	interval := users / 100
+	if interval < 1 {
+		interval = 1
+	}
+	res, err := w.Exec(fmt.Sprintf(`CREATE INDEX idx ON TABLE meterdata(regionId, userId, ts)
+		AS 'dgf' IDXPROPERTIES ('regionId'='1_1', 'userId'='1_%d',
+		'ts'='2012-12-01_1d', 'precompute'='sum(powerConsumed);count(*)')`, interval))
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Message)
+	return nil
+}

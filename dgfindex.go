@@ -1,0 +1,174 @@
+// Package dgfindex is an in-process reproduction of "DGFIndex for Smart
+// Grid: Enhancing Hive with a Cost-Effective Multidimensional Range Index"
+// (Liu et al., PVLDB 7(13), 2014).
+//
+// It bundles a model Hadoop stack — an HDFS-style filesystem, a MapReduce
+// engine with a calibrated cluster cost model, a HiveQL-subset warehouse,
+// and an HBase-style key-value store — with the paper's contribution: the
+// distributed grid file index (DGFIndex), plus the Compact/Aggregate/Bitmap
+// index and HadoopDB baselines the paper evaluates against.
+//
+// Quick start:
+//
+//	w := dgfindex.New()
+//	w.Exec(`CREATE TABLE meterdata (userId bigint, regionId bigint,
+//	        ts timestamp, powerConsumed double)`)
+//	t, _ := w.Table("meterdata")
+//	w.LoadRows(t, rows)
+//	w.Exec(`CREATE INDEX idx ON TABLE meterdata(regionId, userId, ts)
+//	        AS 'dgf' IDXPROPERTIES ('regionId'='1_1', 'userId'='1_1000',
+//	        'ts'='2012-12-01_1d', 'precompute'='sum(powerConsumed)')`)
+//	res, _ := w.Exec(`SELECT sum(powerConsumed) FROM meterdata
+//	        WHERE userId>=100 AND userId<=5000 AND regionId=3
+//	        AND ts>='2012-12-05' AND ts<'2012-12-12'`)
+//
+// Every query reports both its result rows and a QueryStats breakdown in
+// the terms of the paper's figures: simulated cluster seconds split into
+// "read index and other" versus "read data and process", records read,
+// bytes read, splits and seeks.
+package dgfindex
+
+import (
+	"github.com/smartgrid-oss/dgfindex/internal/cluster"
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+	"github.com/smartgrid-oss/dgfindex/internal/dgf"
+	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
+	"github.com/smartgrid-oss/dgfindex/internal/hive"
+	"github.com/smartgrid-oss/dgfindex/internal/hiveindex"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+	"github.com/smartgrid-oss/dgfindex/internal/workload"
+)
+
+// Core warehouse types.
+type (
+	// Warehouse is the catalog and query engine (Hive in the paper).
+	Warehouse = hive.Warehouse
+	// Table is one catalog entry.
+	Table = hive.Table
+	// Result is the outcome of one statement.
+	Result = hive.Result
+	// QueryStats is the per-query cost breakdown.
+	QueryStats = hive.QueryStats
+	// ExecOptions carries per-statement options (index ablations).
+	ExecOptions = hive.ExecOptions
+)
+
+// Record model.
+type (
+	// Row is one record.
+	Row = storage.Row
+	// Value is one dynamically typed cell.
+	Value = storage.Value
+	// Schema is an ordered list of named, typed columns.
+	Schema = storage.Schema
+	// Column is one schema entry.
+	Column = storage.Column
+	// Kind enumerates column types.
+	Kind = storage.Kind
+)
+
+// Column kinds.
+const (
+	KindInt64   = storage.KindInt64
+	KindFloat64 = storage.KindFloat64
+	KindString  = storage.KindString
+	KindTime    = storage.KindTime
+)
+
+// Value constructors.
+var (
+	Int64     = storage.Int64
+	Float64   = storage.Float64
+	Str       = storage.Str
+	Time      = storage.Time
+	TimeUnix  = storage.TimeUnix
+	NewSchema = storage.NewSchema
+)
+
+// Cluster model.
+type (
+	// ClusterConfig is the simulated testbed (the paper's 29-node cluster).
+	ClusterConfig = cluster.Config
+	// FS is the model distributed filesystem.
+	FS = dfs.FS
+)
+
+// DefaultCluster returns the paper-calibrated 28-worker cluster model.
+func DefaultCluster() *ClusterConfig { return cluster.Default() }
+
+// Index machinery, exposed for direct (non-SQL) use.
+type (
+	// DGFIndex is the paper's contribution, usable without the SQL layer.
+	DGFIndex = dgf.Index
+	// DGFSpec describes a DGFIndex to build.
+	DGFSpec = dgf.Spec
+	// DGFPlanOptions carries the planner ablation flags.
+	DGFPlanOptions = dgf.PlanOptions
+	// HiveIndexKind selects Compact, Aggregate or Bitmap.
+	HiveIndexKind = hiveindex.Kind
+	// Format selects TextFile or RCFile storage.
+	Format = hiveindex.Format
+	// AdvisorConfig bounds SuggestPolicy, the splitting-policy advisor
+	// implementing the paper's stated future work.
+	AdvisorConfig = dgf.AdvisorConfig
+	// Advice is a suggested splitting policy with projected properties.
+	Advice = dgf.Advice
+	// DGFAggSpec names one pre-computed aggregation (e.g. sum(power)).
+	DGFAggSpec = dgf.AggSpec
+	// GridRange is one per-column range constraint, used for query
+	// histories and direct planner calls.
+	GridRange = gridfile.Range
+)
+
+// Pre-computable aggregate functions.
+const (
+	AggSum   = dgf.AggSum
+	AggCount = dgf.AggCount
+	AggMin   = dgf.AggMin
+	AggMax   = dgf.AggMax
+)
+
+// SuggestPolicy recommends a DGFIndex splitting policy from a data sample
+// and a query history (the paper's Section 8 future work).
+var SuggestPolicy = dgf.SuggestPolicy
+
+// Index kinds and formats.
+const (
+	Compact   = hiveindex.Compact
+	Aggregate = hiveindex.Aggregate
+	Bitmap    = hiveindex.Bitmap
+	TextFile  = hiveindex.TextFile
+	RCFile    = hiveindex.RCFile
+)
+
+// Workload generators (the paper's evaluation datasets).
+type (
+	// MeterConfig generates smart-grid meter data.
+	MeterConfig = workload.MeterConfig
+	// TPCHConfig generates TPC-H lineitem rows.
+	TPCHConfig = workload.TPCHConfig
+	// MeterQuery is a parameterised multidimensional range query.
+	MeterQuery = workload.MeterQuery
+)
+
+// Workload helpers.
+var (
+	DefaultMeterConfig = workload.DefaultMeterConfig
+	DefaultTPCHConfig  = workload.DefaultTPCHConfig
+	MeterSchema        = workload.MeterSchema
+	UserInfoSchema     = workload.UserInfoSchema
+	LineitemSchema     = workload.LineitemSchema
+)
+
+// New creates a warehouse on a fresh in-memory filesystem with the default
+// cluster model and a 2 MB block size (scaled to the in-process datasets the
+// examples use; pass your own via NewWithConfig for other geometries).
+func New() *Warehouse {
+	return hive.NewWarehouse(dfs.New(2<<20), cluster.Default(), "/warehouse")
+}
+
+// NewWithConfig creates a warehouse with an explicit cluster model and block
+// size.
+func NewWithConfig(cfg *ClusterConfig, blockSize int64) *Warehouse {
+	return hive.NewWarehouse(dfs.New(blockSize), cfg, "/warehouse")
+}

@@ -1,0 +1,312 @@
+package dgf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// This file implements the paper's stated future work (Section 8): "an
+// algorithm to find the best splitting policy for DGFIndex based on the
+// distribution of the meter data and the query history."
+//
+// The advisor balances the two forces the evaluation exposes:
+//
+//   - Finer intervals shrink the boundary region an aggregation query must
+//     scan (Table 3) but grow the index and the per-query key-value lookups
+//     (Table 2, Figures 12-13), and push records-per-GFU toward degenerate
+//     one-record Slices.
+//   - Coarser intervals do the opposite (Table 4's DGF-L row).
+//
+// Strategy: make a typical historical query span about TargetSpanCells
+// cells along each constrained dimension — then the boundary is roughly a
+// 2/TargetSpanCells fraction of the query volume — subject to global
+// budgets on total cells (index size / lookup volume) and on minimum
+// records per cell (Slice degeneracy).
+
+// AdvisorConfig bounds the suggested policy. The zero value selects the
+// defaults documented on each field.
+type AdvisorConfig struct {
+	// TargetSpanCells is how many cells a typical constrained query range
+	// should span per dimension (default 12; boundary ≈ 2/12 ≈ 17 % of the
+	// query volume before pre-computation removes the inner part).
+	TargetSpanCells float64
+	// MaxCells caps the total grid size, bounding both the index size and
+	// the worst-case key-value lookups per query (default 1 000 000, the
+	// order of the paper's Small policy).
+	MaxCells int64
+	// MinRowsPerCell keeps Slices from degenerating to a record or two
+	// (default 32).
+	MinRowsPerCell float64
+	// TotalRows is the expected table size the sample represents; when 0
+	// the sample size itself is used.
+	TotalRows int64
+}
+
+func (c AdvisorConfig) withDefaults() AdvisorConfig {
+	if c.TargetSpanCells <= 0 {
+		c.TargetSpanCells = 12
+	}
+	if c.MaxCells <= 0 {
+		c.MaxCells = 1_000_000
+	}
+	if c.MinRowsPerCell <= 0 {
+		c.MinRowsPerCell = 32
+	}
+	return c
+}
+
+// DimAdvice explains the recommendation for one dimension.
+type DimAdvice struct {
+	Name string
+	Kind storage.Kind
+	// Min and Max are the observed data bounds.
+	Min, Max storage.Value
+	// Distinct is the (capped) observed distinct-value count.
+	Distinct int
+	// MedianQueryExtent is the median width of historical constraints on
+	// this dimension, in value units; 0 when the history never constrains
+	// it.
+	MedianQueryExtent float64
+	// Cells is the resulting number of intervals along this dimension.
+	Cells int64
+}
+
+// Advice is a suggested splitting policy plus its projected properties.
+type Advice struct {
+	Policy gridfile.Policy
+	PerDim []DimAdvice
+	// EstimatedCells is the upper bound on GFU pairs.
+	EstimatedCells int64
+	// EstimatedRowsPerCell projects the mean Slice population at TotalRows.
+	EstimatedRowsPerCell float64
+}
+
+// String renders the advice as IDXPROPERTIES syntax (Listing 3 form).
+func (a Advice) String() string {
+	var b strings.Builder
+	for i, d := range a.Policy.Dims {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "'%s'='%s'", d.Name, d.Spec())
+	}
+	return b.String()
+}
+
+// distinctCap bounds the per-dimension distinct-value tracking.
+const distinctCap = 100000
+
+// SuggestPolicy recommends a splitting policy for the named dimensions from
+// a data sample and a query history (per-column range maps, as produced by
+// the planner for past queries). See AdvisorConfig for the knobs.
+func SuggestPolicy(schema *storage.Schema, dims []string, sample []storage.Row,
+	history []map[string]gridfile.Range, cfg AdvisorConfig) (Advice, error) {
+	cfg = cfg.withDefaults()
+	if len(sample) == 0 {
+		return Advice{}, fmt.Errorf("dgf: advisor needs a data sample")
+	}
+	if len(dims) == 0 {
+		return Advice{}, fmt.Errorf("dgf: advisor needs at least one dimension")
+	}
+	totalRows := cfg.TotalRows
+	if totalRows <= 0 {
+		totalRows = int64(len(sample))
+	}
+
+	states := make([]*dimState, len(dims))
+	for i, name := range dims {
+		col := schema.ColIndex(name)
+		if col < 0 {
+			return Advice{}, fmt.Errorf("dgf: advisor: column %q not in schema", name)
+		}
+		kind := schema.Col(col).Kind
+		if kind == storage.KindString {
+			return Advice{}, fmt.Errorf("dgf: advisor: string column %q cannot be gridded", name)
+		}
+		states[i] = &dimState{advice: DimAdvice{Name: name, Kind: kind}, col: col}
+	}
+
+	// Pass 1: data distribution — bounds and (capped) distinct counts.
+	for di, st := range states {
+		distinct := map[float64]bool{}
+		min, max := math.Inf(1), math.Inf(-1)
+		var minV, maxV storage.Value
+		for _, row := range sample {
+			v := row[st.col]
+			f := v.AsFloat()
+			if f < min {
+				min, minV = f, v
+			}
+			if f > max {
+				max, maxV = f, v
+			}
+			if len(distinct) < distinctCap {
+				distinct[f] = true
+			}
+		}
+		st.advice.Min, st.advice.Max = minV, maxV
+		st.advice.Distinct = len(distinct)
+		st.span = max - min
+		if st.span <= 0 {
+			st.span = 1
+		}
+		_ = di
+	}
+
+	// Pass 2: query history — median constrained extent per dimension.
+	for _, st := range states {
+		var extents []float64
+		for _, q := range history {
+			r, ok := lookupRange(q, st.advice.Name)
+			if !ok || r.LoUnbounded || r.HiUnbounded {
+				continue
+			}
+			e := r.Hi.AsFloat() - r.Lo.AsFloat()
+			if e >= 0 {
+				extents = append(extents, e)
+			}
+		}
+		if len(extents) > 0 {
+			sort.Float64s(extents)
+			st.advice.MedianQueryExtent = extents[len(extents)/2]
+		}
+	}
+
+	// Initial intervals: a typical constrained query spans TargetSpanCells
+	// cells; an unconstrained dimension (completed with stored bounds at
+	// query time, Section 5.3.4) gets its full span as the "query extent".
+	for _, st := range states {
+		extent := st.advice.MedianQueryExtent
+		if extent <= 0 {
+			extent = st.span
+		}
+		st.interval = extent / cfg.TargetSpanCells
+		st.clampInterval()
+	}
+
+	// Enforce the global budgets by coarsening the dimension that currently
+	// contributes the most cells — doubling its interval halves its cell
+	// count with the least impact on the other dimensions' query fit.
+	cells := func() int64 {
+		n := int64(1)
+		for _, st := range states {
+			n *= st.cellCount()
+			if n < 0 { // overflow guard
+				return math.MaxInt64
+			}
+		}
+		return n
+	}
+	rowsPerCell := func() float64 { return float64(totalRows) / float64(cells()) }
+	for iter := 0; iter < 256 && (cells() > cfg.MaxCells || rowsPerCell() < cfg.MinRowsPerCell); iter++ {
+		widest := states[0]
+		for _, st := range states[1:] {
+			if st.cellCount() > widest.cellCount() {
+				widest = st
+			}
+		}
+		if widest.cellCount() <= 1 {
+			break // nothing left to coarsen
+		}
+		widest.interval *= 2
+		widest.clampInterval()
+	}
+
+	// Materialise the policy.
+	adv := Advice{EstimatedCells: cells(), EstimatedRowsPerCell: rowsPerCell()}
+	for _, st := range states {
+		d := gridfile.Dimension{Name: st.advice.Name, Kind: st.advice.Kind, Min: st.advice.Min}
+		switch st.advice.Kind {
+		case storage.KindFloat64:
+			d.IntervalF = st.interval
+		default:
+			d.IntervalI = int64(math.Round(st.interval))
+			if d.IntervalI < 1 {
+				d.IntervalI = 1
+			}
+			if st.advice.Kind == storage.KindTime {
+				d.IntervalI = roundTimeInterval(d.IntervalI)
+			}
+		}
+		st.advice.Cells = st.cellCount()
+		adv.Policy.Dims = append(adv.Policy.Dims, d)
+		adv.PerDim = append(adv.PerDim, st.advice)
+	}
+	if err := adv.Policy.Validate(); err != nil {
+		return Advice{}, err
+	}
+	return adv, nil
+}
+
+func (st *dimState) clampInterval() {
+	// Never finer than one value-unit for discrete kinds, never finer than
+	// the span divided by the distinct count (no empty sub-structure), and
+	// never wider than the whole span.
+	minInterval := 1.0
+	if st.advice.Kind == storage.KindFloat64 {
+		minInterval = st.span / float64(maxInt(st.advice.Distinct, 1))
+	}
+	if byDistinct := st.span / float64(maxInt(st.advice.Distinct, 1)); byDistinct > minInterval {
+		minInterval = byDistinct
+	}
+	if st.interval < minInterval {
+		st.interval = minInterval
+	}
+	if st.interval > st.span {
+		st.interval = st.span
+	}
+	if st.interval <= 0 {
+		st.interval = 1
+	}
+}
+
+func (st *dimState) cellCount() int64 {
+	n := int64(math.Ceil(st.span/st.interval)) + 1
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// dimState tracks one dimension's observed distribution and the candidate
+// interval while the advisor iterates.
+type dimState struct {
+	advice   DimAdvice
+	col      int
+	span     float64 // max - min in value units
+	interval float64 // current candidate interval
+}
+
+// roundTimeInterval snaps a seconds interval to a human-friendly unit so
+// generated policies read like the paper's ('1d', '100d', hours, minutes).
+func roundTimeInterval(sec int64) int64 {
+	const (
+		minute = 60
+		hour   = 3600
+		day    = 24 * 3600
+	)
+	switch {
+	case sec >= day:
+		return ((sec + day/2) / day) * day
+	case sec >= hour:
+		return ((sec + hour/2) / hour) * hour
+	case sec >= minute:
+		return ((sec + minute/2) / minute) * minute
+	case sec < 1:
+		return 1
+	default:
+		return sec
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

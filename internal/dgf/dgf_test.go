@@ -1,0 +1,812 @@
+package dgf
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"github.com/smartgrid-oss/dgfindex/internal/cluster"
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
+	"github.com/smartgrid-oss/dgfindex/internal/kvstore"
+	"github.com/smartgrid-oss/dgfindex/internal/mapreduce"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+func testCfg() *cluster.Config {
+	c := cluster.Default()
+	c.Workers = 4
+	return c
+}
+
+// paperSchema is the A,B,C table of the paper's Figures 5-7.
+func paperSchema() *storage.Schema {
+	return storage.NewSchema(
+		storage.Column{Name: "A", Kind: storage.KindInt64},
+		storage.Column{Name: "B", Kind: storage.KindInt64},
+		storage.Column{Name: "C", Kind: storage.KindFloat64},
+	)
+}
+
+// paperRows is the original data of Figure 6.
+func paperRows() []storage.Row {
+	raw := [][3]float64{
+		{1, 14, 0.1}, {5, 18, 0.5}, {7, 12, 1.2}, {2, 11, 0.5}, {9, 14, 0.8},
+		{11, 16, 1.3}, {3, 18, 0.9}, {12, 12, 0.3}, {8, 13, 0.2},
+	}
+	rows := make([]storage.Row, len(raw))
+	for i, r := range raw {
+		rows[i] = storage.Row{
+			storage.Int64(int64(r[0])),
+			storage.Int64(int64(r[1])),
+			storage.Float64(r[2]),
+		}
+	}
+	return rows
+}
+
+func paperSpec() Spec {
+	return Spec{
+		Name: "idx_a_b",
+		Policy: gridfile.Policy{Dims: []gridfile.Dimension{
+			{Name: "A", Kind: storage.KindInt64, Min: storage.Int64(1), IntervalI: 3},
+			{Name: "B", Kind: storage.KindInt64, Min: storage.Int64(11), IntervalI: 2},
+		}},
+		Precompute: []AggSpec{{Func: AggSum, Col: "C"}},
+	}
+}
+
+func buildPaperIndex(t *testing.T, blockSize int64) (*Index, *BuildStats, *dfs.FS) {
+	t.Helper()
+	fs := dfs.New(blockSize)
+	if err := storage.WriteTextRows(fs, "/tbl/data", paperRows()); err != nil {
+		t.Fatal(err)
+	}
+	kv := kvstore.New()
+	ix, stats, err := Build(testCfg(), fs, kv, paperSpec(), paperSchema(), "/tbl", "/tbl_dgf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, stats, fs
+}
+
+func TestBuildPaperExample(t *testing.T) {
+	ix, stats, _ := buildPaperIndex(t, 1<<20)
+	// Figure 6: 8 GFU pairs result from the 9 records.
+	if stats.Entries != 8 || ix.Entries() != 8 {
+		t.Errorf("entries = %d/%d, want 8", stats.Entries, ix.Entries())
+	}
+	// The highlighted GFU 7_13 holds records <9,14,0.8> and <8,13,0.2>
+	// with pre-computed sum(C) = 1.0.
+	v, ok, err := ix.lookupGFU("7_13")
+	if err != nil || !ok {
+		t.Fatalf("lookup 7_13: %v %v", ok, err)
+	}
+	if len(v.Slices) != 1 {
+		t.Fatalf("slices = %+v", v.Slices)
+	}
+	if math.Abs(v.Header[0].Value-1.0) > 1e-12 || v.Header[0].N != 2 {
+		t.Errorf("header = %+v, want sum 1.0 over 2 records", v.Header[0])
+	}
+	// All slices tile their files without overlap.
+	checkSliceTiling(t, ix)
+	if stats.SimTotalSec() <= 0 {
+		t.Error("build sim time must be positive")
+	}
+}
+
+func checkSliceTiling(t *testing.T, ix *Index) {
+	t.Helper()
+	byFile := map[string][]SliceLoc{}
+	for _, p := range ix.KV.ScanPrefix("g/") {
+		v, err := decodeGFUValue(ix.Spec.Precompute, p.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range v.Slices {
+			byFile[s.File] = append(byFile[s.File], s)
+		}
+	}
+	for file, slices := range byFile {
+		fi, err := ix.FS.Stat(file)
+		if err != nil {
+			t.Fatalf("slice file %s: %v", file, err)
+		}
+		var total int64
+		cover := map[int64]int64{}
+		for _, s := range slices {
+			total += s.Len()
+			cover[s.Start] = s.End
+		}
+		if total != fi.Size {
+			t.Errorf("%s: slices cover %d of %d bytes", file, total, fi.Size)
+		}
+		// Walk the chain from 0 to size.
+		pos := int64(0)
+		for pos < fi.Size {
+			end, ok := cover[pos]
+			if !ok {
+				t.Fatalf("%s: no slice starts at %d", file, pos)
+			}
+			pos = end
+		}
+	}
+}
+
+func TestAggregationQueryPaperListing2(t *testing.T) {
+	ix, _, _ := buildPaperIndex(t, 1<<20)
+	// Listing 2: SELECT SUM(C) WHERE A>=5 AND A<12 AND B>=12 AND B<16.
+	ranges := map[string]gridfile.Range{
+		"A": {Lo: storage.Int64(5), Hi: storage.Int64(12), HiOpen: true},
+		"B": {Lo: storage.Int64(12), Hi: storage.Int64(16), HiOpen: true},
+	}
+	want := AggSpec{Func: AggSum, Col: "C"}
+	plan, err := ix.Plan(testCfg(), ranges, []AggSpec{want}, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Aggregation {
+		t.Fatal("plan is not an aggregation plan")
+	}
+	if plan.InnerCells != 1 {
+		t.Errorf("inner cells = %d, want 1 (GFU 7_13)", plan.InnerCells)
+	}
+	// Inner pre-result is sum(C) of 7_13 = 1.0.
+	if math.Abs(plan.PreHeader[0].Value-1.0) > 1e-12 {
+		t.Errorf("pre-computed inner sum = %v, want 1.0", plan.PreHeader[0].Value)
+	}
+	// Scan the boundary slices and add matching records: full answer is
+	// sum over records with 5<=A<12, 12<=B<16: records (7,12,1.2), (9,14,0.8),
+	// (8,13,0.2), (11,16?) no (16 excluded), (5,18?) no -> 1.2+0.8+0.2 = 2.2.
+	got := plan.PreHeader[0].Value + scanSum(t, ix, plan, ranges, 2)
+	if math.Abs(got-2.2) > 1e-12 {
+		t.Errorf("query answer = %v, want 2.2", got)
+	}
+}
+
+// scanSum runs the boundary scan of a plan, filtering by predicate, summing
+// column col.
+func scanSum(t *testing.T, ix *Index, plan *Plan, ranges map[string]gridfile.Range, col int) float64 {
+	t.Helper()
+	var mu struct {
+		sum float64
+	}
+	collector := mapreduce.NewCollector()
+	_, err := mapreduce.Run(testCfg(), &mapreduce.Job{
+		Name:  "scan",
+		Input: &SliceInput{FS: ix.FS, Plan: plan},
+		Map: func(rec mapreduce.Record, emit mapreduce.Emit) error {
+			row, err := storage.DecodeTextRow(ix.Schema, string(rec.Data))
+			if err != nil {
+				return err
+			}
+			match := true
+			for name, r := range ranges {
+				ci := ix.Schema.ColIndex(name)
+				if !r.Contains(row[ci]) {
+					match = false
+					break
+				}
+			}
+			if match {
+				emit("v", []byte(strconv.FormatFloat(row[col].AsFloat(), 'g', -1, 64)))
+			}
+			return nil
+		},
+		Output: collector.Emit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range collector.Pairs() {
+		f, _ := strconv.ParseFloat(string(p.Value), 64)
+		mu.sum += f
+	}
+	return mu.sum
+}
+
+func TestNonAggregationPlanReadsAllCells(t *testing.T) {
+	ix, _, _ := buildPaperIndex(t, 1<<20)
+	ranges := map[string]gridfile.Range{
+		"A": {Lo: storage.Int64(5), Hi: storage.Int64(12), HiOpen: true},
+		"B": {Lo: storage.Int64(12), Hi: storage.Int64(16), HiOpen: true},
+	}
+	plan, err := ix.Plan(testCfg(), ranges, nil, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Aggregation {
+		t.Error("non-aggregation query planned as aggregation")
+	}
+	// All 9 read cells requested, but only the non-empty ones have slices.
+	if plan.InnerCells != 0 || plan.BoundaryCells == 0 {
+		t.Errorf("cells: inner=%d boundary=%d", plan.InnerCells, plan.BoundaryCells)
+	}
+	if len(plan.Slices) == 0 {
+		t.Fatal("no slices planned")
+	}
+}
+
+func TestPartialQueryUsesStoredBounds(t *testing.T) {
+	ix, _, _ := buildPaperIndex(t, 1<<20)
+	// Constrain only B (Section 5.3.4: missing dimensions take stored
+	// min/max). B=12 exactly: records (7,12,1.2) and (12,12,0.3) -> 1.5.
+	ranges := map[string]gridfile.Range{
+		"B": {Lo: storage.Int64(12), Hi: storage.Int64(12)},
+	}
+	want := AggSpec{Func: AggSum, Col: "C"}
+	plan, err := ix.Plan(testCfg(), ranges, []AggSpec{want}, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scanSum(t, ix, plan, ranges, 2)
+	if plan.Aggregation {
+		got += plan.PreHeader[0].Value
+	}
+	if math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("partial query sum = %v, want 1.5", got)
+	}
+}
+
+func TestDisablePrecomputeAblation(t *testing.T) {
+	ix, _, _ := buildPaperIndex(t, 1<<20)
+	ranges := map[string]gridfile.Range{
+		"A": {Lo: storage.Int64(5), Hi: storage.Int64(12), HiOpen: true},
+		"B": {Lo: storage.Int64(12), Hi: storage.Int64(16), HiOpen: true},
+	}
+	want := []AggSpec{{Func: AggSum, Col: "C"}}
+	plan, err := ix.Plan(testCfg(), ranges, want, PlanOptions{DisablePrecompute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Aggregation {
+		t.Fatal("precompute not disabled")
+	}
+	got := scanSum(t, ix, plan, ranges, 2)
+	if math.Abs(got-2.2) > 1e-12 {
+		t.Errorf("no-precompute sum = %v, want 2.2", got)
+	}
+}
+
+func TestCanPrecompute(t *testing.T) {
+	ix, _, _ := buildPaperIndex(t, 1<<20)
+	if !ix.CanPrecompute([]AggSpec{{Func: AggSum, Col: "C"}}) {
+		t.Error("sum(C) should be precomputable")
+	}
+	if ix.CanPrecompute([]AggSpec{{Func: AggMin, Col: "C"}}) {
+		t.Error("min(C) is not precomputed")
+	}
+	if ix.CanPrecompute(nil) {
+		t.Error("empty agg list cannot use precompute")
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	ix, _, _ := buildPaperIndex(t, 1<<20)
+	reopened, err := Open(ix.FS, ix.KV, ix.Spec.Name, ix.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.DataDir != ix.DataDir {
+		t.Errorf("DataDir = %q, want %q", reopened.DataDir, ix.DataDir)
+	}
+	if len(reopened.Spec.Policy.Dims) != 2 || reopened.Spec.Policy.Dims[0].Name != "A" {
+		t.Errorf("policy = %+v", reopened.Spec.Policy)
+	}
+	if len(reopened.Spec.Precompute) != 1 || reopened.Spec.Precompute[0].Key() != "sum(c)" {
+		t.Errorf("precompute = %v", reopened.Spec.Precompute)
+	}
+	lo, hi := reopened.Bounds()
+	wantLo, wantHi := ix.Bounds()
+	for i := range lo {
+		if lo[i] != wantLo[i] || hi[i] != wantHi[i] {
+			t.Errorf("bounds dim %d: [%d,%d] want [%d,%d]", i, lo[i], hi[i], wantLo[i], wantHi[i])
+		}
+	}
+}
+
+func TestAppendExtendsIndex(t *testing.T) {
+	ix, _, fs := buildPaperIndex(t, 1<<20)
+	before := ix.Entries()
+	// New collection period: records in previously empty cells plus one
+	// late record for existing cell 7_13.
+	newRows := []storage.Row{
+		{storage.Int64(20), storage.Int64(20), storage.Float64(2.0)},
+		{storage.Int64(8), storage.Int64(14), storage.Float64(0.5)}, // cell 7_13
+	}
+	if err := storage.WriteTextRows(fs, "/staging/new", newRows); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ix.Append(testCfg(), []string{"/staging/new"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 2 {
+		t.Errorf("append wrote %d pairs, want 2", stats.Entries)
+	}
+	if got := ix.Entries(); got != before+1 {
+		t.Errorf("entries after append = %d, want %d", got, before+1)
+	}
+	// Late record merged into 7_13: sum 1.0+0.5, slices 2.
+	v, ok, _ := ix.lookupGFU("7_13")
+	if !ok || len(v.Slices) != 2 {
+		t.Fatalf("7_13 after append: ok=%v slices=%+v", ok, v.Slices)
+	}
+	if math.Abs(v.Header[0].Value-1.5) > 1e-12 || v.Header[0].N != 3 {
+		t.Errorf("merged header = %+v", v.Header[0])
+	}
+	// Bounds extended to the new cell.
+	_, hi := ix.Bounds()
+	if hi[0] < 6 { // A=20 -> cell (20-1)/3 = 6
+		t.Errorf("bounds not extended: %v", hi)
+	}
+	// Aggregation over everything still correct:
+	// total sum = 0.1+0.5+1.2+0.5+0.8+1.3+0.9+0.3+0.2+2.0+0.5 = 8.3.
+	ranges := map[string]gridfile.Range{}
+	plan, err := ix.Plan(testCfg(), ranges, []AggSpec{{Func: AggSum, Col: "C"}}, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scanSum(t, ix, plan, map[string]gridfile.Range{}, 2)
+	if plan.Aggregation {
+		got += plan.PreHeader[0].Value
+	}
+	if math.Abs(got-8.3) > 1e-9 {
+		t.Errorf("total sum after append = %v, want 8.3", got)
+	}
+}
+
+func TestAddPrecompute(t *testing.T) {
+	ix, _, _ := buildPaperIndex(t, 1<<20)
+	if _, err := ix.AddPrecompute(testCfg(), []AggSpec{{Func: AggSum, Col: "C"}}); err == nil {
+		t.Error("duplicate precompute accepted")
+	}
+	if _, err := ix.AddPrecompute(testCfg(), []AggSpec{{Func: AggMax, Col: "nope"}}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := ix.AddPrecompute(testCfg(), []AggSpec{{Func: AggCount}, {Func: AggMax, Col: "C"}}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := ix.lookupGFU("7_13")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if len(v.Header) != 3 {
+		t.Fatalf("header size = %d, want 3", len(v.Header))
+	}
+	if v.Header[1].Value != 2 { // count of 7_13
+		t.Errorf("count = %v, want 2", v.Header[1].Value)
+	}
+	if math.Abs(v.Header[2].Value-0.8) > 1e-12 { // max(C) of {0.8, 0.2}
+		t.Errorf("max = %v, want 0.8", v.Header[2].Value)
+	}
+	// New aggregations are now derivable.
+	if !ix.CanPrecompute([]AggSpec{{Func: AggCount}, {Func: AggMax, Col: "C"}}) {
+		t.Error("extended precompute not usable")
+	}
+}
+
+func TestSliceSkippingAcrossTinyBlocks(t *testing.T) {
+	// Block size 64 bytes: slices straddle split boundaries, exercising the
+	// slice-division rule of Section 4.3.
+	ix, _, _ := buildPaperIndex(t, 64)
+	ranges := map[string]gridfile.Range{
+		"A": {Lo: storage.Int64(5), Hi: storage.Int64(12), HiOpen: true},
+		"B": {Lo: storage.Int64(12), Hi: storage.Int64(16), HiOpen: true},
+	}
+	plan, err := ix.Plan(testCfg(), ranges, []AggSpec{{Func: AggSum, Col: "C"}}, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := plan.PreHeader[0].Value + scanSum(t, ix, plan, ranges, 2)
+	if math.Abs(got-2.2) > 1e-12 {
+		t.Errorf("tiny-block query = %v, want 2.2", got)
+	}
+}
+
+func TestDisableSliceSkipReadsMore(t *testing.T) {
+	ix, _, _ := buildPaperIndex(t, 32)
+	ranges := map[string]gridfile.Range{
+		"A": {Lo: storage.Int64(7), Hi: storage.Int64(9)},
+		"B": {Lo: storage.Int64(13), Hi: storage.Int64(14)},
+	}
+	run := func(opts PlanOptions) (float64, int64) {
+		plan, err := ix.Plan(testCfg(), ranges, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var records int64
+		stats, err := mapreduce.Run(testCfg(), &mapreduce.Job{
+			Name:  "scan",
+			Input: &SliceInput{FS: ix.FS, Plan: plan},
+			Map: func(rec mapreduce.Record, emit mapreduce.Emit) error {
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		records = stats.InputRecords
+		sum := scanSum(t, ix, plan, ranges, 2)
+		return sum, records
+	}
+	sumSkip, recSkip := run(PlanOptions{})
+	sumFull, recFull := run(PlanOptions{DisableSliceSkip: true})
+	if math.Abs(sumSkip-sumFull) > 1e-12 {
+		t.Errorf("results differ: %v vs %v", sumSkip, sumFull)
+	}
+	if recFull <= recSkip {
+		t.Errorf("whole-split mode should read more records: %d vs %d", recFull, recSkip)
+	}
+}
+
+func TestParseIdxProperties(t *testing.T) {
+	schema := paperSchema()
+	spec, err := ParseIdxProperties("idx_a_b", []string{"A", "B"}, schema, map[string]string{
+		"A": "1_3", "B": "11_2", "precompute": "sum(C)",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Policy.Dims) != 2 || spec.Policy.Dims[1].IntervalI != 2 {
+		t.Errorf("spec = %+v", spec)
+	}
+	if len(spec.Precompute) != 1 || spec.Precompute[0].Key() != "sum(c)" {
+		t.Errorf("precompute = %v", spec.Precompute)
+	}
+	if _, err := ParseIdxProperties("x", []string{"A"}, schema, map[string]string{}); err == nil {
+		t.Error("missing policy accepted")
+	}
+	if _, err := ParseIdxProperties("x", []string{"Z"}, schema, map[string]string{"Z": "1_1"}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := ParseIdxProperties("x", []string{"A"}, schema, map[string]string{"A": "1_1", "precompute": "median(C)"}); err == nil {
+		t.Error("non-additive precompute accepted")
+	}
+}
+
+func TestAggSpecParsing(t *testing.T) {
+	cases := map[string]string{
+		"sum(powerConsumed)": "sum(powerconsumed)",
+		"COUNT(*)":           "count(*)",
+		"count(1)":           "count(*)",
+		"Min(x)":             "min(x)",
+		"max(y)":             "max(y)",
+	}
+	for in, want := range cases {
+		got, err := ParseAggSpec(in)
+		if err != nil {
+			t.Errorf("ParseAggSpec(%q): %v", in, err)
+			continue
+		}
+		if got.Key() != want {
+			t.Errorf("ParseAggSpec(%q).Key() = %q, want %q", in, got.Key(), want)
+		}
+	}
+	for _, bad := range []string{"", "sum", "avg(x)", "sum()", "sum(x"} {
+		if _, err := ParseAggSpec(bad); err == nil {
+			t.Errorf("ParseAggSpec(%q) accepted", bad)
+		}
+	}
+	specs, err := ParseAggSpecs("sum(a);count(*),max(b)")
+	if err != nil || len(specs) != 3 {
+		t.Errorf("ParseAggSpecs = %v, %v", specs, err)
+	}
+}
+
+func TestAccumulatorMergeMatchesFold(t *testing.T) {
+	vals := []float64{3, -1, 7, 2, 2, 9, -5}
+	for _, f := range []AggFunc{AggSum, AggCount, AggMin, AggMax} {
+		whole := Accumulator{Func: f}
+		for _, v := range vals {
+			whole.Fold(v)
+		}
+		for cut := 1; cut < len(vals); cut++ {
+			a := Accumulator{Func: f}
+			b := Accumulator{Func: f}
+			for _, v := range vals[:cut] {
+				a.Fold(v)
+			}
+			for _, v := range vals[cut:] {
+				b.Fold(v)
+			}
+			a.Merge(b)
+			if math.Abs(a.Value-whole.Value) > 1e-12 || a.N != whole.N {
+				t.Errorf("%v cut %d: %+v != %+v", f, cut, a, whole)
+			}
+		}
+	}
+}
+
+func TestHeaderEncodeDecode(t *testing.T) {
+	specs := []AggSpec{{Func: AggSum, Col: "x"}, {Func: AggCount}, {Func: AggMin, Col: "y"}}
+	h := NewHeader(specs)
+	h[0].Fold(1.5)
+	h[0].Fold(2.5)
+	h[2].Fold(-3)
+	// h[1] stays empty.
+	enc := encodeHeader(h)
+	back, err := decodeHeader(specs, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range h {
+		if back[i] != h[i] {
+			t.Errorf("field %d: %+v != %+v", i, back[i], h[i])
+		}
+	}
+	if _, err := decodeHeader(specs, "1:1"); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+func TestGFUValueEncodeDecode(t *testing.T) {
+	specs := []AggSpec{{Func: AggSum, Col: "c"}}
+	h := NewHeader(specs)
+	h[0].Fold(4.5)
+	v := GFUValue{Header: h, Slices: []SliceLoc{
+		{File: "/tbl_dgf/part-0-r-00000", Start: 0, End: 90},
+		{File: "/tbl_dgf/part-1-r-00003", Start: 450, End: 540},
+	}}
+	back, err := decodeGFUValue(specs, encodeGFUValue(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Slices) != 2 || back.Slices[1] != v.Slices[1] {
+		t.Errorf("slices = %+v", back.Slices)
+	}
+	if back.Header[0] != h[0] {
+		t.Errorf("header = %+v", back.Header[0])
+	}
+	if _, err := decodeGFUValue(specs, []byte("no-bar")); err == nil {
+		t.Error("bad value accepted")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	schema := paperSchema()
+	good := paperSpec()
+	if err := good.Validate(schema); err != nil {
+		t.Fatal(err)
+	}
+	bad := paperSpec()
+	bad.Policy.Dims[0].Name = "ghost"
+	if err := bad.Validate(schema); err == nil {
+		t.Error("unknown dimension accepted")
+	}
+	bad2 := paperSpec()
+	bad2.Precompute = []AggSpec{{Func: AggSum, Col: "ghost"}}
+	if err := bad2.Validate(schema); err == nil {
+		t.Error("unknown precompute column accepted")
+	}
+	bad3 := paperSpec()
+	bad3.Policy.Dims[0].Kind = storage.KindFloat64
+	if err := bad3.Validate(schema); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+}
+
+// TestQueryEquivalenceRandomised is the core correctness property: for
+// random data and random range queries, pre-computed inner result plus
+// filtered boundary scan equals the brute-force answer.
+func TestQueryEquivalenceRandomised(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	schema := paperSchema()
+	for trial := 0; trial < 12; trial++ {
+		fs := dfs.New(int64(rng.Intn(200) + 50))
+		n := rng.Intn(300) + 20
+		rows := make([]storage.Row, n)
+		for i := range rows {
+			rows[i] = storage.Row{
+				storage.Int64(int64(rng.Intn(50))),
+				storage.Int64(int64(rng.Intn(30))),
+				storage.Float64(float64(rng.Intn(1000)) / 10),
+			}
+		}
+		if err := storage.WriteTextRows(fs, "/tbl/data", rows); err != nil {
+			t.Fatal(err)
+		}
+		spec := Spec{
+			Name: "idx",
+			Policy: gridfile.Policy{Dims: []gridfile.Dimension{
+				{Name: "A", Kind: storage.KindInt64, Min: storage.Int64(0), IntervalI: int64(rng.Intn(5) + 2)},
+				{Name: "B", Kind: storage.KindInt64, Min: storage.Int64(0), IntervalI: int64(rng.Intn(4) + 2)},
+			}},
+			Precompute: []AggSpec{{Func: AggSum, Col: "C"}, {Func: AggCount}},
+		}
+		kv := kvstore.New()
+		ix, _, err := Build(testCfg(), fs, kv, spec, schema, "/tbl", "/tbl_dgf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 6; q++ {
+			aLo := int64(rng.Intn(50))
+			aHi := aLo + int64(rng.Intn(20)) + 1
+			bLo := int64(rng.Intn(30))
+			bHi := bLo + int64(rng.Intn(15)) + 1
+			ranges := map[string]gridfile.Range{
+				"A": {Lo: storage.Int64(aLo), Hi: storage.Int64(aHi), HiOpen: true},
+				"B": {Lo: storage.Int64(bLo), Hi: storage.Int64(bHi), HiOpen: true},
+			}
+			var wantSum float64
+			var wantCount int64
+			for _, r := range rows {
+				if r[0].I >= aLo && r[0].I < aHi && r[1].I >= bLo && r[1].I < bHi {
+					wantSum += r[2].F
+					wantCount++
+				}
+			}
+			aggs := []AggSpec{{Func: AggSum, Col: "C"}, {Func: AggCount}}
+			plan, err := ix.Plan(testCfg(), ranges, aggs, PlanOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSum := scanSum(t, ix, plan, ranges, 2)
+			gotCount := scanCount(t, ix, plan, ranges)
+			if plan.Aggregation {
+				gotSum += plan.PreHeader[0].Value
+				gotCount += int64(plan.PreHeader[1].Value)
+			}
+			if math.Abs(gotSum-wantSum) > 1e-6 || gotCount != wantCount {
+				t.Fatalf("trial %d query %d: got (%v, %d), want (%v, %d)",
+					trial, q, gotSum, gotCount, wantSum, wantCount)
+			}
+		}
+	}
+}
+
+func scanCount(t *testing.T, ix *Index, plan *Plan, ranges map[string]gridfile.Range) int64 {
+	t.Helper()
+	var count int64
+	_, err := mapreduce.Run(testCfg(), &mapreduce.Job{
+		Name:  "count",
+		Input: &SliceInput{FS: ix.FS, Plan: plan},
+		Map: func(rec mapreduce.Record, emit mapreduce.Emit) error {
+			row, err := storage.DecodeTextRow(ix.Schema, string(rec.Data))
+			if err != nil {
+				return err
+			}
+			for name, r := range ranges {
+				if !r.Contains(row[ix.Schema.ColIndex(name)]) {
+					return nil
+				}
+			}
+			emit("n", []byte("1"))
+			return nil
+		},
+		Output: func(k string, v []byte) { count++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return count
+}
+
+// Property: header encode/decode round-trips for arbitrary accumulator
+// contents.
+func TestHeaderRoundTripProperty(t *testing.T) {
+	specs := []AggSpec{{Func: AggSum, Col: "a"}, {Func: AggMax, Col: "b"}}
+	f := func(v1, v2 float64, n1, n2 uint16) bool {
+		if math.IsNaN(v1) || math.IsNaN(v2) || math.IsInf(v1, 0) || math.IsInf(v2, 0) {
+			return true
+		}
+		h := NewHeader(specs)
+		h[0] = Accumulator{Func: AggSum, Value: v1, N: int64(n1)}
+		h[1] = Accumulator{Func: AggMax, Value: v2, N: int64(n2)}
+		back, err := decodeHeader(specs, encodeHeader(h))
+		if err != nil {
+			return false
+		}
+		return back[0] == h[0] && back[1] == h[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildRejectsBadSpec(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	storage.WriteTextRows(fs, "/tbl/data", paperRows())
+	spec := paperSpec()
+	spec.Policy.Dims[0].Name = "ghost"
+	if _, _, err := Build(testCfg(), fs, kvstore.New(), spec, paperSchema(), "/tbl", "/d"); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestIndexSizeGrowsWithSmallerIntervals(t *testing.T) {
+	// The paper's Table 2: smaller intervals -> more GFUs -> bigger index.
+	sizes := map[string]int64{}
+	for name, interval := range map[string]int64{"large": 10, "small": 2} {
+		fs := dfs.New(1 << 20)
+		rng := rand.New(rand.NewSource(7))
+		rows := make([]storage.Row, 500)
+		for i := range rows {
+			rows[i] = storage.Row{
+				storage.Int64(int64(rng.Intn(100))),
+				storage.Int64(int64(rng.Intn(20))),
+				storage.Float64(rng.Float64()),
+			}
+		}
+		storage.WriteTextRows(fs, "/tbl/data", rows)
+		spec := Spec{
+			Name: "idx",
+			Policy: gridfile.Policy{Dims: []gridfile.Dimension{
+				{Name: "A", Kind: storage.KindInt64, Min: storage.Int64(0), IntervalI: interval},
+				{Name: "B", Kind: storage.KindInt64, Min: storage.Int64(0), IntervalI: 5},
+			}},
+		}
+		ix, _, err := Build(testCfg(), fs, kvstore.New(), spec, paperSchema(), "/tbl", "/d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[name] = ix.SizeBytes()
+	}
+	if sizes["small"] <= sizes["large"] {
+		t.Errorf("small-interval index (%d B) should exceed large-interval index (%d B)",
+			sizes["small"], sizes["large"])
+	}
+}
+
+func TestPlanStatsAccounting(t *testing.T) {
+	ix, _, _ := buildPaperIndex(t, 1<<20)
+	ranges := map[string]gridfile.Range{
+		"A": {Lo: storage.Int64(5), Hi: storage.Int64(12), HiOpen: true},
+		"B": {Lo: storage.Int64(12), Hi: storage.Int64(16), HiOpen: true},
+	}
+	plan, err := ix.Plan(testCfg(), ranges, []AggSpec{{Func: AggSum, Col: "C"}}, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.KVSimSeconds <= 0 {
+		t.Error("index access must cost simulated time")
+	}
+	if plan.SliceBytes <= 0 {
+		t.Error("boundary slices must have bytes")
+	}
+	var sliceSum int64
+	for _, s := range plan.Slices {
+		sliceSum += s.Len()
+	}
+	if sliceSum != plan.SliceBytes {
+		t.Errorf("SliceBytes = %d, slices sum to %d", plan.SliceBytes, sliceSum)
+	}
+	// 9 read cells, 1 inner, 8 boundary; the 3 empty boundary cells are
+	// missing from the store.
+	if plan.InnerCells+plan.BoundaryCells != 9 {
+		t.Errorf("cells = %d + %d, want 9 total", plan.InnerCells, plan.BoundaryCells)
+	}
+	if plan.MissingCells == 0 {
+		t.Error("expected some enumerated cells to be empty")
+	}
+}
+
+func BenchmarkBuildSmall(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([]storage.Row, 2000)
+	for i := range rows {
+		rows[i] = storage.Row{
+			storage.Int64(int64(rng.Intn(1000))),
+			storage.Int64(int64(rng.Intn(20))),
+			storage.Float64(rng.Float64()),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := dfs.New(1 << 18)
+		storage.WriteTextRows(fs, "/tbl/data", rows)
+		spec := Spec{
+			Name: "idx",
+			Policy: gridfile.Policy{Dims: []gridfile.Dimension{
+				{Name: "A", Kind: storage.KindInt64, Min: storage.Int64(0), IntervalI: 50},
+				{Name: "B", Kind: storage.KindInt64, Min: storage.Int64(0), IntervalI: 5},
+			}},
+			Precompute: []AggSpec{{Func: AggSum, Col: "C"}},
+		}
+		if _, _, err := Build(testCfg(), fs, kvstore.New(), spec, paperSchema(), "/tbl", "/d"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package dgf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
+	"github.com/smartgrid-oss/dgfindex/internal/kvstore"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// Key-value store layout. GFU pairs live under the "g/" prefix; metadata
+// (splitting policy, pre-compute list, per-dimension data bounds) under
+// "meta/". The paper stores the same information in HBase: the GFU pairs
+// plus "the minimum and maximum standardized values in every index
+// dimension" (Section 4.2).
+const (
+	gfuPrefix     = "g/"
+	metaPolicy    = "meta/policy"
+	metaPrecomp   = "meta/precompute"
+	metaMinPrefix = "meta/min/"
+	metaMaxPrefix = "meta/max/"
+	metaDataDir   = "meta/datadir"
+	metaGen       = "meta/generation"
+)
+
+// SliceLoc locates one Slice: a contiguous run of records of a single GFU
+// inside a reorganised data file (the location part of a GFUValue).
+type SliceLoc struct {
+	File  string
+	Start int64 // inclusive byte offset
+	End   int64 // exclusive byte offset
+}
+
+// Len returns the slice length in bytes.
+func (s SliceLoc) Len() int64 { return s.End - s.Start }
+
+// GFUValue is the value part of one GFU pair: the pre-computed header plus
+// the locations of the GFU's Slices. A freshly built index has exactly one
+// Slice per GFU; incremental loads append more (the paper extends the time
+// dimension for new data, so existing pairs normally stay untouched, but
+// late-arriving records for an existing cell merge here).
+type GFUValue struct {
+	Header Header
+	Slices []SliceLoc
+}
+
+// encodeGFUValue renders "header|file:start:end;file:start:end".
+func encodeGFUValue(v GFUValue) []byte {
+	var b strings.Builder
+	b.WriteString(encodeHeader(v.Header))
+	b.WriteByte('|')
+	for i, s := range v.Slices {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(s.File)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(s.Start, 10))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(s.End, 10))
+	}
+	return []byte(b.String())
+}
+
+func decodeGFUValue(specs []AggSpec, data []byte) (GFUValue, error) {
+	s := string(data)
+	bar := strings.IndexByte(s, '|')
+	if bar < 0 {
+		return GFUValue{}, fmt.Errorf("dgf: bad GFUValue %q", s)
+	}
+	h, err := decodeHeader(specs, s[:bar])
+	if err != nil {
+		return GFUValue{}, err
+	}
+	v := GFUValue{Header: h}
+	rest := s[bar+1:]
+	if rest == "" {
+		return v, nil
+	}
+	for _, part := range strings.Split(rest, ";") {
+		// File paths contain '/', never ':'; split from the right.
+		j2 := strings.LastIndexByte(part, ':')
+		if j2 < 0 {
+			return GFUValue{}, fmt.Errorf("dgf: bad slice %q", part)
+		}
+		j1 := strings.LastIndexByte(part[:j2], ':')
+		if j1 < 0 {
+			return GFUValue{}, fmt.Errorf("dgf: bad slice %q", part)
+		}
+		start, err1 := strconv.ParseInt(part[j1+1:j2], 10, 64)
+		end, err2 := strconv.ParseInt(part[j2+1:], 10, 64)
+		if err1 != nil || err2 != nil {
+			return GFUValue{}, fmt.Errorf("dgf: bad slice offsets %q", part)
+		}
+		v.Slices = append(v.Slices, SliceLoc{File: part[:j1], Start: start, End: end})
+	}
+	return v, nil
+}
+
+// Spec describes a DGFIndex to build: the grid splitting policy over the
+// table's index dimensions plus the pre-computed aggregations. It is what
+// the paper's CREATE INDEX ... IDXPROPERTIES statement (Listing 3) denotes.
+type Spec struct {
+	Name string
+	// Policy orders the index dimensions; each must name a table column.
+	Policy gridfile.Policy
+	// Precompute lists the additive aggregations stored per GFU.
+	Precompute []AggSpec
+}
+
+// Validate checks the spec against a table schema.
+func (s *Spec) Validate(schema *storage.Schema) error {
+	if err := s.Policy.Validate(); err != nil {
+		return err
+	}
+	for _, d := range s.Policy.Dims {
+		i := schema.ColIndex(d.Name)
+		if i < 0 {
+			return fmt.Errorf("dgf: index dimension %q is not a table column", d.Name)
+		}
+		if schema.Col(i).Kind != d.Kind {
+			return fmt.Errorf("dgf: dimension %q kind %v does not match column kind %v",
+				d.Name, d.Kind, schema.Col(i).Kind)
+		}
+	}
+	for _, a := range s.Precompute {
+		for _, factor := range a.Factors() {
+			if schema.ColIndex(factor) < 0 {
+				return fmt.Errorf("dgf: pre-compute column %q is not a table column", factor)
+			}
+		}
+	}
+	return nil
+}
+
+// Index is an opened DGFIndex: the GFU pairs and metadata in a key-value
+// store plus the reorganised data files in the filesystem.
+type Index struct {
+	FS     *dfs.FS
+	KV     *kvstore.Store
+	Spec   Spec
+	Schema *storage.Schema
+	// DataDir holds the reorganised Slice files. Queries on the indexed
+	// table read these files (the build job reorganises the base table).
+	DataDir string
+
+	dimCols []int   // schema column index per policy dimension
+	aggCols [][]int // schema column indexes (product factors) per precompute spec; nil for count
+	minCell []int64 // observed data bounds per dimension, in cells
+	maxCell []int64
+}
+
+func (ix *Index) resolveColumns() error {
+	ix.dimCols = make([]int, len(ix.Spec.Policy.Dims))
+	for i, d := range ix.Spec.Policy.Dims {
+		c := ix.Schema.ColIndex(d.Name)
+		if c < 0 {
+			return fmt.Errorf("dgf: dimension column %q missing from schema", d.Name)
+		}
+		ix.dimCols[i] = c
+	}
+	ix.aggCols = make([][]int, len(ix.Spec.Precompute))
+	for i, a := range ix.Spec.Precompute {
+		for _, factor := range a.Factors() {
+			c := ix.Schema.ColIndex(factor)
+			if c < 0 {
+				return fmt.Errorf("dgf: pre-compute column %q missing from schema", factor)
+			}
+			ix.aggCols[i] = append(ix.aggCols[i], c)
+		}
+	}
+	return nil
+}
+
+// cellsOfLine standardises one text record into its GFU cell coordinates
+// (Algorithm 1 lines 1-5).
+func (ix *Index) cellsOfLine(line []byte, cells []int64) error {
+	for i, col := range ix.dimCols {
+		field, ok := storage.TextFieldBytes(line, col)
+		if !ok {
+			return fmt.Errorf("dgf: record has no field %d: %q", col, line)
+		}
+		v, err := storage.ParseValue(ix.Schema.Col(col).Kind, string(field))
+		if err != nil {
+			return err
+		}
+		cells[i] = ix.Spec.Policy.Dims[i].CellOf(v)
+	}
+	return nil
+}
+
+// foldLine folds one record into header h (Algorithm 2 lines 6-12). Product
+// pre-computes multiply their factor columns per record.
+func (ix *Index) foldLine(line []byte, h Header) error {
+	for i := range h {
+		v := 0.0
+		for fi, col := range ix.aggCols[i] {
+			field, ok := storage.TextFieldBytes(line, col)
+			if !ok {
+				return fmt.Errorf("dgf: record has no field %d: %q", col, line)
+			}
+			f, err := strconv.ParseFloat(string(field), 64)
+			if err != nil {
+				// Time columns aggregate by their Unix value.
+				pv, perr := storage.ParseValue(ix.Schema.Col(col).Kind, string(field))
+				if perr != nil {
+					return fmt.Errorf("dgf: non-numeric value %q for %s", field, ix.Spec.Precompute[i])
+				}
+				f = pv.AsFloat()
+			}
+			if fi == 0 {
+				v = f
+			} else {
+				v *= f
+			}
+		}
+		h[i].Fold(v)
+	}
+	return nil
+}
+
+// --- metadata persistence ---
+
+func encodePolicy(p gridfile.Policy) []byte {
+	var b strings.Builder
+	for i, d := range p.Dims {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%s\x01%s\x01%s", d.Name, d.Kind.String(), d.Spec())
+	}
+	return []byte(b.String())
+}
+
+func decodePolicy(data []byte) (gridfile.Policy, error) {
+	var p gridfile.Policy
+	for _, line := range strings.Split(string(data), "\n") {
+		parts := strings.Split(line, "\x01")
+		if len(parts) != 3 {
+			return p, fmt.Errorf("dgf: bad policy line %q", line)
+		}
+		kind, err := storage.ParseKind(parts[1])
+		if err != nil {
+			return p, err
+		}
+		d, err := gridfile.ParseDimension(parts[0], kind, parts[2])
+		if err != nil {
+			return p, err
+		}
+		p.Dims = append(p.Dims, d)
+	}
+	return p, nil
+}
+
+func encodeSpecs(specs []AggSpec) []byte {
+	parts := make([]string, len(specs))
+	for i, s := range specs {
+		parts[i] = s.String()
+	}
+	return []byte(strings.Join(parts, ";"))
+}
+
+// saveMeta persists the index description and data bounds.
+func (ix *Index) saveMeta() {
+	ix.KV.Put(metaPolicy, encodePolicy(ix.Spec.Policy))
+	ix.KV.Put(metaPrecomp, encodeSpecs(ix.Spec.Precompute))
+	ix.KV.Put(metaDataDir, []byte(ix.DataDir))
+	for i := range ix.Spec.Policy.Dims {
+		ix.KV.Put(metaMinPrefix+strconv.Itoa(i), []byte(strconv.FormatInt(ix.minCell[i], 10)))
+		ix.KV.Put(metaMaxPrefix+strconv.Itoa(i), []byte(strconv.FormatInt(ix.maxCell[i], 10)))
+	}
+}
+
+// Open loads an existing index from its key-value store.
+func Open(fs *dfs.FS, kv *kvstore.Store, name string, schema *storage.Schema) (*Index, error) {
+	polData, ok := kv.Get(metaPolicy)
+	if !ok {
+		return nil, fmt.Errorf("dgf: index %q has no metadata", name)
+	}
+	policy, err := decodePolicy(polData)
+	if err != nil {
+		return nil, err
+	}
+	preData, _ := kv.Get(metaPrecomp)
+	specs, err := ParseAggSpecs(string(preData))
+	if err != nil {
+		return nil, err
+	}
+	dirData, _ := kv.Get(metaDataDir)
+	ix := &Index{
+		FS:      fs,
+		KV:      kv,
+		Spec:    Spec{Name: name, Policy: policy, Precompute: specs},
+		Schema:  schema,
+		DataDir: string(dirData),
+		minCell: make([]int64, len(policy.Dims)),
+		maxCell: make([]int64, len(policy.Dims)),
+	}
+	for i := range policy.Dims {
+		lo, ok1 := kv.Get(metaMinPrefix + strconv.Itoa(i))
+		hi, ok2 := kv.Get(metaMaxPrefix + strconv.Itoa(i))
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("dgf: index %q missing bounds for dimension %d", name, i)
+		}
+		ix.minCell[i], _ = strconv.ParseInt(string(lo), 10, 64)
+		ix.maxCell[i], _ = strconv.ParseInt(string(hi), 10, 64)
+	}
+	if err := ix.resolveColumns(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Entries returns the number of GFU pairs (the paper's index-record count).
+func (ix *Index) Entries() int {
+	return len(ix.KV.ScanPrefix(gfuPrefix))
+}
+
+// SizeBytes returns the index size: all GFU keys and values (Table 2/5's
+// "Size" column for DGFIndex).
+func (ix *Index) SizeBytes() int64 {
+	var n int64
+	for _, p := range ix.KV.ScanPrefix(gfuPrefix) {
+		n += int64(len(p.Key) + len(p.Value))
+	}
+	return n
+}
+
+// Bounds returns the observed per-dimension data bounds in cell coordinates.
+func (ix *Index) Bounds() (lo, hi []int64) {
+	lo = make([]int64, len(ix.minCell))
+	hi = make([]int64, len(ix.maxCell))
+	copy(lo, ix.minCell)
+	copy(hi, ix.maxCell)
+	return lo, hi
+}
+
+// lookupGFU fetches and decodes one GFU pair.
+func (ix *Index) lookupGFU(key string) (GFUValue, bool, error) {
+	data, ok := ix.KV.Get(gfuPrefix + key)
+	if !ok {
+		return GFUValue{}, false, nil
+	}
+	v, err := decodeGFUValue(ix.Spec.Precompute, data)
+	if err != nil {
+		return GFUValue{}, false, err
+	}
+	return v, true, nil
+}

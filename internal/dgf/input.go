@@ -1,0 +1,153 @@
+package dgf
+
+import (
+	"fmt"
+
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+	"github.com/smartgrid-oss/dgfindex/internal/mapreduce"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// SliceInput is the DgfInputFormat of the paper: given a plan's Slices it
+// (a) filters unrelated splits in getSplits (Algorithm 4), and (b) hands
+// each chosen split the ordered list of its Slices so the record reader can
+// skip the margins between them (step 3 of the query pipeline).
+//
+// A Slice may stretch across two splits; in that case it is divided at the
+// boundary and the two parts are processed by the two splits' mappers,
+// exactly as Section 4.3 describes. Clip boundaries are arbitrary byte
+// positions, so the clipped sides follow Hadoop's pairing rules (the earlier
+// part owns the straddling line and any line starting exactly at the cut;
+// the later part skips through the first newline). True Slice edges are
+// exact line boundaries and use exact semantics — crucially, the reader
+// must not spill into an adjacent Slice of a GFU the plan excluded (an
+// inner GFU already answered from its header, say), or aggregation queries
+// would double count.
+type SliceInput struct {
+	FS   *dfs.FS
+	Plan *Plan
+}
+
+// clippedSlice is a slice byte range clipped to one split, remembering which
+// edges are artificial cuts.
+type clippedSlice struct {
+	Start, End         int64
+	ClipStart, ClipEnd bool
+}
+
+// sliceSplit is one chosen split plus the slice ranges it owns.
+type sliceSplit struct {
+	dfs.Split
+	slices []clippedSlice // ordered by Start
+}
+
+// Label implements mapreduce.InputSplit.
+func (s sliceSplit) Label() string {
+	return fmt.Sprintf("%s (%d slices)", s.Split.String(), len(s.slices))
+}
+
+// Splits implements mapreduce.InputFormat (Algorithm 4: choose the splits
+// that contain or overlap plan Slices, then prepare per-split slice lists).
+func (in *SliceInput) Splits() ([]mapreduce.InputSplit, error) {
+	byFile := map[string][]SliceLoc{}
+	for _, sl := range in.Plan.Slices {
+		byFile[sl.File] = append(byFile[sl.File], sl)
+	}
+	var out []mapreduce.InputSplit
+	for file, slices := range byFile {
+		fileSplits, err := in.FS.Splits(file)
+		if err != nil {
+			return nil, err
+		}
+		for _, sp := range fileSplits {
+			var own []clippedSlice
+			for _, sl := range slices {
+				start, end := sl.Start, sl.End
+				cs := clippedSlice{Start: start, End: end}
+				if start < sp.Start {
+					cs.Start, cs.ClipStart = sp.Start, true
+				}
+				if end > sp.End() {
+					cs.End, cs.ClipEnd = sp.End(), true
+				}
+				if cs.Start < cs.End {
+					own = append(own, cs)
+				}
+			}
+			if len(own) == 0 {
+				continue // split filtered out (Algorithm 4 line 5)
+			}
+			if in.Plan.DisableSliceSkip {
+				// Ablation: read the whole chosen split, Compact-Index
+				// style. Hadoop split rules apply at both edges.
+				own = []clippedSlice{{
+					Start: sp.Start, End: sp.End(),
+					ClipStart: sp.Start > 0, ClipEnd: true,
+				}}
+			}
+			out = append(out, sliceSplit{Split: sp, slices: own})
+		}
+	}
+	return out, nil
+}
+
+// Open implements mapreduce.InputFormat.
+func (in *SliceInput) Open(split mapreduce.InputSplit) (mapreduce.RecordReader, error) {
+	s, ok := split.(sliceSplit)
+	if !ok {
+		return nil, fmt.Errorf("dgf: SliceInput cannot open %T", split)
+	}
+	r, err := in.FS.Open(s.Path)
+	if err != nil {
+		return nil, err
+	}
+	return &sliceReader{file: r, path: s.Path, slices: s.slices}, nil
+}
+
+// sliceReader reads the records of each Slice in turn, skipping the margin
+// between adjacent Slices; each jump across a margin counts as one seek.
+type sliceReader struct {
+	file   *dfs.FileReader
+	path   string
+	slices []clippedSlice
+
+	idx       int
+	lr        *storage.LineReader
+	bytesRead int64
+	seeks     int64
+	lastEnd   int64
+}
+
+func (sr *sliceReader) Next() (mapreduce.Record, bool, error) {
+	for {
+		if sr.lr == nil {
+			if sr.idx >= len(sr.slices) {
+				return mapreduce.Record{}, false, nil
+			}
+			sl := sr.slices[sr.idx]
+			sr.idx++
+			if sr.idx > 1 && sl.Start != sr.lastEnd {
+				sr.seeks++ // jumping a margin between slices
+			}
+			sr.lastEnd = sl.End
+			sr.lr = storage.NewLineReaderOpts(sr.file, sl.Start, sl.End, sl.ClipStart, sl.ClipEnd)
+		}
+		line, off, ok := sr.lr.Next()
+		if !ok {
+			sr.bytesRead += sr.lr.BytesRead()
+			sr.lr = nil
+			continue
+		}
+		return mapreduce.Record{Data: line, Path: sr.path, Offset: off}, true, nil
+	}
+}
+
+func (sr *sliceReader) BytesRead() int64 {
+	n := sr.bytesRead
+	if sr.lr != nil {
+		n += sr.lr.BytesRead()
+	}
+	return n
+}
+
+func (sr *sliceReader) Seeks() int64 { return sr.seeks }

@@ -1,0 +1,194 @@
+package dgf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/smartgrid-oss/dgfindex/internal/cluster"
+	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// PlanOptions tune the query planner; the zero value is the paper's
+// behaviour. The Disable flags exist for the ablation experiments.
+type PlanOptions struct {
+	// DisablePrecompute forces the planner to scan inner GFUs instead of
+	// answering them from headers (the "DGF-noprecompute" bar of Fig. 17).
+	DisablePrecompute bool
+	// DisableSliceSkip keeps split filtering but removes sub-split slice
+	// skipping: chosen splits are read in full, Compact-Index style.
+	DisableSliceSkip bool
+}
+
+// Plan is the outcome of Algorithm 3: the pre-aggregated inner result (for
+// aggregation queries) and the Slices that must be scanned.
+type Plan struct {
+	// Aggregation is true when the query was planned as a pre-computable
+	// aggregation: PreHeader then carries the inner region's result and
+	// only boundary slices appear in Slices.
+	Aggregation bool
+	// PreSpecs aligns PreHeader with the requested aggregations.
+	PreSpecs []AggSpec
+	// PreHeader is the merged header of all inner GFUs.
+	PreHeader Header
+	// Slices lists the byte ranges to scan, sorted by file then offset.
+	Slices []SliceLoc
+	// InnerCells, BoundaryCells and MissingCells count the decomposed
+	// region (missing = enumerated grid cells with no GFU pair, which still
+	// cost a key-value lookup; the paper observes this cost growing as the
+	// interval size shrinks).
+	InnerCells, BoundaryCells, MissingCells int64
+	// SliceBytes is the total byte volume of Slices.
+	SliceBytes int64
+	// KVSimSeconds is the simulated index-access time of planning (the
+	// "read index" part of the paper's stacked bars).
+	KVSimSeconds float64
+	// DisableSliceSkip propagates the ablation flag to the input format.
+	DisableSliceSkip bool
+}
+
+// CanPrecompute reports whether every requested aggregation is derivable
+// from the index's pre-computed header (the paper's condition for the
+// header-only inner path). avg(col) derives from sum(col)+count(*).
+func (ix *Index) CanPrecompute(wanted []AggSpec) bool {
+	if len(wanted) == 0 {
+		return false
+	}
+	for _, w := range wanted {
+		if ix.findSpec(w) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (ix *Index) findSpec(w AggSpec) int {
+	for i, have := range ix.Spec.Precompute {
+		if have.Key() == w.Key() {
+			return i
+		}
+	}
+	return -1
+}
+
+// Plan runs Algorithm 3 for the given per-column ranges. Columns absent from
+// ranges are completed with the stored per-dimension data bounds (the
+// partially-specified-query rule of Section 5.3.4). wantAggs describes the
+// query's aggregations; pass nil for non-aggregation queries.
+func (ix *Index) Plan(cfg *cluster.Config, ranges map[string]gridfile.Range, wantAggs []AggSpec, opts PlanOptions) (*Plan, error) {
+	kvBefore := ix.KV.Stats()
+
+	// Step 1: complete the predicate to all index dimensions.
+	full := make([]gridfile.Range, len(ix.Spec.Policy.Dims))
+	for i, d := range ix.Spec.Policy.Dims {
+		if r, ok := lookupRange(ranges, d.Name); ok {
+			full[i] = r
+		} else {
+			// Missing dimension: fetch min/max standardised values from the
+			// store, as the paper does. (Open reads them into ix at load
+			// time; the lookups here model the HBase round trip.)
+			ix.KV.Get(metaMinPrefix + fmt.Sprint(i))
+			ix.KV.Get(metaMaxPrefix + fmt.Sprint(i))
+			full[i] = gridfile.Range{
+				Lo:     d.CellStart(ix.minCell[i]),
+				Hi:     d.CellStart(ix.maxCell[i] + 1),
+				HiOpen: true,
+			}
+		}
+	}
+	dec, err := ix.Spec.Policy.Decompose(full)
+	if err != nil {
+		return nil, err
+	}
+	dec.ClampRead(ix.minCell, ix.maxCell)
+
+	plan := &Plan{DisableSliceSkip: opts.DisableSliceSkip}
+	aggregation := !opts.DisablePrecompute && ix.CanPrecompute(wantAggs) && dec.HasInner()
+	plan.Aggregation = aggregation
+
+	// Step 2: enumerate the query-related GFUs. For aggregation queries the
+	// inner region is answered from headers; otherwise every read cell's
+	// slices are fetched.
+	var innerKeys, scanKeys []string
+	if aggregation {
+		dec.EachInnerCell(func(c []int64) {
+			innerKeys = append(innerKeys, gfuPrefix+ix.Spec.Policy.Key(c))
+		})
+		dec.EachBoundaryCell(func(c []int64) {
+			scanKeys = append(scanKeys, gfuPrefix+ix.Spec.Policy.Key(c))
+		})
+		plan.InnerCells = int64(len(innerKeys))
+		plan.BoundaryCells = int64(len(scanKeys))
+	} else {
+		dec.EachReadCell(func(c []int64) {
+			scanKeys = append(scanKeys, gfuPrefix+ix.Spec.Policy.Key(c))
+		})
+		plan.BoundaryCells = int64(len(scanKeys))
+	}
+
+	// Inner headers: merged into the pre-computed sub-result.
+	if aggregation {
+		plan.PreSpecs = wantAggs
+		plan.PreHeader = NewHeader(wantAggs)
+		for _, data := range ix.KV.MultiGet(innerKeys) {
+			if data == nil {
+				plan.MissingCells++
+				continue
+			}
+			v, err := decodeGFUValue(ix.Spec.Precompute, data)
+			if err != nil {
+				return nil, err
+			}
+			for wi, w := range wantAggs {
+				plan.PreHeader[wi].Merge(v.Header[ix.findSpec(w)])
+			}
+		}
+	}
+
+	// Slice locations of the cells that must be scanned.
+	for _, data := range ix.KV.MultiGet(scanKeys) {
+		if data == nil {
+			plan.MissingCells++
+			continue
+		}
+		v, err := decodeGFUValue(ix.Spec.Precompute, data)
+		if err != nil {
+			return nil, err
+		}
+		plan.Slices = append(plan.Slices, v.Slices...)
+	}
+	sort.Slice(plan.Slices, func(i, j int) bool {
+		if plan.Slices[i].File != plan.Slices[j].File {
+			return plan.Slices[i].File < plan.Slices[j].File
+		}
+		return plan.Slices[i].Start < plan.Slices[j].Start
+	})
+	for _, s := range plan.Slices {
+		plan.SliceBytes += s.Len()
+	}
+	plan.KVSimSeconds = ix.KV.Stats().Sub(kvBefore).SimSeconds(cfg)
+	return plan, nil
+}
+
+func lookupRange(ranges map[string]gridfile.Range, name string) (gridfile.Range, bool) {
+	if r, ok := ranges[name]; ok {
+		return r, true
+	}
+	for k, r := range ranges {
+		if strings.EqualFold(k, name) {
+			return r, true
+		}
+	}
+	return gridfile.Range{}, false
+}
+
+// Ranges converts value bounds into a gridfile.Range map (test helper and
+// public-API convenience).
+func Ranges(pairs map[string][2]storage.Value) map[string]gridfile.Range {
+	out := make(map[string]gridfile.Range, len(pairs))
+	for k, v := range pairs {
+		out[k] = gridfile.Range{Lo: v[0], Hi: v[1]}
+	}
+	return out
+}

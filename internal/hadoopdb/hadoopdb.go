@@ -1,0 +1,331 @@
+// Package hadoopdb reproduces the HadoopDB baseline of the paper's
+// evaluation (Abouzeid et al., VLDB 2009): an architectural hybrid that hash
+// partitions the data across per-node single-machine databases (PostgreSQL
+// in the paper, internal/localdb here), pushes the SQL predicate into every
+// chunk database, and collects the partial results with a MapReduce job.
+//
+// The paper's setup (Section 5.2): the GlobalHasher splits the meter data
+// into 28 node partitions by userId; the LocalHasher splits each node's
+// partition into 38 one-GB chunks, each bulk-loaded into its own database
+// with a multi-column index on (userId, regionId, time). The user table is
+// replicated to every node. Because the partitioning key is hashed, a range
+// predicate on userId cannot prune chunks — every chunk database runs every
+// query, which is exactly the "resource competition" the paper blames for
+// HadoopDB's poor high-selectivity performance.
+package hadoopdb
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
+	"github.com/smartgrid-oss/dgfindex/internal/localdb"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// Config sizes the cluster and prices its operations.
+type Config struct {
+	// Nodes is the number of worker nodes (paper: 28).
+	Nodes int
+	// ChunksPerNode is the number of chunk databases per node (paper: 38).
+	ChunksPerNode int
+	// PartitionCol is the hash partitioning column (paper: userId).
+	PartitionCol string
+
+	// DiskMBps is each node's disk bandwidth, shared by its concurrently
+	// querying chunk databases.
+	DiskMBps float64
+	// RandomReadPenalty multiplies the effective read volume when many
+	// chunk databases thrash one disk (the resource-competition effect).
+	RandomReadPenalty float64
+	// ChunkStartupSec is the per-chunk query dispatch overhead (connection,
+	// planning).
+	ChunkStartupSec float64
+	// CollectJobSec is the fixed cost of the MapReduce collection job.
+	CollectJobSec float64
+	// RowCPUUs is the per-row processing cost in the collect phase.
+	RowCPUUs float64
+	// ScaleFactor treats the loaded rows as a 1/ScaleFactor sample of the
+	// modelled deployment's data, like cluster.Config.ScaleFactor.
+	ScaleFactor float64
+}
+
+// DefaultConfig matches the paper's deployment shape.
+func DefaultConfig() *Config {
+	return &Config{
+		Nodes:             28,
+		ChunksPerNode:     38,
+		PartitionCol:      "userId",
+		DiskMBps:          24,
+		RandomReadPenalty: 3,
+		ChunkStartupSec:   1.2,
+		CollectJobSec:     12,
+		RowCPUUs:          1.5,
+		ScaleFactor:       1,
+	}
+}
+
+// Cluster is a loaded HadoopDB deployment.
+type Cluster struct {
+	Config *Config
+	Schema *storage.Schema
+	nodes  [][]*localdb.Table // nodes x chunks
+	// replicated side tables (the user-info archive), one copy per node.
+	sideTables map[string]*sideTable
+	loadedRows int64
+}
+
+type sideTable struct {
+	schema *storage.Schema
+	rows   []storage.Row
+}
+
+// Load partitions rows into chunk databases with the Global and Local
+// hashers and bulk-loads each chunk, building its multi-column index.
+func Load(cfg *Config, schema *storage.Schema, indexCols []string, rows []storage.Row) (*Cluster, error) {
+	if cfg.Nodes <= 0 || cfg.ChunksPerNode <= 0 {
+		return nil, fmt.Errorf("hadoopdb: bad topology %d x %d", cfg.Nodes, cfg.ChunksPerNode)
+	}
+	pi := schema.ColIndex(cfg.PartitionCol)
+	if pi < 0 {
+		return nil, fmt.Errorf("hadoopdb: partition column %q not in schema", cfg.PartitionCol)
+	}
+	c := &Cluster{Config: cfg, Schema: schema, sideTables: map[string]*sideTable{}}
+	c.nodes = make([][]*localdb.Table, cfg.Nodes)
+	for n := range c.nodes {
+		c.nodes[n] = make([]*localdb.Table, cfg.ChunksPerNode)
+		for k := range c.nodes[n] {
+			t, err := localdb.New(schema, indexCols)
+			if err != nil {
+				return nil, err
+			}
+			c.nodes[n][k] = t
+		}
+	}
+	// GlobalHasher then LocalHasher, both on the partition column.
+	buckets := make([][]storage.Row, cfg.Nodes*cfg.ChunksPerNode)
+	for _, row := range rows {
+		key := row[pi].String()
+		node := int(hash32(key) % uint32(cfg.Nodes))
+		chunk := int(hash32("local|"+key) % uint32(cfg.ChunksPerNode))
+		b := node*cfg.ChunksPerNode + chunk
+		buckets[b] = append(buckets[b], row)
+	}
+	var wg sync.WaitGroup
+	for n := 0; n < cfg.Nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for k := 0; k < cfg.ChunksPerNode; k++ {
+				c.nodes[n][k].BulkLoad(buckets[n*cfg.ChunksPerNode+k])
+			}
+		}(n)
+	}
+	wg.Wait()
+	c.loadedRows = int64(len(rows))
+	return c, nil
+}
+
+func hash32(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+// ReplicateSideTable stores a copy of a small table on every node (the
+// paper replicates the 83 MB user partition into all databases of a node).
+func (c *Cluster) ReplicateSideTable(name string, schema *storage.Schema, rows []storage.Row) {
+	c.sideTables[strings.ToLower(name)] = &sideTable{schema: schema, rows: rows}
+}
+
+// QueryStats describes one pushed-down query's cost.
+type QueryStats struct {
+	RowsExamined  int64
+	BytesExamined int64
+	RowsReturned  int64
+	ChunksQueried int
+	// SimSeconds is the modelled wall time: the slowest node's disk time
+	// under contention plus dispatch and collection overheads.
+	SimSeconds float64
+}
+
+// aggregate of one node's chunk scans.
+type nodeWork struct {
+	bytes int64
+	rows  int64
+}
+
+// RangeAgg pushes SELECT <aggs> WHERE <ranges> into every chunk database
+// and merges the per-chunk partials, optionally grouped by groupBy columns.
+// aggCol is the summed column ("" to only count). It returns group ->
+// (sum, count).
+func (c *Cluster) RangeAgg(ranges map[string]gridfile.Range, aggCol string, groupBy []string) (map[string][2]float64, *QueryStats, error) {
+	ai := -1
+	if aggCol != "" {
+		ai = c.Schema.ColIndex(aggCol)
+		if ai < 0 {
+			return nil, nil, fmt.Errorf("hadoopdb: column %q not in schema", aggCol)
+		}
+	}
+	var gidx []int
+	for _, g := range groupBy {
+		gi := c.Schema.ColIndex(g)
+		if gi < 0 {
+			return nil, nil, fmt.Errorf("hadoopdb: group column %q not in schema", g)
+		}
+		gidx = append(gidx, gi)
+	}
+	result := map[string][2]float64{}
+	stats := &QueryStats{}
+	var mu sync.Mutex
+	perNode := make([]nodeWork, len(c.nodes))
+
+	var wg sync.WaitGroup
+	for n := range c.nodes {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			local := map[string][2]float64{}
+			var work nodeWork
+			var examined, returned int64
+			for _, chunk := range c.nodes[n] {
+				rows, st := chunk.RangeScan(ranges)
+				work.bytes += st.BytesExamined
+				work.rows += st.RowsExamined
+				examined += st.RowsExamined
+				returned += st.RowsReturned
+				for _, row := range rows {
+					key := groupKey(row, gidx)
+					agg := local[key]
+					if ai >= 0 {
+						agg[0] += row[ai].AsFloat()
+					}
+					agg[1]++
+					local[key] = agg
+				}
+			}
+			mu.Lock()
+			for k, v := range local {
+				cur := result[k]
+				cur[0] += v[0]
+				cur[1] += v[1]
+				result[k] = cur
+			}
+			stats.RowsExamined += examined
+			stats.RowsReturned += returned
+			stats.BytesExamined += work.bytes
+			perNode[n] = work
+			mu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+	stats.ChunksQueried = len(c.nodes) * c.Config.ChunksPerNode
+	stats.SimSeconds = c.simSeconds(perNode)
+	return result, stats, nil
+}
+
+// RangeJoin pushes a filtered join between the partitioned table and a
+// replicated side table into every chunk, as the paper does for Listing 6.
+// It returns the joined row count and per-query stats; emit receives each
+// joined pair (nil to only count).
+func (c *Cluster) RangeJoin(ranges map[string]gridfile.Range, sideName, joinCol, sideJoinCol string,
+	emit func(left storage.Row, right storage.Row)) (*QueryStats, error) {
+	side, ok := c.sideTables[strings.ToLower(sideName)]
+	if !ok {
+		return nil, fmt.Errorf("hadoopdb: side table %q not replicated", sideName)
+	}
+	ji := c.Schema.ColIndex(joinCol)
+	si := side.schema.ColIndex(sideJoinCol)
+	if ji < 0 || si < 0 {
+		return nil, fmt.Errorf("hadoopdb: join columns %q/%q missing", joinCol, sideJoinCol)
+	}
+	// Hash the replicated side once per node (the local hash join).
+	sideMap := make(map[string][]storage.Row, len(side.rows))
+	for _, r := range side.rows {
+		k := r[si].String()
+		sideMap[k] = append(sideMap[k], r)
+	}
+	stats := &QueryStats{}
+	perNode := make([]nodeWork, len(c.nodes))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for n := range c.nodes {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			var work nodeWork
+			var examined, returned int64
+			type pair struct{ l, r storage.Row }
+			var local []pair
+			for _, chunk := range c.nodes[n] {
+				rows, st := chunk.RangeScan(ranges)
+				work.bytes += st.BytesExamined
+				work.rows += st.RowsExamined
+				examined += st.RowsExamined
+				for _, row := range rows {
+					for _, s := range sideMap[row[ji].String()] {
+						returned++
+						if emit != nil {
+							local = append(local, pair{row, s})
+						}
+					}
+				}
+			}
+			mu.Lock()
+			stats.RowsExamined += examined
+			stats.RowsReturned += returned
+			stats.BytesExamined += work.bytes
+			perNode[n] = work
+			for _, p := range local {
+				emit(p.l, p.r)
+			}
+			mu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+	stats.ChunksQueried = len(c.nodes) * c.Config.ChunksPerNode
+	stats.SimSeconds = c.simSeconds(perNode)
+	return stats, nil
+}
+
+// simSeconds prices the query: every chunk pays dispatch overhead; each
+// node's chunk scans contend for one disk with a random-read penalty; the
+// MapReduce collection job adds its fixed cost. The makespan is the slowest
+// node.
+func (c *Cluster) simSeconds(perNode []nodeWork) float64 {
+	cfg := c.Config
+	sf := cfg.ScaleFactor
+	if sf < 1 {
+		sf = 1
+	}
+	worst := 0.0
+	for _, w := range perNode {
+		mb := float64(w.bytes) * sf / (1 << 20)
+		t := mb * cfg.RandomReadPenalty / cfg.DiskMBps
+		t += float64(w.rows) * sf * cfg.RowCPUUs / 1e6
+		if t > worst {
+			worst = t
+		}
+	}
+	dispatch := float64(cfg.ChunksPerNode) * cfg.ChunkStartupSec
+	return cfg.CollectJobSec + dispatch + worst
+}
+
+func groupKey(row storage.Row, gidx []int) string {
+	if len(gidx) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, gi := range gidx {
+		if i > 0 {
+			b.WriteByte('\x01')
+		}
+		b.WriteString(row[gi].String())
+	}
+	return b.String()
+}
+
+// Rows returns the number of loaded fact rows.
+func (c *Cluster) Rows() int64 { return c.loadedRows }

@@ -1,0 +1,234 @@
+package hadoopdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+func meterSchema() *storage.Schema {
+	return storage.NewSchema(
+		storage.Column{Name: "userId", Kind: storage.KindInt64},
+		storage.Column{Name: "regionId", Kind: storage.KindInt64},
+		storage.Column{Name: "power", Kind: storage.KindFloat64},
+	)
+}
+
+func userSchema() *storage.Schema {
+	return storage.NewSchema(
+		storage.Column{Name: "userId", Kind: storage.KindInt64},
+		storage.Column{Name: "userName", Kind: storage.KindString},
+	)
+}
+
+func testConfig() *Config {
+	c := DefaultConfig()
+	c.Nodes = 4
+	c.ChunksPerNode = 3
+	return c
+}
+
+func meterRows(n int) []storage.Row {
+	rng := rand.New(rand.NewSource(19))
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		rows[i] = storage.Row{
+			storage.Int64(int64(rng.Intn(200))),
+			storage.Int64(int64(rng.Intn(10))),
+			storage.Float64(rng.Float64() * 5),
+		}
+	}
+	return rows
+}
+
+func TestLoadPartitionsAllRows(t *testing.T) {
+	rows := meterRows(1000)
+	c, err := Load(testConfig(), meterSchema(), []string{"userId", "regionId"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows() != 1000 {
+		t.Errorf("Rows = %d", c.Rows())
+	}
+	total := 0
+	for _, node := range c.nodes {
+		for _, chunk := range node {
+			total += chunk.Rows()
+		}
+	}
+	if total != 1000 {
+		t.Errorf("chunks hold %d rows, want 1000", total)
+	}
+}
+
+func TestLoadSameKeySameChunk(t *testing.T) {
+	// All rows of one userId must land in the same chunk (hash partitioning
+	// invariant needed for local joins on the partition key).
+	rows := make([]storage.Row, 50)
+	for i := range rows {
+		rows[i] = storage.Row{storage.Int64(77), storage.Int64(int64(i % 5)), storage.Float64(1)}
+	}
+	c, err := Load(testConfig(), meterSchema(), []string{"userId"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, node := range c.nodes {
+		for _, chunk := range node {
+			if chunk.Rows() > 0 {
+				nonEmpty++
+				if chunk.Rows() != 50 {
+					t.Errorf("chunk holds %d of 50 rows", chunk.Rows())
+				}
+			}
+		}
+	}
+	if nonEmpty != 1 {
+		t.Errorf("userId 77 scattered over %d chunks", nonEmpty)
+	}
+}
+
+func TestRangeAggMatchesBruteForce(t *testing.T) {
+	rows := meterRows(2000)
+	c, err := Load(testConfig(), meterSchema(), []string{"userId", "regionId"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := map[string]gridfile.Range{
+		"userId":   {Lo: storage.Int64(50), Hi: storage.Int64(120)},
+		"regionId": {Lo: storage.Int64(2), Hi: storage.Int64(6)},
+	}
+	got, stats, err := c.RangeAgg(ranges, "power", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantSum float64
+	var wantN float64
+	for _, r := range rows {
+		if r[0].I >= 50 && r[0].I <= 120 && r[1].I >= 2 && r[1].I <= 6 {
+			wantSum += r[2].F
+			wantN++
+		}
+	}
+	agg := got[""]
+	if math.Abs(agg[0]-wantSum) > 1e-9 || agg[1] != wantN {
+		t.Errorf("agg = %v, want (%v, %v)", agg, wantSum, wantN)
+	}
+	if stats.SimSeconds <= 0 || stats.ChunksQueried != 12 {
+		t.Errorf("stats = %+v", stats)
+	}
+	// Every chunk is visited: hash partitioning cannot prune range queries.
+	if stats.RowsExamined < stats.RowsReturned {
+		t.Errorf("examined %d < returned %d", stats.RowsExamined, stats.RowsReturned)
+	}
+}
+
+func TestRangeAggGroupBy(t *testing.T) {
+	rows := meterRows(1500)
+	c, _ := Load(testConfig(), meterSchema(), []string{"userId"}, rows)
+	ranges := map[string]gridfile.Range{
+		"regionId": {Lo: storage.Int64(0), Hi: storage.Int64(4)},
+	}
+	got, _, err := c.RangeAgg(ranges, "power", []string{"regionId"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][2]float64{}
+	for _, r := range rows {
+		if r[1].I >= 0 && r[1].I <= 4 {
+			k := r[1].String()
+			cur := want[k]
+			cur[0] += r[2].F
+			cur[1]++
+			want[k] = cur
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("groups: %d vs %d", len(got), len(want))
+	}
+	for k, w := range want {
+		g := got[k]
+		if math.Abs(g[0]-w[0]) > 1e-9 || g[1] != w[1] {
+			t.Errorf("group %q = %v, want %v", k, g, w)
+		}
+	}
+}
+
+func TestRangeAggUnknownColumn(t *testing.T) {
+	c, _ := Load(testConfig(), meterSchema(), []string{"userId"}, meterRows(10))
+	if _, _, err := c.RangeAgg(nil, "ghost", nil); err == nil {
+		t.Error("unknown agg column accepted")
+	}
+	if _, _, err := c.RangeAgg(nil, "", []string{"ghost"}); err == nil {
+		t.Error("unknown group column accepted")
+	}
+}
+
+func TestRangeJoin(t *testing.T) {
+	rows := meterRows(800)
+	c, _ := Load(testConfig(), meterSchema(), []string{"userId"}, rows)
+	// User table: names for ids 0..199.
+	var users []storage.Row
+	for i := int64(0); i < 200; i++ {
+		users = append(users, storage.Row{storage.Int64(i), storage.Str("user-" + storage.Int64(i).String())})
+	}
+	c.ReplicateSideTable("userInfo", userSchema(), users)
+	ranges := map[string]gridfile.Range{
+		"userId": {Lo: storage.Int64(10), Hi: storage.Int64(30)},
+	}
+	var joined int
+	stats, err := c.RangeJoin(ranges, "userInfo", "userId", "userId", func(l, r storage.Row) {
+		if l[0].I != r[0].I {
+			t.Errorf("join mismatch: %v vs %v", l[0], r[0])
+		}
+		joined++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range rows {
+		if r[0].I >= 10 && r[0].I <= 30 {
+			want++
+		}
+	}
+	if joined != want || stats.RowsReturned != int64(want) {
+		t.Errorf("joined %d (stats %d), want %d", joined, stats.RowsReturned, want)
+	}
+	if _, err := c.RangeJoin(ranges, "missing", "userId", "userId", nil); err == nil {
+		t.Error("missing side table accepted")
+	}
+}
+
+func TestSimSecondsGrowsWithSelectivity(t *testing.T) {
+	rows := meterRows(5000)
+	c, _ := Load(testConfig(), meterSchema(), []string{"userId"}, rows)
+	narrow := map[string]gridfile.Range{
+		"userId": {Lo: storage.Int64(5), Hi: storage.Int64(5)},
+	}
+	wide := map[string]gridfile.Range{
+		"userId": {Lo: storage.Int64(0), Hi: storage.Int64(199)},
+	}
+	_, sNarrow, _ := c.RangeAgg(narrow, "power", nil)
+	_, sWide, _ := c.RangeAgg(wide, "power", nil)
+	if sWide.SimSeconds <= sNarrow.SimSeconds {
+		t.Errorf("wide query (%v s) should cost more than narrow (%v s)",
+			sWide.SimSeconds, sNarrow.SimSeconds)
+	}
+}
+
+func TestBadTopology(t *testing.T) {
+	cfg := testConfig()
+	cfg.Nodes = 0
+	if _, err := Load(cfg, meterSchema(), nil, nil); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	cfg2 := testConfig()
+	cfg2.PartitionCol = "ghost"
+	if _, err := Load(cfg2, meterSchema(), nil, nil); err == nil {
+		t.Error("bad partition column accepted")
+	}
+}

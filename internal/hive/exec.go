@@ -1,0 +1,698 @@
+package hive
+
+import (
+	"fmt"
+	"math"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/dgf"
+	"github.com/smartgrid-oss/dgfindex/internal/hiveindex"
+	"github.com/smartgrid-oss/dgfindex/internal/mapreduce"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// QueryStats mirrors the paper's stacked-bar decomposition: index access
+// plus job overhead ("read index and other") versus data scan and processing
+// ("read data and process"), along with the raw volumes of Tables 3/4/6.
+type QueryStats struct {
+	// AccessPath names the chosen plan: "dgfindex", "dgfindex(precompute)",
+	// "index:<name>", "aggindex-rewrite:<name>", or "scan".
+	AccessPath string
+	// IndexSimSec is simulated seconds spent reading the index plus fixed
+	// query overhead (HiveQL parsing, job launch).
+	IndexSimSec float64
+	// DataSimSec is simulated seconds reading data and processing.
+	DataSimSec float64
+	// RecordsRead is the number of records delivered to mappers.
+	RecordsRead int64
+	// BytesRead is the payload volume fetched from the filesystem.
+	BytesRead int64
+	Splits    int
+	Seeks     int64
+	RowsOut   int
+	Wall      time.Duration
+}
+
+// SimTotalSec is the simulated end-to-end query time.
+func (s QueryStats) SimTotalSec() float64 { return s.IndexSimSec + s.DataSimSec }
+
+// Result is the outcome of one statement.
+type Result struct {
+	Columns []string
+	Rows    []storage.Row
+	Stats   QueryStats
+	Message string
+}
+
+// ExecOptions tunes query execution (ablations).
+type ExecOptions struct {
+	// DisableIndexes forces full table scans.
+	DisableIndexes bool
+	// Dgf carries the DGFIndex planner ablation flags.
+	Dgf dgf.PlanOptions
+}
+
+// Exec parses and executes one HiveQL statement.
+func (w *Warehouse) Exec(sql string) (*Result, error) {
+	return w.ExecOpts(sql, ExecOptions{})
+}
+
+// ExecOpts is Exec with explicit options.
+func (w *Warehouse) ExecOpts(sql string, opts ExecOptions) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *CreateTableStmt:
+		format := hiveindex.TextFile
+		if s.Stored == "RCFILE" {
+			format = hiveindex.RCFile
+		}
+		schema := storage.NewSchema(s.Cols...)
+		if s.PartitionBy != "" && schema.ColIndex(s.PartitionBy) < 0 {
+			return nil, fmt.Errorf("hive: partition column %q not in column list", s.PartitionBy)
+		}
+		t, err := w.CreateTable(s.Name, schema, format)
+		if err != nil {
+			return nil, err
+		}
+		t.PartitionBy = s.PartitionBy
+		msg := fmt.Sprintf("created table %s (%d columns, %s)", s.Name, len(s.Cols), s.Stored)
+		if s.PartitionBy != "" {
+			msg += ", partitioned by " + s.PartitionBy
+		}
+		return &Result{Message: msg}, nil
+	case *DropTableStmt:
+		if err := w.DropTable(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "dropped table " + s.Name}, nil
+	case *ShowTablesStmt:
+		res := &Result{Columns: []string{"tab_name"}}
+		for _, n := range w.TableNames() {
+			res.Rows = append(res.Rows, storage.Row{storage.Str(n)})
+		}
+		return res, nil
+	case *DescribeStmt:
+		t, err := w.Table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Columns: []string{"col_name", "data_type"}}
+		for _, c := range t.Schema.Cols {
+			res.Rows = append(res.Rows, storage.Row{storage.Str(c.Name), storage.Str(c.Kind.String())})
+		}
+		return res, nil
+	case *CreateIndexStmt:
+		return w.execCreateIndex(s)
+	case *SelectStmt:
+		return w.Select(s, opts)
+	default:
+		return nil, fmt.Errorf("hive: unsupported statement %T", stmt)
+	}
+}
+
+// execCreateIndex dispatches on the handler class name, like Hive's
+// pluggable index handlers (Listing 3 names the DGF handler class).
+func (w *Warehouse) execCreateIndex(s *CreateIndexStmt) (*Result, error) {
+	t, err := w.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	handler := strings.ToLower(s.Handler)
+	switch {
+	case strings.Contains(handler, "dgf"):
+		spec, err := dgf.ParseIdxProperties(s.Name, s.Cols, t.Schema, s.Props)
+		if err != nil {
+			return nil, err
+		}
+		stats, err := w.BuildDgfIndex(t, spec)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("built DGFIndex %s: %d GFU pairs, %d bytes, %.1f sim-seconds",
+			s.Name, stats.Entries, stats.IndexBytes, stats.SimTotalSec())}, nil
+	case strings.Contains(handler, "bitmap"):
+		return w.createHiveIndex(t, s, hiveindex.Bitmap)
+	case strings.Contains(handler, "aggregate"):
+		return w.createHiveIndex(t, s, hiveindex.Aggregate)
+	case strings.Contains(handler, "compact"):
+		return w.createHiveIndex(t, s, hiveindex.Compact)
+	default:
+		return nil, fmt.Errorf("hive: unknown index handler %q", s.Handler)
+	}
+}
+
+func (w *Warehouse) createHiveIndex(t *Table, s *CreateIndexStmt, kind hiveindex.Kind) (*Result, error) {
+	format := t.Format
+	if f, ok := s.Props["format"]; ok {
+		if strings.EqualFold(f, "rcfile") {
+			format = hiveindex.RCFile
+		} else {
+			format = hiveindex.TextFile
+		}
+	}
+	ix, sec, err := w.BuildHiveIndexStats(t, s.Name, kind, s.Cols, format)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("built %s index %s: %d bytes, %.1f sim-seconds",
+		kind, s.Name, ix.SizeBytes(w.FS), sec)}, nil
+}
+
+// Select plans and executes a SELECT.
+func (w *Warehouse) Select(stmt *SelectStmt, opts ExecOptions) (*Result, error) {
+	start := time.Now()
+	q, err := w.compile(stmt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, it := range q.items {
+		res.Columns = append(res.Columns, it.name)
+	}
+
+	// --- choose the access path ---
+	var input mapreduce.InputFormat
+	var plan *dgf.Plan
+	stats := &res.Stats
+	switch {
+	case !opts.DisableIndexes && q.left.Dgf != nil:
+		want := q.dgfWantSpecs()
+		if q.right != nil || len(q.groupBy) > 0 {
+			// Join and GROUP BY queries cannot be answered from headers
+			// (the paper's "non-aggregation" cases): scan all related GFUs.
+			want = nil
+		}
+		plan, err = q.left.Dgf.Plan(w.Cluster, q.leftRanges, want, opts.Dgf)
+		if err != nil {
+			return nil, err
+		}
+		input = &dgf.SliceInput{FS: w.FS, Plan: plan}
+		stats.IndexSimSec += plan.KVSimSeconds
+		stats.AccessPath = "dgfindex"
+		if plan.Aggregation {
+			stats.AccessPath = "dgfindex(precompute)"
+		}
+	case !opts.DisableIndexes && len(q.left.HiveIndexes) > 0:
+		ix := q.pickHiveIndex()
+		if ix == nil {
+			input, stats.AccessPath, err = q.scanInput(w)
+			if err != nil {
+				return nil, err
+			}
+			break
+		}
+		// Aggregate Index rewrite: covered GROUP BY count queries read the
+		// index table only.
+		if counts, st, ok := w.tryAggRewrite(q, ix); ok {
+			res.Rows = counts
+			stats.AccessPath = "aggindex-rewrite:" + ix.Name
+			stats.IndexSimSec = st.SimTotalSec()
+			stats.RecordsRead = st.InputRecords
+			stats.BytesRead = st.InputBytes
+			stats.RowsOut = len(res.Rows)
+			stats.Wall = time.Since(start)
+			return res, nil
+		}
+		fr, err := ix.Filter(w.Cluster, w.FS, q.leftRanges)
+		if err != nil {
+			return nil, err
+		}
+		stats.IndexSimSec += fr.ScanStats.SimTotalSec()
+		input, err = ix.BaseInput(w.FS, fr)
+		if err != nil {
+			return nil, err
+		}
+		stats.AccessPath = "index:" + ix.Name
+	default:
+		input, stats.AccessPath, err = q.scanInput(w)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// --- run the query job ---
+	jobStats, rows, err := w.runQueryJob(q, input, plan)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	stats.RecordsRead = jobStats.InputRecords
+	stats.BytesRead = jobStats.InputBytes
+	stats.Splits = jobStats.Splits
+	stats.Seeks = jobStats.Seeks
+	// The paper's stacked bars: job startup counts as "index and other".
+	stats.IndexSimSec += jobStats.SimStartupSec
+	stats.DataSimSec += jobStats.SimTotalSec() - jobStats.SimStartupSec
+
+	// Broadcast side-table read for the map-side join.
+	if q.right != nil {
+		side := w.TableSizeBytes(q.right)
+		stats.DataSimSec += float64(side) / (w.Cluster.MapperMBps() * (1 << 20))
+		stats.BytesRead += side
+	}
+
+	if stmt.Limit > 0 && len(res.Rows) > stmt.Limit {
+		res.Rows = res.Rows[:stmt.Limit]
+	}
+	stats.RowsOut = len(res.Rows)
+
+	// INSERT OVERWRITE DIRECTORY sink (Listing 6).
+	if stmt.InsertDir != "" {
+		w.FS.RemoveAll(stmt.InsertDir)
+		if err := storage.WriteTextRows(w.FS, path.Join(stmt.InsertDir, "000000_0"), res.Rows); err != nil {
+			return nil, err
+		}
+	}
+	stats.Wall = time.Since(start)
+	return res, nil
+}
+
+// scanInput builds the table-scan input, pruning partitions by the
+// predicate on the partition column (Hive's "coarse-grained index",
+// Section 2.2 of the paper).
+func (q *compiledQuery) scanInput(w *Warehouse) (mapreduce.InputFormat, string, error) {
+	if q.left.PartitionBy == "" {
+		if q.left.Format == hiveindex.RCFile {
+			return &mapreduce.RCInput{FS: w.FS, Dir: q.left.Dir, Schema: q.left.Schema}, "scan", nil
+		}
+		return &mapreduce.TextInput{FS: w.FS, Dir: q.left.Dir}, "scan", nil
+	}
+	var keep func(storage.Value) bool
+	if r, ok := q.leftRanges[strings.ToLower(q.left.PartitionBy)]; ok {
+		keep = r.Contains
+	}
+	files, kept, total, err := w.partitionFiles(q.left, keep)
+	if err != nil {
+		return nil, "", err
+	}
+	label := fmt.Sprintf("scan(partitions %d/%d)", kept, total)
+	if q.left.Format == hiveindex.RCFile {
+		return &mapreduce.RCInput{FS: w.FS, Paths: files, Schema: q.left.Schema}, label, nil
+	}
+	return &mapreduce.TextInput{FS: w.FS, Paths: files}, label, nil
+}
+
+// pickHiveIndex returns the first index whose dimensions intersect the
+// constrained columns, preferring more matching dimensions.
+func (q *compiledQuery) pickHiveIndex() *hiveindex.Index {
+	var best *hiveindex.Index
+	bestScore := 0
+	names := make([]string, 0, len(q.left.HiveIndexes))
+	for n := range q.left.HiveIndexes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ix := q.left.HiveIndexes[n]
+		score := 0
+		for _, c := range ix.Cols {
+			if _, ok := q.leftRanges[strings.ToLower(c)]; ok {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = ix, score
+		}
+	}
+	return best
+}
+
+// tryAggRewrite applies the Aggregate Index "index as data" rewrite when
+// the query is a covered GROUP BY count.
+func (w *Warehouse) tryAggRewrite(q *compiledQuery, ix *hiveindex.Index) ([]storage.Row, *mapreduce.Stats, bool) {
+	if ix.Kind != hiveindex.Aggregate || len(q.groupBy) == 0 || q.right != nil {
+		return nil, nil, false
+	}
+	// Every aggregate must be COUNT and every GROUP BY column indexed.
+	for _, a := range q.aggs {
+		if a.kind != aggCount {
+			return nil, nil, false
+		}
+	}
+	var groupCols []string
+	for _, g := range q.stmt.GroupBy {
+		groupCols = append(groupCols, g.Name)
+	}
+	counts, stats, err := ix.AggregateCounts(w.Cluster, w.FS, q.leftRanges, groupCols)
+	if err != nil {
+		return nil, nil, false
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var rows []storage.Row
+	for _, k := range keys {
+		row := make(storage.Row, 0, len(q.items))
+		parts := strings.Split(k, "\x01")
+		for _, it := range q.items {
+			if it.agg != nil {
+				row = append(row, storage.Float64(float64(counts[k])))
+			} else if it.groupIdx >= 0 && it.groupIdx < len(parts) {
+				v, err := storage.ParseValue(q.groupKinds[it.groupIdx], parts[it.groupIdx])
+				if err != nil {
+					v = storage.Str(parts[it.groupIdx])
+				}
+				row = append(row, v)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, stats, true
+}
+
+// runQueryJob executes the main MapReduce job of the query and materialises
+// result rows.
+func (w *Warehouse) runQueryJob(q *compiledQuery, input mapreduce.InputFormat, plan *dgf.Plan) (*mapreduce.Stats, []storage.Row, error) {
+	// Broadcast hash join: load the small side once (Hive's map-side join).
+	var joinMap map[string][]storage.Row
+	if q.right != nil {
+		var err error
+		joinMap, err = w.readJoinMap(q.right, q.joinRight)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	collector := mapreduce.NewCollector()
+	job := &mapreduce.Job{
+		Name:   "query-" + q.left.Name,
+		Input:  input,
+		Output: collector.Emit,
+	}
+	if q.isAgg {
+		// Map-side partial aggregation, Hive style: per-record partials,
+		// combiner merge per map task, reducers finalise per group.
+		job.Combine = q.combinePartials
+		job.Reduce = func(key string, values [][]byte, emit mapreduce.Emit) error {
+			merged, err := q.mergeValues(values)
+			if err != nil {
+				return err
+			}
+			emit(key, encodePartials(merged))
+			return nil
+		}
+		job.NumReducers = 1
+		if len(q.groupBy) > 0 {
+			job.NumReducers = 4
+		}
+	}
+
+	leftSchema := q.left.Schema
+	job.Map = func(rec mapreduce.Record, emit mapreduce.Emit) error {
+		leftRow, err := storage.DecodeTextRow(leftSchema, string(rec.Data))
+		if err != nil {
+			return err
+		}
+		if q.right == nil {
+			for _, f := range q.filters {
+				if !f(leftRow, nil) {
+					return nil
+				}
+			}
+			q.emitRow(leftRow, nil, rec, emit)
+			return nil
+		}
+		// Join: probe the broadcast map, then filter on the combined row.
+		key := leftRow[q.joinLeft].String()
+		for _, rightRow := range joinMap[key] {
+			ok := true
+			for _, f := range q.filters {
+				if !f(leftRow, rightRow) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				q.emitRow(leftRow, rightRow, rec, emit)
+			}
+		}
+		return nil
+	}
+
+	jobStats, err := mapreduce.Run(w.Cluster, job)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := q.finalize(collector.Pairs(), plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	return jobStats, rows, nil
+}
+
+// readJoinMap loads a (small) table into a join hash map keyed by the join
+// column, the broadcast side of Hive's map-side join.
+func (w *Warehouse) readJoinMap(t *Table, keyCol int) (map[string][]storage.Row, error) {
+	files, err := w.FS.ListFiles(t.Dir)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]storage.Row{}
+	for _, f := range files {
+		var rows []storage.Row
+		if t.Format == hiveindex.RCFile {
+			rows, err = storage.ReadRCRows(w.FS, f.Path, t.Schema)
+		} else {
+			rows, err = storage.ReadTextRows(w.FS, f.Path, t.Schema)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			key := r[keyCol].String()
+			out[key] = append(out[key], r)
+		}
+	}
+	return out, nil
+}
+
+// --- aggregation pipeline ---
+
+// partial encodes one accumulator vector contribution.
+func encodePartials(accs []dgf.Accumulator) []byte {
+	var b strings.Builder
+	for i, a := range accs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if a.N == 0 {
+			b.WriteByte('-')
+			continue
+		}
+		b.WriteString(strconv.FormatFloat(a.Value, 'g', -1, 64))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(a.N, 10))
+	}
+	return []byte(b.String())
+}
+
+func decodePartials(funcs []dgf.AggFunc, data []byte) ([]dgf.Accumulator, error) {
+	parts := strings.Split(string(data), ",")
+	if len(parts) != len(funcs) {
+		return nil, fmt.Errorf("hive: partial has %d slots, want %d", len(parts), len(funcs))
+	}
+	accs := make([]dgf.Accumulator, len(funcs))
+	for i, p := range parts {
+		accs[i].Func = funcs[i]
+		if p == "-" {
+			continue
+		}
+		j := strings.IndexByte(p, ':')
+		if j < 0 {
+			return nil, fmt.Errorf("hive: bad partial %q", p)
+		}
+		v, err1 := strconv.ParseFloat(p[:j], 64)
+		n, err2 := strconv.ParseInt(p[j+1:], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("hive: bad partial %q", p)
+		}
+		accs[i].Value, accs[i].N = v, n
+	}
+	return accs, nil
+}
+
+func (q *compiledQuery) recordPartials(l, r storage.Row) []dgf.Accumulator {
+	accs := make([]dgf.Accumulator, len(q.slotFuncs))
+	for i, f := range q.slotFuncs {
+		accs[i].Func = f
+	}
+	for _, a := range q.aggs {
+		switch a.kind {
+		case aggCount:
+			accs[a.slots[0]].Fold(0)
+		case aggAvg:
+			v := a.arg(l, r).AsFloat()
+			accs[a.slots[0]].Fold(v)
+			accs[a.slots[1]].Fold(0)
+		default:
+			accs[a.slots[0]].Fold(a.arg(l, r).AsFloat())
+		}
+	}
+	return accs
+}
+
+func (q *compiledQuery) groupKeyOf(l, r storage.Row) string {
+	if len(q.groupBy) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, g := range q.groupBy {
+		if i > 0 {
+			b.WriteByte('\x01')
+		}
+		b.WriteString(g(l, r).String())
+	}
+	return b.String()
+}
+
+// emitRow routes one qualifying (joined) row into the aggregation or
+// projection encoding.
+func (q *compiledQuery) emitRow(l, r storage.Row, rec mapreduce.Record, emit mapreduce.Emit) {
+	if q.isAgg {
+		emit(q.groupKeyOf(l, r), encodePartials(q.recordPartials(l, r)))
+		return
+	}
+	out := make(storage.Row, len(q.items))
+	for i, it := range q.items {
+		out[i] = it.expr(l, r)
+	}
+	// Keyed by source position so output order is deterministic.
+	emit(fmt.Sprintf("%s:%012d", rec.Path, rec.Offset), []byte(storage.EncodeTextRow(out)))
+}
+
+func (q *compiledQuery) combinePartials(key string, values [][]byte) [][]byte {
+	merged, err := q.mergeValues(values)
+	if err != nil {
+		return values
+	}
+	return [][]byte{encodePartials(merged)}
+}
+
+func (q *compiledQuery) mergeValues(values [][]byte) ([]dgf.Accumulator, error) {
+	merged := make([]dgf.Accumulator, len(q.slotFuncs))
+	for i, f := range q.slotFuncs {
+		merged[i].Func = f
+	}
+	for _, v := range values {
+		accs, err := decodePartials(q.slotFuncs, v)
+		if err != nil {
+			return nil, err
+		}
+		for i := range merged {
+			merged[i].Merge(accs[i])
+		}
+	}
+	return merged, nil
+}
+
+// --- finalisation ---
+
+// finalize turns collected job output into result rows, folding in the
+// DGFIndex pre-computed inner header for aggregation plans.
+func (q *compiledQuery) finalize(pairs []mapreduce.Pair, plan *dgf.Plan) ([]storage.Row, error) {
+	if !q.isAgg {
+		rows := make([]storage.Row, 0, len(pairs))
+		outSchema := q.outSchema()
+		for _, p := range pairs {
+			row, err := storage.DecodeTextRow(outSchema, string(p.Value))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		return rows, nil
+	}
+
+	// Merge scanned partials per group key.
+	groups := map[string][]dgf.Accumulator{}
+	var keys []string
+	for _, p := range pairs {
+		accs, err := decodePartials(q.slotFuncs, p.Value)
+		if err != nil {
+			return nil, err
+		}
+		if prev, ok := groups[p.Key]; ok {
+			for i := range prev {
+				prev[i].Merge(accs[i])
+			}
+		} else {
+			groups[p.Key] = accs
+			keys = append(keys, p.Key)
+		}
+	}
+	// A scalar aggregation always yields exactly one row, even over an
+	// empty input.
+	if len(q.groupBy) == 0 {
+		if _, ok := groups[""]; !ok {
+			accs := make([]dgf.Accumulator, len(q.slotFuncs))
+			for i, f := range q.slotFuncs {
+				accs[i].Func = f
+			}
+			groups[""] = accs
+			keys = append(keys, "")
+		}
+	}
+	// Fold in the pre-computed inner result (scalar aggregation only: the
+	// planner never uses precompute with GROUP BY).
+	if plan != nil && plan.Aggregation {
+		accs := groups[""]
+		for i := range accs {
+			accs[i].Merge(plan.PreHeader[i])
+		}
+	}
+	sort.Strings(keys)
+	var rows []storage.Row
+	for _, key := range keys {
+		accs := groups[key]
+		groupVals := strings.Split(key, "\x01")
+		row := make(storage.Row, 0, len(q.items))
+		for _, it := range q.items {
+			switch {
+			case it.agg != nil:
+				row = append(row, storage.Float64(finalValue(it.agg, accs)))
+			case it.groupIdx >= 0:
+				raw := ""
+				if it.groupIdx < len(groupVals) {
+					raw = groupVals[it.groupIdx]
+				}
+				v, err := storage.ParseValue(q.groupKinds[it.groupIdx], raw)
+				if err != nil {
+					v = storage.Str(raw)
+				}
+				row = append(row, v)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func finalValue(a *compiledAgg, accs []dgf.Accumulator) float64 {
+	switch a.kind {
+	case aggAvg:
+		sum := accs[a.slots[0]]
+		count := accs[a.slots[1]]
+		if count.Value == 0 {
+			return math.NaN()
+		}
+		return sum.Value / count.Value
+	default:
+		return accs[a.slots[0]].Value
+	}
+}
+
+func (q *compiledQuery) outSchema() *storage.Schema {
+	cols := make([]storage.Column, len(q.items))
+	for i, it := range q.items {
+		cols[i] = storage.Column{Name: it.name, Kind: it.kind}
+	}
+	return storage.NewSchema(cols...)
+}

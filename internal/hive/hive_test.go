@@ -1,0 +1,494 @@
+package hive
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/cluster"
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+func testWarehouse(blockSize int64) *Warehouse {
+	cfg := cluster.Default()
+	cfg.Workers = 4
+	return NewWarehouse(dfs.New(blockSize), cfg, "/warehouse")
+}
+
+// meterRows builds a deterministic mini meter dataset: users x days with
+// one reading per day; regionId = userId % regions.
+func meterRows(users, regions, days int) []storage.Row {
+	base := time.Date(2012, 12, 1, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(99))
+	var rows []storage.Row
+	for d := 0; d < days; d++ {
+		ts := base.AddDate(0, 0, d)
+		for u := 1; u <= users; u++ {
+			rows = append(rows, storage.Row{
+				storage.Int64(int64(u)),
+				storage.Int64(int64(u%regions + 1)),
+				storage.Time(ts),
+				storage.Float64(math.Round(rng.Float64()*1000) / 100),
+			})
+		}
+	}
+	return rows
+}
+
+func mustExec(t *testing.T, w *Warehouse, sql string) *Result {
+	t.Helper()
+	res, err := w.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+func setupMeterTable(t *testing.T, w *Warehouse, users, regions, days int) []storage.Row {
+	t.Helper()
+	mustExec(t, w, `CREATE TABLE meterdata (userId bigint, regionId bigint, ts timestamp, powerConsumed double)`)
+	rows := meterRows(users, regions, days)
+	tbl, _ := w.Table("meterdata")
+	if err := w.LoadRows(tbl, rows); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func createDgf(t *testing.T, w *Warehouse) {
+	t.Helper()
+	mustExec(t, w, `CREATE INDEX idx_dgf ON TABLE meterdata(regionId, userId, ts)
+		AS 'org.apache.hadoop.hive.ql.index.dgf.DgfIndexHandler'
+		IDXPROPERTIES ('regionId'='1_1', 'userId'='1_10', 'ts'='2012-12-01_1d',
+		               'precompute'='sum(powerConsumed);count(*)')`)
+}
+
+func TestParserListings(t *testing.T) {
+	// The paper's query listings must all parse.
+	listings := []string{
+		// Listing 2
+		`SELECT SUM(C) FROM T WHERE A>=5 AND A<12 AND B>=12 AND B<16;`,
+		// Listing 3
+		`CREATE INDEX idx_a_b ON TABLE T(A,B) AS 'org.dgf.DgfIndexHandler'
+		 IDXPROPERTIES ('A'='1_3', 'B'='11_2', 'precompute'='sum(C)')`,
+		// Listing 4
+		`SELECT sum(powerConsumed) FROM meterdata
+		 WHERE regionId>1 and regionId<5 and userId>10 and userId<400 and ts>'2012-12-02' and ts<'2012-12-20'`,
+		// Listing 5
+		`SELECT ts,sum(powerConsumed) FROM meterdata
+		 WHERE regionId>1 and regionId<5 GROUP BY ts`,
+		// Listing 6
+		`INSERT OVERWRITE DIRECTORY '/tmp/result'
+		 SELECT t2.userName,t1.powerConsumed FROM meterdata t1 JOIN userInfo t2
+		 ON t1.userId=t2.userId WHERE t1.regionId>1 AND t1.regionId<5`,
+		// Listing 7
+		`SELECT SUM(powerConsumed) FROM meterdata WHERE regionId=11 AND ts='2012-12-30'`,
+		// TPC-H Q6
+		`SELECT sum(l_extendedprice*l_discount) FROM lineitem
+		 WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01'
+		 AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24`,
+	}
+	for _, sql := range listings {
+		if _, err := Parse(sql); err != nil {
+			t.Errorf("Parse(%q): %v", sql, err)
+		}
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC x FROM t",
+		"SELECT FROM t",
+		"SELECT x t",                 // missing FROM
+		"CREATE VIEW v AS SELECT 1",  // unsupported
+		"SELECT x FROM t WHERE x >",  // missing literal
+		"SELECT x FROM t LIMIT huh",  // bad limit
+		"SELECT x FROM t GROUP BY",   // missing col
+		"SELECT sum(x FROM t",        // unbalanced
+		"SELECT x FROM t; SELECT y",  // trailing statement
+		"CREATE TABLE t (x blobbby)", // bad type
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestDDLAndCatalog(t *testing.T) {
+	w := testWarehouse(1 << 20)
+	mustExec(t, w, "CREATE TABLE a (x bigint, y double)")
+	mustExec(t, w, "CREATE TABLE b (z string) STORED AS RCFILE")
+	res := mustExec(t, w, "SHOW TABLES")
+	if len(res.Rows) != 2 || res.Rows[0][0].S != "a" {
+		t.Errorf("SHOW TABLES = %v", res.Rows)
+	}
+	res = mustExec(t, w, "DESCRIBE a")
+	if len(res.Rows) != 2 || res.Rows[1][1].S != "double" {
+		t.Errorf("DESCRIBE = %v", res.Rows)
+	}
+	mustExec(t, w, "DROP TABLE a")
+	if _, err := w.Exec("DESCRIBE a"); err == nil {
+		t.Error("dropped table still described")
+	}
+	if _, err := w.Exec("CREATE TABLE b (x bigint)"); err == nil {
+		t.Error("duplicate table accepted")
+	}
+}
+
+func TestScalarAggScan(t *testing.T) {
+	w := testWarehouse(1 << 16)
+	rows := setupMeterTable(t, w, 50, 5, 10)
+	res := mustExec(t, w, `SELECT sum(powerConsumed), count(*), avg(powerConsumed),
+		min(powerConsumed), max(powerConsumed) FROM meterdata WHERE userId>=10 AND userId<=20`)
+	if res.Stats.AccessPath != "scan" {
+		t.Errorf("access path = %s", res.Stats.AccessPath)
+	}
+	var sum, minV, maxV float64
+	var n int64
+	minV, maxV = math.Inf(1), math.Inf(-1)
+	for _, r := range rows {
+		if r[0].I >= 10 && r[0].I <= 20 {
+			v := r[3].F
+			sum += v
+			n++
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+	got := res.Rows[0]
+	if math.Abs(got[0].F-sum) > 1e-9 || int64(got[1].F) != n {
+		t.Errorf("sum/count = %v/%v, want %v/%v", got[0].F, got[1].F, sum, n)
+	}
+	if math.Abs(got[2].F-sum/float64(n)) > 1e-9 {
+		t.Errorf("avg = %v", got[2].F)
+	}
+	if got[3].F != minV || got[4].F != maxV {
+		t.Errorf("min/max = %v/%v, want %v/%v", got[3].F, got[4].F, minV, maxV)
+	}
+}
+
+func TestDgfAggregationUsesPrecompute(t *testing.T) {
+	w := testWarehouse(1 << 14)
+	rows := setupMeterTable(t, w, 100, 5, 10)
+	createDgf(t, w)
+	sql := `SELECT sum(powerConsumed) FROM meterdata
+		WHERE regionId>=2 AND regionId<=4 AND userId>=15 AND userId<=80
+		AND ts>='2012-12-02' AND ts<'2012-12-08'`
+	res := mustExec(t, w, sql)
+	if res.Stats.AccessPath != "dgfindex(precompute)" {
+		t.Fatalf("access path = %s", res.Stats.AccessPath)
+	}
+	want := 0.0
+	t2 := time.Date(2012, 12, 2, 0, 0, 0, 0, time.UTC).Unix()
+	t8 := time.Date(2012, 12, 8, 0, 0, 0, 0, time.UTC).Unix()
+	var inRange int64
+	for _, r := range rows {
+		if r[1].I >= 2 && r[1].I <= 4 && r[0].I >= 15 && r[0].I <= 80 &&
+			r[2].I >= t2 && r[2].I < t8 {
+			want += r[3].F
+			inRange++
+		}
+	}
+	if math.Abs(res.Rows[0][0].F-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", res.Rows[0][0].F, want)
+	}
+	// Pre-computation means the scan reads fewer records than match.
+	if res.Stats.RecordsRead >= inRange {
+		t.Errorf("precompute read %d records for %d matches", res.Stats.RecordsRead, inRange)
+	}
+}
+
+func TestDgfMatchesScanOnEveryQueryShape(t *testing.T) {
+	build := func(withIndex bool) *Warehouse {
+		w := testWarehouse(1 << 13)
+		setupMeterTable(t, w, 60, 4, 8)
+		if withIndex {
+			createDgf(t, w)
+		}
+		return w
+	}
+	plain, indexed := build(false), build(true)
+	queries := []string{
+		`SELECT sum(powerConsumed) FROM meterdata WHERE userId>=5 AND userId<=25`,
+		`SELECT count(*) FROM meterdata WHERE regionId=2 AND ts>='2012-12-03' AND ts<='2012-12-05'`,
+		`SELECT avg(powerConsumed) FROM meterdata WHERE userId>10 AND userId<40 AND regionId>=1 AND regionId<=3`,
+		`SELECT ts, sum(powerConsumed) FROM meterdata WHERE userId>=5 AND userId<=45 GROUP BY ts`,
+		`SELECT regionId, count(*), max(powerConsumed) FROM meterdata WHERE userId<30 GROUP BY regionId`,
+		`SELECT sum(powerConsumed) FROM meterdata WHERE regionId=1 AND ts='2012-12-04'`, // partial (Listing 7)
+		`SELECT userId, powerConsumed FROM meterdata WHERE userId=7 AND ts='2012-12-02'`,
+	}
+	for _, sql := range queries {
+		a := mustExec(t, plain, sql)
+		b := mustExec(t, indexed, sql)
+		if a.Stats.AccessPath == b.Stats.AccessPath {
+			t.Errorf("index not used for %q (both %s)", sql, a.Stats.AccessPath)
+		}
+		if !rowsEqual(a.Rows, b.Rows) {
+			t.Errorf("results differ for %q:\nscan: %v\ndgf:  %v", sql, fmtRows(a.Rows), fmtRows(b.Rows))
+		}
+	}
+}
+
+func rowsEqual(a, b []storage.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			x, y := a[i][j], b[i][j]
+			if x.Kind == storage.KindFloat64 || y.Kind == storage.KindFloat64 {
+				if math.Abs(x.AsFloat()-y.AsFloat()) > 1e-6*(1+math.Abs(x.AsFloat())) {
+					return false
+				}
+			} else if storage.Compare(x, y) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func fmtRows(rows []storage.Row) string {
+	var b strings.Builder
+	for _, r := range rows {
+		b.WriteString(storage.EncodeTextRow(r))
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+func TestJoinQueryListing6(t *testing.T) {
+	w := testWarehouse(1 << 14)
+	rows := setupMeterTable(t, w, 40, 4, 5)
+	mustExec(t, w, `CREATE TABLE userInfo (userId bigint, userName string)`)
+	users, _ := w.Table("userInfo")
+	var userRows []storage.Row
+	for u := 1; u <= 40; u++ {
+		userRows = append(userRows, storage.Row{
+			storage.Int64(int64(u)), storage.Str(fmt.Sprintf("user-%02d", u)),
+		})
+	}
+	if err := w.LoadRows(users, userRows); err != nil {
+		t.Fatal(err)
+	}
+	createDgf(t, w)
+	res := mustExec(t, w, `INSERT OVERWRITE DIRECTORY '/tmp/result'
+		SELECT t2.userName, t1.powerConsumed FROM meterdata t1 JOIN userInfo t2
+		ON t1.userId=t2.userId
+		WHERE t1.regionId>=2 AND t1.regionId<=3 AND t1.userId>=5 AND t1.userId<=20
+		AND t1.ts>='2012-12-02' AND t1.ts<'2012-12-04'`)
+	want := 0
+	lo := time.Date(2012, 12, 2, 0, 0, 0, 0, time.UTC).Unix()
+	hi := time.Date(2012, 12, 4, 0, 0, 0, 0, time.UTC).Unix()
+	for _, r := range rows {
+		if r[1].I >= 2 && r[1].I <= 3 && r[0].I >= 5 && r[0].I <= 20 && r[2].I >= lo && r[2].I < hi {
+			want++
+		}
+	}
+	if len(res.Rows) != want {
+		t.Errorf("join produced %d rows, want %d", len(res.Rows), want)
+	}
+	if res.Rows[0][0].Kind != storage.KindString || !strings.HasPrefix(res.Rows[0][0].S, "user-") {
+		t.Errorf("first column = %v, want userName", res.Rows[0][0])
+	}
+	// Results were also written to the sink directory.
+	if !w.FS.Exists("/tmp/result/000000_0") {
+		t.Error("INSERT OVERWRITE DIRECTORY wrote nothing")
+	}
+}
+
+func TestCompactIndexPath(t *testing.T) {
+	w := testWarehouse(1 << 12)
+	rows := setupMeterTable(t, w, 60, 4, 6)
+	mustExec(t, w, `CREATE INDEX idx_c ON TABLE meterdata(regionId, ts)
+		AS 'org.apache.hadoop.hive.ql.index.compact.CompactIndexHandler'`)
+	res := mustExec(t, w, `SELECT sum(powerConsumed) FROM meterdata
+		WHERE regionId=2 AND ts>='2012-12-02' AND ts<='2012-12-03'`)
+	if res.Stats.AccessPath != "index:idx_c" {
+		t.Fatalf("access path = %s", res.Stats.AccessPath)
+	}
+	want := 0.0
+	lo := time.Date(2012, 12, 2, 0, 0, 0, 0, time.UTC).Unix()
+	hi := time.Date(2012, 12, 3, 0, 0, 0, 0, time.UTC).Unix()
+	for _, r := range rows {
+		if r[1].I == 2 && r[2].I >= lo && r[2].I <= hi {
+			want += r[3].F
+		}
+	}
+	if math.Abs(res.Rows[0][0].F-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", res.Rows[0][0].F, want)
+	}
+	// Index path must cost simulated index time.
+	if res.Stats.IndexSimSec <= 0 {
+		t.Error("no index read time recorded")
+	}
+}
+
+func TestAggregateIndexRewritePath(t *testing.T) {
+	w := testWarehouse(1 << 16)
+	rows := setupMeterTable(t, w, 50, 5, 4)
+	mustExec(t, w, `CREATE INDEX idx_a ON TABLE meterdata(regionId)
+		AS 'org.apache.hadoop.hive.ql.index.AggregateIndexHandler'`)
+	res := mustExec(t, w, `SELECT regionId, count(*) FROM meterdata
+		WHERE regionId>=2 AND regionId<=4 GROUP BY regionId`)
+	if !strings.HasPrefix(res.Stats.AccessPath, "aggindex-rewrite:") {
+		t.Fatalf("access path = %s", res.Stats.AccessPath)
+	}
+	want := map[int64]int64{}
+	for _, r := range rows {
+		if r[1].I >= 2 && r[1].I <= 4 {
+			want[r[1].I]++
+		}
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if int64(row[1].F) != want[row[0].I] {
+			t.Errorf("count[%d] = %v, want %d", row[0].I, row[1].F, want[row[0].I])
+		}
+	}
+}
+
+func TestDisableIndexesOption(t *testing.T) {
+	w := testWarehouse(1 << 14)
+	setupMeterTable(t, w, 30, 3, 4)
+	createDgf(t, w)
+	res, err := w.ExecOpts(`SELECT count(*) FROM meterdata WHERE userId<10`, ExecOptions{DisableIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.AccessPath != "scan" {
+		t.Errorf("access path = %s, want scan", res.Stats.AccessPath)
+	}
+}
+
+func TestProjectionAndLimit(t *testing.T) {
+	w := testWarehouse(1 << 16)
+	setupMeterTable(t, w, 20, 4, 3)
+	res := mustExec(t, w, `SELECT userId, regionId FROM meterdata WHERE regionId=1 LIMIT 5`)
+	if len(res.Rows) != 5 {
+		t.Errorf("LIMIT 5 returned %d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r[1].I != 1 {
+			t.Errorf("filter leaked row %v", r)
+		}
+	}
+	if res.Columns[0] != "userId" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	w := testWarehouse(1 << 16)
+	setupMeterTable(t, w, 5, 2, 1)
+	res := mustExec(t, w, `SELECT * FROM meterdata LIMIT 3`)
+	if len(res.Columns) != 4 || len(res.Rows) != 3 {
+		t.Errorf("SELECT * = %v cols, %d rows", res.Columns, len(res.Rows))
+	}
+}
+
+func TestAggOverEmptyResult(t *testing.T) {
+	w := testWarehouse(1 << 16)
+	setupMeterTable(t, w, 10, 2, 2)
+	res := mustExec(t, w, `SELECT count(*), sum(powerConsumed) FROM meterdata WHERE userId>1000`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("scalar agg returned %d rows", len(res.Rows))
+	}
+	if res.Rows[0][0].F != 0 {
+		t.Errorf("count = %v, want 0", res.Rows[0][0].F)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	w := testWarehouse(1 << 16)
+	setupMeterTable(t, w, 5, 2, 1)
+	bad := []string{
+		`SELECT ghost FROM meterdata`,
+		`SELECT sum(ghost) FROM meterdata`,
+		`SELECT userId, sum(powerConsumed) FROM meterdata`, // userId not grouped
+		`SELECT sum(powerConsumed) FROM ghost`,
+		`SELECT t2.x FROM meterdata t1 JOIN ghost t2 ON t1.userId=t2.userId`,
+	}
+	for _, sql := range bad {
+		if _, err := w.Exec(sql); err == nil {
+			t.Errorf("Exec(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestRCFileTableScan(t *testing.T) {
+	w := testWarehouse(1 << 14)
+	mustExec(t, w, `CREATE TABLE rcmeter (userId bigint, regionId bigint, ts timestamp, powerConsumed double) STORED AS RCFILE`)
+	tbl, _ := w.Table("rcmeter")
+	tbl.RowGroupRows = 16
+	rows := meterRows(20, 4, 5)
+	if err := w.LoadRows(tbl, rows); err != nil {
+		t.Fatal(err)
+	}
+	res := mustExec(t, w, `SELECT count(*) FROM rcmeter WHERE regionId=1`)
+	want := 0
+	for _, r := range rows {
+		if r[1].I == 1 {
+			want++
+		}
+	}
+	if int(res.Rows[0][0].F) != want {
+		t.Errorf("count = %v, want %d", res.Rows[0][0].F, want)
+	}
+}
+
+func TestDgfOnlyOnePerTable(t *testing.T) {
+	w := testWarehouse(1 << 16)
+	setupMeterTable(t, w, 10, 2, 2)
+	createDgf(t, w)
+	_, err := w.Exec(`CREATE INDEX idx2 ON TABLE meterdata(userId)
+		AS 'dgf' IDXPROPERTIES ('userId'='1_5')`)
+	if err == nil || !strings.Contains(err.Error(), "only one") {
+		t.Errorf("second DGFIndex: %v", err)
+	}
+}
+
+func TestLoadRowsThroughDgfAppend(t *testing.T) {
+	w := testWarehouse(1 << 14)
+	rows := setupMeterTable(t, w, 20, 2, 2)
+	createDgf(t, w)
+	tbl, _ := w.Table("meterdata")
+	extra := meterRows(20, 2, 1) // one more day (same dates, but fine)
+	if err := w.LoadRows(tbl, extra); err != nil {
+		t.Fatal(err)
+	}
+	res := mustExec(t, w, `SELECT count(*) FROM meterdata`)
+	if int(res.Rows[0][0].F) != len(rows)+len(extra) {
+		t.Errorf("count = %v, want %d", res.Rows[0][0].F, len(rows)+len(extra))
+	}
+}
+
+func TestStatsBreakdown(t *testing.T) {
+	w := testWarehouse(1 << 13)
+	setupMeterTable(t, w, 80, 4, 6)
+	createDgf(t, w)
+	res := mustExec(t, w, `SELECT sum(powerConsumed) FROM meterdata
+		WHERE userId>=10 AND userId<=30 AND regionId>=1 AND regionId<=2
+		AND ts>='2012-12-02' AND ts<'2012-12-05'`)
+	st := res.Stats
+	if st.IndexSimSec <= 0 || st.DataSimSec < 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if math.Abs(st.SimTotalSec()-(st.IndexSimSec+st.DataSimSec)) > 1e-9 {
+		t.Error("SimTotalSec mismatch")
+	}
+	if st.Wall <= 0 {
+		t.Error("wall time missing")
+	}
+}

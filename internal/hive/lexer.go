@@ -1,0 +1,158 @@
+// Package hive is the warehouse layer of the reproduction: a catalog of
+// TextFile/RCFile tables in the model filesystem, a HiveQL-subset parser
+// covering the statement shapes of the paper's Listings 1-7, and a planner/
+// executor that routes multidimensional range predicates through the
+// configured index (DGFIndex, Compact, Aggregate, Bitmap) or falls back to a
+// full MapReduce table scan.
+package hive
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp    // < > <= >= = != <>
+	tokPunct // ( ) , ; . *
+	tokKeyword
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased, identifiers preserved
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "GROUP": true,
+	"BY": true, "JOIN": true, "ON": true, "CREATE": true, "TABLE": true,
+	"INDEX": true, "AS": true, "IDXPROPERTIES": true, "INSERT": true,
+	"OVERWRITE": true, "DIRECTORY": true, "STORED": true, "SHOW": true,
+	"TABLES": true, "DESCRIBE": true, "LIMIT": true, "WITH": true,
+	"DEFERRED": true, "REBUILD": true, "DROP": true, "INDEXES": true,
+	"BETWEEN": true, "ORDER": true, "ASC": true, "DESC": true,
+	"PARTITIONED": true,
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// -- comment to end of line
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			l.lexNumber()
+		case isIdentStart(c):
+			l.lexIdent()
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			l.lexOp()
+		case strings.IndexByte("(),;.*+", c) >= 0:
+			l.tokens = append(l.tokens, token{kind: tokPunct, text: string(c), pos: l.pos})
+			l.pos++
+		default:
+			return nil, fmt.Errorf("hive: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+	return l.tokens, nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.tokens = append(l.tokens, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("hive: unterminated string starting at %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+		} else if c == '.' && !seenDot && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+			seenDot = true
+			l.pos++
+		} else {
+			break
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		l.tokens = append(l.tokens, token{kind: tokKeyword, text: upper, pos: start})
+	} else {
+		l.tokens = append(l.tokens, token{kind: tokIdent, text: text, pos: start})
+	}
+}
+
+func (l *lexer) lexOp() {
+	start := l.pos
+	c := l.src[l.pos]
+	l.pos++
+	text := string(c)
+	if l.pos < len(l.src) {
+		two := text + string(l.src[l.pos])
+		switch two {
+		case "<=", ">=", "!=", "<>":
+			text = two
+			l.pos++
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokOp, text: text, pos: start})
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return c == '_' || unicode.IsLetter(rune(c)) || isDigit(c) }

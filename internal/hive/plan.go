@@ -1,0 +1,447 @@
+package hive
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/smartgrid-oss/dgfindex/internal/dgf"
+	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// side distinguishes which input row an expression reads from.
+type side uint8
+
+const (
+	sideLeft side = iota
+	sideRight
+)
+
+// cexpr is a compiled scalar expression over a (left, right) row pair.
+type cexpr func(l, r storage.Row) storage.Value
+
+// cfilter is a compiled predicate.
+type cfilter func(l, r storage.Row) bool
+
+// aggKind enumerates the SQL aggregates.
+type aggKind uint8
+
+const (
+	aggSum aggKind = iota
+	aggCount
+	aggMin
+	aggMax
+	aggAvg
+)
+
+// compiledAgg is one aggregate call bound to accumulator slots.
+type compiledAgg struct {
+	kind aggKind
+	arg  cexpr // nil for count
+	// slots into the shared accumulator vector: one for sum/count/min/max,
+	// two (sum, count) for avg.
+	slots []int
+	// dgfSpecs is the pre-computable form (nil when not derivable, e.g.
+	// the argument touches the join side).
+	dgfSpecs []dgf.AggSpec
+	name     string
+}
+
+// compiledItem is one SELECT item.
+type compiledItem struct {
+	name string
+	// groupIdx >= 0: the item is the groupIdx-th GROUP BY column.
+	groupIdx int
+	// agg != nil: the item is an aggregate.
+	agg *compiledAgg
+	// expr: plain scalar projection (non-aggregate queries).
+	expr cexpr
+	kind storage.Kind
+}
+
+// compiledQuery is a fully planned SELECT.
+type compiledQuery struct {
+	stmt       *SelectStmt
+	left       *Table
+	right      *Table // nil unless joined
+	leftRef    TableRef
+	rightRef   TableRef
+	joinLeft   int // join column index in left schema
+	joinRight  int // join column index in right schema
+	filters    []cfilter
+	leftRanges map[string]gridfile.Range
+	items      []compiledItem
+	groupBy    []cexpr
+	groupKinds []storage.Kind
+	aggs       []*compiledAgg
+	slotFuncs  []dgf.AggFunc // accumulator vector layout
+	isAgg      bool
+}
+
+// compile resolves names, folds the WHERE conjunction into per-column
+// ranges, and binds aggregates to accumulator slots.
+func (w *Warehouse) compile(stmt *SelectStmt) (*compiledQuery, error) {
+	left, err := w.Table(stmt.From.Table)
+	if err != nil {
+		return nil, err
+	}
+	q := &compiledQuery{
+		stmt:       stmt,
+		left:       left,
+		leftRef:    stmt.From,
+		leftRanges: map[string]gridfile.Range{},
+	}
+	if stmt.Join != nil {
+		right, err := w.Table(stmt.Join.Table.Table)
+		if err != nil {
+			return nil, err
+		}
+		q.right = right
+		q.rightRef = stmt.Join.Table
+		// Resolve the ON columns to their sides, in either order.
+		lSide, lIdx, _, err1 := q.resolveCol(stmt.Join.Left)
+		rSide, rIdx, _, err2 := q.resolveCol(stmt.Join.Right)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("hive: cannot resolve join columns: %v %v", err1, err2)
+		}
+		if lSide == rSide {
+			return nil, fmt.Errorf("hive: join ON must reference both tables")
+		}
+		if lSide == sideLeft {
+			q.joinLeft, q.joinRight = lIdx, rIdx
+		} else {
+			q.joinLeft, q.joinRight = rIdx, lIdx
+		}
+	}
+
+	// WHERE: compile filters and accumulate index ranges for left columns.
+	for _, cmp := range stmt.Where {
+		f, err := q.compileComparison(cmp)
+		if err != nil {
+			return nil, err
+		}
+		q.filters = append(q.filters, f)
+	}
+
+	// GROUP BY.
+	for _, g := range stmt.GroupBy {
+		s, idx, kind, err := q.resolveCol(g)
+		if err != nil {
+			return nil, err
+		}
+		q.groupBy = append(q.groupBy, colExpr(s, idx))
+		q.groupKinds = append(q.groupKinds, kind)
+	}
+
+	// SELECT items.
+	for _, item := range stmt.Select {
+		if err := q.compileItem(item); err != nil {
+			return nil, err
+		}
+	}
+	if q.isAgg {
+		for _, it := range q.items {
+			if it.agg == nil && it.groupIdx < 0 {
+				return nil, fmt.Errorf("hive: %q must appear in GROUP BY or an aggregate", it.name)
+			}
+		}
+	}
+	return q, nil
+}
+
+// resolveCol binds a column reference to a side and schema position.
+func (q *compiledQuery) resolveCol(c ColRef) (side, int, storage.Kind, error) {
+	if c.Name == "*" {
+		return sideLeft, -1, storage.KindString, fmt.Errorf("hive: * not valid here")
+	}
+	tryLeft := q.leftRef.Matches(c.Qualifier)
+	tryRight := q.right != nil && q.rightRef.Matches(c.Qualifier)
+	if tryLeft {
+		if i := q.left.Schema.ColIndex(c.Name); i >= 0 {
+			return sideLeft, i, q.left.Schema.Col(i).Kind, nil
+		}
+	}
+	if tryRight {
+		if i := q.right.Schema.ColIndex(c.Name); i >= 0 {
+			return sideRight, i, q.right.Schema.Col(i).Kind, nil
+		}
+	}
+	return sideLeft, 0, 0, fmt.Errorf("hive: unknown column %q", c.String())
+}
+
+func colExpr(s side, idx int) cexpr {
+	if s == sideLeft {
+		return func(l, r storage.Row) storage.Value { return l[idx] }
+	}
+	return func(l, r storage.Row) storage.Value { return r[idx] }
+}
+
+// compileExpr compiles a scalar (non-aggregate) expression. The second
+// return value is the canonical lower-case rendering when the expression
+// touches only left-table columns ("" otherwise) — the form matched against
+// DGFIndex pre-compute specs.
+func (q *compiledQuery) compileExpr(e Expr) (cexpr, string, storage.Kind, error) {
+	switch t := e.(type) {
+	case Lit:
+		v := t.Value
+		return func(l, r storage.Row) storage.Value { return v }, v.String(), v.Kind, nil
+	case ColRef:
+		s, idx, kind, err := q.resolveCol(t)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		canon := ""
+		if s == sideLeft {
+			canon = strings.ToLower(q.left.Schema.Col(idx).Name)
+		}
+		return colExpr(s, idx), canon, kind, nil
+	case Mul:
+		le, lc, _, err := q.compileExpr(t.L)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		re, rc, _, err := q.compileExpr(t.R)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		canon := ""
+		if lc != "" && rc != "" {
+			canon = lc + "*" + rc
+		}
+		return func(l, r storage.Row) storage.Value {
+			return storage.Float64(le(l, r).AsFloat() * re(l, r).AsFloat())
+		}, canon, storage.KindFloat64, nil
+	case AggCall:
+		return nil, "", 0, fmt.Errorf("hive: aggregate %s not allowed here", t.Func)
+	default:
+		return nil, "", 0, fmt.Errorf("hive: unsupported expression %T", e)
+	}
+}
+
+func (q *compiledQuery) compileComparison(cmp Comparison) (cfilter, error) {
+	s, idx, kind, err := q.resolveCol(cmp.Col)
+	if err != nil {
+		return nil, err
+	}
+	val, err := coerce(cmp.Val, kind)
+	if err != nil {
+		return nil, fmt.Errorf("hive: predicate on %s: %v", cmp.Col.String(), err)
+	}
+	// Fold left-table constraints into the index range map.
+	if s == sideLeft && cmp.Op != "!=" {
+		name := strings.ToLower(q.left.Schema.Col(idx).Name)
+		r := rangeFromOp(cmp.Op, val)
+		if prev, ok := q.leftRanges[name]; ok {
+			r = prev.Intersect(r)
+		}
+		q.leftRanges[name] = r
+	}
+	op := cmp.Op
+	get := colExpr(s, idx)
+	return func(l, r storage.Row) bool {
+		c := storage.Compare(get(l, r), val)
+		switch op {
+		case "<":
+			return c < 0
+		case "<=":
+			return c <= 0
+		case ">":
+			return c > 0
+		case ">=":
+			return c >= 0
+		case "=":
+			return c == 0
+		case "!=":
+			return c != 0
+		default:
+			return false
+		}
+	}, nil
+}
+
+func rangeFromOp(op string, val storage.Value) gridfile.Range {
+	switch op {
+	case "<":
+		return gridfile.Range{LoUnbounded: true, Hi: val, HiOpen: true}
+	case "<=":
+		return gridfile.Range{LoUnbounded: true, Hi: val}
+	case ">":
+		return gridfile.Range{Lo: val, LoOpen: true, HiUnbounded: true}
+	case ">=":
+		return gridfile.Range{Lo: val, HiUnbounded: true}
+	default: // "="
+		return gridfile.Range{Lo: val, Hi: val}
+	}
+}
+
+// coerce converts a parsed literal to the column kind (date strings become
+// timestamps, ints widen to floats, and so on).
+func coerce(v storage.Value, kind storage.Kind) (storage.Value, error) {
+	if v.Kind == kind {
+		return v, nil
+	}
+	switch kind {
+	case storage.KindTime:
+		if v.Kind == storage.KindString {
+			return storage.ParseTime(v.S)
+		}
+		return storage.TimeUnix(v.AsInt()), nil
+	case storage.KindFloat64:
+		return storage.Float64(v.AsFloat()), nil
+	case storage.KindInt64:
+		if v.Kind == storage.KindFloat64 {
+			return v, nil // compare as float, Hive-style lenient
+		}
+		return storage.Int64(v.AsInt()), nil
+	default:
+		return storage.Str(v.String()), nil
+	}
+}
+
+// compileItem classifies one SELECT item.
+func (q *compiledQuery) compileItem(item SelectItem) error {
+	// SELECT * expands to all columns.
+	if c, ok := item.Expr.(ColRef); ok && c.Name == "*" {
+		for i, col := range q.left.Schema.Cols {
+			q.items = append(q.items, compiledItem{
+				name: col.Name, groupIdx: -1, expr: colExpr(sideLeft, i), kind: col.Kind,
+			})
+		}
+		if q.right != nil {
+			for i, col := range q.right.Schema.Cols {
+				q.items = append(q.items, compiledItem{
+					name: col.Name, groupIdx: -1, expr: colExpr(sideRight, i), kind: col.Kind,
+				})
+			}
+		}
+		return nil
+	}
+	if call, ok := item.Expr.(AggCall); ok {
+		agg, err := q.compileAgg(call)
+		if err != nil {
+			return err
+		}
+		name := item.Alias
+		if name == "" {
+			name = agg.name
+		}
+		q.isAgg = true
+		q.aggs = append(q.aggs, agg)
+		q.items = append(q.items, compiledItem{name: name, groupIdx: -1, agg: agg, kind: storage.KindFloat64})
+		return nil
+	}
+	// Group column or plain projection.
+	ce, _, kind, err := q.compileExpr(item.Expr)
+	if err != nil {
+		return err
+	}
+	name := item.Alias
+	if name == "" {
+		name = exprName(item.Expr)
+	}
+	gi := -1
+	if c, ok := item.Expr.(ColRef); ok {
+		for i, g := range q.stmt.GroupBy {
+			if strings.EqualFold(g.Name, c.Name) && (g.Qualifier == c.Qualifier || g.Qualifier == "" || c.Qualifier == "") {
+				gi = i
+			}
+		}
+	}
+	q.items = append(q.items, compiledItem{name: name, groupIdx: gi, expr: ce, kind: kind})
+	return nil
+}
+
+func exprName(e Expr) string {
+	switch t := e.(type) {
+	case ColRef:
+		return t.Name
+	case Mul:
+		return exprName(t.L) + "*" + exprName(t.R)
+	case Lit:
+		return t.Value.String()
+	case AggCall:
+		if t.Star {
+			return strings.ToLower(t.Func) + "(*)"
+		}
+		return strings.ToLower(t.Func) + "(" + exprName(t.Arg) + ")"
+	default:
+		return "expr"
+	}
+}
+
+// compileAgg binds an aggregate call to accumulator slots and derives its
+// DGFIndex pre-compute form when possible.
+func (q *compiledQuery) compileAgg(call AggCall) (*compiledAgg, error) {
+	agg := &compiledAgg{name: exprName(call)}
+	var canon string
+	if !call.Star && call.Arg != nil {
+		ce, c, _, err := q.compileExpr(call.Arg)
+		if err != nil {
+			return nil, err
+		}
+		agg.arg = ce
+		canon = c
+	}
+	newSlot := func(f dgf.AggFunc) int {
+		q.slotFuncs = append(q.slotFuncs, f)
+		return len(q.slotFuncs) - 1
+	}
+	switch call.Func {
+	case "SUM":
+		if agg.arg == nil {
+			return nil, fmt.Errorf("hive: SUM needs an argument")
+		}
+		agg.kind = aggSum
+		agg.slots = []int{newSlot(dgf.AggSum)}
+		if canon != "" {
+			agg.dgfSpecs = []dgf.AggSpec{{Func: dgf.AggSum, Col: canon}}
+		}
+	case "COUNT":
+		agg.kind = aggCount
+		agg.slots = []int{newSlot(dgf.AggCount)}
+		agg.dgfSpecs = []dgf.AggSpec{{Func: dgf.AggCount}}
+	case "MIN", "MAX":
+		if agg.arg == nil {
+			return nil, fmt.Errorf("hive: %s needs an argument", call.Func)
+		}
+		f := dgf.AggMin
+		agg.kind = aggMin
+		if call.Func == "MAX" {
+			f = dgf.AggMax
+			agg.kind = aggMax
+		}
+		agg.slots = []int{newSlot(f)}
+		if canon != "" {
+			agg.dgfSpecs = []dgf.AggSpec{{Func: f, Col: canon}}
+		}
+	case "AVG":
+		if agg.arg == nil {
+			return nil, fmt.Errorf("hive: AVG needs an argument")
+		}
+		agg.kind = aggAvg
+		agg.slots = []int{newSlot(dgf.AggSum), newSlot(dgf.AggCount)}
+		if canon != "" {
+			// avg derives from the additive pair sum + count.
+			agg.dgfSpecs = []dgf.AggSpec{{Func: dgf.AggSum, Col: canon}, {Func: dgf.AggCount}}
+		}
+	default:
+		return nil, fmt.Errorf("hive: unsupported aggregate %s", call.Func)
+	}
+	return agg, nil
+}
+
+// dgfWantSpecs returns the pre-compute specs covering every aggregate, or
+// nil when at least one aggregate is not derivable from headers.
+func (q *compiledQuery) dgfWantSpecs() []dgf.AggSpec {
+	if !q.isAgg || len(q.aggs) == 0 {
+		return nil
+	}
+	var out []dgf.AggSpec
+	for _, a := range q.aggs {
+		if a.dgfSpecs == nil {
+			return nil
+		}
+		out = append(out, a.dgfSpecs...)
+	}
+	return out
+}

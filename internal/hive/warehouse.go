@@ -1,0 +1,328 @@
+package hive
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+
+	"github.com/smartgrid-oss/dgfindex/internal/cluster"
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+	"github.com/smartgrid-oss/dgfindex/internal/dgf"
+	"github.com/smartgrid-oss/dgfindex/internal/hiveindex"
+	"github.com/smartgrid-oss/dgfindex/internal/kvstore"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// Warehouse is the top of the stack: a catalog of tables in the model
+// filesystem plus the cluster cost model every job runs under.
+type Warehouse struct {
+	FS      *dfs.FS
+	Cluster *cluster.Config
+	// Root is the warehouse directory ("/warehouse").
+	Root string
+
+	tables map[string]*Table
+}
+
+// Table is one catalog entry.
+type Table struct {
+	Name   string
+	Schema *storage.Schema
+	Format hiveindex.Format
+	// Dir holds the data files. Building a DGFIndex reorganises the data
+	// and repoints Dir at the reorganised directory (the paper's build job
+	// rewrites the base table; each table can have only one DGFIndex).
+	Dir string
+	// RowGroupRows sizes RCFile row groups.
+	RowGroupRows int
+	// PartitionBy names the partitioning column; data files then live under
+	// one "<col>=<value>" directory per distinct value (Hive partitioning,
+	// the paper's Section 2.2 "coarse-grained index"). Empty means
+	// unpartitioned.
+	PartitionBy string
+
+	// Dgf is the table's DGFIndex, if any.
+	Dgf *dgf.Index
+	// DgfKV is the key-value store backing Dgf.
+	DgfKV *kvstore.Store
+	// HiveIndexes are the Compact/Aggregate/Bitmap indexes by name.
+	HiveIndexes map[string]*hiveindex.Index
+
+	fileSeq int
+}
+
+// NewWarehouse creates an empty warehouse rooted at root ("/warehouse" when
+// empty).
+func NewWarehouse(fs *dfs.FS, cfg *cluster.Config, root string) *Warehouse {
+	if root == "" {
+		root = "/warehouse"
+	}
+	return &Warehouse{FS: fs, Cluster: cfg, Root: root, tables: map[string]*Table{}}
+}
+
+// CreateTable registers a new table and creates its directory.
+func (w *Warehouse) CreateTable(name string, schema *storage.Schema, format hiveindex.Format) (*Table, error) {
+	key := strings.ToLower(name)
+	if _, ok := w.tables[key]; ok {
+		return nil, fmt.Errorf("hive: table %q already exists", name)
+	}
+	t := &Table{
+		Name:         name,
+		Schema:       schema,
+		Format:       format,
+		Dir:          path.Join(w.Root, key),
+		RowGroupRows: storage.DefaultRowGroupRows,
+		HiveIndexes:  map[string]*hiveindex.Index{},
+	}
+	if err := w.FS.MkdirAll(t.Dir); err != nil {
+		return nil, err
+	}
+	w.tables[key] = t
+	return t, nil
+}
+
+// Table looks a table up by name (case-insensitive, like HiveQL).
+func (w *Warehouse) Table(name string) (*Table, error) {
+	t, ok := w.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("hive: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// DropTable removes the table and its data.
+func (w *Warehouse) DropTable(name string) error {
+	key := strings.ToLower(name)
+	t, ok := w.tables[key]
+	if !ok {
+		return fmt.Errorf("hive: table %q does not exist", name)
+	}
+	delete(w.tables, key)
+	return w.FS.RemoveAll(t.Dir)
+}
+
+// TableNames lists the catalog, sorted.
+func (w *Warehouse) TableNames() []string {
+	names := make([]string, 0, len(w.tables))
+	for _, t := range w.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LoadRows appends rows to the table as one new data file. When the table
+// has a DGFIndex, the rows are first staged and then run through the index's
+// append pipeline so that the reorganised layout and the GFU pairs stay
+// consistent (the data-load flow of Section 4.2). Partitioned tables route
+// each row into its partition's directory.
+func (w *Warehouse) LoadRows(t *Table, rows []storage.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if t.PartitionBy != "" {
+		return w.loadPartitioned(t, rows)
+	}
+	if t.Dgf != nil {
+		staging := path.Join(w.Root, "_staging", fmt.Sprintf("%s-%d", strings.ToLower(t.Name), t.fileSeq))
+		t.fileSeq++
+		if err := storage.WriteTextRows(w.FS, staging, rows); err != nil {
+			return err
+		}
+		if _, err := t.Dgf.Append(w.Cluster, []string{staging}); err != nil {
+			return err
+		}
+		return w.FS.Remove(staging)
+	}
+	name := path.Join(t.Dir, fmt.Sprintf("part-%05d", t.fileSeq))
+	t.fileSeq++
+	switch t.Format {
+	case hiveindex.RCFile:
+		_, err := storage.WriteRCRows(w.FS, name, t.Schema, rows, t.RowGroupRows)
+		return err
+	default:
+		return storage.WriteTextRows(w.FS, name, rows)
+	}
+}
+
+// loadPartitioned splits the batch into one file per touched partition.
+func (w *Warehouse) loadPartitioned(t *Table, rows []storage.Row) error {
+	ci := t.Schema.ColIndex(t.PartitionBy)
+	if ci < 0 {
+		return fmt.Errorf("hive: partition column %q not in schema of %q", t.PartitionBy, t.Name)
+	}
+	byPart := map[string][]storage.Row{}
+	for _, r := range rows {
+		byPart[r[ci].String()] = append(byPart[r[ci].String()], r)
+	}
+	for val, part := range byPart {
+		dir := path.Join(t.Dir, t.PartitionBy+"="+val)
+		name := path.Join(dir, fmt.Sprintf("part-%05d", t.fileSeq))
+		t.fileSeq++
+		var err error
+		if t.Format == hiveindex.RCFile {
+			_, err = storage.WriteRCRows(w.FS, name, t.Schema, part, t.RowGroupRows)
+		} else {
+			err = storage.WriteTextRows(w.FS, name, part)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Partitions lists the table's partition values, sorted.
+func (w *Warehouse) Partitions(t *Table) ([]string, error) {
+	if t.PartitionBy == "" {
+		return nil, fmt.Errorf("hive: table %q is not partitioned", t.Name)
+	}
+	entries, err := w.FS.List(t.Dir)
+	if err != nil {
+		return nil, err
+	}
+	prefix := t.PartitionBy + "="
+	var out []string
+	for _, e := range entries {
+		if e.IsDir && strings.HasPrefix(e.Name, prefix) {
+			out = append(out, strings.TrimPrefix(e.Name, prefix))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// partitionFiles returns the data files of the partitions whose value
+// satisfies keep (nil keeps all), plus how many partitions were pruned.
+func (w *Warehouse) partitionFiles(t *Table, keep func(storage.Value) bool) (files []string, kept, total int, err error) {
+	vals, err := w.Partitions(t)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	ci := t.Schema.ColIndex(t.PartitionBy)
+	kind := t.Schema.Col(ci).Kind
+	for _, raw := range vals {
+		total++
+		v, perr := storage.ParseValue(kind, raw)
+		if perr != nil {
+			v = storage.Str(raw)
+		}
+		if keep != nil && !keep(v) {
+			continue
+		}
+		kept++
+		fis, lerr := w.FS.ListFiles(path.Join(t.Dir, t.PartitionBy+"="+raw))
+		if lerr != nil {
+			return nil, 0, 0, lerr
+		}
+		for _, fi := range fis {
+			files = append(files, fi.Path)
+		}
+	}
+	return files, kept, total, nil
+}
+
+// TableSizeBytes returns the total data size of the table.
+func (w *Warehouse) TableSizeBytes(t *Table) int64 {
+	var n int64
+	if t.PartitionBy != "" {
+		files, _, _, err := w.partitionFiles(t, nil)
+		if err != nil {
+			return 0
+		}
+		for _, f := range files {
+			if fi, err := w.FS.Stat(f); err == nil {
+				n += fi.Size
+			}
+		}
+		return n
+	}
+	files, err := w.FS.ListFiles(t.Dir)
+	if err != nil {
+		return 0
+	}
+	for _, f := range files {
+		n += f.Size
+	}
+	return n
+}
+
+// BuildDgfIndex builds the table's DGFIndex from a spec, reorganising the
+// table data (Listing 3 ends up here).
+func (w *Warehouse) BuildDgfIndex(t *Table, spec dgf.Spec) (*dgf.BuildStats, error) {
+	if t.Dgf != nil {
+		return nil, fmt.Errorf("hive: table %q already has a DGFIndex (each table can create only one)", t.Name)
+	}
+	if t.PartitionBy != "" {
+		return nil, fmt.Errorf("hive: table %q is partitioned; the experiments assume unpartitioned tables (paper Section 5.2: \"we suppose that there is no partitions\")", t.Name)
+	}
+	if t.Format != hiveindex.TextFile {
+		return nil, fmt.Errorf("hive: DGFIndex currently supports TextFile tables (paper Section 5.3.1); %q is %s", t.Name, t.Format)
+	}
+	kv := kvstore.New()
+	dataDir := t.Dir + "_dgf"
+	ix, stats, err := dgf.Build(w.Cluster, w.FS, kv, spec, t.Schema, t.Dir, dataDir)
+	if err != nil {
+		return nil, err
+	}
+	t.Dgf = ix
+	t.DgfKV = kv
+	// The reorganised data replaces the original table layout.
+	oldDir := t.Dir
+	t.Dir = dataDir
+	if err := w.FS.RemoveAll(oldDir); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// BuildHiveIndex builds a Compact/Aggregate/Bitmap index on the table.
+// Indexing partitioned tables (the per-partition indexes Section 6 calls
+// "the best way to improve Hive performance") is not implemented; combine
+// partitioning with an index by indexing an unpartitioned copy.
+func (w *Warehouse) BuildHiveIndex(t *Table, name string, kind hiveindex.Kind, cols []string, indexFormat hiveindex.Format) (*hiveindex.Index, error) {
+	if t.PartitionBy != "" {
+		return nil, fmt.Errorf("hive: cannot index partitioned table %q", t.Name)
+	}
+	if _, ok := t.HiveIndexes[strings.ToLower(name)]; ok {
+		return nil, fmt.Errorf("hive: index %q already exists on %q", name, t.Name)
+	}
+	ix, _, err := hiveindex.Build(w.Cluster, w.FS, hiveindex.Options{
+		Name: name, Kind: kind,
+		BaseDir: t.Dir, BaseFormat: t.Format,
+		Schema: t.Schema, Cols: cols,
+		IndexDir:     path.Join(w.Root, "_idx_"+strings.ToLower(t.Name)+"_"+strings.ToLower(name)),
+		IndexFormat:  indexFormat,
+		RowGroupRows: t.RowGroupRows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.HiveIndexes[strings.ToLower(name)] = ix
+	return ix, nil
+}
+
+// BuildHiveIndexStats is BuildHiveIndex returning the build job statistics
+// (Table 2 and Table 5 report construction times).
+func (w *Warehouse) BuildHiveIndexStats(t *Table, name string, kind hiveindex.Kind, cols []string, indexFormat hiveindex.Format) (*hiveindex.Index, float64, error) {
+	if t.PartitionBy != "" {
+		return nil, 0, fmt.Errorf("hive: cannot index partitioned table %q", t.Name)
+	}
+	if _, ok := t.HiveIndexes[strings.ToLower(name)]; ok {
+		return nil, 0, fmt.Errorf("hive: index %q already exists on %q", name, t.Name)
+	}
+	ix, stats, err := hiveindex.Build(w.Cluster, w.FS, hiveindex.Options{
+		Name: name, Kind: kind,
+		BaseDir: t.Dir, BaseFormat: t.Format,
+		Schema: t.Schema, Cols: cols,
+		IndexDir:     path.Join(w.Root, "_idx_"+strings.ToLower(t.Name)+"_"+strings.ToLower(name)),
+		IndexFormat:  indexFormat,
+		RowGroupRows: t.RowGroupRows,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	t.HiveIndexes[strings.ToLower(name)] = ix
+	return ix, stats.SimTotalSec(), nil
+}

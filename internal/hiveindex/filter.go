@@ -1,0 +1,258 @@
+package hiveindex
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/smartgrid-oss/dgfindex/internal/cluster"
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
+	"github.com/smartgrid-oss/dgfindex/internal/mapreduce"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// FileFilter is the matched offsets of one data file, the content of the
+// temporary file Hive's index handler writes before getSplits runs.
+type FileFilter struct {
+	// Offsets maps a matched BLOCK_OFFSET_INSIDE_FILE to true.
+	Offsets map[int64]bool
+	// Rows holds the matched row positions per block (Bitmap Index only).
+	Rows map[int64]*bitmapT
+}
+
+// FilterResult is the outcome of the pre-query index-table scan.
+type FilterResult struct {
+	Files map[string]*FileFilter
+	// ScanStats is the index-table scan job (the "read index" cost).
+	ScanStats mapreduce.Stats
+	// Entries is the number of matched index rows.
+	Entries int64
+}
+
+// Filter scans the whole index table with the query predicate, like Hive
+// does before launching the real job. ranges constrains the indexed
+// dimensions (missing dimensions are unconstrained).
+func (ix *Index) Filter(cfg *cluster.Config, fs *dfs.FS, ranges map[string]gridfile.Range) (*FilterResult, error) {
+	res := &FilterResult{Files: map[string]*FileFilter{}}
+	var mu sync.Mutex
+
+	dimRanges := make([]*gridfile.Range, len(ix.Cols))
+	for i, c := range ix.Cols {
+		for name, r := range ranges {
+			if strings.EqualFold(name, c) {
+				rr := r
+				dimRanges[i] = &rr
+			}
+		}
+	}
+	input, err := ix.indexInput(fs)
+	if err != nil {
+		return nil, err
+	}
+	bucketCol := len(ix.Cols)
+	job := &mapreduce.Job{
+		Name:  "hiveindex-scan-" + ix.Name,
+		Input: input,
+		Map: func(rec mapreduce.Record, emit mapreduce.Emit) error {
+			row, err := storage.DecodeTextRow(ix.indexSchema, string(rec.Data))
+			if err != nil {
+				return err
+			}
+			for i, r := range dimRanges {
+				if r != nil && !r.Contains(row[i]) {
+					return nil
+				}
+			}
+			file := row[bucketCol].S
+			mu.Lock()
+			defer mu.Unlock()
+			ff := res.Files[file]
+			if ff == nil {
+				ff = &FileFilter{Offsets: map[int64]bool{}}
+				res.Files[file] = ff
+			}
+			res.Entries++
+			switch ix.Kind {
+			case Bitmap:
+				off, err := strconv.ParseInt(row[bucketCol+1].S, 10, 64)
+				if err != nil {
+					return err
+				}
+				bm, err := decodeBitmap(row[bucketCol+2].S)
+				if err != nil {
+					return err
+				}
+				ff.Offsets[off] = true
+				if ff.Rows == nil {
+					ff.Rows = map[int64]*bitmapT{}
+				}
+				if prev, ok := ff.Rows[off]; ok {
+					prev.union(bm)
+				} else {
+					ff.Rows[off] = bm
+				}
+			default:
+				offs, err := decodeOffsets(row[bucketCol+1].S)
+				if err != nil {
+					return err
+				}
+				for _, o := range offs {
+					ff.Offsets[o] = true
+				}
+			}
+			return nil
+		},
+	}
+	stats, err := mapreduce.Run(cfg, job)
+	if err != nil {
+		return nil, err
+	}
+	res.ScanStats = *stats
+	return res, nil
+}
+
+// indexInput opens the index table for scanning.
+func (ix *Index) indexInput(fs *dfs.FS) (mapreduce.InputFormat, error) {
+	if ix.IndexFormat == RCFile {
+		return &mapreduce.RCInput{FS: fs, Dir: ix.IndexDir, Schema: ix.indexSchema}, nil
+	}
+	return &mapreduce.TextInput{FS: fs, Dir: ix.IndexDir}, nil
+}
+
+// SplitFilter implements the getSplits behaviour: keep a split iff it
+// contains at least one matched offset of its file.
+func (fr *FilterResult) SplitFilter(s dfs.Split) bool {
+	ff, ok := fr.Files[s.Path]
+	if !ok {
+		return false
+	}
+	for off := range ff.Offsets {
+		if off >= s.Start && off < s.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// GroupFilter keeps only matched row groups (Bitmap Index refinement; the
+// Compact Index reads whole splits and does not use it).
+func (fr *FilterResult) GroupFilter(path string, offset int64) bool {
+	ff, ok := fr.Files[path]
+	if !ok {
+		return false
+	}
+	return ff.Offsets[offset]
+}
+
+// RowFilter keeps only bitmap-matched rows within a group (Bitmap Index).
+func (fr *FilterResult) RowFilter(path string, offset int64, row int) bool {
+	ff, ok := fr.Files[path]
+	if !ok || ff.Rows == nil {
+		return false
+	}
+	bm, ok := ff.Rows[offset]
+	if !ok {
+		return false
+	}
+	return bm.get(row)
+}
+
+// BaseInput builds the input format for the main query job over the base
+// table, with this filter applied the way the real index kind would:
+// Compact and Aggregate filter splits only; Bitmap additionally filters row
+// groups and rows (RCFile base tables only).
+func (ix *Index) BaseInput(fs *dfs.FS, fr *FilterResult) (mapreduce.InputFormat, error) {
+	switch ix.BaseFormat {
+	case RCFile:
+		in := &mapreduce.RCInput{
+			FS: fs, Dir: ix.BaseDir, Schema: ix.Schema,
+			SplitFilter: fr.SplitFilter,
+		}
+		if ix.Kind == Bitmap {
+			in.GroupFilter = fr.GroupFilter
+			in.RowFilter = fr.RowFilter
+		}
+		return in, nil
+	default:
+		return &mapreduce.TextInput{
+			FS: fs, Dir: ix.BaseDir,
+			SplitFilter: fr.SplitFilter,
+		}, nil
+	}
+}
+
+// AggregateCounts answers a covered GROUP BY count query from the index
+// table alone (the Aggregate Index "index as data" rewrite): groups by the
+// named index dimensions and sums the pre-computed _count column.
+func (ix *Index) AggregateCounts(cfg *cluster.Config, fs *dfs.FS, ranges map[string]gridfile.Range, groupBy []string) (map[string]int64, *mapreduce.Stats, error) {
+	if ix.Kind != Aggregate {
+		return nil, nil, errNotAggregate
+	}
+	groupIdx := make([]int, len(groupBy))
+	for i, g := range groupBy {
+		gi := -1
+		for j, c := range ix.Cols {
+			if strings.EqualFold(c, g) {
+				gi = j
+			}
+		}
+		if gi < 0 {
+			return nil, nil, errNotCovered
+		}
+		groupIdx[i] = gi
+	}
+	dimRanges := make([]*gridfile.Range, len(ix.Cols))
+	for i, c := range ix.Cols {
+		for name, r := range ranges {
+			if strings.EqualFold(name, c) {
+				rr := r
+				dimRanges[i] = &rr
+			}
+		}
+	}
+	counts := map[string]int64{}
+	var mu sync.Mutex
+	input, err := ix.indexInput(fs)
+	if err != nil {
+		return nil, nil, err
+	}
+	countCol := len(ix.Cols) + 2
+	job := &mapreduce.Job{
+		Name:  "hiveindex-aggscan-" + ix.Name,
+		Input: input,
+		Map: func(rec mapreduce.Record, emit mapreduce.Emit) error {
+			row, err := storage.DecodeTextRow(ix.indexSchema, string(rec.Data))
+			if err != nil {
+				return err
+			}
+			for i, r := range dimRanges {
+				if r != nil && !r.Contains(row[i]) {
+					return nil
+				}
+			}
+			var key []string
+			for _, gi := range groupIdx {
+				key = append(key, row[gi].String())
+			}
+			mu.Lock()
+			counts[strings.Join(key, "\x01")] += row[countCol].I
+			mu.Unlock()
+			return nil
+		},
+	}
+	stats, err := mapreduce.Run(cfg, job)
+	if err != nil {
+		return nil, nil, err
+	}
+	return counts, stats, nil
+}
+
+var (
+	errNotAggregate = strErr("hiveindex: not an aggregate index")
+	errNotCovered   = strErr("hiveindex: GROUP BY not covered by index dimensions")
+)
+
+type strErr string
+
+func (e strErr) Error() string { return string(e) }

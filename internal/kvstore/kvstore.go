@@ -1,0 +1,241 @@
+// Package kvstore models the distributed key-value store the paper uses to
+// hold DGFIndex <GFUKey, GFUValue> pairs (HBase in the paper's deployment;
+// it also names Cassandra and Voldemort as alternatives).
+//
+// DGFIndex needs only four operations from the store — Put, Get, MultiGet
+// and a key-ordered Scan — plus an account of how many round trips a query
+// spends on index access, because the paper's figures break query time into
+// "read index and other" versus "read data and process". The Store executes
+// for real, in memory, and counts operations; cluster.Config converts the
+// counts into simulated seconds.
+package kvstore
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/smartgrid-oss/dgfindex/internal/cluster"
+)
+
+// Store is a sorted, concurrency-safe key-value map with operation counting.
+type Store struct {
+	mu     sync.RWMutex
+	data   map[string][]byte
+	sorted []string // lazily maintained sorted key view
+	dirty  bool
+
+	gets    atomic.Int64 // keys requested via Get/MultiGet
+	puts    atomic.Int64 // keys written
+	scanned atomic.Int64 // keys returned by Scan
+	scans   atomic.Int64 // scan calls
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[string][]byte)}
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// SizeBytes returns the total payload size: keys plus values. This is the
+// "index size" reported for DGFIndex in Tables 2 and 5.
+func (s *Store) SizeBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for k, v := range s.data {
+		n += int64(len(k) + len(v))
+	}
+	return n
+}
+
+// Put stores value under key, replacing any existing value.
+func (s *Store) Put(key string, value []byte) {
+	s.mu.Lock()
+	if _, exists := s.data[key]; !exists {
+		s.dirty = true
+	}
+	s.data[key] = value
+	s.mu.Unlock()
+	s.puts.Add(1)
+}
+
+// PutBatch stores many pairs in one call (one simulated round trip per
+// cluster.Config.KVBatchSize keys, like HBase's buffered mutator).
+func (s *Store) PutBatch(pairs map[string][]byte) {
+	s.mu.Lock()
+	for k, v := range pairs {
+		if _, exists := s.data[k]; !exists {
+			s.dirty = true
+		}
+		s.data[k] = v
+	}
+	s.mu.Unlock()
+	s.puts.Add(int64(len(pairs)))
+}
+
+// Get fetches the value under key. ok is false if absent.
+func (s *Store) Get(key string) (value []byte, ok bool) {
+	s.mu.RLock()
+	value, ok = s.data[key]
+	s.mu.RUnlock()
+	s.gets.Add(1)
+	return value, ok
+}
+
+// MultiGet fetches many keys; missing keys yield nil entries. The result is
+// positionally aligned with keys.
+func (s *Store) MultiGet(keys []string) [][]byte {
+	out := make([][]byte, len(keys))
+	s.mu.RLock()
+	for i, k := range keys {
+		out[i] = s.data[k]
+	}
+	s.mu.RUnlock()
+	s.gets.Add(int64(len(keys)))
+	return out
+}
+
+// Delete removes key if present.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	if _, ok := s.data[key]; ok {
+		delete(s.data, key)
+		s.dirty = true
+	}
+	s.mu.Unlock()
+}
+
+// Pair is one key-value entry returned by Scan.
+type Pair struct {
+	Key   string
+	Value []byte
+}
+
+// Scan returns all pairs with start <= key < end in key order. An empty end
+// means "to the last key". An empty start means "from the first key".
+func (s *Store) Scan(start, end string) []Pair {
+	s.mu.Lock()
+	s.ensureSortedLocked()
+	keys := s.sorted
+	lo := 0
+	if start != "" {
+		lo = sort.SearchStrings(keys, start)
+	}
+	hi := len(keys)
+	if end != "" {
+		hi = sort.SearchStrings(keys, end)
+	}
+	if hi < lo {
+		hi = lo // inverted range scans nothing
+	}
+	var out []Pair
+	for _, k := range keys[lo:hi] {
+		out = append(out, Pair{Key: k, Value: s.data[k]})
+	}
+	s.mu.Unlock()
+	s.scans.Add(1)
+	s.scanned.Add(int64(len(out)))
+	return out
+}
+
+// ScanPrefix returns all pairs whose key starts with prefix, in key order.
+func (s *Store) ScanPrefix(prefix string) []Pair {
+	if prefix == "" {
+		return s.Scan("", "")
+	}
+	// The smallest string greater than every string with this prefix.
+	end := prefixEnd(prefix)
+	return s.Scan(prefix, end)
+}
+
+func prefixEnd(prefix string) string {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] < 0xff {
+			b[i]++
+			return string(b[:i+1])
+		}
+	}
+	return "" // prefix of all 0xff: scan to the end
+}
+
+// Keys returns all keys in sorted order (test helper and metadata listing).
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureSortedLocked()
+	out := make([]string, len(s.sorted))
+	copy(out, s.sorted)
+	return out
+}
+
+func (s *Store) ensureSortedLocked() {
+	if !s.dirty && len(s.sorted) == len(s.data) {
+		return
+	}
+	s.sorted = s.sorted[:0]
+	for k := range s.data {
+		s.sorted = append(s.sorted, k)
+	}
+	sort.Strings(s.sorted)
+	s.dirty = false
+}
+
+// Stats is a snapshot of the operation counters.
+type Stats struct {
+	Gets, Puts, ScannedKeys, Scans int64
+}
+
+// Stats returns the counters accumulated since the last Reset.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Gets:        s.gets.Load(),
+		Puts:        s.puts.Load(),
+		ScannedKeys: s.scanned.Load(),
+		Scans:       s.scans.Load(),
+	}
+}
+
+// ResetStats zeroes the operation counters.
+func (s *Store) ResetStats() {
+	s.gets.Store(0)
+	s.puts.Store(0)
+	s.scanned.Store(0)
+	s.scans.Store(0)
+}
+
+// SimSeconds converts a counter snapshot into simulated store access time
+// under the given cluster model. Reads and writes are batched; scans cost
+// one round trip plus per-key transfer.
+func (st Stats) SimSeconds(cfg *cluster.Config) float64 {
+	return cfg.KVSeconds(st.Gets) + cfg.KVSeconds(st.Puts) +
+		float64(st.Scans)*cfg.KVBatchRTTMs/1e3 + float64(st.ScannedKeys)*cfg.KVPerOpUs/1e6
+}
+
+// Sub returns the counter delta st - prev, for attributing one query's
+// index-access cost.
+func (st Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Gets:        st.Gets - prev.Gets,
+		Puts:        st.Puts - prev.Puts,
+		ScannedKeys: st.ScannedKeys - prev.ScannedKeys,
+		Scans:       st.Scans - prev.Scans,
+	}
+}
+
+// HasPrefix reports whether any stored key begins with prefix.
+func (s *Store) HasPrefix(prefix string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureSortedLocked()
+	i := sort.SearchStrings(s.sorted, prefix)
+	return i < len(s.sorted) && strings.HasPrefix(s.sorted[i], prefix)
+}

@@ -1,0 +1,225 @@
+package kvstore
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/smartgrid-oss/dgfindex/internal/cluster"
+)
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	s.Put("7_13", []byte("gfu"))
+	v, ok := s.Get("7_13")
+	if !ok || string(v) != "gfu" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := s.Get("1_1"); ok {
+		t.Error("missing key returned ok")
+	}
+	s.Put("7_13", []byte("gfu2"))
+	v, _ = s.Get("7_13")
+	if string(v) != "gfu2" {
+		t.Error("Put did not overwrite")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestMultiGetAlignment(t *testing.T) {
+	s := New()
+	s.Put("a", []byte("1"))
+	s.Put("c", []byte("3"))
+	got := s.MultiGet([]string{"a", "b", "c"})
+	if string(got[0]) != "1" || got[1] != nil || string(got[2]) != "3" {
+		t.Errorf("MultiGet = %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New()
+	s.Put("x", []byte("1"))
+	s.Delete("x")
+	if _, ok := s.Get("x"); ok {
+		t.Error("key survived delete")
+	}
+	s.Delete("never-existed") // must not panic
+}
+
+func TestScanRange(t *testing.T) {
+	s := New()
+	for _, k := range []string{"d", "a", "c", "b", "e"} {
+		s.Put(k, []byte(k))
+	}
+	got := s.Scan("b", "e")
+	want := []string{"b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("Scan = %v", got)
+	}
+	for i, p := range got {
+		if p.Key != want[i] {
+			t.Errorf("Scan[%d] = %q, want %q", i, p.Key, want[i])
+		}
+	}
+	if all := s.Scan("", ""); len(all) != 5 {
+		t.Errorf("full scan = %d keys, want 5", len(all))
+	}
+}
+
+func TestScanAfterMutation(t *testing.T) {
+	s := New()
+	s.Put("b", nil)
+	_ = s.Scan("", "") // builds sorted view
+	s.Put("a", nil)    // invalidates it
+	keys := s.Keys()
+	if !sort.StringsAreSorted(keys) || len(keys) != 2 || keys[0] != "a" {
+		t.Errorf("Keys after mutation = %v", keys)
+	}
+	s.Delete("a")
+	if got := s.Keys(); len(got) != 1 || got[0] != "b" {
+		t.Errorf("Keys after delete = %v", got)
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	s := New()
+	for _, k := range []string{"meta/min", "meta/max", "gfu/1_1", "gfu/1_2", "gfu/2_1", "h"} {
+		s.Put(k, nil)
+	}
+	got := s.ScanPrefix("gfu/")
+	if len(got) != 3 {
+		t.Fatalf("ScanPrefix = %d pairs, want 3", len(got))
+	}
+	for _, p := range got {
+		if p.Key[:4] != "gfu/" {
+			t.Errorf("stray key %q", p.Key)
+		}
+	}
+	if !s.HasPrefix("meta/") || s.HasPrefix("zz") {
+		t.Error("HasPrefix wrong")
+	}
+}
+
+func TestPrefixEndEdge(t *testing.T) {
+	s := New()
+	s.Put("\xff\xff", []byte("hi"))
+	s.Put("\xfe", []byte("lo"))
+	got := s.ScanPrefix("\xff")
+	if len(got) != 1 || got[0].Key != "\xff\xff" {
+		t.Errorf("ScanPrefix(0xff) = %v", got)
+	}
+}
+
+func TestStatsAndSim(t *testing.T) {
+	s := New()
+	s.PutBatch(map[string][]byte{"a": nil, "b": nil})
+	s.Get("a")
+	s.MultiGet([]string{"a", "b", "c"})
+	s.Scan("", "")
+	st := s.Stats()
+	if st.Puts != 2 || st.Gets != 4 || st.Scans != 1 || st.ScannedKeys != 2 {
+		t.Errorf("Stats = %+v", st)
+	}
+	cfg := cluster.Default()
+	if st.SimSeconds(cfg) <= 0 {
+		t.Error("SimSeconds should be positive")
+	}
+	d := st.Sub(Stats{Gets: 1})
+	if d.Gets != 3 {
+		t.Errorf("Sub.Gets = %d, want 3", d.Gets)
+	}
+	s.ResetStats()
+	if s.Stats() != (Stats{}) {
+		t.Error("ResetStats did not zero")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	s := New()
+	s.Put("key1", []byte("value1")) // 4 + 6
+	s.Put("k", []byte("v"))         // 1 + 1
+	if got := s.SizeBytes(); got != 12 {
+		t.Errorf("SizeBytes = %d, want 12", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("%d_%d", g, i)
+				s.Put(k, []byte(k))
+				s.Get(k)
+				if i%50 == 0 {
+					s.Scan("", "")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 8*200 {
+		t.Errorf("Len = %d, want 1600", s.Len())
+	}
+}
+
+// Property: Scan(start, end) returns exactly the sorted keys in [start, end).
+func TestScanMatchesSortProperty(t *testing.T) {
+	f := func(keys []string, start, end string) bool {
+		s := New()
+		uniq := map[string]bool{}
+		for _, k := range keys {
+			s.Put(k, []byte(k))
+			uniq[k] = true
+		}
+		var want []string
+		for k := range uniq {
+			if (start == "" || k >= start) && (end == "" || k < end) {
+				want = append(want, k)
+			}
+		}
+		sort.Strings(want)
+		got := s.Scan(start, end)
+		gotKeys := make([]string, len(got))
+		for i, p := range got {
+			gotKeys[i] = p.Key
+		}
+		if len(want) == 0 && len(gotKeys) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(gotKeys, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ScanPrefix returns exactly the keys with that prefix.
+func TestScanPrefixProperty(t *testing.T) {
+	f := func(keys []string, prefix string) bool {
+		s := New()
+		uniq := map[string]bool{}
+		for _, k := range keys {
+			s.Put(k, nil)
+			uniq[k] = true
+		}
+		count := 0
+		for k := range uniq {
+			if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+				count++
+			}
+		}
+		return len(s.ScanPrefix(prefix)) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

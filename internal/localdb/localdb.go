@@ -1,0 +1,217 @@
+// Package localdb is an embedded single-node database standing in for the
+// PostgreSQL instances of the HadoopDB baseline (Section 5.1-5.2 of the
+// paper: 28 worker nodes, 38 one-GB chunk databases per node, each with a
+// multi-column index on userId, regionId and time).
+//
+// A Table stores rows in a heap plus one clustered multi-column index: rows
+// are kept sorted by the index columns, and a range constraint on a prefix
+// of the index columns narrows the scan with binary search. The package also
+// models the write path of Figure 3: sequential heap appends versus
+// indexed inserts that pay per-row index maintenance.
+package localdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// Table is one chunk database: a heap of rows with an optional clustered
+// multi-column index.
+type Table struct {
+	Schema    *storage.Schema
+	IndexCols []string
+
+	indexIdx []int // schema positions of the index columns
+	rows     []storage.Row
+	sorted   bool
+	byteSize int64
+}
+
+// New creates an empty table. indexCols may be empty for a heap-only table.
+func New(schema *storage.Schema, indexCols []string) (*Table, error) {
+	t := &Table{Schema: schema, IndexCols: indexCols}
+	for _, c := range indexCols {
+		i := schema.ColIndex(c)
+		if i < 0 {
+			return nil, fmt.Errorf("localdb: index column %q not in schema", c)
+		}
+		t.indexIdx = append(t.indexIdx, i)
+	}
+	return t, nil
+}
+
+// Rows returns the number of stored rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// SizeBytes returns the approximate heap size (text-encoded row bytes).
+func (t *Table) SizeBytes() int64 { return t.byteSize }
+
+// Insert appends one row (Figure 3's write path). The index is maintained
+// lazily: the sorted property is invalidated and restored on the next scan,
+// while the caller's cost model charges per-row index maintenance.
+func (t *Table) Insert(row storage.Row) {
+	t.rows = append(t.rows, row)
+	t.byteSize += int64(len(storage.EncodeTextRow(row))) + 1
+	t.sorted = false
+}
+
+// BulkLoad appends many rows and sorts once, like a COPY followed by
+// CREATE INDEX (how the paper loads HadoopDB chunks).
+func (t *Table) BulkLoad(rows []storage.Row) {
+	t.rows = append(t.rows, rows...)
+	for _, r := range rows {
+		t.byteSize += int64(len(storage.EncodeTextRow(r))) + 1
+	}
+	t.ensureSorted()
+}
+
+func (t *Table) ensureSorted() {
+	if t.sorted || len(t.indexIdx) == 0 {
+		t.sorted = true
+		return
+	}
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		return t.less(t.rows[i], t.rows[j])
+	})
+	t.sorted = true
+}
+
+func (t *Table) less(a, b storage.Row) bool {
+	for _, ci := range t.indexIdx {
+		c := storage.Compare(a[ci], b[ci])
+		if c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}
+
+// ScanStats reports the work one scan performed, for the cost model.
+type ScanStats struct {
+	// RowsExamined is how many heap rows the executor touched.
+	RowsExamined int64
+	// BytesExamined approximates the pages pulled from disk.
+	BytesExamined int64
+	// RowsReturned matched the full predicate.
+	RowsReturned int64
+	// UsedIndex is true when the leading index column narrowed the scan.
+	UsedIndex bool
+}
+
+// RangeScan returns the rows matching all range constraints. Constraints on
+// a prefix of the index columns narrow the scan via binary search (a B-tree
+// range descent); remaining constraints filter row by row.
+func (t *Table) RangeScan(ranges map[string]gridfile.Range) ([]storage.Row, ScanStats) {
+	t.ensureSorted()
+	var st ScanStats
+
+	lo, hi := 0, len(t.rows)
+	// Narrow with the leading index column if it is constrained.
+	if len(t.indexIdx) > 0 {
+		if r, ok := lookupRange(ranges, t.IndexCols[0]); ok && (!r.LoUnbounded || !r.HiUnbounded) {
+			ci := t.indexIdx[0]
+			if !r.LoUnbounded {
+				lo = sort.Search(len(t.rows), func(i int) bool {
+					c := storage.Compare(t.rows[i][ci], r.Lo)
+					if r.LoOpen {
+						return c > 0
+					}
+					return c >= 0
+				})
+			}
+			if !r.HiUnbounded {
+				hi = sort.Search(len(t.rows), func(i int) bool {
+					c := storage.Compare(t.rows[i][ci], r.Hi)
+					if r.HiOpen {
+						return c >= 0
+					}
+					return c > 0
+				})
+			}
+			if hi < lo {
+				hi = lo
+			}
+			st.UsedIndex = true
+		}
+	}
+
+	var out []storage.Row
+	for _, row := range t.rows[lo:hi] {
+		st.RowsExamined++
+		st.BytesExamined += rowWidth(row)
+		if matches(t.Schema, row, ranges) {
+			out = append(out, row)
+			st.RowsReturned++
+		}
+	}
+	return out, st
+}
+
+func rowWidth(row storage.Row) int64 {
+	var n int64
+	for _, v := range row {
+		switch v.Kind {
+		case storage.KindString:
+			n += int64(len(v.S))
+		default:
+			n += 8
+		}
+	}
+	return n
+}
+
+func matches(schema *storage.Schema, row storage.Row, ranges map[string]gridfile.Range) bool {
+	for name, r := range ranges {
+		ci := schema.ColIndex(name)
+		if ci < 0 {
+			return false
+		}
+		if !r.Contains(row[ci]) {
+			return false
+		}
+	}
+	return true
+}
+
+func lookupRange(ranges map[string]gridfile.Range, name string) (gridfile.Range, bool) {
+	if r, ok := ranges[name]; ok {
+		return r, true
+	}
+	for k, r := range ranges {
+		if strings.EqualFold(k, name) {
+			return r, true
+		}
+	}
+	return gridfile.Range{}, false
+}
+
+// WriteModel prices the Figure 3 write paths.
+type WriteModel struct {
+	// SeqMBps is the sequential append bandwidth of the DBMS without
+	// indexes (WAL plus heap).
+	SeqMBps float64
+	// IndexInsertUs is the extra per-row cost of maintaining B-tree indexes
+	// (page splits, random I/O).
+	IndexInsertUs float64
+}
+
+// DefaultWriteModel matches the relation of the paper's Figure 3: DBMS-X
+// without index sustains a few MB/s, with index markedly less, while HDFS
+// appends run at device speed.
+func DefaultWriteModel() WriteModel {
+	return WriteModel{SeqMBps: 8, IndexInsertUs: 60}
+}
+
+// InsertSeconds prices loading `bytes` of rows (`rows` of them) with or
+// without index maintenance.
+func (m WriteModel) InsertSeconds(rows, bytes int64, withIndex bool) float64 {
+	sec := float64(bytes) / (m.SeqMBps * (1 << 20))
+	if withIndex {
+		sec += float64(rows) * m.IndexInsertUs / 1e6
+	}
+	return sec
+}

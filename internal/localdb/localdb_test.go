@@ -1,0 +1,166 @@
+package localdb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+func schema() *storage.Schema {
+	return storage.NewSchema(
+		storage.Column{Name: "userId", Kind: storage.KindInt64},
+		storage.Column{Name: "regionId", Kind: storage.KindInt64},
+		storage.Column{Name: "power", Kind: storage.KindFloat64},
+	)
+}
+
+func rows(n int, seed int64) []storage.Row {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]storage.Row, n)
+	for i := range out {
+		out[i] = storage.Row{
+			storage.Int64(int64(rng.Intn(100))),
+			storage.Int64(int64(rng.Intn(10))),
+			storage.Float64(rng.Float64()),
+		}
+	}
+	return out
+}
+
+func TestNewRejectsUnknownIndexColumn(t *testing.T) {
+	if _, err := New(schema(), []string{"ghost"}); err == nil {
+		t.Error("unknown index column accepted")
+	}
+}
+
+func TestRangeScanUsesIndex(t *testing.T) {
+	tb, err := New(schema(), []string{"userId", "regionId"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := rows(500, 3)
+	tb.BulkLoad(data)
+	ranges := map[string]gridfile.Range{
+		"userId": {Lo: storage.Int64(10), Hi: storage.Int64(20)},
+	}
+	got, st := tb.RangeScan(ranges)
+	if !st.UsedIndex {
+		t.Error("leading-column constraint did not use the index")
+	}
+	want := 0
+	for _, r := range data {
+		if r[0].I >= 10 && r[0].I <= 20 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("returned %d rows, want %d", len(got), want)
+	}
+	if st.RowsExamined < st.RowsReturned {
+		t.Errorf("examined %d < returned %d", st.RowsExamined, st.RowsReturned)
+	}
+	// Index scan must not examine the whole table.
+	if st.RowsExamined >= int64(len(data)) {
+		t.Errorf("index scan examined all %d rows", st.RowsExamined)
+	}
+}
+
+func TestRangeScanNonLeadingColumnFullScan(t *testing.T) {
+	tb, _ := New(schema(), []string{"userId"})
+	data := rows(200, 5)
+	tb.BulkLoad(data)
+	ranges := map[string]gridfile.Range{
+		"regionId": {Lo: storage.Int64(3), Hi: storage.Int64(4)},
+	}
+	got, st := tb.RangeScan(ranges)
+	if st.UsedIndex {
+		t.Error("non-leading constraint claimed index use")
+	}
+	if st.RowsExamined != int64(len(data)) {
+		t.Errorf("full scan examined %d, want %d", st.RowsExamined, len(data))
+	}
+	want := 0
+	for _, r := range data {
+		if r[1].I >= 3 && r[1].I <= 4 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("returned %d, want %d", len(got), want)
+	}
+}
+
+func TestInsertThenScan(t *testing.T) {
+	tb, _ := New(schema(), []string{"userId"})
+	for _, r := range rows(100, 7) {
+		tb.Insert(r)
+	}
+	if tb.Rows() != 100 || tb.SizeBytes() <= 0 {
+		t.Errorf("Rows=%d Size=%d", tb.Rows(), tb.SizeBytes())
+	}
+	// Insert invalidates sortedness; the scan must restore and stay correct.
+	got, _ := tb.RangeScan(map[string]gridfile.Range{
+		"userId": {Lo: storage.Int64(0), Hi: storage.Int64(200)},
+	})
+	if len(got) != 100 {
+		t.Errorf("scan after inserts returned %d rows", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i][0].I < got[i-1][0].I {
+			t.Fatal("rows not sorted by index column")
+		}
+	}
+}
+
+func TestOpenBounds(t *testing.T) {
+	tb, _ := New(schema(), []string{"userId"})
+	tb.BulkLoad([]storage.Row{
+		{storage.Int64(5), storage.Int64(1), storage.Float64(1)},
+		{storage.Int64(6), storage.Int64(1), storage.Float64(1)},
+		{storage.Int64(7), storage.Int64(1), storage.Float64(1)},
+	})
+	got, _ := tb.RangeScan(map[string]gridfile.Range{
+		"userId": {Lo: storage.Int64(5), Hi: storage.Int64(7), LoOpen: true, HiOpen: true},
+	})
+	if len(got) != 1 || got[0][0].I != 6 {
+		t.Errorf("open bounds returned %v", got)
+	}
+}
+
+func TestWriteModel(t *testing.T) {
+	m := DefaultWriteModel()
+	noIdx := m.InsertSeconds(1000, 1<<20, false)
+	withIdx := m.InsertSeconds(1000, 1<<20, true)
+	if withIdx <= noIdx {
+		t.Errorf("indexed insert (%v) must cost more than plain (%v)", withIdx, noIdx)
+	}
+}
+
+// Property: RangeScan over random data matches the brute-force filter.
+func TestRangeScanEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, loRaw, width uint8) bool {
+		data := rows(150, seed)
+		tb, _ := New(schema(), []string{"userId", "regionId"})
+		tb.BulkLoad(data)
+		lo := int64(loRaw % 100)
+		hi := lo + int64(width%30)
+		ranges := map[string]gridfile.Range{
+			"userId":   {Lo: storage.Int64(lo), Hi: storage.Int64(hi)},
+			"regionId": {Lo: storage.Int64(2), Hi: storage.Int64(7)},
+		}
+		got, _ := tb.RangeScan(ranges)
+		want := 0
+		for _, r := range data {
+			if r[0].I >= lo && r[0].I <= hi && r[1].I >= 2 && r[1].I <= 7 {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

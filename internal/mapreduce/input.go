@@ -1,0 +1,218 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// FileSplit adapts a dfs.Split to the InputSplit interface.
+type FileSplit struct {
+	dfs.Split
+}
+
+// Label implements InputSplit.
+func (s FileSplit) Label() string { return s.Split.String() }
+
+// TextInput reads TextFile tables: every line is one record whose Offset is
+// the line's byte position in its file (BLOCK_OFFSET_INSIDE_FILE for
+// TextFile in Hive).
+type TextInput struct {
+	FS *dfs.FS
+	// Dir is scanned for data files when Paths is empty.
+	Dir string
+	// Paths selects explicit files.
+	Paths []string
+	// SplitFilter, when set, keeps only the splits it returns true for.
+	// Hive's index machinery plugs in here (the paper's Algorithm 4 runs in
+	// getSplits).
+	SplitFilter func(dfs.Split) bool
+}
+
+// Splits implements InputFormat.
+func (t *TextInput) Splits() ([]InputSplit, error) {
+	raw, err := rawSplits(t.FS, t.Dir, t.Paths)
+	if err != nil {
+		return nil, err
+	}
+	var out []InputSplit
+	for _, s := range raw {
+		if t.SplitFilter == nil || t.SplitFilter(s) {
+			out = append(out, FileSplit{s})
+		}
+	}
+	return out, nil
+}
+
+// Open implements InputFormat.
+func (t *TextInput) Open(split InputSplit) (RecordReader, error) {
+	fsplit, ok := split.(FileSplit)
+	if !ok {
+		return nil, fmt.Errorf("mapreduce: TextInput cannot open %T", split)
+	}
+	r, err := t.FS.Open(fsplit.Path)
+	if err != nil {
+		return nil, err
+	}
+	return &textReader{
+		path: fsplit.Path,
+		lr:   storage.NewLineReader(r, fsplit.Start, fsplit.End()),
+	}, nil
+}
+
+type textReader struct {
+	path string
+	lr   *storage.LineReader
+}
+
+func (t *textReader) Next() (Record, bool, error) {
+	line, off, ok := t.lr.Next()
+	if !ok {
+		return Record{}, false, nil
+	}
+	return Record{Data: line, Path: t.path, Offset: off}, true, nil
+}
+
+func (t *textReader) BytesRead() int64 { return t.lr.BytesRead() }
+func (t *textReader) Seeks() int64     { return 0 }
+
+func rawSplits(fs *dfs.FS, dir string, paths []string) ([]dfs.Split, error) {
+	if len(paths) > 0 {
+		var out []dfs.Split
+		for _, p := range paths {
+			s, err := fs.Splits(p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s...)
+		}
+		return out, nil
+	}
+	return fs.DirSplits(dir)
+}
+
+// RCInput reads RCFile tables: every stored row is one record. Record.Offset
+// is the start offset of the row's row group (what Hive's Compact Index
+// records for RCFile tables) and RowInBlock is the row's position within the
+// group (what the Bitmap Index records).
+type RCInput struct {
+	FS     *dfs.FS
+	Dir    string
+	Paths  []string
+	Schema *storage.Schema
+	// SplitFilter filters splits like TextInput.SplitFilter.
+	SplitFilter func(dfs.Split) bool
+	// GroupFilter, when set, skips row groups whose start offset it rejects
+	// (Compact Index offset filtering).
+	GroupFilter func(path string, offset int64) bool
+	// RowFilter, when set, skips rows by their position in the group
+	// (Bitmap Index row filtering).
+	RowFilter func(path string, offset int64, row int) bool
+}
+
+// Splits implements InputFormat.
+func (t *RCInput) Splits() ([]InputSplit, error) {
+	raw, err := rawSplits(t.FS, t.Dir, t.Paths)
+	if err != nil {
+		return nil, err
+	}
+	var out []InputSplit
+	for _, s := range raw {
+		if t.SplitFilter == nil || t.SplitFilter(s) {
+			out = append(out, FileSplit{s})
+		}
+	}
+	return out, nil
+}
+
+// Open implements InputFormat.
+func (t *RCInput) Open(split InputSplit) (RecordReader, error) {
+	fsplit, ok := split.(FileSplit)
+	if !ok {
+		return nil, fmt.Errorf("mapreduce: RCInput cannot open %T", split)
+	}
+	r, err := t.FS.Open(fsplit.Path)
+	if err != nil {
+		return nil, err
+	}
+	// A row group belongs to the split its start offset falls into, but a
+	// group may physically straddle a block boundary. The side group index
+	// (the model's stand-in for RCFile sync markers) locates the groups
+	// this split owns.
+	offsets, err := storage.ReadGroupIndex(t.FS, fsplit.Path)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: RCInput: missing group index for %s: %w", fsplit.Path, err)
+	}
+	var own []int64
+	for _, off := range offsets {
+		if off >= fsplit.Start && off < fsplit.End() {
+			own = append(own, off)
+		}
+	}
+	return &rcReader{
+		in:     t,
+		r:      r,
+		path:   fsplit.Path,
+		groups: own,
+		schema: t.Schema,
+	}, nil
+}
+
+type rcReader struct {
+	in     *RCInput
+	r      *dfs.FileReader
+	path   string
+	groups []int64 // start offsets of the groups this reader owns
+	next   int     // next index into groups
+	schema *storage.Schema
+
+	group     *storage.RowGroup
+	rows      []storage.Row
+	nextRow   int
+	encoded   []byte
+	bytesRead int64
+	seeks     int64
+}
+
+func (t *rcReader) Next() (Record, bool, error) {
+	for {
+		if t.group != nil && t.nextRow < len(t.rows) {
+			i := t.nextRow
+			t.nextRow++
+			if t.in.RowFilter != nil && !t.in.RowFilter(t.path, t.group.Offset, i) {
+				continue
+			}
+			t.encoded = storage.AppendTextRow(t.encoded[:0], t.rows[i])
+			data := t.encoded[:len(t.encoded)-1] // strip '\n'
+			return Record{Data: data, Path: t.path, Offset: t.group.Offset, RowInBlock: i}, true, nil
+		}
+		// Advance to the next owned group, honouring the group filter.
+		var off int64 = -1
+		for t.next < len(t.groups) {
+			candidate := t.groups[t.next]
+			t.next++
+			if t.in.GroupFilter == nil || t.in.GroupFilter(t.path, candidate) {
+				off = candidate
+				break
+			}
+			t.seeks++ // skipping a group forces a reposition
+		}
+		if off < 0 {
+			return Record{}, false, nil
+		}
+		g, err := storage.ReadGroupAt(t.r, off)
+		if err != nil {
+			return Record{}, false, err
+		}
+		rows, err := g.DecodeRows(t.schema)
+		if err != nil {
+			return Record{}, false, err
+		}
+		t.bytesRead += g.Size
+		t.group, t.rows, t.nextRow = g, rows, 0
+	}
+}
+
+func (t *rcReader) BytesRead() int64 { return t.bytesRead }
+func (t *rcReader) Seeks() int64     { return t.seeks }

@@ -1,0 +1,485 @@
+// Package mapreduce is the Hadoop-model execution engine that everything in
+// this repository runs on: index construction (DGFIndex Algorithms 1 and 2,
+// Compact Index population), table scans, aggregations, group-bys and joins.
+//
+// Jobs execute for real with goroutine parallelism. In addition, every job
+// reports *simulated cluster seconds* under a cluster.Config: map tasks are
+// scheduled in waves onto the configured map slots (LPT makespan), shuffle
+// cost is proportional to intermediate bytes, and reduce tasks are scheduled
+// onto reduce slots. The paper's experiment figures are stated in seconds on
+// a 29-node cluster; the simulated seconds reproduce the shapes of those
+// figures at laptop scale.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/cluster"
+)
+
+// Record is one input record presented to a map function.
+type Record struct {
+	// Data is the record payload (a text line for TextFile input; an
+	// encoded row for RCFile input).
+	Data []byte
+	// Path is the input file the record came from (INPUT_FILE_NAME in
+	// Hive's index-population query, Listing 1 of the paper).
+	Path string
+	// Offset is the record's BLOCK_OFFSET_INSIDE_FILE: the line start for
+	// TextFile, the row-group start for RCFile.
+	Offset int64
+	// RowInBlock is the row's position within its row group (RCFile only;
+	// the Bitmap Index records it).
+	RowInBlock int
+}
+
+// Emit passes one intermediate or output pair onward.
+type Emit func(key string, value []byte)
+
+// MapFunc processes one record.
+type MapFunc func(rec Record, emit Emit) error
+
+// ReduceFunc processes one key group.
+type ReduceFunc func(key string, values [][]byte, emit Emit) error
+
+// CombineFunc merges the values of one key inside a single map task before
+// the shuffle (Hadoop's combiner).
+type CombineFunc func(key string, values [][]byte) [][]byte
+
+// Group is one key with all its shuffled values, ordered deterministically.
+type Group struct {
+	Key    string
+	Values [][]byte
+}
+
+// ReduceTaskFunc processes one whole reduce partition: the sorted groups of
+// that partition plus the task id. Jobs that write their own output files
+// (the DGFIndex construction reducer writes data Slices) use this form to
+// manage one output file per task, like a Hadoop reducer does.
+type ReduceTaskFunc func(task int, groups []Group, emit Emit) error
+
+// RecordReader streams the records of one split.
+type RecordReader interface {
+	// Next returns the next record; ok is false at end of split.
+	Next() (rec Record, ok bool, err error)
+	// BytesRead is the payload bytes fetched so far.
+	BytesRead() int64
+	// Seeks is the number of random repositionings performed (the
+	// slice-skipping reader reports them; sequential readers return 0).
+	Seeks() int64
+}
+
+// InputSplit is an opaque unit of input assigned to one map task.
+type InputSplit interface {
+	// Label identifies the split in logs and errors.
+	Label() string
+}
+
+// InputFormat enumerates splits and opens readers, mirroring Hadoop's
+// InputFormat/getSplits contract that Hive's index machinery hooks into.
+type InputFormat interface {
+	Splits() ([]InputSplit, error)
+	Open(split InputSplit) (RecordReader, error)
+}
+
+// Job describes one MapReduce job.
+type Job struct {
+	Name  string
+	Input InputFormat
+	Map   MapFunc
+	// Combine, if set, runs per map task on its buffered output.
+	Combine CombineFunc
+	// Exactly one of Reduce and ReduceTask may be set; if both are nil the
+	// job is map-only and map emits flow directly to the output collector.
+	Reduce     ReduceFunc
+	ReduceTask ReduceTaskFunc
+	// NumReducers defaults to 1 when a reduce phase exists.
+	NumReducers int
+	// Output receives final pairs. Nil output discards them (jobs whose
+	// reducers write to the filesystem themselves).
+	Output Emit
+}
+
+// Stats reports the measured work and the simulated cluster time of one job.
+type Stats struct {
+	Splits       int
+	MapTasks     int
+	ReduceTasks  int
+	InputBytes   int64
+	InputRecords int64
+	Seeks        int64
+	ShuffleBytes int64
+	ShufflePairs int64
+	OutputPairs  int64
+
+	SimStartupSec float64
+	SimMapSec     float64
+	SimShuffleSec float64
+	SimReduceSec  float64
+
+	Wall time.Duration
+}
+
+// SimTotalSec is the simulated end-to-end job time.
+func (s Stats) SimTotalSec() float64 {
+	return s.SimStartupSec + s.SimMapSec + s.SimShuffleSec + s.SimReduceSec
+}
+
+// Add accumulates other into s (multi-job pipelines).
+func (s *Stats) Add(other Stats) {
+	s.Splits += other.Splits
+	s.MapTasks += other.MapTasks
+	s.ReduceTasks += other.ReduceTasks
+	s.InputBytes += other.InputBytes
+	s.InputRecords += other.InputRecords
+	s.Seeks += other.Seeks
+	s.ShuffleBytes += other.ShuffleBytes
+	s.ShufflePairs += other.ShufflePairs
+	s.OutputPairs += other.OutputPairs
+	s.SimStartupSec += other.SimStartupSec
+	s.SimMapSec += other.SimMapSec
+	s.SimShuffleSec += other.SimShuffleSec
+	s.SimReduceSec += other.SimReduceSec
+	s.Wall += other.Wall
+}
+
+type kvPair struct {
+	key   string
+	value []byte
+}
+
+// Run executes the job and returns its statistics.
+func Run(cfg *cluster.Config, job *Job) (*Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if job.Input == nil || job.Map == nil {
+		return nil, fmt.Errorf("mapreduce: job %q needs Input and Map", job.Name)
+	}
+	if job.Reduce != nil && job.ReduceTask != nil {
+		return nil, fmt.Errorf("mapreduce: job %q sets both Reduce and ReduceTask", job.Name)
+	}
+	start := time.Now()
+	splits, err := job.Input.Splits()
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: splits: %w", job.Name, err)
+	}
+
+	hasReduce := job.Reduce != nil || job.ReduceTask != nil
+	numReducers := job.NumReducers
+	if !hasReduce {
+		numReducers = 0
+	} else if numReducers <= 0 {
+		numReducers = 1
+	}
+
+	stats := &Stats{Splits: len(splits), MapTasks: len(splits), ReduceTasks: numReducers}
+	stats.SimStartupSec = cfg.JobStartupSec
+
+	var outMu sync.Mutex
+	var outPairs int64
+	output := func(key string, value []byte) {
+		outMu.Lock()
+		outPairs++
+		if job.Output != nil {
+			job.Output(key, value)
+		}
+		outMu.Unlock()
+	}
+
+	// ---- Map phase ----
+	type mapResult struct {
+		parts   [][]kvPair // per-reducer partition buffers
+		bytes   int64
+		records int64
+		seeks   int64
+		emitted int64 // shuffle bytes from this task
+		err     error
+	}
+	results := make([]mapResult, len(splits))
+	pool := runtime.GOMAXPROCS(0)
+	if pool > len(splits) {
+		pool = len(splits)
+	}
+	if pool < 1 {
+		pool = 1
+	}
+	var wg sync.WaitGroup
+	splitCh := make(chan int)
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range splitCh {
+				results[i] = runMapTask(job, splits[i], numReducers, hasReduce, output)
+			}
+		}()
+	}
+	for i := range splits {
+		splitCh <- i
+	}
+	close(splitCh)
+	wg.Wait()
+
+	mapTimes := make([]float64, 0, len(results))
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: map over %s: %w", job.Name, splits[i].Label(), r.err)
+		}
+		stats.InputBytes += r.bytes
+		stats.InputRecords += r.records
+		stats.Seeks += r.seeks
+		stats.ShuffleBytes += r.emitted
+		mapTimes = append(mapTimes, cfg.ScanTaskSeconds(r.bytes, r.records, r.seeks))
+	}
+	if cfg.ScaleFactor > 1 {
+		// The in-process data is a sample of the modelled deployment's:
+		// cost the phase analytically from scaled aggregate volumes.
+		stats.SimMapSec = cfg.ScaledMapSeconds(cluster.PhaseVolumes{
+			Bytes: stats.InputBytes, Records: stats.InputRecords, Seeks: stats.Seeks,
+		})
+	} else {
+		stats.SimMapSec = cluster.Makespan(mapTimes, cfg.MapSlots())
+	}
+
+	if !hasReduce {
+		stats.OutputPairs = outPairs
+		stats.Wall = time.Since(start)
+		return stats, nil
+	}
+
+	// ---- Shuffle: gather, sort, group per reduce partition ----
+	stats.SimShuffleSec = cfg.ScaledShuffleSeconds(stats.ShuffleBytes)
+	partitions := make([][]kvPair, numReducers)
+	for _, r := range results {
+		for p := 0; p < numReducers; p++ {
+			partitions[p] = append(partitions[p], r.parts[p]...)
+			stats.ShufflePairs += int64(len(r.parts[p]))
+		}
+	}
+
+	// ---- Reduce phase ----
+	type reduceResult struct {
+		inBytes int64
+		groups  int64
+		err     error
+	}
+	rResults := make([]reduceResult, numReducers)
+	rPool := runtime.GOMAXPROCS(0)
+	if rPool > numReducers {
+		rPool = numReducers
+	}
+	if rPool < 1 {
+		rPool = 1
+	}
+	taskCh := make(chan int)
+	var rwg sync.WaitGroup
+	for w := 0; w < rPool; w++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for p := range taskCh {
+				rResults[p] = runReduceTask(job, p, partitions[p], output)
+			}
+		}()
+	}
+	for p := 0; p < numReducers; p++ {
+		taskCh <- p
+	}
+	close(taskCh)
+	rwg.Wait()
+
+	reduceTimes := make([]float64, 0, numReducers)
+	var reduceBytes, reduceGroups int64
+	for p, r := range rResults {
+		if r.err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: reduce task %d: %w", job.Name, p, r.err)
+		}
+		reduceTimes = append(reduceTimes, cfg.ReduceTaskSeconds(r.inBytes, r.groups))
+		reduceBytes += r.inBytes
+		reduceGroups += r.groups
+	}
+	if cfg.ScaleFactor > 1 {
+		stats.SimReduceSec = cfg.ScaledReduceSeconds(reduceBytes, reduceGroups, numReducers)
+	} else {
+		stats.SimReduceSec = cluster.Makespan(reduceTimes, cfg.ReduceSlots())
+	}
+	stats.OutputPairs = outPairs
+	stats.Wall = time.Since(start)
+	return stats, nil
+}
+
+func runMapTask(job *Job, split InputSplit, numReducers int, hasReduce bool, output Emit) (res struct {
+	parts   [][]kvPair
+	bytes   int64
+	records int64
+	seeks   int64
+	emitted int64
+	err     error
+}) {
+	reader, err := job.Input.Open(split)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.parts = make([][]kvPair, numReducers)
+	emit := output
+	if hasReduce {
+		emit = func(key string, value []byte) {
+			p := partitionOf(key, numReducers)
+			// Copy the value: mappers commonly reuse buffers between emits.
+			v := make([]byte, len(value))
+			copy(v, value)
+			res.parts[p] = append(res.parts[p], kvPair{key: key, value: v})
+			res.emitted += int64(len(key) + len(v))
+		}
+	}
+	for {
+		rec, ok, err := reader.Next()
+		if err != nil {
+			res.err = err
+			return res
+		}
+		if !ok {
+			break
+		}
+		res.records++
+		if err := job.Map(rec, emit); err != nil {
+			res.err = err
+			return res
+		}
+	}
+	res.bytes = reader.BytesRead()
+	res.seeks = reader.Seeks()
+	if hasReduce && job.Combine != nil {
+		for p := range res.parts {
+			res.parts[p], res.emitted = combinePartition(job.Combine, res.parts[p], res.emitted)
+		}
+	}
+	return res
+}
+
+func combinePartition(combine CombineFunc, pairs []kvPair, emitted int64) ([]kvPair, int64) {
+	if len(pairs) == 0 {
+		return pairs, emitted
+	}
+	sortPairs(pairs)
+	out := pairs[:0]
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j].key == pairs[i].key {
+			j++
+		}
+		values := make([][]byte, 0, j-i)
+		for k := i; k < j; k++ {
+			values = append(values, pairs[k].value)
+			emitted -= int64(len(pairs[i].key) + len(pairs[k].value))
+		}
+		for _, v := range combine(pairs[i].key, values) {
+			out = append(out, kvPair{key: pairs[i].key, value: v})
+			emitted += int64(len(pairs[i].key) + len(v))
+		}
+		i = j
+	}
+	return out, emitted
+}
+
+func runReduceTask(job *Job, task int, pairs []kvPair, output Emit) (res struct {
+	inBytes int64
+	groups  int64
+	err     error
+}) {
+	sortPairs(pairs)
+	var groups []Group
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j].key == pairs[i].key {
+			j++
+		}
+		g := Group{Key: pairs[i].key, Values: make([][]byte, 0, j-i)}
+		for k := i; k < j; k++ {
+			g.Values = append(g.Values, pairs[k].value)
+			res.inBytes += int64(len(pairs[k].key) + len(pairs[k].value))
+		}
+		groups = append(groups, g)
+		i = j
+	}
+	res.groups = int64(len(groups))
+	if job.ReduceTask != nil {
+		res.err = job.ReduceTask(task, groups, output)
+		return res
+	}
+	for _, g := range groups {
+		if err := job.Reduce(g.Key, g.Values, output); err != nil {
+			res.err = err
+			return res
+		}
+	}
+	return res
+}
+
+// sortPairs orders pairs by key, with value bytes as a deterministic
+// tiebreaker so job output does not depend on goroutine scheduling.
+func sortPairs(pairs []kvPair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].key != pairs[j].key {
+			return pairs[i].key < pairs[j].key
+		}
+		return string(pairs[i].value) < string(pairs[j].value)
+	})
+}
+
+func partitionOf(key string, n int) int {
+	if n == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Collector is a thread-safe output sink for jobs that return results to the
+// driver (query jobs).
+type Collector struct {
+	mu    sync.Mutex
+	pairs []Pair
+}
+
+// Pair is one collected output record.
+type Pair struct {
+	Key   string
+	Value []byte
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Emit implements the job Output signature.
+func (c *Collector) Emit(key string, value []byte) {
+	v := make([]byte, len(value))
+	copy(v, value)
+	c.mu.Lock()
+	c.pairs = append(c.pairs, Pair{Key: key, Value: v})
+	c.mu.Unlock()
+}
+
+// Pairs returns the collected output sorted by key.
+func (c *Collector) Pairs() []Pair {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sort.Slice(c.pairs, func(i, j int) bool {
+		if c.pairs[i].Key != c.pairs[j].Key {
+			return c.pairs[i].Key < c.pairs[j].Key
+		}
+		return string(c.pairs[i].Value) < string(c.pairs[j].Value)
+	})
+	out := make([]Pair, len(c.pairs))
+	copy(out, c.pairs)
+	return out
+}

@@ -1,0 +1,450 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/smartgrid-oss/dgfindex/internal/cluster"
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+func testCfg() *cluster.Config {
+	c := cluster.Default()
+	c.Workers = 4
+	return c
+}
+
+// writeWords writes one file of word lines split across tiny blocks.
+func writeWords(t *testing.T, fs *dfs.FS, path string, words []string) {
+	t.Helper()
+	w, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := storage.NewTextWriter(w)
+	for _, word := range words {
+		if err := tw.WriteLine([]byte(word)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	fs := dfs.New(8) // force several splits
+	words := []string{"a", "b", "a", "c", "a", "b", "d", "a", "e", "c", "a", "b"}
+	writeWords(t, fs, "/in/words", words)
+
+	col := NewCollector()
+	job := &Job{
+		Name:  "wordcount",
+		Input: &TextInput{FS: fs, Dir: "/in"},
+		Map: func(rec Record, emit Emit) error {
+			emit(string(rec.Data), []byte("1"))
+			return nil
+		},
+		Reduce: func(key string, values [][]byte, emit Emit) error {
+			emit(key, []byte(strconv.Itoa(len(values))))
+			return nil
+		},
+		NumReducers: 3,
+		Output:      col.Emit,
+	}
+	stats, err := Run(testCfg(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"a": "5", "b": "3", "c": "2", "d": "1", "e": "1"}
+	got := map[string]string{}
+	for _, p := range col.Pairs() {
+		got[p.Key] = string(p.Value)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("count[%s] = %s, want %s", k, got[k], v)
+		}
+	}
+	if stats.InputRecords != int64(len(words)) {
+		t.Errorf("InputRecords = %d, want %d", stats.InputRecords, len(words))
+	}
+	if stats.Splits < 2 {
+		t.Errorf("expected multiple splits with 32-byte blocks, got %d", stats.Splits)
+	}
+	if stats.ReduceTasks != 3 {
+		t.Errorf("ReduceTasks = %d", stats.ReduceTasks)
+	}
+	if stats.SimTotalSec() <= 0 {
+		t.Error("simulated time must be positive")
+	}
+}
+
+func TestCombinerReducesShuffle(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	var words []string
+	for i := 0; i < 500; i++ {
+		words = append(words, "same")
+	}
+	writeWords(t, fs, "/in/f", words)
+	run := func(combine CombineFunc) *Stats {
+		col := NewCollector()
+		stats, err := Run(testCfg(), &Job{
+			Name:  "combine",
+			Input: &TextInput{FS: fs, Dir: "/in"},
+			Map: func(rec Record, emit Emit) error {
+				emit(string(rec.Data), []byte("1"))
+				return nil
+			},
+			Combine: combine,
+			Reduce: func(key string, values [][]byte, emit Emit) error {
+				total := 0
+				for _, v := range values {
+					n, _ := strconv.Atoi(string(v))
+					total += n
+				}
+				emit(key, []byte(strconv.Itoa(total)))
+				return nil
+			},
+			Output: col.Emit,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := col.Pairs(); len(p) != 1 || string(p[0].Value) != "500" {
+			t.Fatalf("result = %v", p)
+		}
+		return stats
+	}
+	plain := run(nil)
+	combined := run(func(key string, values [][]byte) [][]byte {
+		total := 0
+		for _, v := range values {
+			n, _ := strconv.Atoi(string(v))
+			total += n
+		}
+		return [][]byte{[]byte(strconv.Itoa(total))}
+	})
+	if combined.ShuffleBytes >= plain.ShuffleBytes {
+		t.Errorf("combiner did not shrink shuffle: %d vs %d", combined.ShuffleBytes, plain.ShuffleBytes)
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	fs := dfs.New(64)
+	writeWords(t, fs, "/in/f", []string{"x", "y", "z"})
+	col := NewCollector()
+	stats, err := Run(testCfg(), &Job{
+		Name:  "maponly",
+		Input: &TextInput{FS: fs, Dir: "/in"},
+		Map: func(rec Record, emit Emit) error {
+			emit(strings.ToUpper(string(rec.Data)), nil)
+			return nil
+		},
+		Output: col.Emit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReduceTasks != 0 || stats.SimReduceSec != 0 {
+		t.Errorf("map-only job ran a reduce phase: %+v", stats)
+	}
+	pairs := col.Pairs()
+	if len(pairs) != 3 || pairs[0].Key != "X" {
+		t.Errorf("pairs = %v", pairs)
+	}
+}
+
+func TestReduceTaskForm(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	writeWords(t, fs, "/in/f", []string{"b", "a", "c", "a"})
+	var seenTasks []int
+	var keys []string
+	_, err := Run(testCfg(), &Job{
+		Name:  "reducetask",
+		Input: &TextInput{FS: fs, Dir: "/in"},
+		Map: func(rec Record, emit Emit) error {
+			emit(string(rec.Data), nil)
+			return nil
+		},
+		ReduceTask: func(task int, groups []Group, emit Emit) error {
+			seenTasks = append(seenTasks, task)
+			for _, g := range groups {
+				keys = append(keys, g.Key)
+			}
+			return nil
+		},
+		NumReducers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seenTasks) != 1 || seenTasks[0] != 0 {
+		t.Errorf("tasks = %v", seenTasks)
+	}
+	// Groups arrive key-sorted within the task.
+	if !sortedStrings(keys) || len(keys) != 3 {
+		t.Errorf("group keys = %v", keys)
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSplitFilter(t *testing.T) {
+	fs := dfs.New(16)
+	var words []string
+	for i := 0; i < 40; i++ {
+		words = append(words, fmt.Sprintf("w%02d", i))
+	}
+	writeWords(t, fs, "/in/f", words)
+	all := &TextInput{FS: fs, Dir: "/in"}
+	allSplits, _ := all.Splits()
+	filtered := &TextInput{FS: fs, Dir: "/in", SplitFilter: func(s dfs.Split) bool {
+		return s.Start == 0 // keep only the first split
+	}}
+	fSplits, _ := filtered.Splits()
+	if len(fSplits) != 1 || len(allSplits) <= 1 {
+		t.Fatalf("filtering failed: %d of %d", len(fSplits), len(allSplits))
+	}
+	col := NewCollector()
+	stats, err := Run(testCfg(), &Job{
+		Name:  "filtered",
+		Input: filtered,
+		Map: func(rec Record, emit Emit) error {
+			emit(string(rec.Data), nil)
+			return nil
+		},
+		Output: col.Emit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InputRecords >= int64(len(words)) {
+		t.Errorf("filter did not reduce input: %d records", stats.InputRecords)
+	}
+}
+
+func TestRCInputRowRecords(t *testing.T) {
+	fs := dfs.New(256)
+	schema := storage.NewSchema(
+		storage.Column{Name: "id", Kind: storage.KindInt64},
+		storage.Column{Name: "v", Kind: storage.KindFloat64},
+	)
+	rows := make([]storage.Row, 50)
+	for i := range rows {
+		rows[i] = storage.Row{storage.Int64(int64(i)), storage.Float64(float64(i) / 2)}
+	}
+	if _, err := storage.WriteRCRows(fs, "/rc/f", schema, rows, 8); err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	stats, err := Run(testCfg(), &Job{
+		Name:  "rcscan",
+		Input: &RCInput{FS: fs, Dir: "/rc", Schema: schema},
+		Map: func(rec Record, emit Emit) error {
+			id, _ := storage.TextFieldBytes(rec.Data, 0)
+			emit(string(id), []byte(fmt.Sprintf("%d:%d", rec.Offset, rec.RowInBlock)))
+			return nil
+		},
+		Output: col.Emit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InputRecords != 50 {
+		t.Errorf("InputRecords = %d, want 50", stats.InputRecords)
+	}
+	if len(col.Pairs()) != 50 {
+		t.Errorf("pairs = %d, want 50", len(col.Pairs()))
+	}
+}
+
+func TestRCInputGroupAndRowFilter(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	schema := storage.NewSchema(storage.Column{Name: "id", Kind: storage.KindInt64})
+	rows := make([]storage.Row, 30)
+	for i := range rows {
+		rows[i] = storage.Row{storage.Int64(int64(i))}
+	}
+	offsets, err := storage.WriteRCRows(fs, "/rc/f", schema, rows, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offsets) != 3 {
+		t.Fatalf("want 3 groups, got %d", len(offsets))
+	}
+	keepGroup := offsets[1]
+	col := NewCollector()
+	_, err = Run(testCfg(), &Job{
+		Name: "rcfiltered",
+		Input: &RCInput{
+			FS: fs, Dir: "/rc", Schema: schema,
+			GroupFilter: func(path string, off int64) bool { return off == keepGroup },
+			RowFilter:   func(path string, off int64, row int) bool { return row%2 == 0 },
+		},
+		Map: func(rec Record, emit Emit) error {
+			emit(string(rec.Data), nil)
+			return nil
+		},
+		Output: col.Emit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := col.Pairs()
+	if len(pairs) != 5 { // rows 10..19, even positions
+		t.Fatalf("got %d rows, want 5: %v", len(pairs), pairs)
+	}
+	if pairs[0].Key != "10" || pairs[4].Key != "18" {
+		t.Errorf("unexpected rows: %v", pairs)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	cfg := testCfg()
+	if _, err := Run(cfg, &Job{Name: "nil-input"}); err == nil {
+		t.Error("job without input accepted")
+	}
+	fs := dfs.New(64)
+	writeWords(t, fs, "/in/f", []string{"x"})
+	job := &Job{
+		Name:       "both-reducers",
+		Input:      &TextInput{FS: fs, Dir: "/in"},
+		Map:        func(rec Record, emit Emit) error { return nil },
+		Reduce:     func(k string, v [][]byte, e Emit) error { return nil },
+		ReduceTask: func(t int, g []Group, e Emit) error { return nil },
+	}
+	if _, err := Run(cfg, job); err == nil {
+		t.Error("job with both reduce forms accepted")
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	fs := dfs.New(64)
+	writeWords(t, fs, "/in/f", []string{"x"})
+	_, err := Run(testCfg(), &Job{
+		Name:  "maperr",
+		Input: &TextInput{FS: fs, Dir: "/in"},
+		Map: func(rec Record, emit Emit) error {
+			return fmt.Errorf("boom")
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	fs := dfs.New(16)
+	var words []string
+	for i := 0; i < 60; i++ {
+		words = append(words, fmt.Sprintf("k%d", i%7))
+	}
+	writeWords(t, fs, "/in/f", words)
+	runOnce := func() string {
+		col := NewCollector()
+		_, err := Run(testCfg(), &Job{
+			Name:  "det",
+			Input: &TextInput{FS: fs, Dir: "/in"},
+			Map: func(rec Record, emit Emit) error {
+				emit(string(rec.Data), []byte("1"))
+				return nil
+			},
+			Reduce: func(key string, values [][]byte, emit Emit) error {
+				emit(key, []byte(strconv.Itoa(len(values))))
+				return nil
+			},
+			NumReducers: 4,
+			Output:      col.Emit,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, p := range col.Pairs() {
+			fmt.Fprintf(&b, "%s=%s;", p.Key, p.Value)
+		}
+		return b.String()
+	}
+	first := runOnce()
+	for i := 0; i < 5; i++ {
+		if got := runOnce(); got != first {
+			t.Fatalf("run %d differs:\n%s\n%s", i, got, first)
+		}
+	}
+}
+
+// Property: word count totals equal input multiplicity regardless of block
+// size and reducer count.
+func TestWordCountProperty(t *testing.T) {
+	f := func(ids []uint8, bsRaw, redRaw uint8) bool {
+		if len(ids) == 0 {
+			return true
+		}
+		fs := dfs.New(int64(bsRaw%60) + 4)
+		w, _ := fs.Create("/in/f")
+		tw := storage.NewTextWriter(w)
+		want := map[string]int{}
+		for _, id := range ids {
+			key := fmt.Sprintf("k%d", id%13)
+			want[key]++
+			tw.WriteLine([]byte(key))
+		}
+		tw.Close()
+		col := NewCollector()
+		_, err := Run(testCfg(), &Job{
+			Name:  "prop",
+			Input: &TextInput{FS: fs, Dir: "/in"},
+			Map: func(rec Record, emit Emit) error {
+				emit(string(rec.Data), []byte("1"))
+				return nil
+			},
+			Reduce: func(key string, values [][]byte, emit Emit) error {
+				emit(key, []byte(strconv.Itoa(len(values))))
+				return nil
+			},
+			NumReducers: int(redRaw%5) + 1,
+			Output:      col.Emit,
+		})
+		if err != nil {
+			return false
+		}
+		got := map[string]int{}
+		for _, p := range col.Pairs() {
+			n, _ := strconv.Atoi(string(p.Value))
+			got[p.Key] = n
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Splits: 1, InputBytes: 10, SimMapSec: 2}
+	b := Stats{Splits: 2, InputBytes: 5, SimMapSec: 3, SimReduceSec: 1}
+	a.Add(b)
+	if a.Splits != 3 || a.InputBytes != 15 || a.SimTotalSec() != 6 {
+		t.Errorf("Add = %+v", a)
+	}
+}

@@ -1,0 +1,392 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+)
+
+func meterSchema() *Schema {
+	return NewSchema(
+		Column{"userId", KindInt64},
+		Column{"regionId", KindInt64},
+		Column{"ts", KindTime},
+		Column{"powerConsumed", KindFloat64},
+		Column{"note", KindString},
+	)
+}
+
+func sampleRows(n int) []Row {
+	base := time.Date(2012, 12, 1, 0, 0, 0, 0, time.UTC)
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{
+			Int64(int64(i + 1)),
+			Int64(int64(i%11 + 1)),
+			Time(base.Add(time.Duration(i) * time.Hour)),
+			Float64(float64(i) * 1.25),
+			Str(fmt.Sprintf("meter-%d", i)),
+		}
+	}
+	return rows
+}
+
+func TestKindParseAndString(t *testing.T) {
+	for _, k := range []Kind{KindInt64, KindFloat64, KindString, KindTime} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Error("ParseKind(blob) succeeded, want error")
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []Value{
+		Int64(-42),
+		Float64(3.25),
+		Float64(1e-9),
+		Str("hello world"),
+		Time(time.Date(2013, 1, 15, 0, 0, 0, 0, time.UTC)),
+		Time(time.Date(2013, 1, 15, 7, 30, 5, 0, time.UTC)),
+	}
+	for _, v := range vals {
+		got, err := ParseValue(v.Kind, v.String())
+		if err != nil {
+			t.Fatalf("ParseValue(%v): %v", v, err)
+		}
+		if Compare(got, v) != 0 {
+			t.Errorf("round trip %v -> %q -> %v", v, v.String(), got)
+		}
+	}
+}
+
+func TestParseTimeForms(t *testing.T) {
+	want := time.Date(2012, 12, 30, 0, 0, 0, 0, time.UTC).Unix()
+	for _, s := range []string{"2012-12-30", "2012-12-30 00:00:00", fmt.Sprint(want)} {
+		v, err := ParseTime(s)
+		if err != nil || v.I != want {
+			t.Errorf("ParseTime(%q) = %v, %v; want unix %d", s, v, err, want)
+		}
+	}
+	if _, err := ParseTime("not a date"); err == nil {
+		t.Error("ParseTime garbage succeeded")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if Compare(Int64(1), Int64(2)) != -1 || Compare(Int64(2), Int64(1)) != 1 || Compare(Int64(5), Int64(5)) != 0 {
+		t.Error("int compare wrong")
+	}
+	if Compare(Str("a"), Str("b")) != -1 {
+		t.Error("string compare wrong")
+	}
+	// Mixed numeric kinds compare by value, like Hive's lenient coercion.
+	if Compare(Int64(3), Float64(3.0)) != 0 {
+		t.Error("mixed numeric compare wrong")
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := meterSchema()
+	if s.ColIndex("PowerConsumed") != 3 {
+		t.Errorf("case-insensitive lookup failed: %d", s.ColIndex("PowerConsumed"))
+	}
+	if s.ColIndex("nope") != -1 {
+		t.Error("missing column should be -1")
+	}
+	p, err := s.Project("ts", "userId")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.Col(0).Name != "ts" || p.Col(1).Kind != KindInt64 {
+		t.Errorf("Project = %v", p)
+	}
+	if _, err := s.Project("ghost"); err == nil {
+		t.Error("Project of missing column succeeded")
+	}
+}
+
+func TestTextRowRoundTrip(t *testing.T) {
+	s := meterSchema()
+	for _, row := range sampleRows(20) {
+		line := EncodeTextRow(row)
+		got, err := DecodeTextRow(s, line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range row {
+			if Compare(got[i], row[i]) != 0 {
+				t.Errorf("col %d: got %v want %v (line %q)", i, got[i], row[i], line)
+			}
+		}
+	}
+}
+
+func TestDecodeTextRowBadFieldCount(t *testing.T) {
+	s := meterSchema()
+	if _, err := DecodeTextRow(s, "1,2"); err == nil {
+		t.Error("short line decoded without error")
+	}
+}
+
+func TestTextField(t *testing.T) {
+	line := "100,11,2012-12-30,5.5,ok"
+	cases := []struct {
+		i    int
+		want string
+	}{{0, "100"}, {1, "11"}, {2, "2012-12-30"}, {4, "ok"}}
+	for _, c := range cases {
+		got, ok := TextField(line, c.i)
+		if !ok || got != c.want {
+			t.Errorf("TextField(%d) = %q,%v want %q", c.i, got, ok, c.want)
+		}
+		gotB, ok := TextFieldBytes([]byte(line), c.i)
+		if !ok || string(gotB) != c.want {
+			t.Errorf("TextFieldBytes(%d) = %q,%v", c.i, gotB, ok)
+		}
+	}
+	if _, ok := TextField(line, 9); ok {
+		t.Error("TextField out of range returned ok")
+	}
+}
+
+func TestTextWriterOffsets(t *testing.T) {
+	fs := dfs.New(32)
+	w, _ := fs.Create("/t/f")
+	tw := NewTextWriter(w)
+	rows := sampleRows(5)
+	var offsets []int64
+	for _, r := range rows {
+		offsets = append(offsets, tw.Offset())
+		if err := tw.WriteRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Each recorded offset must be the true start of its line.
+	r, _ := fs.Open("/t/f")
+	lr := NewLineReader(r, 0, r.Size())
+	i := 0
+	for {
+		_, off, ok := lr.Next()
+		if !ok {
+			break
+		}
+		if off != offsets[i] {
+			t.Errorf("line %d starts at %d, recorded %d", i, off, offsets[i])
+		}
+		i++
+	}
+	if i != len(rows) {
+		t.Errorf("read %d lines, want %d", i, len(rows))
+	}
+}
+
+func TestLineReaderSplitOwnership(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	w, _ := fs.Create("/f")
+	tw := NewTextWriter(w)
+	var want []string
+	for i := 0; i < 200; i++ {
+		line := fmt.Sprintf("row-%04d,payload-%d", i, i*i)
+		want = append(want, line)
+		tw.WriteLine([]byte(line))
+	}
+	tw.Close()
+	r, _ := fs.Open("/f")
+	size := r.Size()
+	// Chop the file at arbitrary byte positions; the union of lines seen by
+	// consecutive readers must be exactly the file, no dupes, no gaps.
+	for _, parts := range []int{1, 2, 3, 7} {
+		var got []string
+		for p := 0; p < parts; p++ {
+			start := size * int64(p) / int64(parts)
+			end := size * int64(p+1) / int64(parts)
+			lr := NewLineReader(r, start, end)
+			for {
+				line, _, ok := lr.Next()
+				if !ok {
+					break
+				}
+				got = append(got, string(line))
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parts=%d: got %d lines, want %d (or order mismatch)", parts, len(got), len(want))
+		}
+	}
+}
+
+// Property: for any ASCII payload lines and any split point, the two-reader
+// union equals the file content.
+func TestLineReaderSplitProperty(t *testing.T) {
+	f := func(seed int64, cut uint16) bool {
+		fs := dfs.New(128)
+		w, _ := fs.Create("/f")
+		tw := NewTextWriter(w)
+		n := int(seed%50) + 1
+		var want []string
+		for i := 0; i < n; i++ {
+			line := fmt.Sprintf("%d-%d", seed, i)
+			want = append(want, line)
+			tw.WriteLine([]byte(line))
+		}
+		tw.Close()
+		r, _ := fs.Open("/f")
+		size := r.Size()
+		c := int64(cut) % (size + 1)
+		var got []string
+		for _, rng := range [][2]int64{{0, c}, {c, size}} {
+			lr := NewLineReader(r, rng[0], rng[1])
+			for {
+				line, _, ok := lr.Next()
+				if !ok {
+					break
+				}
+				got = append(got, string(line))
+			}
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadTextRows(t *testing.T) {
+	fs := dfs.New(64)
+	s := meterSchema()
+	rows := sampleRows(50)
+	if err := WriteTextRows(fs, "/tbl/p0", rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTextRows(fs, "/tbl/p0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("got %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		for c := range rows[i] {
+			if Compare(got[i][c], rows[i][c]) != 0 {
+				t.Fatalf("row %d col %d: %v != %v", i, c, got[i][c], rows[i][c])
+			}
+		}
+	}
+}
+
+func TestRCFileRoundTrip(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	s := meterSchema()
+	rows := sampleRows(100)
+	offsets, err := WriteRCRows(fs, "/tbl/rc0", s, rows, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantGroups := (100 + 15) / 16; len(offsets) != wantGroups {
+		t.Errorf("got %d groups, want %d", len(offsets), wantGroups)
+	}
+	got, err := ReadRCRows(fs, "/tbl/rc0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("got %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		for c := range rows[i] {
+			if Compare(got[i][c], rows[i][c]) != 0 {
+				t.Fatalf("row %d col %d mismatch", i, c)
+			}
+		}
+	}
+}
+
+func TestRCReadGroupAt(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	s := meterSchema()
+	rows := sampleRows(60)
+	offsets, err := WriteRCRows(fs, "/rc", s, rows, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := fs.Open("/rc")
+	g, err := ReadGroupAt(r, offsets[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows != 25 {
+		t.Errorf("middle group rows = %d, want 25", g.Rows)
+	}
+	decoded, err := g.DecodeRows(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded[0][0].I != rows[25][0].I {
+		t.Errorf("group 1 first row userId = %d, want %d", decoded[0][0].I, rows[25][0].I)
+	}
+	// Column access matches row-major values.
+	col := g.Column(3)
+	if len(col) != 25 {
+		t.Fatalf("column len = %d", len(col))
+	}
+	f, _ := ParseValue(KindFloat64, col[3])
+	if math.Abs(f.F-rows[28][3].F) > 1e-12 {
+		t.Errorf("column value = %v, want %v", f.F, rows[28][3].F)
+	}
+}
+
+func TestRCBadMagic(t *testing.T) {
+	fs := dfs.New(64)
+	fs.WriteFile("/junk", []byte("this is not an rcfile"))
+	r, _ := fs.Open("/junk")
+	if _, err := ReadGroupAt(r, 0); err == nil {
+		t.Error("expected magic error")
+	}
+}
+
+// Property: RCFile round-trips random numeric tables of any shape.
+func TestRCFileRoundTripProperty(t *testing.T) {
+	f := func(vals []int64, groupRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		s := NewSchema(Column{"a", KindInt64}, Column{"b", KindFloat64})
+		rows := make([]Row, len(vals))
+		for i, v := range vals {
+			rows[i] = Row{Int64(v), Float64(float64(v) / 3.0)}
+		}
+		fs := dfs.New(1 << 20)
+		gr := int(groupRaw%20) + 1
+		if _, err := WriteRCRows(fs, "/f", s, rows, gr); err != nil {
+			return false
+		}
+		got, err := ReadRCRows(fs, "/f", s)
+		if err != nil || len(got) != len(rows) {
+			return false
+		}
+		for i := range rows {
+			if got[i][0].I != rows[i][0].I {
+				return false
+			}
+			if math.Abs(got[i][1].F-rows[i][1].F) > 1e-12*math.Abs(rows[i][1].F) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package storage defines the record model and the two Hive file formats the
+// paper evaluates: TextFile (delimited lines; the base-table format of
+// DGFIndex) and RCFile (a row-group columnar format; the base-table format of
+// the Compact Index baselines).
+package storage
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the column types used by the paper's schemas.
+type Kind uint8
+
+// Supported column kinds.
+const (
+	KindInt64 Kind = iota
+	KindFloat64
+	KindString
+	KindTime // calendar timestamps, second precision, stored as Unix seconds
+)
+
+// String returns the HiveQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt64:
+		return "bigint"
+	case KindFloat64:
+		return "double"
+	case KindString:
+		return "string"
+	case KindTime:
+		return "timestamp"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind converts a HiveQL type name to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(s) {
+	case "bigint", "int", "long":
+		return KindInt64, nil
+	case "double", "float":
+		return KindFloat64, nil
+	case "string", "varchar":
+		return KindString, nil
+	case "timestamp", "date":
+		return KindTime, nil
+	default:
+		return 0, fmt.Errorf("storage: unknown type %q", s)
+	}
+}
+
+// Value is a dynamically typed cell. It is a small value type; Rows copy
+// cheaply and never alias.
+type Value struct {
+	Kind Kind
+	I    int64 // KindInt64 and KindTime (Unix seconds)
+	F    float64
+	S    string
+}
+
+// Convenience constructors.
+func Int64(v int64) Value      { return Value{Kind: KindInt64, I: v} }
+func Float64(v float64) Value  { return Value{Kind: KindFloat64, F: v} }
+func Str(v string) Value       { return Value{Kind: KindString, S: v} }
+func Time(t time.Time) Value   { return Value{Kind: KindTime, I: t.Unix()} }
+func TimeUnix(sec int64) Value { return Value{Kind: KindTime, I: sec} }
+
+// AsFloat converts numeric values to float64 (aggregation input).
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindInt64, KindTime:
+		return float64(v.I)
+	case KindFloat64:
+		return v.F
+	default:
+		f, _ := strconv.ParseFloat(v.S, 64)
+		return f
+	}
+}
+
+// AsInt converts the value to int64, truncating floats.
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case KindInt64, KindTime:
+		return v.I
+	case KindFloat64:
+		return int64(v.F)
+	default:
+		i, _ := strconv.ParseInt(v.S, 10, 64)
+		return i
+	}
+}
+
+// dateLayout is how KindTime values render in text files ("2012-12-30" style
+// values in the paper render with a time part when non-midnight).
+const (
+	dateLayout     = "2006-01-02"
+	dateTimeLayout = "2006-01-02 15:04:05"
+)
+
+// String renders the value the way the text format stores it.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt64:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindTime:
+		t := time.Unix(v.I, 0).UTC()
+		if t.Hour() == 0 && t.Minute() == 0 && t.Second() == 0 {
+			return t.Format(dateLayout)
+		}
+		return t.Format(dateTimeLayout)
+	default:
+		return v.S
+	}
+}
+
+// AppendText appends the textual rendering of v to dst, avoiding
+// allocations on hot paths.
+func (v Value) AppendText(dst []byte) []byte {
+	switch v.Kind {
+	case KindInt64:
+		return strconv.AppendInt(dst, v.I, 10)
+	case KindFloat64:
+		return strconv.AppendFloat(dst, v.F, 'g', -1, 64)
+	case KindTime:
+		t := time.Unix(v.I, 0).UTC()
+		if t.Hour() == 0 && t.Minute() == 0 && t.Second() == 0 {
+			return t.AppendFormat(dst, dateLayout)
+		}
+		return t.AppendFormat(dst, dateTimeLayout)
+	default:
+		return append(dst, v.S...)
+	}
+}
+
+// ParseValue parses the textual rendering of a value of the given kind.
+func ParseValue(kind Kind, s string) (Value, error) {
+	switch kind {
+	case KindInt64:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("storage: parse bigint %q: %w", s, err)
+		}
+		return Int64(i), nil
+	case KindFloat64:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("storage: parse double %q: %w", s, err)
+		}
+		return Float64(f), nil
+	case KindTime:
+		return ParseTime(s)
+	default:
+		return Str(s), nil
+	}
+}
+
+// ParseTime accepts "2006-01-02", "2006-01-02 15:04:05" or raw Unix seconds.
+func ParseTime(s string) (Value, error) {
+	if t, err := time.ParseInLocation(dateLayout, s, time.UTC); err == nil {
+		return Time(t), nil
+	}
+	if t, err := time.ParseInLocation(dateTimeLayout, s, time.UTC); err == nil {
+		return Time(t), nil
+	}
+	if sec, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return TimeUnix(sec), nil
+	}
+	return Value{}, fmt.Errorf("storage: parse timestamp %q", s)
+}
+
+// Compare orders two values of the same kind: -1, 0 or +1. Comparing values
+// of different kinds compares their float renderings, which is how Hive's
+// lenient comparisons behave for the numeric predicates in the paper.
+func Compare(a, b Value) int {
+	if a.Kind == KindString && b.Kind == KindString {
+		return strings.Compare(a.S, b.S)
+	}
+	af, bf := a.AsFloat(), b.AsFloat()
+	switch {
+	case af < bf:
+		return -1
+	case af > bf:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Row is one record: a slice of cells aligned with a Schema.
+type Row []Value
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Column describes one field of a schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of named, typed columns.
+type Schema struct {
+	Cols  []Column
+	index map[string]int
+}
+
+// NewSchema builds a schema and its name index. Column names are
+// case-insensitive, like HiveQL identifiers.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{Cols: cols, index: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		s.index[strings.ToLower(c.Name)] = i
+	}
+	return s
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	if i, ok := s.index[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Col returns the column at position i.
+func (s *Schema) Col(i int) Column { return s.Cols[i] }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Cols) }
+
+// Project returns a new schema containing only the named columns, in order.
+func (s *Schema) Project(names ...string) (*Schema, error) {
+	cols := make([]Column, 0, len(names))
+	for _, n := range names {
+		i := s.ColIndex(n)
+		if i < 0 {
+			return nil, fmt.Errorf("storage: unknown column %q", n)
+		}
+		cols = append(cols, s.Cols[i])
+	}
+	return NewSchema(cols...), nil
+}
+
+// String renders the schema like a DDL column list.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Kind.String())
+	}
+	return b.String()
+}

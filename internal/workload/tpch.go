@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// TPCHConfig sizes the lineitem generator. Only the columns touched by Q6
+// plus enough neighbours for realistic row width are produced, with the
+// official TPC-H column domains: l_quantity in [1,50], l_discount in
+// [0.00,0.10] steps of 0.01, l_shipdate spanning 1992-01-02..1998-12-01.
+type TPCHConfig struct {
+	Rows int
+	Seed int64
+}
+
+// DefaultTPCHConfig is laptop scale (the paper uses 4.1 G rows).
+func DefaultTPCHConfig() TPCHConfig {
+	return TPCHConfig{Rows: 500000, Seed: 19920101}
+}
+
+// shipdate domain bounds.
+var (
+	tpchShipBase = time.Date(1992, 1, 2, 0, 0, 0, 0, time.UTC)
+	tpchShipDays = 2520 // through 1998-11-27
+)
+
+// LineitemSchema returns the generated lineitem columns.
+func LineitemSchema() *storage.Schema {
+	return storage.NewSchema(
+		storage.Column{Name: "l_orderkey", Kind: storage.KindInt64},
+		storage.Column{Name: "l_partkey", Kind: storage.KindInt64},
+		storage.Column{Name: "l_suppkey", Kind: storage.KindInt64},
+		storage.Column{Name: "l_linenumber", Kind: storage.KindInt64},
+		storage.Column{Name: "l_quantity", Kind: storage.KindFloat64},
+		storage.Column{Name: "l_extendedprice", Kind: storage.KindFloat64},
+		storage.Column{Name: "l_discount", Kind: storage.KindFloat64},
+		storage.Column{Name: "l_tax", Kind: storage.KindFloat64},
+		storage.Column{Name: "l_shipdate", Kind: storage.KindTime},
+		storage.Column{Name: "l_commitdate", Kind: storage.KindTime},
+	)
+}
+
+// EachLineitemBatch generates rows in batches of batchSize. Rows are
+// uniformly scattered in every dimension — no ordering by date — which is
+// the property that makes the Compact Index useless on this dataset
+// (Section 5.4). The batch slice is reused; callers must not retain it.
+func (c TPCHConfig) EachLineitemBatch(batchSize int, fn func(rows []storage.Row) error) error {
+	if batchSize <= 0 {
+		batchSize = 10000
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	batch := make([]storage.Row, 0, batchSize)
+	for i := 0; i < c.Rows; i++ {
+		quantity := float64(rng.Intn(50) + 1)
+		price := float64(rng.Intn(90000)+10000) / 100
+		discount := float64(rng.Intn(11)) / 100
+		ship := tpchShipBase.AddDate(0, 0, rng.Intn(tpchShipDays))
+		batch = append(batch, storage.Row{
+			storage.Int64(int64(i/4 + 1)),
+			storage.Int64(int64(rng.Intn(200000) + 1)),
+			storage.Int64(int64(rng.Intn(10000) + 1)),
+			storage.Int64(int64(i%4 + 1)),
+			storage.Float64(quantity),
+			storage.Float64(price * quantity),
+			storage.Float64(discount),
+			storage.Float64(float64(rng.Intn(9)) / 100),
+			storage.Time(ship),
+			storage.Time(ship.AddDate(0, 0, rng.Intn(30)+1)),
+		})
+		if len(batch) == batchSize {
+			if err := fn(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		return fn(batch)
+	}
+	return nil
+}
+
+// AllLineitemRows materialises the dataset.
+func (c TPCHConfig) AllLineitemRows() []storage.Row {
+	out := make([]storage.Row, 0, c.Rows)
+	c.EachLineitemBatch(10000, func(rows []storage.Row) error {
+		for _, r := range rows {
+			out = append(out, r.Clone())
+		}
+		return nil
+	})
+	return out
+}
+
+// Q6SQL is TPC-H Q6 as HiveQL (the paper's Section 5.4 workload).
+const Q6SQL = `SELECT sum(l_extendedprice*l_discount) FROM lineitem
+WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01'
+AND l_discount >= 0.05 AND l_discount <= 0.07
+AND l_quantity < 24`
+
+// Q6Ranges renders Q6's predicate as planner ranges.
+func Q6Ranges() map[string]gridfile.Range {
+	lo := time.Date(1994, 1, 1, 0, 0, 0, 0, time.UTC)
+	hi := time.Date(1995, 1, 1, 0, 0, 0, 0, time.UTC)
+	return map[string]gridfile.Range{
+		"l_shipdate": {Lo: storage.Time(lo), Hi: storage.Time(hi), HiOpen: true},
+		"l_discount": {Lo: storage.Float64(0.05), Hi: storage.Float64(0.07)},
+		"l_quantity": {LoUnbounded: true, Hi: storage.Float64(24), HiOpen: true},
+	}
+}
+
+// Q6Matches is the brute-force Q6 predicate for validation.
+func Q6Matches(row storage.Row) bool {
+	lo := time.Date(1994, 1, 1, 0, 0, 0, 0, time.UTC).Unix()
+	hi := time.Date(1995, 1, 1, 0, 0, 0, 0, time.UTC).Unix()
+	return row[8].I >= lo && row[8].I < hi &&
+		row[6].F >= 0.0499999 && row[6].F <= 0.0700001 &&
+		row[4].F < 24
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+func smallMeter() MeterConfig {
+	c := DefaultMeterConfig()
+	c.Users = 500
+	c.Days = 10
+	return c
+}
+
+func TestMeterGeneration(t *testing.T) {
+	c := smallMeter()
+	rows := c.AllRows()
+	if len(rows) != c.Rows() {
+		t.Fatalf("rows = %d, want %d", len(rows), c.Rows())
+	}
+	schema := MeterSchema(c.OtherMetrics)
+	if len(rows[0]) != schema.Len() {
+		t.Errorf("row width = %d, schema %d", len(rows[0]), schema.Len())
+	}
+	// Time-clustered: timestamps are non-decreasing through the file.
+	for i := 1; i < len(rows); i++ {
+		if rows[i][2].I < rows[i-1][2].I {
+			t.Fatal("rows not time-clustered")
+		}
+	}
+	// Regions span exactly 1..Regions and are fixed per user.
+	regionOf := map[int64]int64{}
+	for _, r := range rows {
+		u, reg := r[0].I, r[1].I
+		if reg < 1 || reg > int64(c.Regions) {
+			t.Fatalf("region %d out of range", reg)
+		}
+		if prev, ok := regionOf[u]; ok && prev != reg {
+			t.Fatalf("user %d moved region", u)
+		}
+		regionOf[u] = reg
+	}
+	if len(regionOf) != c.Users {
+		t.Errorf("distinct users = %d, want %d", len(regionOf), c.Users)
+	}
+}
+
+func TestMeterDeterminism(t *testing.T) {
+	c := smallMeter()
+	a := c.AllRows()
+	b := c.AllRows()
+	for i := range a {
+		for j := range a[i] {
+			if storage.Compare(a[i][j], b[i][j]) != 0 {
+				t.Fatalf("row %d differs between runs", i)
+			}
+		}
+	}
+}
+
+func TestUsersNotSortedWithinPeriod(t *testing.T) {
+	c := smallMeter()
+	sortedPeriods := 0
+	c.EachPeriod(func(p int, rows []storage.Row) error {
+		sorted := true
+		for i := 1; i < len(rows); i++ {
+			if rows[i][0].I < rows[i-1][0].I {
+				sorted = false
+				break
+			}
+		}
+		if sorted {
+			sortedPeriods++
+		}
+		return nil
+	})
+	if sortedPeriods > 0 {
+		t.Errorf("%d periods arrived sorted by userId; arrival order should be shuffled", sortedPeriods)
+	}
+}
+
+func TestSelectiveQueryFraction(t *testing.T) {
+	c := smallMeter()
+	rows := c.AllRows()
+	for _, frac := range []float64{0.05, 0.12} {
+		q := c.Selective(frac)
+		matched := 0
+		for _, r := range rows {
+			if q.Matches(r) {
+				matched++
+			}
+		}
+		got := float64(matched) / float64(len(rows))
+		if math.Abs(got-frac) > frac*0.5 {
+			t.Errorf("Selective(%v) matched %.4f of records", frac, got)
+		}
+	}
+}
+
+func TestPointQuery(t *testing.T) {
+	c := smallMeter()
+	rows := c.AllRows()
+	q := c.Point()
+	matched := 0
+	for _, r := range rows {
+		if q.Matches(r) {
+			matched++
+		}
+	}
+	if matched != c.ReadingsPerDay {
+		t.Errorf("point query matched %d records, want %d", matched, c.ReadingsPerDay)
+	}
+}
+
+func TestQueryRangesAgreeWithMatches(t *testing.T) {
+	c := smallMeter()
+	rows := c.AllRows()
+	q := c.Selective(0.05)
+	ranges := q.Ranges()
+	for _, r := range rows[:2000] {
+		inRanges := ranges["userid"].Contains(r[0]) &&
+			ranges["regionid"].Contains(r[1]) &&
+			ranges["ts"].Contains(r[2])
+		if inRanges != q.Matches(r) {
+			t.Fatalf("Ranges and Matches disagree on %v", r[:3])
+		}
+	}
+	if q.WhereClause() == "" {
+		t.Error("empty WHERE clause")
+	}
+}
+
+func TestUserInfoRows(t *testing.T) {
+	c := smallMeter()
+	rows := c.UserInfoRows()
+	if len(rows) != c.Users {
+		t.Fatalf("user rows = %d", len(rows))
+	}
+	if rows[0][0].I != 1 || rows[0][1].S == "" {
+		t.Errorf("first user = %v", rows[0])
+	}
+	if rows[41][2].I != c.RegionOf(42) {
+		t.Error("user region mismatch with meter data")
+	}
+}
+
+func TestTPCHGeneration(t *testing.T) {
+	c := TPCHConfig{Rows: 20000, Seed: 7}
+	rows := c.AllLineitemRows()
+	if len(rows) != c.Rows {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Domains.
+	for _, r := range rows[:5000] {
+		if r[4].F < 1 || r[4].F > 50 {
+			t.Fatalf("l_quantity %v out of domain", r[4].F)
+		}
+		if r[6].F < 0 || r[6].F > 0.10 {
+			t.Fatalf("l_discount %v out of domain", r[6].F)
+		}
+	}
+	// Q6 selectivity is near the analytic value (1/7)*(3/11)*(23/50).
+	matched := 0
+	for _, r := range rows {
+		if Q6Matches(r) {
+			matched++
+		}
+	}
+	frac := float64(matched) / float64(len(rows))
+	want := (1.0 / 7) * (3.0 / 11) * (23.0 / 50)
+	if math.Abs(frac-want) > want*0.3 {
+		t.Errorf("Q6 selectivity = %.4f, want about %.4f", frac, want)
+	}
+	// Not sorted by ship date (uniform scatter).
+	sorted := true
+	for i := 1; i < 1000; i++ {
+		if rows[i][8].I < rows[i-1][8].I {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		t.Error("lineitem unexpectedly sorted by shipdate")
+	}
+}
+
+func TestQ6RangesAgree(t *testing.T) {
+	c := TPCHConfig{Rows: 5000, Seed: 9}
+	rows := c.AllLineitemRows()
+	ranges := Q6Ranges()
+	for _, r := range rows {
+		inRanges := ranges["l_shipdate"].Contains(r[8]) &&
+			ranges["l_discount"].Contains(r[6]) &&
+			ranges["l_quantity"].Contains(r[4])
+		if inRanges != Q6Matches(r) {
+			t.Fatalf("ranges and matcher disagree on %v", r)
+		}
+	}
+}
