@@ -7,11 +7,15 @@
 package dgfindex_test
 
 import (
+	"context"
+	"fmt"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	dgfindex "github.com/smartgrid-oss/dgfindex"
 	"github.com/smartgrid-oss/dgfindex/internal/bench"
 )
 
@@ -201,4 +205,99 @@ func BenchmarkAblationSliceSkip(b *testing.B) {
 
 func BenchmarkAblationKVStore(b *testing.B) {
 	runExperiment(b, "ablation-kvstore", nil)
+}
+
+// BenchmarkConcurrentThroughput measures DGFServe's serving throughput: a
+// fixed batch of smart-grid range queries is replayed through the server at
+// 1 worker (serial baseline, measured once) and at 8 workers (the timed
+// loop). Queries bypass the result cache so the speedup isolates the worker
+// pool; pacing holds each worker slot for the query's simulated cluster
+// time, modelling the paper's shared 29-node cluster. Reported metrics:
+//
+//	speedup-8w    batch-time ratio serial/parallel (expect > 2)
+//	queries/sec   parallel serving throughput
+//	cache-hits    result-cache hits from a repeated identical query (> 0)
+func BenchmarkConcurrentThroughput(b *testing.B) {
+	const pacing = time.Millisecond // wall time per simulated cluster-second
+	cfg := dgfindex.DefaultMeterConfig()
+	cfg.Users = 300
+	cfg.OtherMetrics = 0
+	w := dgfindex.New()
+	if _, err := w.Exec(`CREATE TABLE meterdata (userId bigint, regionId bigint, ts timestamp, powerConsumed double)`); err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := w.Table("meterdata")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.LoadRows(tbl, cfg.AllRows()); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Exec(`CREATE INDEX idx ON TABLE meterdata(regionId, userId, ts)
+		AS 'dgf' IDXPROPERTIES ('regionId'='1_1', 'userId'='1_10',
+		'ts'='2012-12-01_1d', 'precompute'='sum(powerConsumed);count(*)')`); err != nil {
+		b.Fatal(err)
+	}
+
+	var batch []string
+	for _, frac := range []float64{0.001, 0.01, 0.05, 0.12} {
+		q := "SELECT sum(powerConsumed) FROM meterdata WHERE " + cfg.Selective(frac).WhereClause()
+		for j := 0; j < 8; j++ {
+			batch = append(batch, q)
+		}
+	}
+
+	runBatch := func(srv *dgfindex.Server, clients int) {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := c; i < len(batch); i += clients {
+					if _, err := srv.Query(context.Background(), dgfindex.QueryRequest{
+						SQL:     batch[i],
+						Session: fmt.Sprintf("bench-%d", c),
+						NoCache: true,
+					}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+
+	serialSrv := dgfindex.NewServer(w, dgfindex.ServerConfig{MaxConcurrent: 1, SimPacing: pacing})
+	t0 := time.Now()
+	runBatch(serialSrv, 1)
+	serialDur := time.Since(t0)
+
+	parSrv := dgfindex.NewServer(w, dgfindex.ServerConfig{MaxConcurrent: 8, SimPacing: pacing})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runBatch(parSrv, 8)
+	}
+	b.StopTimer()
+	parDur := b.Elapsed() / time.Duration(b.N)
+	if parDur > 0 {
+		b.ReportMetric(serialDur.Seconds()/parDur.Seconds(), "speedup-8w")
+		b.ReportMetric(float64(len(batch))/parDur.Seconds(), "queries/sec")
+	}
+
+	// Result cache: a repeated identical query must hit and return the same
+	// rows; the hit count surfaces as a metric.
+	cacheSrv := dgfindex.NewServer(w, dgfindex.ServerConfig{})
+	first, err := cacheSrv.Query(context.Background(), dgfindex.QueryRequest{SQL: batch[0]})
+	if err != nil {
+		b.Fatal(err)
+	}
+	again, err := cacheSrv.Query(context.Background(), dgfindex.QueryRequest{SQL: batch[0]})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !again.Cached || first.Result.Rows[0][0] != again.Result.Rows[0][0] {
+		b.Fatalf("repeated query not served from cache (cached=%v)", again.Cached)
+	}
+	b.ReportMetric(float64(cacheSrv.Stats().ResultCache.Hits), "cache-hits")
 }

@@ -1,0 +1,121 @@
+// Command dgfserver runs DGFServe: the concurrent HTTP query service over an
+// in-process warehouse, modelling the State Grid deployment where many
+// operators share one Hive+DGFIndex cluster.
+//
+// Start it with a generated month of smart-meter data and a DGFIndex:
+//
+//	dgfserver -demo -addr :8080
+//
+// then query it:
+//
+//	curl -s localhost:8080/query --data '{"sql":
+//	  "SELECT sum(powerConsumed) FROM meterdata WHERE userId>=100 AND userId<=4000 AND regionId=3 AND ts>='\''2012-12-05'\'' AND ts<'\''2012-12-12'\''"}'
+//	curl -s localhost:8080/tables
+//	curl -s localhost:8080/stats
+//
+// SIGINT/SIGTERM drains in-flight queries before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	dgfindex "github.com/smartgrid-oss/dgfindex"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	workers := flag.Int("workers", 8, "max queries executing in parallel")
+	queue := flag.Int("queue", 64, "max queries waiting beyond the worker pool")
+	cache := flag.Int("cache", 256, "result cache entries (negative disables)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout")
+	pacing := flag.Duration("pacing", 0, "wall time per simulated cluster-second (0 disables pacing)")
+	demo := flag.Bool("demo", false, "preload generated meter data with a DGFIndex")
+	demoUsers := flag.Int("demo-users", 2000, "users in the demo dataset")
+	drainWait := flag.Duration("drain", 30*time.Second, "max wait for in-flight queries on shutdown")
+	flag.Parse()
+
+	w := dgfindex.NewWithConfig(dgfindex.DefaultCluster().Scaled(500000), 2<<20)
+	if *demo {
+		if err := loadDemo(w, *demoUsers); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv := dgfindex.NewServer(w, dgfindex.ServerConfig{
+		MaxConcurrent:  *workers,
+		MaxQueue:       *queue,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+		SimPacing:      *pacing,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		log.Printf("dgfserver listening on %s (workers=%d queue=%d cache=%d)",
+			*addr, *workers, *queue, *cache)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down: draining %d in-flight queries...", srv.InFlight())
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	snap := srv.Stats()
+	log.Printf("served %d queries (%d errors, %d cache hits), %.1f simulated cluster-seconds",
+		snap.Server.Queries, snap.Server.Errors, snap.ResultCache.Hits, snap.Server.SimClusterSeconds)
+}
+
+func loadDemo(w *dgfindex.Warehouse, users int) error {
+	cfg := dgfindex.DefaultMeterConfig()
+	cfg.Users = users
+	cfg.OtherMetrics = 0
+	log.Printf("loading demo: %d meter readings across %d days...", cfg.Rows(), cfg.Days)
+	if _, err := w.Exec(`CREATE TABLE meterdata (userId bigint, regionId bigint, ts timestamp, powerConsumed double)`); err != nil {
+		return err
+	}
+	t, err := w.Table("meterdata")
+	if err != nil {
+		return err
+	}
+	if err := w.LoadRows(t, cfg.AllRows()); err != nil {
+		return err
+	}
+	if _, err := w.Exec(`CREATE TABLE userInfo (userId bigint, userName string, regionId bigint, address string)`); err != nil {
+		return err
+	}
+	u, err := w.Table("userInfo")
+	if err != nil {
+		return err
+	}
+	if err := w.LoadRows(u, cfg.UserInfoRows()); err != nil {
+		return err
+	}
+	interval := max(users/100, 1)
+	res, err := w.Exec(fmt.Sprintf(`CREATE INDEX idx ON TABLE meterdata(regionId, userId, ts)
+		AS 'dgf' IDXPROPERTIES ('regionId'='1_1', 'userId'='1_%d',
+		'ts'='2012-12-01_1d', 'precompute'='sum(powerConsumed);count(*)')`, interval))
+	if err != nil {
+		return err
+	}
+	log.Print(res.Message)
+	return nil
+}

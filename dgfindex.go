@@ -35,6 +35,7 @@ import (
 	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
 	"github.com/smartgrid-oss/dgfindex/internal/hive"
 	"github.com/smartgrid-oss/dgfindex/internal/hiveindex"
+	"github.com/smartgrid-oss/dgfindex/internal/server"
 	"github.com/smartgrid-oss/dgfindex/internal/storage"
 	"github.com/smartgrid-oss/dgfindex/internal/workload"
 )
@@ -159,6 +160,45 @@ var (
 	UserInfoSchema     = workload.UserInfoSchema
 	LineitemSchema     = workload.LineitemSchema
 )
+
+// Serving layer (DGFServe): a concurrent query service over one Warehouse,
+// with admission control, plan/result caching, per-session metrics, and an
+// HTTP front-end. See cmd/dgfserver and examples/concurrent.
+type (
+	// Server is the concurrent query-serving front-end.
+	Server = server.Server
+	// ServerConfig tunes worker pool, caches, timeouts, and pacing.
+	ServerConfig = server.Config
+	// QueryRequest is one query submission to a Server.
+	QueryRequest = server.Request
+	// QueryResponse is the outcome of one served query.
+	QueryResponse = server.Response
+	// ServerSession carries per-session serving metrics.
+	ServerSession = server.Session
+	// ServerSnapshot is the full /stats payload.
+	ServerSnapshot = server.Snapshot
+	// ServerMetrics is one metric scope (server-wide or per-session).
+	ServerMetrics = server.MetricsSnapshot
+	// ServerCacheStats reports one cache's hit/miss/eviction counters.
+	ServerCacheStats = server.CacheStats
+	// TableInfo is a read-only catalog snapshot entry.
+	TableInfo = hive.TableInfo
+)
+
+// Serving-layer constructors and sentinel errors.
+var (
+	// NewServer wraps a Warehouse in a concurrent query service.
+	NewServer = server.New
+	// ErrServerOverloaded: admission queue full, back off and retry.
+	ErrServerOverloaded = server.ErrOverloaded
+	// ErrServerClosed: the server is draining or closed.
+	ErrServerClosed = server.ErrClosed
+	// ErrQueryTimeout: the query exceeded its deadline.
+	ErrQueryTimeout = server.ErrQueryTimeout
+)
+
+// NormalizeSQL canonicalizes a statement the way the server's caches key it.
+var NormalizeSQL = hive.Normalize
 
 // New creates a warehouse on a fresh in-memory filesystem with the default
 // cluster model and a 2 MB block size (scaled to the in-process datasets the

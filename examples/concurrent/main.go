@@ -1,0 +1,212 @@
+// The concurrent example replays the paper's smart-grid meter workload from
+// many parallel clients against DGFServe, the serving layer in front of one
+// shared warehouse. It demonstrates what the subsystem adds over the bare
+// library:
+//
+//   - N clients issue multidimensional range queries over HTTP at once,
+//     while a background loader appends the next day's readings;
+//   - the worker pool bounds parallelism and sheds overload;
+//   - repeated queries hit the result cache until a load invalidates it;
+//   - per-session and server-wide metrics come back from /stats.
+//
+// With -pacing > 0 each query holds its worker slot for its simulated
+// cluster time, modelling the remote 29-node cluster; the parallel phase
+// then overlaps cluster waits and the printed speedup approaches the worker
+// count even on a single local core.
+//
+// Run: go run ./examples/concurrent [-clients 8] [-queries 40] [-users 1000]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	dgfindex "github.com/smartgrid-oss/dgfindex"
+)
+
+func main() {
+	clients := flag.Int("clients", 8, "parallel client sessions")
+	queries := flag.Int("queries", 40, "queries per client")
+	users := flag.Int("users", 1000, "users in the generated dataset")
+	pacing := flag.Duration("pacing", 2*time.Millisecond, "wall time per simulated cluster-second")
+	flag.Parse()
+
+	// --- build the warehouse: one month of meter data plus a DGFIndex ---
+	cfg := dgfindex.DefaultMeterConfig()
+	cfg.Users = *users
+	cfg.OtherMetrics = 0
+	w := dgfindex.New()
+	must(w.Exec(`CREATE TABLE meterdata (userId bigint, regionId bigint, ts timestamp, powerConsumed double)`))
+	tbl, err := w.Table("meterdata")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.LoadRows(tbl, cfg.AllRows()); err != nil {
+		log.Fatal(err)
+	}
+	res := must(w.Exec(fmt.Sprintf(`CREATE INDEX idx ON TABLE meterdata(regionId, userId, ts)
+		AS 'dgf' IDXPROPERTIES ('regionId'='1_1', 'userId'='1_%d',
+		'ts'='2012-12-01_1d', 'precompute'='sum(powerConsumed);count(*)')`, max(*users/50, 1))))
+	fmt.Println(res.Message)
+
+	srv := dgfindex.NewServer(w, dgfindex.ServerConfig{
+		MaxConcurrent: *clients,
+		SimPacing:     *pacing,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("DGFServe on %s: %d clients x %d queries, pacing %v per sim-second\n\n",
+		ts.URL, *clients, *queries, *pacing)
+
+	// Every client replays the same shuffled mix of point and range
+	// queries (the paper's Fig. 8-10 shapes) under its own session.
+	queryMix := buildQueryMix(cfg, *queries)
+
+	// --- phase 1: serial baseline (one client) ---
+	serialStart := time.Now()
+	for i, sql := range queryMix {
+		if _, err := httpQuery(ts.URL, sql, "serial", true); err != nil {
+			log.Fatalf("serial query %d: %v", i, err)
+		}
+	}
+	serial := time.Since(serialStart)
+	fmt.Printf("serial   : %3d queries in %8v (%6.1f q/s)\n",
+		len(queryMix), serial.Round(time.Millisecond), rate(len(queryMix), serial))
+
+	// --- phase 2: N parallel clients, loader interleaving. Queries still
+	// bypass the result cache, so the printed speedup isolates what the
+	// worker pool buys: overlapping the (simulated) cluster waits.
+	parallelStart := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			session := fmt.Sprintf("client-%d", c)
+			rng := rand.New(rand.NewSource(int64(c)))
+			for _, i := range rng.Perm(len(queryMix)) {
+				if _, err := httpQuery(ts.URL, queryMix[i], session, true); err != nil {
+					log.Printf("%s: %v", session, err)
+					return
+				}
+			}
+		}(c)
+	}
+	// The next collection day arrives while queries are in flight.
+	day31 := cfg
+	day31.Days = 1
+	day31.Start = cfg.Start.AddDate(0, 0, cfg.Days)
+	if err := srv.LoadRows("meterdata", day31.AllRows()); err != nil {
+		log.Fatalf("interleaved load: %v", err)
+	}
+	wg.Wait()
+	parallel := time.Since(parallelStart)
+	total := *clients * len(queryMix)
+	fmt.Printf("parallel : %3d queries in %8v (%6.1f q/s) across %d clients\n",
+		total, parallel.Round(time.Millisecond), rate(total, parallel), *clients)
+	speedup := (float64(total) / parallel.Seconds()) / rate(len(queryMix), serial)
+	fmt.Printf("throughput speedup: %.1fx\n\n", speedup)
+
+	// --- phase 3: result cache and load invalidation ---
+	probe := queryMix[len(queryMix)-1]
+	first, err := httpQuery(ts.URL, probe, "cache-demo", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	again, err := httpQuery(ts.URL, probe, "cache-demo", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repeat of an identical query: cached=%v (rows equal: %v)\n",
+		again.Cached, fmt.Sprint(first.Rows) == fmt.Sprint(again.Rows))
+	day32 := cfg
+	day32.Days = 1
+	day32.Start = cfg.Start.AddDate(0, 0, cfg.Days+1)
+	if err := srv.LoadRows("meterdata", day32.AllRows()); err != nil {
+		log.Fatal(err)
+	}
+	after, err := httpQuery(ts.URL, probe, "cache-demo", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same query after a LOAD      : cached=%v (recomputed against the new day)\n\n", after.Cached)
+
+	// --- server-side accounting ---
+	snap := srv.Stats()
+	fmt.Printf("server totals: %d queries, %d errors, %.0f simulated cluster-seconds\n",
+		snap.Server.Queries, snap.Server.Errors, snap.Server.SimClusterSeconds)
+	fmt.Printf("result cache : %d hits / %d misses (%d invalidated by the load)\n",
+		snap.ResultCache.Hits, snap.ResultCache.Misses, snap.ResultCache.Invalidations)
+	fmt.Printf("plan cache   : %d hits / %d misses\n", snap.PlanCache.Hits, snap.PlanCache.Misses)
+	fmt.Printf("latency      : p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
+		snap.Server.LatencyP50Ms, snap.Server.LatencyP95Ms, snap.Server.LatencyP99Ms)
+	var sessions []string
+	for id := range snap.Sessions {
+		sessions = append(sessions, id)
+	}
+	sort.Strings(sessions)
+	for _, id := range sessions {
+		m := snap.Sessions[id]
+		fmt.Printf("  %-9s: %3d queries, %3d cache hits, %.1f sim-seconds\n",
+			id, m.Queries, m.CacheHits, m.SimClusterSeconds)
+	}
+}
+
+// buildQueryMix renders n meter queries of varied selectivity as HiveQL.
+func buildQueryMix(cfg dgfindex.MeterConfig, n int) []string {
+	var out []string
+	fracs := []float64{0.001, 0.01, 0.05, 0.12}
+	for i := 0; i < n; i++ {
+		var where string
+		if i%4 == 0 {
+			where = cfg.Point().WhereClause()
+		} else {
+			where = cfg.Selective(fracs[i%len(fracs)]).WhereClause()
+		}
+		out = append(out, "SELECT sum(powerConsumed) FROM meterdata WHERE "+where)
+	}
+	return out
+}
+
+type queryResult struct {
+	Rows   [][]any `json:"rows"`
+	Cached bool    `json:"cached"`
+	Error  string  `json:"error"`
+}
+
+func httpQuery(base, sql, session string, noCache bool) (*queryResult, error) {
+	body, _ := json.Marshal(map[string]any{
+		"sql": sql, "session": session, "no_cache": noCache,
+	})
+	resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var qr queryResult
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, qr.Error)
+	}
+	return &qr, nil
+}
+
+func rate(n int, d time.Duration) float64 { return float64(n) / d.Seconds() }
+
+func must(res *dgfindex.Result, err error) *dgfindex.Result {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

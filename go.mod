@@ -1,0 +1,3 @@
+module github.com/smartgrid-oss/dgfindex
+
+go 1.24

@@ -7,6 +7,7 @@ import (
 
 	"github.com/smartgrid-oss/dgfindex/internal/cluster"
 	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
+	"github.com/smartgrid-oss/dgfindex/internal/kvstore"
 	"github.com/smartgrid-oss/dgfindex/internal/storage"
 )
 
@@ -77,7 +78,10 @@ func (ix *Index) findSpec(w AggSpec) int {
 // partially-specified-query rule of Section 5.3.4). wantAggs describes the
 // query's aggregations; pass nil for non-aggregation queries.
 func (ix *Index) Plan(cfg *cluster.Config, ranges map[string]gridfile.Range, wantAggs []AggSpec, opts PlanOptions) (*Plan, error) {
-	kvBefore := ix.KV.Stats()
+	// kvOps counts this plan's own store operations. Counting locally (not
+	// as a delta of the store's global counters) keeps the attributed
+	// index-access cost exact when several queries plan concurrently.
+	var kvOps kvstore.Stats
 
 	// Step 1: complete the predicate to all index dimensions.
 	full := make([]gridfile.Range, len(ix.Spec.Policy.Dims))
@@ -90,6 +94,7 @@ func (ix *Index) Plan(cfg *cluster.Config, ranges map[string]gridfile.Range, wan
 			// time; the lookups here model the HBase round trip.)
 			ix.KV.Get(metaMinPrefix + fmt.Sprint(i))
 			ix.KV.Get(metaMaxPrefix + fmt.Sprint(i))
+			kvOps.Gets += 2
 			full[i] = gridfile.Range{
 				Lo:     d.CellStart(ix.minCell[i]),
 				Hi:     d.CellStart(ix.maxCell[i] + 1),
@@ -131,6 +136,7 @@ func (ix *Index) Plan(cfg *cluster.Config, ranges map[string]gridfile.Range, wan
 	if aggregation {
 		plan.PreSpecs = wantAggs
 		plan.PreHeader = NewHeader(wantAggs)
+		kvOps.Gets += int64(len(innerKeys))
 		for _, data := range ix.KV.MultiGet(innerKeys) {
 			if data == nil {
 				plan.MissingCells++
@@ -147,6 +153,7 @@ func (ix *Index) Plan(cfg *cluster.Config, ranges map[string]gridfile.Range, wan
 	}
 
 	// Slice locations of the cells that must be scanned.
+	kvOps.Gets += int64(len(scanKeys))
 	for _, data := range ix.KV.MultiGet(scanKeys) {
 		if data == nil {
 			plan.MissingCells++
@@ -167,7 +174,7 @@ func (ix *Index) Plan(cfg *cluster.Config, ranges map[string]gridfile.Range, wan
 	for _, s := range plan.Slices {
 		plan.SliceBytes += s.Len()
 	}
-	plan.KVSimSeconds = ix.KV.Stats().Sub(kvBefore).SimSeconds(cfg)
+	plan.KVSimSeconds = kvOps.SimSeconds(cfg)
 	return plan, nil
 }
 

@@ -67,8 +67,40 @@ func (w *Warehouse) ExecOpts(sql string, opts ExecOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return w.ExecParsed(stmt, opts)
+}
+
+// ExecParsed executes an already-parsed statement. Callers that execute the
+// same statement repeatedly (the serving layer's plan cache) parse once and
+// reuse the Stmt; execution never mutates it, so one parsed statement is
+// safe to run from many goroutines.
+func (w *Warehouse) ExecParsed(stmt Stmt, opts ExecOptions) (*Result, error) {
 	switch s := stmt.(type) {
+	case *SelectStmt:
+		return w.Select(s, opts)
+	case *ShowTablesStmt:
+		w.mu.RLock()
+		defer w.mu.RUnlock()
+		res := &Result{Columns: []string{"tab_name"}}
+		for _, n := range w.tableNamesLocked() {
+			res.Rows = append(res.Rows, storage.Row{storage.Str(n)})
+		}
+		return res, nil
+	case *DescribeStmt:
+		w.mu.RLock()
+		defer w.mu.RUnlock()
+		t, err := w.tableLocked(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Columns: []string{"col_name", "data_type"}}
+		for _, c := range t.Schema.Cols {
+			res.Rows = append(res.Rows, storage.Row{storage.Str(c.Name), storage.Str(c.Kind.String())})
+		}
+		return res, nil
 	case *CreateTableStmt:
+		w.mu.Lock()
+		defer w.mu.Unlock()
 		format := hiveindex.TextFile
 		if s.Stored == "RCFILE" {
 			format = hiveindex.RCFile
@@ -77,7 +109,7 @@ func (w *Warehouse) ExecOpts(sql string, opts ExecOptions) (*Result, error) {
 		if s.PartitionBy != "" && schema.ColIndex(s.PartitionBy) < 0 {
 			return nil, fmt.Errorf("hive: partition column %q not in column list", s.PartitionBy)
 		}
-		t, err := w.CreateTable(s.Name, schema, format)
+		t, err := w.createTableLocked(s.Name, schema, format)
 		if err != nil {
 			return nil, err
 		}
@@ -88,39 +120,25 @@ func (w *Warehouse) ExecOpts(sql string, opts ExecOptions) (*Result, error) {
 		}
 		return &Result{Message: msg}, nil
 	case *DropTableStmt:
-		if err := w.DropTable(s.Name); err != nil {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if err := w.dropTableLocked(s.Name); err != nil {
 			return nil, err
 		}
 		return &Result{Message: "dropped table " + s.Name}, nil
-	case *ShowTablesStmt:
-		res := &Result{Columns: []string{"tab_name"}}
-		for _, n := range w.TableNames() {
-			res.Rows = append(res.Rows, storage.Row{storage.Str(n)})
-		}
-		return res, nil
-	case *DescribeStmt:
-		t, err := w.Table(s.Table)
-		if err != nil {
-			return nil, err
-		}
-		res := &Result{Columns: []string{"col_name", "data_type"}}
-		for _, c := range t.Schema.Cols {
-			res.Rows = append(res.Rows, storage.Row{storage.Str(c.Name), storage.Str(c.Kind.String())})
-		}
-		return res, nil
 	case *CreateIndexStmt:
-		return w.execCreateIndex(s)
-	case *SelectStmt:
-		return w.Select(s, opts)
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return w.execCreateIndexLocked(s)
 	default:
 		return nil, fmt.Errorf("hive: unsupported statement %T", stmt)
 	}
 }
 
-// execCreateIndex dispatches on the handler class name, like Hive's
+// execCreateIndexLocked dispatches on the handler class name, like Hive's
 // pluggable index handlers (Listing 3 names the DGF handler class).
-func (w *Warehouse) execCreateIndex(s *CreateIndexStmt) (*Result, error) {
-	t, err := w.Table(s.Table)
+func (w *Warehouse) execCreateIndexLocked(s *CreateIndexStmt) (*Result, error) {
+	t, err := w.tableLocked(s.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -131,24 +149,24 @@ func (w *Warehouse) execCreateIndex(s *CreateIndexStmt) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		stats, err := w.BuildDgfIndex(t, spec)
+		stats, err := w.buildDgfIndexLocked(t, spec)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Message: fmt.Sprintf("built DGFIndex %s: %d GFU pairs, %d bytes, %.1f sim-seconds",
 			s.Name, stats.Entries, stats.IndexBytes, stats.SimTotalSec())}, nil
 	case strings.Contains(handler, "bitmap"):
-		return w.createHiveIndex(t, s, hiveindex.Bitmap)
+		return w.createHiveIndexLocked(t, s, hiveindex.Bitmap)
 	case strings.Contains(handler, "aggregate"):
-		return w.createHiveIndex(t, s, hiveindex.Aggregate)
+		return w.createHiveIndexLocked(t, s, hiveindex.Aggregate)
 	case strings.Contains(handler, "compact"):
-		return w.createHiveIndex(t, s, hiveindex.Compact)
+		return w.createHiveIndexLocked(t, s, hiveindex.Compact)
 	default:
 		return nil, fmt.Errorf("hive: unknown index handler %q", s.Handler)
 	}
 }
 
-func (w *Warehouse) createHiveIndex(t *Table, s *CreateIndexStmt, kind hiveindex.Kind) (*Result, error) {
+func (w *Warehouse) createHiveIndexLocked(t *Table, s *CreateIndexStmt, kind hiveindex.Kind) (*Result, error) {
 	format := t.Format
 	if f, ok := s.Props["format"]; ok {
 		if strings.EqualFold(f, "rcfile") {
@@ -157,7 +175,7 @@ func (w *Warehouse) createHiveIndex(t *Table, s *CreateIndexStmt, kind hiveindex
 			format = hiveindex.TextFile
 		}
 	}
-	ix, sec, err := w.BuildHiveIndexStats(t, s.Name, kind, s.Cols, format)
+	ix, sec, err := w.buildHiveIndexStatsLocked(t, s.Name, kind, s.Cols, format)
 	if err != nil {
 		return nil, err
 	}
@@ -165,8 +183,21 @@ func (w *Warehouse) createHiveIndex(t *Table, s *CreateIndexStmt, kind hiveindex
 		kind, s.Name, ix.SizeBytes(w.FS), sec)}, nil
 }
 
-// Select plans and executes a SELECT.
+// Select plans and executes a SELECT. Plain SELECTs share the catalog read
+// lock so any number run in parallel; a SELECT with an INSERT OVERWRITE
+// DIRECTORY sink writes to the filesystem and is serialized as a writer.
 func (w *Warehouse) Select(stmt *SelectStmt, opts ExecOptions) (*Result, error) {
+	if stmt.InsertDir != "" {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+	} else {
+		w.mu.RLock()
+		defer w.mu.RUnlock()
+	}
+	return w.selectLocked(stmt, opts)
+}
+
+func (w *Warehouse) selectLocked(stmt *SelectStmt, opts ExecOptions) (*Result, error) {
 	start := time.Now()
 	q, err := w.compile(stmt)
 	if err != nil {
@@ -253,7 +284,7 @@ func (w *Warehouse) Select(stmt *SelectStmt, opts ExecOptions) (*Result, error) 
 
 	// Broadcast side-table read for the map-side join.
 	if q.right != nil {
-		side := w.TableSizeBytes(q.right)
+		side := w.tableSizeBytesLocked(q.right)
 		stats.DataSimSec += float64(side) / (w.Cluster.MapperMBps() * (1 << 20))
 		stats.BytesRead += side
 	}
@@ -288,7 +319,7 @@ func (q *compiledQuery) scanInput(w *Warehouse) (mapreduce.InputFormat, string, 
 	if r, ok := q.leftRanges[strings.ToLower(q.left.PartitionBy)]; ok {
 		keep = r.Contains
 	}
-	files, kept, total, err := w.partitionFiles(q.left, keep)
+	files, kept, total, err := w.partitionFilesLocked(q.left, keep)
 	if err != nil {
 		return nil, "", err
 	}

@@ -79,9 +79,9 @@ type compiledQuery struct {
 }
 
 // compile resolves names, folds the WHERE conjunction into per-column
-// ranges, and binds aggregates to accumulator slots.
+// ranges, and binds aggregates to accumulator slots. Caller holds w.mu.
 func (w *Warehouse) compile(stmt *SelectStmt) (*compiledQuery, error) {
-	left, err := w.Table(stmt.From.Table)
+	left, err := w.tableLocked(stmt.From.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +92,7 @@ func (w *Warehouse) compile(stmt *SelectStmt) (*compiledQuery, error) {
 		leftRanges: map[string]gridfile.Range{},
 	}
 	if stmt.Join != nil {
-		right, err := w.Table(stmt.Join.Table.Table)
+		right, err := w.tableLocked(stmt.Join.Table.Table)
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,7 @@ import (
 	"path"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/smartgrid-oss/dgfindex/internal/cluster"
 	"github.com/smartgrid-oss/dgfindex/internal/dfs"
@@ -16,13 +17,25 @@ import (
 
 // Warehouse is the top of the stack: a catalog of tables in the model
 // filesystem plus the cluster cost model every job runs under.
+//
+// A Warehouse is safe for concurrent use: DDL and LOAD statements are
+// serialized as writers while SELECTs share a read lock, so any number of
+// queries run in parallel and each sees either all of a load or none of it.
+// Mutate tables only through Warehouse methods (or Exec); writing Table
+// fields directly is not synchronized.
 type Warehouse struct {
 	FS      *dfs.FS
 	Cluster *cluster.Config
 	// Root is the warehouse directory ("/warehouse").
 	Root string
 
+	mu     sync.RWMutex
 	tables map[string]*Table
+	// versions counts mutations per table key. A dropped table keeps its
+	// counter so that drop+recreate never repeats a version — cache keys
+	// built from versions stay unique across the table's whole history.
+	versions map[string]uint64
+	catalog  uint64
 }
 
 // Table is one catalog entry.
@@ -58,11 +71,106 @@ func NewWarehouse(fs *dfs.FS, cfg *cluster.Config, root string) *Warehouse {
 	if root == "" {
 		root = "/warehouse"
 	}
-	return &Warehouse{FS: fs, Cluster: cfg, Root: root, tables: map[string]*Table{}}
+	return &Warehouse{
+		FS: fs, Cluster: cfg, Root: root,
+		tables:   map[string]*Table{},
+		versions: map[string]uint64{},
+	}
+}
+
+// bumpLocked records a mutation of the named table. Caller holds w.mu.
+func (w *Warehouse) bumpLocked(key string) {
+	w.versions[key]++
+	w.catalog++
+}
+
+// CatalogVersion returns a counter incremented by every catalog or data
+// mutation (DDL, LOAD, index build). Equal versions imply an identical
+// catalog state, so the value anchors coarse cache keys.
+func (w *Warehouse) CatalogVersion() uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.catalog
+}
+
+// TableVersion returns the named table's mutation counter (0 for a table
+// never touched). The counter survives DROP so recreated tables never reuse
+// a version.
+func (w *Warehouse) TableVersion(name string) uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.versions[strings.ToLower(name)]
+}
+
+// TableVersions snapshots the mutation counters of the named tables in one
+// consistent read (result cache keys combine several tables' versions).
+func (w *Warehouse) TableVersions(names ...string) map[string]uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make(map[string]uint64, len(names))
+	for _, n := range names {
+		out[strings.ToLower(n)] = w.versions[strings.ToLower(n)]
+	}
+	return out
+}
+
+// ColumnInfo is one schema column rendered with its HiveQL type name.
+type ColumnInfo struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// TableInfo is a read-only snapshot of one catalog entry, safe to use
+// without holding the warehouse lock.
+type TableInfo struct {
+	Name        string       `json:"name"`
+	Columns     []ColumnInfo `json:"columns"`
+	Format      string       `json:"format"`
+	PartitionBy string       `json:"partition_by,omitempty"`
+	HasDgfIndex bool         `json:"has_dgf_index"`
+	HiveIndexes []string     `json:"hive_indexes,omitempty"`
+	SizeBytes   int64        `json:"size_bytes"`
+	Version     uint64       `json:"version"`
+}
+
+// TableInfos snapshots the whole catalog in one consistent read, sorted by
+// table name.
+func (w *Warehouse) TableInfos() []TableInfo {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]TableInfo, 0, len(w.tables))
+	for key, t := range w.tables {
+		cols := make([]ColumnInfo, len(t.Schema.Cols))
+		for i, c := range t.Schema.Cols {
+			cols[i] = ColumnInfo{Name: c.Name, Type: c.Kind.String()}
+		}
+		info := TableInfo{
+			Name:        t.Name,
+			Columns:     cols,
+			Format:      t.Format.String(),
+			PartitionBy: t.PartitionBy,
+			HasDgfIndex: t.Dgf != nil,
+			SizeBytes:   w.tableSizeBytesLocked(t),
+			Version:     w.versions[key],
+		}
+		for name := range t.HiveIndexes {
+			info.HiveIndexes = append(info.HiveIndexes, name)
+		}
+		sort.Strings(info.HiveIndexes)
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // CreateTable registers a new table and creates its directory.
 func (w *Warehouse) CreateTable(name string, schema *storage.Schema, format hiveindex.Format) (*Table, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.createTableLocked(name, schema, format)
+}
+
+func (w *Warehouse) createTableLocked(name string, schema *storage.Schema, format hiveindex.Format) (*Table, error) {
 	key := strings.ToLower(name)
 	if _, ok := w.tables[key]; ok {
 		return nil, fmt.Errorf("hive: table %q already exists", name)
@@ -79,11 +187,18 @@ func (w *Warehouse) CreateTable(name string, schema *storage.Schema, format hive
 		return nil, err
 	}
 	w.tables[key] = t
+	w.bumpLocked(key)
 	return t, nil
 }
 
 // Table looks a table up by name (case-insensitive, like HiveQL).
 func (w *Warehouse) Table(name string) (*Table, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.tableLocked(name)
+}
+
+func (w *Warehouse) tableLocked(name string) (*Table, error) {
 	t, ok := w.tables[strings.ToLower(name)]
 	if !ok {
 		return nil, fmt.Errorf("hive: table %q does not exist", name)
@@ -93,17 +208,30 @@ func (w *Warehouse) Table(name string) (*Table, error) {
 
 // DropTable removes the table and its data.
 func (w *Warehouse) DropTable(name string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropTableLocked(name)
+}
+
+func (w *Warehouse) dropTableLocked(name string) error {
 	key := strings.ToLower(name)
 	t, ok := w.tables[key]
 	if !ok {
 		return fmt.Errorf("hive: table %q does not exist", name)
 	}
 	delete(w.tables, key)
+	w.bumpLocked(key)
 	return w.FS.RemoveAll(t.Dir)
 }
 
 // TableNames lists the catalog, sorted.
 func (w *Warehouse) TableNames() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.tableNamesLocked()
+}
+
+func (w *Warehouse) tableNamesLocked() []string {
 	names := make([]string, 0, len(w.tables))
 	for _, t := range w.tables {
 		names = append(names, t.Name)
@@ -118,11 +246,18 @@ func (w *Warehouse) TableNames() []string {
 // consistent (the data-load flow of Section 4.2). Partitioned tables route
 // each row into its partition's directory.
 func (w *Warehouse) LoadRows(t *Table, rows []storage.Row) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.loadRowsLocked(t, rows)
+}
+
+func (w *Warehouse) loadRowsLocked(t *Table, rows []storage.Row) error {
 	if len(rows) == 0 {
 		return nil
 	}
+	w.bumpLocked(strings.ToLower(t.Name))
 	if t.PartitionBy != "" {
-		return w.loadPartitioned(t, rows)
+		return w.loadPartitionedLocked(t, rows)
 	}
 	if t.Dgf != nil {
 		staging := path.Join(w.Root, "_staging", fmt.Sprintf("%s-%d", strings.ToLower(t.Name), t.fileSeq))
@@ -146,8 +281,8 @@ func (w *Warehouse) LoadRows(t *Table, rows []storage.Row) error {
 	}
 }
 
-// loadPartitioned splits the batch into one file per touched partition.
-func (w *Warehouse) loadPartitioned(t *Table, rows []storage.Row) error {
+// loadPartitionedLocked splits the batch into one file per touched partition.
+func (w *Warehouse) loadPartitionedLocked(t *Table, rows []storage.Row) error {
 	ci := t.Schema.ColIndex(t.PartitionBy)
 	if ci < 0 {
 		return fmt.Errorf("hive: partition column %q not in schema of %q", t.PartitionBy, t.Name)
@@ -173,8 +308,28 @@ func (w *Warehouse) loadPartitioned(t *Table, rows []storage.Row) error {
 	return nil
 }
 
+// LoadRowsByName resolves the table and appends rows under one write-lock
+// acquisition, so the load can never interleave with a concurrent DROP or
+// CREATE of the same table (LoadRows with a previously fetched *Table
+// could).
+func (w *Warehouse) LoadRowsByName(name string, rows []storage.Row) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	t, err := w.tableLocked(name)
+	if err != nil {
+		return err
+	}
+	return w.loadRowsLocked(t, rows)
+}
+
 // Partitions lists the table's partition values, sorted.
 func (w *Warehouse) Partitions(t *Table) ([]string, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.partitionsLocked(t)
+}
+
+func (w *Warehouse) partitionsLocked(t *Table) ([]string, error) {
 	if t.PartitionBy == "" {
 		return nil, fmt.Errorf("hive: table %q is not partitioned", t.Name)
 	}
@@ -193,10 +348,11 @@ func (w *Warehouse) Partitions(t *Table) ([]string, error) {
 	return out, nil
 }
 
-// partitionFiles returns the data files of the partitions whose value
+// partitionFilesLocked returns the data files of the partitions whose value
 // satisfies keep (nil keeps all), plus how many partitions were pruned.
-func (w *Warehouse) partitionFiles(t *Table, keep func(storage.Value) bool) (files []string, kept, total int, err error) {
-	vals, err := w.Partitions(t)
+// Caller holds w.mu (either mode).
+func (w *Warehouse) partitionFilesLocked(t *Table, keep func(storage.Value) bool) (files []string, kept, total int, err error) {
+	vals, err := w.partitionsLocked(t)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -225,9 +381,15 @@ func (w *Warehouse) partitionFiles(t *Table, keep func(storage.Value) bool) (fil
 
 // TableSizeBytes returns the total data size of the table.
 func (w *Warehouse) TableSizeBytes(t *Table) int64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.tableSizeBytesLocked(t)
+}
+
+func (w *Warehouse) tableSizeBytesLocked(t *Table) int64 {
 	var n int64
 	if t.PartitionBy != "" {
-		files, _, _, err := w.partitionFiles(t, nil)
+		files, _, _, err := w.partitionFilesLocked(t, nil)
 		if err != nil {
 			return 0
 		}
@@ -251,6 +413,12 @@ func (w *Warehouse) TableSizeBytes(t *Table) int64 {
 // BuildDgfIndex builds the table's DGFIndex from a spec, reorganising the
 // table data (Listing 3 ends up here).
 func (w *Warehouse) BuildDgfIndex(t *Table, spec dgf.Spec) (*dgf.BuildStats, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buildDgfIndexLocked(t, spec)
+}
+
+func (w *Warehouse) buildDgfIndexLocked(t *Table, spec dgf.Spec) (*dgf.BuildStats, error) {
 	if t.Dgf != nil {
 		return nil, fmt.Errorf("hive: table %q already has a DGFIndex (each table can create only one)", t.Name)
 	}
@@ -271,6 +439,7 @@ func (w *Warehouse) BuildDgfIndex(t *Table, spec dgf.Spec) (*dgf.BuildStats, err
 	// The reorganised data replaces the original table layout.
 	oldDir := t.Dir
 	t.Dir = dataDir
+	w.bumpLocked(strings.ToLower(t.Name))
 	if err := w.FS.RemoveAll(oldDir); err != nil {
 		return nil, err
 	}
@@ -282,30 +451,19 @@ func (w *Warehouse) BuildDgfIndex(t *Table, spec dgf.Spec) (*dgf.BuildStats, err
 // "the best way to improve Hive performance") is not implemented; combine
 // partitioning with an index by indexing an unpartitioned copy.
 func (w *Warehouse) BuildHiveIndex(t *Table, name string, kind hiveindex.Kind, cols []string, indexFormat hiveindex.Format) (*hiveindex.Index, error) {
-	if t.PartitionBy != "" {
-		return nil, fmt.Errorf("hive: cannot index partitioned table %q", t.Name)
-	}
-	if _, ok := t.HiveIndexes[strings.ToLower(name)]; ok {
-		return nil, fmt.Errorf("hive: index %q already exists on %q", name, t.Name)
-	}
-	ix, _, err := hiveindex.Build(w.Cluster, w.FS, hiveindex.Options{
-		Name: name, Kind: kind,
-		BaseDir: t.Dir, BaseFormat: t.Format,
-		Schema: t.Schema, Cols: cols,
-		IndexDir:     path.Join(w.Root, "_idx_"+strings.ToLower(t.Name)+"_"+strings.ToLower(name)),
-		IndexFormat:  indexFormat,
-		RowGroupRows: t.RowGroupRows,
-	})
-	if err != nil {
-		return nil, err
-	}
-	t.HiveIndexes[strings.ToLower(name)] = ix
-	return ix, nil
+	ix, _, err := w.BuildHiveIndexStats(t, name, kind, cols, indexFormat)
+	return ix, err
 }
 
 // BuildHiveIndexStats is BuildHiveIndex returning the build job statistics
 // (Table 2 and Table 5 report construction times).
 func (w *Warehouse) BuildHiveIndexStats(t *Table, name string, kind hiveindex.Kind, cols []string, indexFormat hiveindex.Format) (*hiveindex.Index, float64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buildHiveIndexStatsLocked(t, name, kind, cols, indexFormat)
+}
+
+func (w *Warehouse) buildHiveIndexStatsLocked(t *Table, name string, kind hiveindex.Kind, cols []string, indexFormat hiveindex.Format) (*hiveindex.Index, float64, error) {
 	if t.PartitionBy != "" {
 		return nil, 0, fmt.Errorf("hive: cannot index partitioned table %q", t.Name)
 	}
@@ -324,5 +482,6 @@ func (w *Warehouse) BuildHiveIndexStats(t *Table, name string, kind hiveindex.Ki
 		return nil, 0, err
 	}
 	t.HiveIndexes[strings.ToLower(name)] = ix
+	w.bumpLocked(strings.ToLower(t.Name))
 	return ix, stats.SimTotalSec(), nil
 }

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/smartgrid-oss/dgfindex/internal/hive"
+)
+
+// lru is a minimal mutex-guarded LRU map. Both caches in the serving layer
+// (parsed plans, query results) are built on it.
+type lru[V any] struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](max int) *lru[V] {
+	return &lru[V]{max: max, ll: list.New(), entries: map[string]*list.Element{}}
+}
+
+func (c *lru[V]) get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var zero V
+	if c.max <= 0 {
+		c.misses++
+		return zero, false
+	}
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return zero, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry[V]).val, true
+}
+
+func (c *lru[V]) put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry[V]).key)
+		c.evictions++
+	}
+}
+
+// removeIf deletes every entry whose value matches pred and returns how many
+// were removed.
+func (c *lru[V]) removeIf(pred func(V) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var doomed []*list.Element
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		if pred(el.Value.(*lruEntry[V]).val) {
+			doomed = append(doomed, el)
+		}
+	}
+	for _, el := range doomed {
+		c.ll.Remove(el)
+		delete(c.entries, el.Value.(*lruEntry[V]).key)
+	}
+	return len(doomed)
+}
+
+func (c *lru[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *lru[V]) stats() (hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// cachedResult is one result-cache entry: the finished Result plus the
+// tables it read (invalidation scans match on these).
+type cachedResult struct {
+	tables []string
+	res    *hive.Result
+}
+
+// resultCache caches SELECT results keyed by normalized SQL plus the read
+// tables' version counters. Version-qualified keys make stale entries
+// unreachable the moment a table mutates; invalidation additionally evicts
+// them eagerly so memory is returned and the invalidation counter surfaces
+// in /stats.
+type resultCache struct {
+	lru           *lru[cachedResult]
+	mu            sync.Mutex
+	invalidations int64
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{lru: newLRU[cachedResult](max)}
+}
+
+func (c *resultCache) get(key string) (*hive.Result, bool) {
+	e, ok := c.lru.get(key)
+	if !ok {
+		return nil, false
+	}
+	return e.res, true
+}
+
+func (c *resultCache) put(key string, tables []string, res *hive.Result) {
+	c.lru.put(key, cachedResult{tables: tables, res: res})
+}
+
+// invalidateTables evicts every entry that read one of the named tables
+// (lower-cased) and returns how many were dropped.
+func (c *resultCache) invalidateTables(names []string) int {
+	if len(names) == 0 {
+		return 0
+	}
+	doomed := map[string]bool{}
+	for _, n := range names {
+		doomed[n] = true
+	}
+	n := c.lru.removeIf(func(e cachedResult) bool {
+		for _, t := range e.tables {
+			if doomed[t] {
+				return true
+			}
+		}
+		return false
+	})
+	c.mu.Lock()
+	c.invalidations += int64(n)
+	c.mu.Unlock()
+	return n
+}
+
+// CacheStats is the JSON-ready counter snapshot of one cache.
+type CacheStats struct {
+	Entries       int   `json:"entries"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations,omitempty"`
+}
+
+func (c *resultCache) stats() CacheStats {
+	h, m, e := c.lru.stats()
+	c.mu.Lock()
+	inv := c.invalidations
+	c.mu.Unlock()
+	return CacheStats{Entries: c.lru.len(), Hits: h, Misses: m, Evictions: e, Invalidations: inv}
+}

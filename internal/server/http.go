@@ -1,0 +1,208 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/hive"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// queryRequest is the JSON body of POST /query. GET /query accepts the same
+// fields as URL parameters (q/sql, session, timeout_ms, no_cache).
+type queryRequest struct {
+	SQL       string `json:"sql"`
+	Session   string `json:"session,omitempty"`
+	TimeoutMs int64  `json:"timeout_ms,omitempty"`
+	NoCache   bool   `json:"no_cache,omitempty"`
+}
+
+// queryStatsJSON renders hive.QueryStats in the paper's terms.
+type queryStatsJSON struct {
+	AccessPath  string  `json:"access_path,omitempty"`
+	IndexSimSec float64 `json:"index_sim_sec"`
+	DataSimSec  float64 `json:"data_sim_sec"`
+	SimTotalSec float64 `json:"sim_total_sec"`
+	RecordsRead int64   `json:"records_read"`
+	BytesRead   int64   `json:"bytes_read"`
+	Splits      int     `json:"splits"`
+	Seeks       int64   `json:"seeks"`
+	RowsOut     int     `json:"rows_out"`
+	WallMs      float64 `json:"wall_ms"`
+}
+
+type queryResponse struct {
+	Columns  []string       `json:"columns,omitempty"`
+	Rows     [][]any        `json:"rows,omitempty"`
+	RowCount int            `json:"row_count"`
+	Message  string         `json:"message,omitempty"`
+	Cached   bool           `json:"cached"`
+	Session  string         `json:"session"`
+	WallMs   float64        `json:"wall_ms"`
+	Stats    queryStatsJSON `json:"stats"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP front-end:
+//
+//	POST/GET /query   execute one statement, JSON rows + QueryStats
+//	GET      /tables  catalog snapshot
+//	GET      /stats   server, session and cache metrics
+//	GET      /healthz liveness (503 while draining)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/tables", s.handleTables)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	switch r.Method {
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON body: " + err.Error()})
+			return
+		}
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.SQL = q.Get("q")
+		if req.SQL == "" {
+			req.SQL = q.Get("sql")
+		}
+		req.Session = q.Get("session")
+		if ms := q.Get("timeout_ms"); ms != "" {
+			v, err := strconv.ParseInt(ms, 10, 64)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad timeout_ms"})
+				return
+			}
+			req.TimeoutMs = v
+		}
+		req.NoCache = q.Get("no_cache") == "1" || q.Get("no_cache") == "true"
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET or POST"})
+		return
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing sql"})
+		return
+	}
+
+	resp, err := s.Query(r.Context(), Request{
+		SQL:     req.SQL,
+		Session: req.Session,
+		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
+		NoCache: req.NoCache,
+	})
+	if err != nil {
+		writeJSON(w, httpStatusOf(err), errorResponse{Error: err.Error()})
+		return
+	}
+
+	res := resp.Result
+	out := queryResponse{
+		Columns:  res.Columns,
+		RowCount: len(res.Rows),
+		Message:  res.Message,
+		Cached:   resp.Cached,
+		Session:  resp.Session,
+		WallMs:   float64(resp.Wall.Microseconds()) / 1e3,
+		Stats: queryStatsJSON{
+			AccessPath:  res.Stats.AccessPath,
+			IndexSimSec: res.Stats.IndexSimSec,
+			DataSimSec:  res.Stats.DataSimSec,
+			SimTotalSec: res.Stats.SimTotalSec(),
+			RecordsRead: res.Stats.RecordsRead,
+			BytesRead:   res.Stats.BytesRead,
+			Splits:      res.Stats.Splits,
+			Seeks:       res.Stats.Seeks,
+			RowsOut:     res.Stats.RowsOut,
+			WallMs:      float64(res.Stats.Wall.Microseconds()) / 1e3,
+		},
+	}
+	for _, row := range res.Rows {
+		out.Rows = append(out.Rows, jsonRow(row))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// jsonRow converts one storage.Row into JSON-encodable cells: numbers stay
+// numbers, timestamps render as RFC 3339.
+func jsonRow(row storage.Row) []any {
+	cells := make([]any, len(row))
+	for i, v := range row {
+		switch v.Kind {
+		case storage.KindInt64:
+			cells[i] = v.I
+		case storage.KindFloat64:
+			cells[i] = v.F
+		case storage.KindTime:
+			cells[i] = time.Unix(v.I, 0).UTC().Format(time.RFC3339)
+		default:
+			cells[i] = v.S
+		}
+	}
+	return cells
+}
+
+func httpStatusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrQueryTimeout):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Tables []hive.TableInfo `json:"tables"`
+	}{Tables: s.w.TableInfos()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

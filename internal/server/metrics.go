@@ -1,0 +1,161 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/hive"
+)
+
+// latencyBucketsMs are the upper bounds (inclusive, milliseconds) of the
+// wall-latency histogram; observations above the last bound land in the
+// implicit +Inf bucket.
+var latencyBucketsMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// metricSet accumulates per-scope query metrics (one instance server-wide,
+// one per session). A plain mutex is fine: observation cost is trivial next
+// to query execution.
+type metricSet struct {
+	mu          sync.Mutex
+	queries     int64
+	errors      int64
+	timeouts    int64
+	cacheHits   int64
+	recordsRead int64
+	bytesRead   int64
+	rowsOut     int64
+	simSeconds  float64
+	wallSeconds float64
+	hist        []int64 // len(latencyBucketsMs)+1, last is +Inf
+	lastActive  time.Time
+}
+
+func newMetricSet() *metricSet {
+	return &metricSet{hist: make([]int64, len(latencyBucketsMs)+1)}
+}
+
+// observe records one finished query. res may be nil (errors, timeouts).
+func (m *metricSet) observe(wall time.Duration, res *hive.Result, cached bool, isTimeout bool, isErr bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries++
+	m.lastActive = time.Now()
+	m.wallSeconds += wall.Seconds()
+	ms := float64(wall.Microseconds()) / 1e3
+	slot := len(latencyBucketsMs)
+	for i, le := range latencyBucketsMs {
+		if ms <= le {
+			slot = i
+			break
+		}
+	}
+	m.hist[slot]++
+	switch {
+	case isTimeout:
+		m.timeouts++
+		m.errors++
+	case isErr:
+		m.errors++
+	}
+	if cached {
+		m.cacheHits++
+	}
+	if res != nil {
+		m.rowsOut += int64(res.Stats.RowsOut)
+		// Cluster-side work (records, bytes, simulated seconds) happened
+		// only when the query actually ran: a cache hit re-serves rows the
+		// cluster already paid for, and must not inflate these totals.
+		if !cached {
+			m.recordsRead += res.Stats.RecordsRead
+			m.bytesRead += res.Stats.BytesRead
+			m.simSeconds += res.Stats.SimTotalSec()
+		}
+	}
+}
+
+// LatencyBucket is one cumulative histogram bucket.
+type LatencyBucket struct {
+	LeMs  float64 `json:"le_ms"` // 0 marks the +Inf bucket
+	Count int64   `json:"count"`
+}
+
+// MetricsSnapshot is a point-in-time copy of a metric scope, JSON-ready for
+// the /stats endpoint.
+type MetricsSnapshot struct {
+	Queries     int64   `json:"queries"`
+	Errors      int64   `json:"errors"`
+	Timeouts    int64   `json:"timeouts"`
+	CacheHits   int64   `json:"cache_hits"`
+	RecordsRead int64   `json:"records_read"`
+	BytesRead   int64   `json:"bytes_read"`
+	RowsOut     int64   `json:"rows_out"`
+	// SimClusterSeconds is the paper's currency: total simulated cluster
+	// time spent answering this scope's queries.
+	SimClusterSeconds float64         `json:"sim_cluster_seconds"`
+	WallSeconds       float64         `json:"wall_seconds"`
+	LatencyP50Ms      float64         `json:"latency_p50_ms"`
+	LatencyP95Ms      float64         `json:"latency_p95_ms"`
+	LatencyP99Ms      float64         `json:"latency_p99_ms"`
+	Latency           []LatencyBucket `json:"latency_histogram"`
+	LastActive        time.Time       `json:"last_active,omitzero"`
+}
+
+func (m *metricSet) snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := MetricsSnapshot{
+		Queries:           m.queries,
+		Errors:            m.errors,
+		Timeouts:          m.timeouts,
+		CacheHits:         m.cacheHits,
+		RecordsRead:       m.recordsRead,
+		BytesRead:         m.bytesRead,
+		RowsOut:           m.rowsOut,
+		SimClusterSeconds: m.simSeconds,
+		WallSeconds:       m.wallSeconds,
+		LastActive:        m.lastActive,
+	}
+	for i, n := range m.hist {
+		le := 0.0 // +Inf bucket
+		if i < len(latencyBucketsMs) {
+			le = latencyBucketsMs[i]
+		}
+		snap.Latency = append(snap.Latency, LatencyBucket{LeMs: le, Count: n})
+	}
+	snap.LatencyP50Ms = quantileLocked(m.hist, m.queries, 0.50)
+	snap.LatencyP95Ms = quantileLocked(m.hist, m.queries, 0.95)
+	snap.LatencyP99Ms = quantileLocked(m.hist, m.queries, 0.99)
+	return snap
+}
+
+// quantileLocked estimates a latency quantile by linear interpolation within
+// the bucket that crosses the target rank. The +Inf bucket reports its lower
+// bound (the estimate is then a floor, which is the honest direction).
+func quantileLocked(hist []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, n := range hist {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = latencyBucketsMs[i-1]
+		}
+		if i >= len(latencyBucketsMs) {
+			return lo
+		}
+		hi := latencyBucketsMs[i]
+		frac := (rank - float64(prev)) / float64(n)
+		return lo + (hi-lo)*frac
+	}
+	return latencyBucketsMs[len(latencyBucketsMs)-1]
+}

@@ -1,0 +1,518 @@
+// Package server is the concurrent query-serving subsystem in front of the
+// embedded warehouse: the paper positions DGFIndex as what makes Hive viable
+// for the State Grid's online analytics, where many operators issue
+// multidimensional range queries against one shared meter table at once.
+//
+// The server adds the three things the bare library lacks for that setting:
+//
+//   - admission control: a bounded worker pool executes queries with a
+//     configurable parallelism, a bounded wait queue sheds overload, and
+//     shutdown drains in-flight work gracefully;
+//   - caching: parsed statements are reused via an LRU plan cache, and
+//     SELECT results are served from an LRU result cache keyed by
+//     normalized SQL plus the read tables' version counters, so any DDL or
+//     LOAD invalidates exactly the dependent entries;
+//   - observability: per-session and server-wide metrics (query counts,
+//     latency histogram, simulated cluster-seconds, records/bytes read,
+//     cache hit rates) in the same terms as the paper's figures.
+//
+// An optional pacing knob converts each query's simulated cluster-seconds
+// into wall-clock delay, modelling the remote 29-node cluster's latency;
+// with pacing on, concurrent sessions overlap their cluster waits exactly
+// the way concurrent Hive clients share a real cluster.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/hive"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// Sentinel errors returned by Query.
+var (
+	// ErrOverloaded reports that the worker pool and its wait queue are
+	// full; the caller should back off and retry.
+	ErrOverloaded = errors.New("server: overloaded, admission queue full")
+	// ErrClosed reports that the server is draining or closed.
+	ErrClosed = errors.New("server: closed")
+	// ErrQueryTimeout reports that the query exceeded its deadline. The
+	// underlying job keeps its worker slot until it finishes; the slot is
+	// then returned to the pool.
+	ErrQueryTimeout = errors.New("server: query timeout")
+)
+
+// Config tunes a Server. The zero value selects the documented defaults.
+type Config struct {
+	// MaxConcurrent is the worker-pool size: how many queries execute in
+	// parallel. Default 8.
+	MaxConcurrent int
+	// MaxQueue bounds how many admitted queries may wait for a worker
+	// beyond the pool itself; past that Query returns ErrOverloaded.
+	// Default 64.
+	MaxQueue int
+	// DefaultTimeout applies to requests that carry no timeout of their
+	// own. Default 30s; negative disables.
+	DefaultTimeout time.Duration
+	// CacheEntries sizes the result cache (0 uses the default 256;
+	// negative disables caching).
+	CacheEntries int
+	// PlanCacheEntries sizes the parsed-statement cache (0 uses the
+	// default 512; negative disables).
+	PlanCacheEntries int
+	// SimPacing stretches each query by its simulated cluster time: a
+	// query costing S simulated cluster-seconds sleeps S*SimPacing of
+	// wall time inside its worker slot. Zero (the default) disables
+	// pacing. Cache hits never pace — no cluster work happens.
+	SimPacing time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	switch {
+	case c.CacheEntries == 0:
+		c.CacheEntries = 256
+	case c.CacheEntries < 0:
+		c.CacheEntries = 0
+	}
+	switch {
+	case c.PlanCacheEntries == 0:
+		c.PlanCacheEntries = 512
+	case c.PlanCacheEntries < 0:
+		c.PlanCacheEntries = 0
+	}
+	return c
+}
+
+// Request is one query submission.
+type Request struct {
+	// SQL is the HiveQL statement to execute.
+	SQL string
+	// Session attributes the query to a session for metrics; empty means
+	// the "default" session.
+	Session string
+	// Timeout overrides Config.DefaultTimeout when positive; negative
+	// disables the deadline for this request.
+	Timeout time.Duration
+	// NoCache bypasses the result cache for this request (both lookup and
+	// fill).
+	NoCache bool
+	// Opts carries planner ablation flags. Results are cached only for
+	// zero-valued Opts.
+	Opts hive.ExecOptions
+}
+
+// Response is the outcome of one query.
+type Response struct {
+	// Result is the statement outcome. Cached responses share one Result
+	// across callers: treat Columns and Rows as read-only.
+	Result *hive.Result
+	// Cached reports a result-cache hit.
+	Cached bool
+	// Session is the session the query was attributed to.
+	Session string
+	// Wall is the end-to-end service time, queueing included.
+	Wall time.Duration
+}
+
+// Session carries per-session serving metrics.
+type Session struct {
+	id      string
+	created time.Time
+	m       *metricSet
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Created returns the session creation time.
+func (s *Session) Created() time.Time { return s.created }
+
+// Snapshot returns the session's metrics.
+func (s *Session) Snapshot() MetricsSnapshot { return s.m.snapshot() }
+
+// Server turns a Warehouse into a concurrent query service.
+type Server struct {
+	w   *hive.Warehouse
+	cfg Config
+
+	sem chan struct{} // worker slots
+
+	mu         sync.Mutex // guards draining, admitted, counters below
+	cond       *sync.Cond // signalled on admitted decrements
+	draining   bool
+	admitted   int // admitted queries not yet fully finished (queued, running, or abandoned-by-timeout)
+	rejected   int64
+	loads      int64
+	rowsLoaded int64
+
+	results *resultCache
+	plans   *lru[hive.Stmt]
+
+	sessMu   sync.Mutex
+	sessions map[string]*Session
+
+	metrics *metricSet
+	started time.Time
+}
+
+// New wraps a warehouse in a server. The warehouse stays usable directly —
+// its own locking keeps direct access safe — but loads performed behind the
+// server's back are only reflected in cache keys (via table versions), not
+// in the server's load metrics.
+func New(w *hive.Warehouse, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		w:        w,
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		results:  newResultCache(cfg.CacheEntries),
+		plans:    newLRU[hive.Stmt](cfg.PlanCacheEntries),
+		sessions: map[string]*Session{},
+		metrics:  newMetricSet(),
+		started:  time.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Warehouse returns the wrapped warehouse.
+func (s *Server) Warehouse() *hive.Warehouse { return s.w }
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// maxSessions bounds the session map: ids arrive from untrusted HTTP
+// parameters, and per-session metric sets must not grow memory (or the
+// /stats payload) without limit. Past the cap, new ids share one overflow
+// session.
+const maxSessions = 1024
+
+// Session returns the named session, creating it on first use. An empty id
+// maps to "default"; once maxSessions distinct ids exist, further new ids
+// are pooled into the "overflow" session.
+func (s *Server) Session(id string) *Session {
+	if id == "" {
+		id = "default"
+	}
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		if len(s.sessions) >= maxSessions {
+			id = "overflow"
+			if sess, ok = s.sessions[id]; ok {
+				return sess
+			}
+		}
+		sess = &Session{id: id, created: time.Now(), m: newMetricSet()}
+		s.sessions[id] = sess
+	}
+	return sess
+}
+
+// admit reserves an admission slot; release returns it.
+func (s *Server) admit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrClosed
+	}
+	if s.admitted >= s.cfg.MaxConcurrent+s.cfg.MaxQueue {
+		s.rejected++
+		return ErrOverloaded
+	}
+	s.admitted++
+	return nil
+}
+
+func (s *Server) release() {
+	s.mu.Lock()
+	s.admitted--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Query executes one statement under admission control, consulting the plan
+// and result caches. It blocks while waiting for a worker slot (until the
+// request deadline) and is safe to call from any number of goroutines.
+func (s *Server) Query(ctx context.Context, req Request) (*Response, error) {
+	start := time.Now()
+	sess := s.Session(req.Session)
+
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
+	handoff := false // true once a worker goroutine owns the admission slot
+	defer func() {
+		if !handoff {
+			s.release()
+		}
+	}()
+
+	finish := func(res *hive.Result, cached bool, err error) (*Response, error) {
+		wall := time.Since(start)
+		isTimeout := errors.Is(err, ErrQueryTimeout)
+		s.metrics.observe(wall, res, cached, isTimeout, err != nil)
+		sess.m.observe(wall, res, cached, isTimeout, err != nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Result: res, Cached: cached, Session: sess.id, Wall: wall}, nil
+	}
+
+	// Plan cache: parse once per normal form, reuse across sessions.
+	norm, err := hive.Normalize(req.SQL)
+	if err != nil {
+		return finish(nil, false, err)
+	}
+	stmt, ok := s.plans.get(norm)
+	if !ok {
+		stmt, err = hive.Parse(req.SQL)
+		if err != nil {
+			return finish(nil, false, err)
+		}
+		s.plans.put(norm, stmt)
+	}
+
+	tables := hive.StatementTables(stmt)
+	readOnly := hive.IsReadOnly(stmt)
+	// Only plain SELECTs are cached: their keys carry the read tables'
+	// versions, which is what makes invalidation sound. Catalog statements
+	// (SHOW TABLES, DESCRIBE) reference no versioned table — caching them
+	// could serve a stale catalog — and they cost nothing to re-run.
+	_, isSelect := stmt.(*hive.SelectStmt)
+	cacheable := readOnly && isSelect && !req.NoCache && req.Opts == (hive.ExecOptions{}) && s.cfg.CacheEntries > 0
+
+	// Result cache. The key carries the read tables' versions as of *before*
+	// execution: versions only grow, so a hit proves no mutation happened
+	// between key construction and lookup and the entry is exact.
+	var key string
+	if cacheable {
+		key = cacheKey(norm, tables, s.w.TableVersions(tables...))
+		if res, ok := s.results.get(key); ok {
+			return finish(res, true, nil)
+		}
+	}
+
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	// Wait for a worker slot.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return finish(nil, false, ctxError(ctx))
+	}
+
+	// Execute on a worker goroutine that owns the slot and the admission
+	// reservation: if the caller times out and abandons the query, the job
+	// still runs to completion and only then frees its resources, so drain
+	// and admission accounting stay exact.
+	type outcome struct {
+		res *hive.Result
+		err error
+	}
+	handoff = true
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			<-s.sem
+			s.release()
+		}()
+		res, err := s.w.ExecParsed(stmt, req.Opts)
+		if err == nil && s.cfg.SimPacing > 0 {
+			// Model the remote cluster: hold the worker slot for the
+			// query's simulated duration.
+			pace := time.Duration(res.Stats.SimTotalSec() * float64(s.cfg.SimPacing))
+			if pace > 0 {
+				timer := time.NewTimer(pace)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+				}
+			}
+		}
+		ch <- outcome{res, err}
+	}()
+
+	select {
+	case out := <-ch:
+		if out.err != nil {
+			return finish(nil, false, out.err)
+		}
+		if cacheable {
+			s.results.put(key, tables, out.res)
+		}
+		if !readOnly {
+			s.results.invalidateTables(tables)
+		}
+		return finish(out.res, false, nil)
+	case <-ctx.Done():
+		return finish(nil, false, ctxError(ctx))
+	}
+}
+
+// ctxError classifies why the request context ended: a missed deadline is a
+// query timeout (counted as such in metrics, HTTP 504); a caller
+// cancellation — an HTTP client disconnecting mid-query — is not.
+func ctxError(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %v", ErrQueryTimeout, ctx.Err())
+	}
+	return fmt.Errorf("server: request canceled: %w", ctx.Err())
+}
+
+// cacheKey renders "normalized sql @ table:version,..." deterministically.
+func cacheKey(norm string, tables []string, versions map[string]uint64) string {
+	names := append([]string(nil), tables...)
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(norm)
+	b.WriteString(" @ ")
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%d", n, versions[n])
+	}
+	return b.String()
+}
+
+// LoadRows appends rows to the named table through the server, so the load
+// is counted in the serving metrics (Snapshot.Loads, Snapshot.RowsLoaded)
+// and dependent cache entries are evicted eagerly. (Loads made directly on
+// the warehouse stay correct — version-qualified keys can never serve stale
+// data — but bypass both.)
+func (s *Server) LoadRows(table string, rows []storage.Row) error {
+	if err := s.admit(); err != nil {
+		return err
+	}
+	defer s.release()
+	if err := s.w.LoadRowsByName(table, rows); err != nil {
+		return err
+	}
+	s.results.invalidateTables([]string{strings.ToLower(table)})
+	s.mu.Lock()
+	s.loads++
+	s.rowsLoaded += int64(len(rows))
+	s.mu.Unlock()
+	return nil
+}
+
+// Invalidate evicts cached results that read any of the named tables. Call
+// it after mutating the warehouse directly (not through the server).
+func (s *Server) Invalidate(tables ...string) int {
+	lowered := make([]string, len(tables))
+	for i, t := range tables {
+		lowered[i] = strings.ToLower(t)
+	}
+	return s.results.invalidateTables(lowered)
+}
+
+// Close stops admitting new queries and waits until every admitted query —
+// queued, running, or abandoned by a timed-out caller — has finished, or
+// until ctx expires (the context's error is returned and workers keep
+// draining in the background).
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for s.admitted > 0 {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Close has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// InFlight returns the number of admitted, unfinished queries.
+func (s *Server) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.admitted
+}
+
+// Snapshot is the full server state for /stats.
+type Snapshot struct {
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Draining      bool                       `json:"draining"`
+	InFlight      int                        `json:"in_flight"`
+	Rejected      int64                      `json:"rejected"`
+	Loads         int64                      `json:"loads"`
+	RowsLoaded    int64                      `json:"rows_loaded"`
+	MaxConcurrent int                        `json:"max_concurrent"`
+	MaxQueue      int                        `json:"max_queue"`
+	Server        MetricsSnapshot            `json:"server"`
+	Sessions      map[string]MetricsSnapshot `json:"sessions"`
+	ResultCache   CacheStats                 `json:"result_cache"`
+	PlanCache     CacheStats                 `json:"plan_cache"`
+}
+
+// Stats snapshots the server-wide and per-session metrics.
+func (s *Server) Stats() Snapshot {
+	s.mu.Lock()
+	rejected, inflight, draining := s.rejected, s.admitted, s.draining
+	loads, rowsLoaded := s.loads, s.rowsLoaded
+	s.mu.Unlock()
+	sessions := map[string]MetricsSnapshot{}
+	s.sessMu.Lock()
+	for id, sess := range s.sessions {
+		sessions[id] = sess.m.snapshot()
+	}
+	s.sessMu.Unlock()
+	ph, pm, pe := s.plans.stats()
+	return Snapshot{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Draining:      draining,
+		InFlight:      inflight,
+		Rejected:      rejected,
+		Loads:         loads,
+		RowsLoaded:    rowsLoaded,
+		MaxConcurrent: s.cfg.MaxConcurrent,
+		MaxQueue:      s.cfg.MaxQueue,
+		Server:        s.metrics.snapshot(),
+		Sessions:      sessions,
+		ResultCache:   s.results.stats(),
+		PlanCache:     CacheStats{Entries: s.plans.len(), Hits: ph, Misses: pm, Evictions: pe},
+	}
+}

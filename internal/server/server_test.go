@@ -1,0 +1,486 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/cluster"
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+	"github.com/smartgrid-oss/dgfindex/internal/hive"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+func testWarehouse(t *testing.T) *hive.Warehouse {
+	t.Helper()
+	cfg := cluster.Default()
+	cfg.Workers = 4
+	w := hive.NewWarehouse(dfs.New(1<<20), cfg, "/warehouse")
+	if _, err := w.Exec(`CREATE TABLE meterdata (userId bigint, regionId bigint, ts timestamp, powerConsumed double)`); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := w.Table("meterdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LoadRows(tbl, meterRows(1, 60, 4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// meterRows builds deterministic readings; user ids start at firstUser.
+func meterRows(firstUser, users, regions, days int) []storage.Row {
+	base := time.Date(2012, 12, 1, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(int64(firstUser)))
+	var rows []storage.Row
+	for d := 0; d < days; d++ {
+		for u := firstUser; u < firstUser+users; u++ {
+			rows = append(rows, storage.Row{
+				storage.Int64(int64(u)),
+				storage.Int64(int64(u%regions + 1)),
+				storage.Time(base.AddDate(0, 0, d)),
+				storage.Float64(math.Round(rng.Float64()*1000) / 100),
+			})
+		}
+	}
+	return rows
+}
+
+func mustQuery(t *testing.T, s *Server, sql string) *Response {
+	t.Helper()
+	resp, err := s.Query(context.Background(), Request{SQL: sql})
+	if err != nil {
+		t.Fatalf("Query(%q): %v", sql, err)
+	}
+	return resp
+}
+
+// TestConcurrentQueriesWithLoads is the subsystem smoke test: one shared
+// Server hammered by parallel SELECTs while LOADs interleave. Row counts
+// must always sit on a batch boundary (no torn reads) and the cache must
+// never serve a pre-load result after the load.
+func TestConcurrentQueriesWithLoads(t *testing.T) {
+	s := New(testWarehouse(t), Config{MaxConcurrent: 4})
+	const perBatch = 60 * 4 // users * days per load batch
+	valid := map[int64]bool{}
+	for k := 1; k <= 4; k++ {
+		valid[int64(k*perBatch)] = true
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				resp, err := s.Query(context.Background(), Request{
+					SQL:     `SELECT count(*) FROM meterdata`,
+					Session: fmt.Sprintf("client-%d", g),
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				n := int64(resp.Result.Rows[0][0].AsFloat())
+				if !valid[n] {
+					errs <- fmt.Errorf("torn count %d", n)
+					return
+				}
+			}
+		}(g)
+	}
+	for k := 1; k <= 3; k++ {
+		if err := s.LoadRows("meterdata", meterRows(1+k*60, 60, 4, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	final := mustQuery(t, s, `SELECT count(*) FROM meterdata`)
+	if n := int64(final.Result.Rows[0][0].AsFloat()); n != 4*perBatch {
+		t.Fatalf("final count %d, want %d", n, 4*perBatch)
+	}
+	snap := s.Stats()
+	if snap.Server.Queries == 0 || len(snap.Sessions) < 6 {
+		t.Fatalf("metrics not recorded: %+v", snap.Server)
+	}
+}
+
+// TestResultCacheHitAndInvalidation: a repeated identical query must hit the
+// cache and return identical rows; a LOAD must invalidate so the next run
+// reflects the new data.
+func TestResultCacheHitAndInvalidation(t *testing.T) {
+	s := New(testWarehouse(t), Config{})
+	const q = `SELECT sum(powerConsumed) FROM meterdata WHERE userId >= 10 AND userId <= 50`
+
+	first := mustQuery(t, s, q)
+	if first.Cached {
+		t.Fatal("first run must miss")
+	}
+	// Different formatting, same normal form: plan cache + result cache hit.
+	second, err := s.Query(context.Background(), Request{
+		SQL: "select  SUM(powerconsumed)\nfrom MeterData where userid>=10 and userid <= 50"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second run must hit the result cache")
+	}
+	if second.Result.Rows[0][0] != first.Result.Rows[0][0] {
+		t.Fatal("cached rows differ from computed rows")
+	}
+	st := s.Stats()
+	if st.ResultCache.Hits == 0 || st.PlanCache.Hits == 0 {
+		t.Fatalf("expected cache hits, got %+v %+v", st.ResultCache, st.PlanCache)
+	}
+	// A cache hit re-serves rows without cluster work: sim-seconds and
+	// records must reflect one execution, not two.
+	if st.Server.SimClusterSeconds != first.Result.Stats.SimTotalSec() {
+		t.Fatalf("cache hit inflated sim-seconds: %v != %v",
+			st.Server.SimClusterSeconds, first.Result.Stats.SimTotalSec())
+	}
+
+	// Invalidating LOAD: users 10..50 gain one more day of readings.
+	if err := s.LoadRows("meterdata", meterRows(10, 41, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.ResultCache.Invalidations == 0 {
+		t.Fatal("load did not invalidate cached results")
+	} else if st.Loads != 1 || st.RowsLoaded != 41 {
+		t.Fatalf("load metrics: loads=%d rows=%d, want 1/41", st.Loads, st.RowsLoaded)
+	}
+	third := mustQuery(t, s, q)
+	if third.Cached {
+		t.Fatal("post-load run must miss")
+	}
+	if third.Result.Rows[0][0].AsFloat() <= first.Result.Rows[0][0].AsFloat() {
+		t.Fatal("post-load sum should grow (non-negative readings added)")
+	}
+}
+
+// TestDirectLoadCannotServeStale: a load performed on the warehouse behind
+// the server's back bumps table versions, so version-qualified keys make the
+// stale entry unreachable even without explicit invalidation.
+func TestDirectLoadCannotServeStale(t *testing.T) {
+	w := testWarehouse(t)
+	s := New(w, Config{})
+	const q = `SELECT count(*) FROM meterdata`
+	before := mustQuery(t, s, q)
+	tbl, _ := w.Table("meterdata")
+	if err := w.LoadRows(tbl, meterRows(500, 10, 4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	after := mustQuery(t, s, q)
+	if after.Cached {
+		t.Fatal("stale cache hit after direct load")
+	}
+	if after.Result.Rows[0][0].AsFloat() != before.Result.Rows[0][0].AsFloat()+40 {
+		t.Fatalf("count %v -> %v, want +40", before.Result.Rows[0][0], after.Result.Rows[0][0])
+	}
+}
+
+// TestCatalogStatementsNeverCached: SHOW TABLES references no versioned
+// table, so a cached copy could go stale across CREATE TABLE. It must bypass
+// the result cache and always reflect the live catalog.
+func TestCatalogStatementsNeverCached(t *testing.T) {
+	s := New(testWarehouse(t), Config{})
+	before := mustQuery(t, s, `SHOW TABLES`)
+	if len(before.Result.Rows) != 1 {
+		t.Fatalf("want 1 table, got %d", len(before.Result.Rows))
+	}
+	mustQuery(t, s, `CREATE TABLE audit_log (opId bigint, note string)`)
+	after := mustQuery(t, s, `SHOW TABLES`)
+	if after.Cached {
+		t.Fatal("SHOW TABLES must never be served from cache")
+	}
+	if len(after.Result.Rows) != 2 {
+		t.Fatalf("stale catalog: %d tables after create, want 2", len(after.Result.Rows))
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	s := New(testWarehouse(t), Config{MaxConcurrent: 1, MaxQueue: 1})
+	// Occupy the only worker slot and the only queue slot.
+	s.sem <- struct{}{}
+	if err := s.admit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.admit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(context.Background(), Request{SQL: `SHOW TABLES`}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	if s.Stats().Rejected == 0 {
+		t.Fatal("rejection not counted")
+	}
+	s.release()
+	s.release()
+	// Slot still occupied: an admitted query must time out in the queue.
+	if _, err := s.Query(context.Background(), Request{SQL: `SHOW TABLES`, Timeout: 20 * time.Millisecond}); !errors.Is(err, ErrQueryTimeout) {
+		t.Fatalf("want ErrQueryTimeout, got %v", err)
+	}
+	<-s.sem
+	if _, err := s.Query(context.Background(), Request{SQL: `SHOW TABLES`}); err != nil {
+		t.Fatalf("query after slot freed: %v", err)
+	}
+	if got := s.InFlight(); got != 0 {
+		t.Fatalf("in-flight = %d after quiesce", got)
+	}
+}
+
+func TestQueryTimeoutDuringExecution(t *testing.T) {
+	// Pacing stretches the query far past the deadline, so the timeout
+	// fires mid-execution deterministically.
+	s := New(testWarehouse(t), Config{SimPacing: time.Second})
+	_, err := s.Query(context.Background(), Request{
+		SQL:     `SELECT sum(powerConsumed) FROM meterdata`,
+		Timeout: 30 * time.Millisecond,
+	})
+	if !errors.Is(err, ErrQueryTimeout) {
+		t.Fatalf("want ErrQueryTimeout, got %v", err)
+	}
+	if s.Stats().Server.Timeouts == 0 {
+		t.Fatal("timeout not counted")
+	}
+	// The abandoned worker must still release its slot and admission.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.InFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned query never released admission")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCancellationIsNotTimeout: a caller-side cancel (client disconnect)
+// must not inflate the timeout counter or map to ErrQueryTimeout.
+func TestCancellationIsNotTimeout(t *testing.T) {
+	s := New(testWarehouse(t), Config{MaxConcurrent: 1})
+	s.sem <- struct{}{} // occupy the only slot so the query waits
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.Query(ctx, Request{SQL: `SHOW TABLES`})
+	<-s.sem
+	if err == nil || errors.Is(err, ErrQueryTimeout) {
+		t.Fatalf("want cancellation error distinct from timeout, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in chain, got %v", err)
+	}
+	st := s.Stats()
+	if st.Server.Timeouts != 0 || st.Server.Errors != 1 {
+		t.Fatalf("cancel counted wrong: timeouts=%d errors=%d", st.Server.Timeouts, st.Server.Errors)
+	}
+}
+
+// TestSessionOverflow: untrusted session ids must not grow the session map
+// past the cap; the surplus pools into "overflow".
+func TestSessionOverflow(t *testing.T) {
+	s := New(testWarehouse(t), Config{})
+	for i := 0; i < maxSessions+50; i++ {
+		s.Session(fmt.Sprintf("sess-%d", i))
+	}
+	got := s.Session("one-more")
+	if got.ID() != "overflow" {
+		t.Fatalf("session past cap = %q, want overflow", got.ID())
+	}
+	if n := len(s.Stats().Sessions); n > maxSessions+1 {
+		t.Fatalf("session map grew to %d, cap is %d+overflow", n, maxSessions)
+	}
+}
+
+// TestLoadRowsMissingTable: the atomic by-name load surfaces a catalog
+// error instead of writing anywhere.
+func TestLoadRowsMissingTable(t *testing.T) {
+	s := New(testWarehouse(t), Config{})
+	if err := s.LoadRows("nosuch", meterRows(1, 1, 4, 1)); err == nil || !strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("want missing-table error, got %v", err)
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	s := New(testWarehouse(t), Config{MaxConcurrent: 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mustQuery(t, s, `SELECT sum(powerConsumed) FROM meterdata WHERE userId >= 3`)
+		}()
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := s.Query(context.Background(), Request{SQL: `SHOW TABLES`}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed after drain, got %v", err)
+	}
+	if err := s.LoadRows("meterdata", meterRows(900, 1, 4, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed for load after drain, got %v", err)
+	}
+}
+
+func TestDDLThroughServerInvalidates(t *testing.T) {
+	s := New(testWarehouse(t), Config{})
+	mustQuery(t, s, `SELECT count(*) FROM meterdata`)
+	if n := s.Stats().ResultCache.Entries; n != 1 {
+		t.Fatalf("cache entries = %d, want 1", n)
+	}
+	// A DGFIndex build rewrites meterdata: dependent entries must go.
+	mustQuery(t, s, `CREATE INDEX idx ON TABLE meterdata(regionId, userId, ts)
+		AS 'dgf' IDXPROPERTIES ('regionId'='1_1', 'userId'='1_20',
+		'ts'='2012-12-01_1d', 'precompute'='sum(powerConsumed)')`)
+	if n := s.Stats().ResultCache.Entries; n != 0 {
+		t.Fatalf("cache entries = %d after DDL, want 0", n)
+	}
+	resp := mustQuery(t, s, `SELECT sum(powerConsumed) FROM meterdata WHERE userId >= 5 AND userId <= 20 AND regionId >= 1 AND regionId <= 4 AND ts >= '2012-12-01' AND ts < '2012-12-03'`)
+	if !strings.HasPrefix(resp.Result.Stats.AccessPath, "dgfindex") {
+		t.Fatalf("access path %q, want dgfindex", resp.Result.Stats.AccessPath)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s := New(testWarehouse(t), Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// POST /query.
+	body := `{"sql":"SELECT count(*) FROM meterdata","session":"ops-1"}`
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query status %d", resp.StatusCode)
+	}
+	var qr struct {
+		Columns  []string `json:"columns"`
+		Rows     [][]any  `json:"rows"`
+		RowCount int      `json:"row_count"`
+		Session  string   `json:"session"`
+		Cached   bool     `json:"cached"`
+		Stats    struct {
+			AccessPath  string  `json:"access_path"`
+			SimTotalSec float64 `json:"sim_total_sec"`
+			RecordsRead int64   `json:"records_read"`
+		} `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if qr.RowCount != 1 || qr.Session != "ops-1" || qr.Stats.AccessPath == "" || qr.Stats.SimTotalSec <= 0 {
+		t.Fatalf("bad query response: %+v", qr)
+	}
+	if n, ok := qr.Rows[0][0].(float64); !ok || n != 240 {
+		t.Fatalf("count cell = %v, want 240", qr.Rows[0][0])
+	}
+
+	// GET /query repeats from cache.
+	resp, err = http.Get(ts.URL + "/query?q=" + strings.ReplaceAll("SELECT count(*) FROM meterdata", " ", "+"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !qr.Cached {
+		t.Fatal("GET repeat should be cached")
+	}
+
+	// Bad SQL → 400 with an error payload.
+	resp, err = http.Post(ts.URL+"/query", "application/json", strings.NewReader(`{"sql":"SELEC nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad SQL status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// /tables.
+	resp, err = http.Get(ts.URL + "/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl struct {
+		Tables []hive.TableInfo `json:"tables"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tl); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(tl.Tables) != 1 || tl.Tables[0].Name != "meterdata" || len(tl.Tables[0].Columns) != 4 {
+		t.Fatalf("bad /tables: %+v", tl)
+	}
+
+	// /stats.
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Server.Queries < 2 || snap.Sessions["ops-1"].Queries != 1 {
+		t.Fatalf("bad /stats: %+v", snap.Server)
+	}
+
+	// /healthz flips to 503 on drain.
+	resp, _ = http.Get(ts.URL + "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	s.Close(ctx)
+	resp, _ = http.Get(ts.URL + "/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after drain %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, _ = http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query after drain %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestSimPacingStretchesWallTime(t *testing.T) {
+	s := New(testWarehouse(t), Config{SimPacing: 2 * time.Millisecond})
+	resp := mustQuery(t, s, `SELECT sum(powerConsumed) FROM meterdata`)
+	wantMin := time.Duration(resp.Result.Stats.SimTotalSec() * float64(2*time.Millisecond))
+	if resp.Wall < wantMin {
+		t.Fatalf("wall %v < paced minimum %v", resp.Wall, wantMin)
+	}
+	// Cache hits skip pacing.
+	again := mustQuery(t, s, `SELECT sum(powerConsumed) FROM meterdata`)
+	if !again.Cached {
+		t.Fatal("repeat should hit cache")
+	}
+	if again.Wall > wantMin {
+		t.Fatalf("cached wall %v should be below paced %v", again.Wall, wantMin)
+	}
+}
