@@ -301,3 +301,84 @@ func BenchmarkConcurrentThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(cacheSrv.Stats().ResultCache.Hits), "cache-hits")
 }
+
+// BenchmarkShardedThroughput measures what scatter-gather buys: the same
+// scan-heavy meter workload is served by DGFServe over a 1-shard backend
+// (the baseline, measured once) and over a 4-shard fleet (the timed loop),
+// both with 8 parallel clients, result caching off, and pacing modelling
+// the shared cluster. The cluster model is scaled (as cmd/dgfserver scales
+// it) so each full scan spans many map waves: sharding then cuts every
+// query's simulated time to the slowest shard's share, and the reported
+// speedup-4shards is expected to exceed 1.5x.
+func BenchmarkShardedThroughput(b *testing.B) {
+	const pacing = 2 * time.Millisecond // wall time per simulated cluster-second
+	cfg := dgfindex.DefaultMeterConfig()
+	cfg.Users = 100
+	cfg.OtherMetrics = 0
+
+	mkBackend := func(shards int) dgfindex.Backend {
+		// ~90 KB of generated rows modelled as a ~70 GB table: full scans
+		// cost ~8 map waves on the 140-slot cluster, so a 4-shard fan-out
+		// has real waves to win back.
+		cc := dgfindex.DefaultCluster().Scaled(800000)
+		router, err := dgfindex.NewShardedWithConfig(dgfindex.ShardConfig{Shards: shards, Key: "userId"}, cc, 2<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := router.Exec(`CREATE TABLE meterdata (userId bigint, regionId bigint, ts timestamp, powerConsumed double)`); err != nil {
+			b.Fatal(err)
+		}
+		if err := router.LoadRowsByName("meterdata", cfg.AllRows()); err != nil {
+			b.Fatal(err)
+		}
+		return router
+	}
+
+	var batch []string
+	for j := 0; j < 8; j++ {
+		batch = append(batch,
+			`SELECT sum(powerConsumed) FROM meterdata`,
+			`SELECT count(*), avg(powerConsumed) FROM meterdata WHERE regionId >= 2`,
+			`SELECT regionId, sum(powerConsumed) FROM meterdata GROUP BY regionId`,
+			"SELECT sum(powerConsumed) FROM meterdata WHERE "+cfg.Selective(0.5).WhereClause(),
+		)
+	}
+
+	runBatch := func(srv *dgfindex.Server, clients int) {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := c; i < len(batch); i += clients {
+					if _, err := srv.Query(context.Background(), dgfindex.QueryRequest{
+						SQL:     batch[i],
+						Session: fmt.Sprintf("bench-%d", c),
+						NoCache: true,
+					}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+
+	oneSrv := dgfindex.NewServerWithBackend(mkBackend(1), dgfindex.ServerConfig{MaxConcurrent: 8, SimPacing: pacing})
+	t0 := time.Now()
+	runBatch(oneSrv, 8)
+	oneShardDur := time.Since(t0)
+
+	fourSrv := dgfindex.NewServerWithBackend(mkBackend(4), dgfindex.ServerConfig{MaxConcurrent: 8, SimPacing: pacing})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runBatch(fourSrv, 8)
+	}
+	b.StopTimer()
+	fourShardDur := b.Elapsed() / time.Duration(b.N)
+	if fourShardDur > 0 {
+		b.ReportMetric(oneShardDur.Seconds()/fourShardDur.Seconds(), "speedup-4shards")
+		b.ReportMetric(float64(len(batch))/fourShardDur.Seconds(), "queries/sec")
+	}
+}

@@ -1,10 +1,12 @@
 // Command dgfserver runs DGFServe: the concurrent HTTP query service over an
-// in-process warehouse, modelling the State Grid deployment where many
-// operators share one Hive+DGFIndex cluster.
+// in-process warehouse — or, with -shards N, over a fleet of N warehouse
+// shards behind the scatter-gather router — modelling the State Grid
+// deployment where many operators share one Hive+DGFIndex cluster.
 //
 // Start it with a generated month of smart-meter data and a DGFIndex:
 //
 //	dgfserver -demo -addr :8080
+//	dgfserver -demo -shards 4 -shard-key userId -addr :8080
 //
 // then query it:
 //
@@ -12,6 +14,11 @@
 //	  "SELECT sum(powerConsumed) FROM meterdata WHERE userId>=100 AND userId<=4000 AND regionId=3 AND ts>='\''2012-12-05'\'' AND ts<'\''2012-12-12'\''"}'
 //	curl -s localhost:8080/tables
 //	curl -s localhost:8080/stats
+//
+// and push new readings over HTTP:
+//
+//	curl -s 'localhost:8080/load' --data '{"table":"meterdata",
+//	  "rows":[[17,1,"2013-01-01 00:15:00",1.25]]}'
 //
 // SIGINT/SIGTERM drains in-flight queries before exiting.
 package main
@@ -25,43 +32,81 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	dgfindex "github.com/smartgrid-oss/dgfindex"
 )
 
+// backend is the slice of the serving Backend the demo loader needs; both
+// *dgfindex.Warehouse and *dgfindex.ShardRouter provide it.
+type backend interface {
+	Exec(sql string) (*dgfindex.Result, error)
+	LoadRowsByName(table string, rows []dgfindex.Row) error
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	workers := flag.Int("workers", 8, "max queries executing in parallel")
 	queue := flag.Int("queue", 64, "max queries waiting beyond the worker pool")
 	cache := flag.Int("cache", 256, "result cache entries (negative disables)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result cache payload budget in bytes (0 = uncapped)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout")
 	pacing := flag.Duration("pacing", 0, "wall time per simulated cluster-second (0 disables pacing)")
+	shards := flag.Int("shards", 1, "warehouse shards behind the server (1 = unsharded)")
+	shardKey := flag.String("shard-key", "userId", "routing column for sharded mode")
+	shardStrategy := flag.String("shard-strategy", "hash", "shard routing: hash or range")
+	shardBounds := flag.String("shard-bounds", "", "comma-separated ascending split points for range routing (shards-1 values; -demo derives them when omitted)")
 	demo := flag.Bool("demo", false, "preload generated meter data with a DGFIndex")
 	demoUsers := flag.Int("demo-users", 2000, "users in the demo dataset")
 	drainWait := flag.Duration("drain", 30*time.Second, "max wait for in-flight queries on shutdown")
 	flag.Parse()
 
-	w := dgfindex.NewWithConfig(dgfindex.DefaultCluster().Scaled(500000), 2<<20)
+	cc := dgfindex.DefaultCluster().Scaled(500000)
+	var be dgfindex.Backend
+	var demoTarget backend
+	if *shards > 1 {
+		strategy, err := dgfindex.ParseShardStrategy(*shardStrategy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := dgfindex.ShardConfig{Shards: *shards, Key: *shardKey, Strategy: strategy}
+		if strategy == dgfindex.ShardByRange {
+			cfg.Bounds, err = rangeBounds(*shardBounds, *shards, *demo, *demoUsers)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		router, err := dgfindex.NewShardedWithConfig(cfg, cc, 2<<20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		be, demoTarget = router, router
+	} else {
+		w := dgfindex.NewWithConfig(cc, 2<<20)
+		be, demoTarget = w, w
+	}
 	if *demo {
-		if err := loadDemo(w, *demoUsers); err != nil {
+		if err := loadDemo(demoTarget, *demoUsers); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	srv := dgfindex.NewServer(w, dgfindex.ServerConfig{
+	srv := dgfindex.NewServerWithBackend(be, dgfindex.ServerConfig{
 		MaxConcurrent:  *workers,
 		MaxQueue:       *queue,
 		CacheEntries:   *cache,
+		MaxResultBytes: *cacheBytes,
 		DefaultTimeout: *timeout,
 		SimPacing:      *pacing,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {
-		log.Printf("dgfserver listening on %s (workers=%d queue=%d cache=%d)",
-			*addr, *workers, *queue, *cache)
+		log.Printf("dgfserver listening on %s (shards=%d workers=%d queue=%d cache=%d/%dMB)",
+			*addr, *shards, *workers, *queue, *cache, *cacheBytes>>20)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
@@ -84,33 +129,53 @@ func main() {
 		snap.Server.Queries, snap.Server.Errors, snap.ResultCache.Hits, snap.Server.SimClusterSeconds)
 }
 
-func loadDemo(w *dgfindex.Warehouse, users int) error {
+// rangeBounds resolves the split points for range routing: explicit
+// -shard-bounds win; otherwise -demo derives an even split of the demo user
+// id space. Running range-sharded over real data requires explicit bounds.
+func rangeBounds(spec string, shards int, demo bool, demoUsers int) ([]float64, error) {
+	if spec != "" {
+		var out []float64
+		for _, part := range strings.Split(spec, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, fmt.Errorf("-shard-bounds: bad split point %q: %v", part, err)
+			}
+			out = append(out, f)
+		}
+		return out, nil
+	}
+	if !demo {
+		return nil, fmt.Errorf("-shard-strategy range needs -shard-bounds (or -demo to derive them from the demo user space)")
+	}
+	if demoUsers < shards {
+		return nil, fmt.Errorf("-demo-users %d cannot range-split across %d shards; pass -shard-bounds or more users", demoUsers, shards)
+	}
+	var out []float64
+	for i := 1; i < shards; i++ {
+		out = append(out, float64((i*demoUsers)/shards))
+	}
+	return out, nil
+}
+
+func loadDemo(be backend, users int) error {
 	cfg := dgfindex.DefaultMeterConfig()
 	cfg.Users = users
 	cfg.OtherMetrics = 0
 	log.Printf("loading demo: %d meter readings across %d days...", cfg.Rows(), cfg.Days)
-	if _, err := w.Exec(`CREATE TABLE meterdata (userId bigint, regionId bigint, ts timestamp, powerConsumed double)`); err != nil {
+	if _, err := be.Exec(`CREATE TABLE meterdata (userId bigint, regionId bigint, ts timestamp, powerConsumed double)`); err != nil {
 		return err
 	}
-	t, err := w.Table("meterdata")
-	if err != nil {
+	if err := be.LoadRowsByName("meterdata", cfg.AllRows()); err != nil {
 		return err
 	}
-	if err := w.LoadRows(t, cfg.AllRows()); err != nil {
+	if _, err := be.Exec(`CREATE TABLE userInfo (userId bigint, userName string, regionId bigint, address string)`); err != nil {
 		return err
 	}
-	if _, err := w.Exec(`CREATE TABLE userInfo (userId bigint, userName string, regionId bigint, address string)`); err != nil {
-		return err
-	}
-	u, err := w.Table("userInfo")
-	if err != nil {
-		return err
-	}
-	if err := w.LoadRows(u, cfg.UserInfoRows()); err != nil {
+	if err := be.LoadRowsByName("userInfo", cfg.UserInfoRows()); err != nil {
 		return err
 	}
 	interval := max(users/100, 1)
-	res, err := w.Exec(fmt.Sprintf(`CREATE INDEX idx ON TABLE meterdata(regionId, userId, ts)
+	res, err := be.Exec(fmt.Sprintf(`CREATE INDEX idx ON TABLE meterdata(regionId, userId, ts)
 		AS 'dgf' IDXPROPERTIES ('regionId'='1_1', 'userId'='1_%d',
 		'ts'='2012-12-01_1d', 'precompute'='sum(powerConsumed);count(*)')`, interval))
 	if err != nil {

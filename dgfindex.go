@@ -36,6 +36,7 @@ import (
 	"github.com/smartgrid-oss/dgfindex/internal/hive"
 	"github.com/smartgrid-oss/dgfindex/internal/hiveindex"
 	"github.com/smartgrid-oss/dgfindex/internal/server"
+	"github.com/smartgrid-oss/dgfindex/internal/shard"
 	"github.com/smartgrid-oss/dgfindex/internal/storage"
 	"github.com/smartgrid-oss/dgfindex/internal/workload"
 )
@@ -189,6 +190,8 @@ type (
 var (
 	// NewServer wraps a Warehouse in a concurrent query service.
 	NewServer = server.New
+	// NewServerWithBackend wraps any Backend (warehouse or shard router).
+	NewServerWithBackend = server.NewWithBackend
 	// ErrServerOverloaded: admission queue full, back off and retry.
 	ErrServerOverloaded = server.ErrOverloaded
 	// ErrServerClosed: the server is draining or closed.
@@ -196,6 +199,46 @@ var (
 	// ErrQueryTimeout: the query exceeded its deadline.
 	ErrQueryTimeout = server.ErrQueryTimeout
 )
+
+// Sharding layer: a router that partitions tables across N independent
+// warehouses and executes SELECTs by scatter-gather over mergeable partial
+// aggregates. The router implements Backend, so a Server fronts a sharded
+// fleet exactly as it fronts one warehouse. See internal/shard.
+type (
+	// Backend is what a Server can front: *Warehouse or *ShardRouter.
+	Backend = server.Backend
+	// ShardRouter fans statements out across shard warehouses.
+	ShardRouter = shard.Router
+	// ShardConfig sets shard count, routing key, and strategy.
+	ShardConfig = shard.Config
+	// ShardStrategy selects hash or range routing.
+	ShardStrategy = shard.Strategy
+)
+
+// Shard routing strategies.
+const (
+	ShardByHash  = shard.HashKey
+	ShardByRange = shard.RangeKey
+)
+
+// ParseShardStrategy reads "hash" or "range" (CLI flags).
+var ParseShardStrategy = shard.ParseStrategy
+
+// NewSharded creates a shard router over cfg.Shards fresh in-memory
+// warehouses, each with the default cluster model and block size (the
+// sharded sibling of New).
+func NewSharded(cfg ShardConfig) (*ShardRouter, error) {
+	return shard.New(cfg, func(int) *Warehouse { return New() })
+}
+
+// NewShardedWithConfig creates a shard router whose shards share a cluster
+// model and block size (the sharded sibling of NewWithConfig). Each shard
+// still gets its own filesystem: shards are independent stores.
+func NewShardedWithConfig(cfg ShardConfig, cc *ClusterConfig, blockSize int64) (*ShardRouter, error) {
+	return shard.New(cfg, func(int) *Warehouse {
+		return hive.NewWarehouse(dfs.New(blockSize), cc, "/warehouse")
+	})
+}
 
 // NormalizeSQL canonicalizes a statement the way the server's caches key it.
 var NormalizeSQL = hive.Normalize

@@ -14,7 +14,12 @@
 // then overlaps cluster waits and the printed speedup approaches the worker
 // count even on a single local core.
 //
-// Run: go run ./examples/concurrent [-clients 8] [-queries 40] [-users 1000]
+// With -shards > 1 the same workload runs against a sharded fleet: the
+// meter table partitions across N warehouses by userId hash, every SELECT
+// scatter-gathers across the shards, and the per-query simulated cluster
+// time drops to the slowest shard's share.
+//
+// Run: go run ./examples/concurrent [-clients 8] [-queries 40] [-users 1000] [-shards 4]
 package main
 
 import (
@@ -33,39 +38,53 @@ import (
 	dgfindex "github.com/smartgrid-oss/dgfindex"
 )
 
+// backend is a serving Backend that also parses SQL itself; both
+// *dgfindex.Warehouse and *dgfindex.ShardRouter qualify.
+type backend interface {
+	dgfindex.Backend
+	Exec(sql string) (*dgfindex.Result, error)
+}
+
 func main() {
 	clients := flag.Int("clients", 8, "parallel client sessions")
 	queries := flag.Int("queries", 40, "queries per client")
 	users := flag.Int("users", 1000, "users in the generated dataset")
+	shards := flag.Int("shards", 1, "warehouse shards behind the server (1 = unsharded)")
 	pacing := flag.Duration("pacing", 2*time.Millisecond, "wall time per simulated cluster-second")
 	flag.Parse()
 
-	// --- build the warehouse: one month of meter data plus a DGFIndex ---
+	// --- build the backend: one month of meter data plus a DGFIndex, on
+	// one warehouse or routed across a sharded fleet ---
 	cfg := dgfindex.DefaultMeterConfig()
 	cfg.Users = *users
 	cfg.OtherMetrics = 0
-	w := dgfindex.New()
-	must(w.Exec(`CREATE TABLE meterdata (userId bigint, regionId bigint, ts timestamp, powerConsumed double)`))
-	tbl, err := w.Table("meterdata")
-	if err != nil {
+	var be backend
+	if *shards > 1 {
+		router, err := dgfindex.NewSharded(dgfindex.ShardConfig{Shards: *shards, Key: "userId"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		be = router
+	} else {
+		be = dgfindex.New()
+	}
+	must(be.Exec(`CREATE TABLE meterdata (userId bigint, regionId bigint, ts timestamp, powerConsumed double)`))
+	if err := be.LoadRowsByName("meterdata", cfg.AllRows()); err != nil {
 		log.Fatal(err)
 	}
-	if err := w.LoadRows(tbl, cfg.AllRows()); err != nil {
-		log.Fatal(err)
-	}
-	res := must(w.Exec(fmt.Sprintf(`CREATE INDEX idx ON TABLE meterdata(regionId, userId, ts)
+	res := must(be.Exec(fmt.Sprintf(`CREATE INDEX idx ON TABLE meterdata(regionId, userId, ts)
 		AS 'dgf' IDXPROPERTIES ('regionId'='1_1', 'userId'='1_%d',
 		'ts'='2012-12-01_1d', 'precompute'='sum(powerConsumed);count(*)')`, max(*users/50, 1))))
 	fmt.Println(res.Message)
 
-	srv := dgfindex.NewServer(w, dgfindex.ServerConfig{
+	srv := dgfindex.NewServerWithBackend(be, dgfindex.ServerConfig{
 		MaxConcurrent: *clients,
 		SimPacing:     *pacing,
 	})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	fmt.Printf("DGFServe on %s: %d clients x %d queries, pacing %v per sim-second\n\n",
-		ts.URL, *clients, *queries, *pacing)
+	fmt.Printf("DGFServe on %s: %d shard(s), %d clients x %d queries, pacing %v per sim-second\n\n",
+		ts.URL, *shards, *clients, *queries, *pacing)
 
 	// Every client replays the same shuffled mix of point and range
 	// queries (the paper's Fig. 8-10 shapes) under its own session.
@@ -105,7 +124,7 @@ func main() {
 	day31 := cfg
 	day31.Days = 1
 	day31.Start = cfg.Start.AddDate(0, 0, cfg.Days)
-	if err := srv.LoadRows("meterdata", day31.AllRows()); err != nil {
+	if _, err := srv.LoadRows("meterdata", day31.AllRows()); err != nil {
 		log.Fatalf("interleaved load: %v", err)
 	}
 	wg.Wait()
@@ -131,14 +150,16 @@ func main() {
 	day32 := cfg
 	day32.Days = 1
 	day32.Start = cfg.Start.AddDate(0, 0, cfg.Days+1)
-	if err := srv.LoadRows("meterdata", day32.AllRows()); err != nil {
+	invalidated, err := srv.LoadRows("meterdata", day32.AllRows())
+	if err != nil {
 		log.Fatal(err)
 	}
 	after, err := httpQuery(ts.URL, probe, "cache-demo", false)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("same query after a LOAD      : cached=%v (recomputed against the new day)\n\n", after.Cached)
+	fmt.Printf("same query after a LOAD      : cached=%v (%d entries invalidated, recomputed against the new day)\n\n",
+		after.Cached, invalidated)
 
 	// --- server-side accounting ---
 	snap := srv.Stats()

@@ -2,7 +2,6 @@ package hive
 
 import (
 	"fmt"
-	"math"
 	"path"
 	"sort"
 	"strconv"
@@ -197,21 +196,54 @@ func (w *Warehouse) Select(stmt *SelectStmt, opts ExecOptions) (*Result, error) 
 	return w.selectLocked(stmt, opts)
 }
 
+// SelectPartial plans and executes a SELECT, returning its result in
+// mergeable partial form — the scatter phase of the shard router's
+// scatter-gather. Aggregates come back as per-group accumulator state, so
+// any number of shards' partials Merge before one Finalize. INSERT
+// OVERWRITE DIRECTORY sinks cannot be executed partially.
+func (w *Warehouse) SelectPartial(stmt *SelectStmt, opts ExecOptions) (*PartialResult, error) {
+	if stmt.InsertDir != "" {
+		return nil, fmt.Errorf("hive: INSERT OVERWRITE DIRECTORY cannot be executed partially")
+	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.selectPartialLocked(stmt, opts)
+}
+
 func (w *Warehouse) selectLocked(stmt *SelectStmt, opts ExecOptions) (*Result, error) {
+	start := time.Now()
+	pr, err := w.selectPartialLocked(stmt, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := pr.Finalize(stmt.Limit)
+
+	// INSERT OVERWRITE DIRECTORY sink (Listing 6).
+	if stmt.InsertDir != "" {
+		w.FS.RemoveAll(stmt.InsertDir)
+		if err := storage.WriteTextRows(w.FS, path.Join(stmt.InsertDir, "000000_0"), res.Rows); err != nil {
+			return nil, err
+		}
+	}
+	res.Stats.Wall = time.Since(start)
+	return res, nil
+}
+
+func (w *Warehouse) selectPartialLocked(stmt *SelectStmt, opts ExecOptions) (*PartialResult, error) {
 	start := time.Now()
 	q, err := w.compile(stmt)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	pr := &PartialResult{}
 	for _, it := range q.items {
-		res.Columns = append(res.Columns, it.name)
+		pr.Columns = append(pr.Columns, it.name)
 	}
 
 	// --- choose the access path ---
 	var input mapreduce.InputFormat
 	var plan *dgf.Plan
-	stats := &res.Stats
+	stats := &pr.Stats
 	switch {
 	case !opts.DisableIndexes && q.left.Dgf != nil:
 		want := q.dgfWantSpecs()
@@ -240,16 +272,24 @@ func (w *Warehouse) selectLocked(stmt *SelectStmt, opts ExecOptions) (*Result, e
 			break
 		}
 		// Aggregate Index rewrite: covered GROUP BY count queries read the
-		// index table only.
+		// index table only. The per-group counts become partial COUNT state
+		// so the rewrite also merges across shards.
 		if counts, st, ok := w.tryAggRewrite(q, ix); ok {
-			res.Rows = counts
+			pr.Agg = q.layout().NewPartial()
+			for key, n := range counts {
+				accs := pr.Agg.Layout.newAccs()
+				for _, a := range q.aggs {
+					accs[a.slots[0]].Value = float64(n)
+					accs[a.slots[0]].N = n
+				}
+				pr.Agg.fold(key, accs)
+			}
 			stats.AccessPath = "aggindex-rewrite:" + ix.Name
 			stats.IndexSimSec = st.SimTotalSec()
 			stats.RecordsRead = st.InputRecords
 			stats.BytesRead = st.InputBytes
-			stats.RowsOut = len(res.Rows)
 			stats.Wall = time.Since(start)
-			return res, nil
+			return pr, nil
 		}
 		fr, err := ix.Filter(w.Cluster, w.FS, q.leftRanges)
 		if err != nil {
@@ -269,11 +309,11 @@ func (w *Warehouse) selectLocked(stmt *SelectStmt, opts ExecOptions) (*Result, e
 	}
 
 	// --- run the query job ---
-	jobStats, rows, err := w.runQueryJob(q, input, plan)
+	jobStats, rows, agg, err := w.runQueryJob(q, input, plan)
 	if err != nil {
 		return nil, err
 	}
-	res.Rows = rows
+	pr.Rows, pr.Agg = rows, agg
 	stats.RecordsRead = jobStats.InputRecords
 	stats.BytesRead = jobStats.InputBytes
 	stats.Splits = jobStats.Splits
@@ -288,21 +328,8 @@ func (w *Warehouse) selectLocked(stmt *SelectStmt, opts ExecOptions) (*Result, e
 		stats.DataSimSec += float64(side) / (w.Cluster.MapperMBps() * (1 << 20))
 		stats.BytesRead += side
 	}
-
-	if stmt.Limit > 0 && len(res.Rows) > stmt.Limit {
-		res.Rows = res.Rows[:stmt.Limit]
-	}
-	stats.RowsOut = len(res.Rows)
-
-	// INSERT OVERWRITE DIRECTORY sink (Listing 6).
-	if stmt.InsertDir != "" {
-		w.FS.RemoveAll(stmt.InsertDir)
-		if err := storage.WriteTextRows(w.FS, path.Join(stmt.InsertDir, "000000_0"), res.Rows); err != nil {
-			return nil, err
-		}
-	}
 	stats.Wall = time.Since(start)
-	return res, nil
+	return pr, nil
 }
 
 // scanInput builds the table-scan input, pruning partitions by the
@@ -356,8 +383,9 @@ func (q *compiledQuery) pickHiveIndex() *hiveindex.Index {
 }
 
 // tryAggRewrite applies the Aggregate Index "index as data" rewrite when
-// the query is a covered GROUP BY count.
-func (w *Warehouse) tryAggRewrite(q *compiledQuery, ix *hiveindex.Index) ([]storage.Row, *mapreduce.Stats, bool) {
+// the query is a covered GROUP BY count, returning raw per-group counts for
+// the caller to fold into partial state.
+func (w *Warehouse) tryAggRewrite(q *compiledQuery, ix *hiveindex.Index) (map[string]int64, *mapreduce.Stats, bool) {
 	if ix.Kind != hiveindex.Aggregate || len(q.groupBy) == 0 || q.right != nil {
 		return nil, nil, false
 	}
@@ -375,41 +403,20 @@ func (w *Warehouse) tryAggRewrite(q *compiledQuery, ix *hiveindex.Index) ([]stor
 	if err != nil {
 		return nil, nil, false
 	}
-	keys := make([]string, 0, len(counts))
-	for k := range counts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var rows []storage.Row
-	for _, k := range keys {
-		row := make(storage.Row, 0, len(q.items))
-		parts := strings.Split(k, "\x01")
-		for _, it := range q.items {
-			if it.agg != nil {
-				row = append(row, storage.Float64(float64(counts[k])))
-			} else if it.groupIdx >= 0 && it.groupIdx < len(parts) {
-				v, err := storage.ParseValue(q.groupKinds[it.groupIdx], parts[it.groupIdx])
-				if err != nil {
-					v = storage.Str(parts[it.groupIdx])
-				}
-				row = append(row, v)
-			}
-		}
-		rows = append(rows, row)
-	}
-	return rows, stats, true
+	return counts, stats, true
 }
 
-// runQueryJob executes the main MapReduce job of the query and materialises
-// result rows.
-func (w *Warehouse) runQueryJob(q *compiledQuery, input mapreduce.InputFormat, plan *dgf.Plan) (*mapreduce.Stats, []storage.Row, error) {
+// runQueryJob executes the main MapReduce job of the query and gathers its
+// output in mergeable form: plain rows for projections, partial accumulator
+// state for aggregations.
+func (w *Warehouse) runQueryJob(q *compiledQuery, input mapreduce.InputFormat, plan *dgf.Plan) (*mapreduce.Stats, []storage.Row, *PartialAgg, error) {
 	// Broadcast hash join: load the small side once (Hive's map-side join).
 	var joinMap map[string][]storage.Row
 	if q.right != nil {
 		var err error
 		joinMap, err = w.readJoinMap(q.right, q.joinRight)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	collector := mapreduce.NewCollector()
@@ -470,13 +477,13 @@ func (w *Warehouse) runQueryJob(q *compiledQuery, input mapreduce.InputFormat, p
 
 	jobStats, err := mapreduce.Run(w.Cluster, job)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	rows, err := q.finalize(collector.Pairs(), plan)
+	rows, agg, err := q.gather(collector.Pairs(), plan)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return jobStats, rows, nil
+	return jobStats, rows, agg, nil
 }
 
 // readJoinMap loads a (small) table into a join hash map keyed by the join
@@ -624,100 +631,41 @@ func (q *compiledQuery) mergeValues(values [][]byte) ([]dgf.Accumulator, error) 
 	return merged, nil
 }
 
-// --- finalisation ---
+// --- gathering ---
 
-// finalize turns collected job output into result rows, folding in the
-// DGFIndex pre-computed inner header for aggregation plans.
-func (q *compiledQuery) finalize(pairs []mapreduce.Pair, plan *dgf.Plan) ([]storage.Row, error) {
+// gather converts collected job output into mergeable form, folding in the
+// DGFIndex pre-computed inner header for aggregation plans. Finalization
+// (group sort, AVG division, scalar empty-input row) happens later through
+// PartialAgg.Finalize, shared with the shard router's merge path.
+func (q *compiledQuery) gather(pairs []mapreduce.Pair, plan *dgf.Plan) ([]storage.Row, *PartialAgg, error) {
 	if !q.isAgg {
 		rows := make([]storage.Row, 0, len(pairs))
 		outSchema := q.outSchema()
 		for _, p := range pairs {
 			row, err := storage.DecodeTextRow(outSchema, string(p.Value))
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			rows = append(rows, row)
 		}
-		return rows, nil
+		return rows, nil, nil
 	}
 
 	// Merge scanned partials per group key.
-	groups := map[string][]dgf.Accumulator{}
-	var keys []string
+	agg := q.layout().NewPartial()
 	for _, p := range pairs {
 		accs, err := decodePartials(q.slotFuncs, p.Value)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		if prev, ok := groups[p.Key]; ok {
-			for i := range prev {
-				prev[i].Merge(accs[i])
-			}
-		} else {
-			groups[p.Key] = accs
-			keys = append(keys, p.Key)
-		}
-	}
-	// A scalar aggregation always yields exactly one row, even over an
-	// empty input.
-	if len(q.groupBy) == 0 {
-		if _, ok := groups[""]; !ok {
-			accs := make([]dgf.Accumulator, len(q.slotFuncs))
-			for i, f := range q.slotFuncs {
-				accs[i].Func = f
-			}
-			groups[""] = accs
-			keys = append(keys, "")
-		}
+		agg.fold(p.Key, accs)
 	}
 	// Fold in the pre-computed inner result (scalar aggregation only: the
 	// planner never uses precompute with GROUP BY).
 	if plan != nil && plan.Aggregation {
-		accs := groups[""]
-		for i := range accs {
-			accs[i].Merge(plan.PreHeader[i])
-		}
+		agg.fold("", plan.PreHeader)
 	}
-	sort.Strings(keys)
-	var rows []storage.Row
-	for _, key := range keys {
-		accs := groups[key]
-		groupVals := strings.Split(key, "\x01")
-		row := make(storage.Row, 0, len(q.items))
-		for _, it := range q.items {
-			switch {
-			case it.agg != nil:
-				row = append(row, storage.Float64(finalValue(it.agg, accs)))
-			case it.groupIdx >= 0:
-				raw := ""
-				if it.groupIdx < len(groupVals) {
-					raw = groupVals[it.groupIdx]
-				}
-				v, err := storage.ParseValue(q.groupKinds[it.groupIdx], raw)
-				if err != nil {
-					v = storage.Str(raw)
-				}
-				row = append(row, v)
-			}
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
-}
-
-func finalValue(a *compiledAgg, accs []dgf.Accumulator) float64 {
-	switch a.kind {
-	case aggAvg:
-		sum := accs[a.slots[0]]
-		count := accs[a.slots[1]]
-		if count.Value == 0 {
-			return math.NaN()
-		}
-		return sum.Value / count.Value
-	default:
-		return accs[a.slots[0]].Value
-	}
+	return nil, agg, nil
 }
 
 func (q *compiledQuery) outSchema() *storage.Schema {

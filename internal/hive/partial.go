@@ -1,0 +1,196 @@
+package hive
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/smartgrid-oss/dgfindex/internal/dgf"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// This file is the explicit combine/finalize API of the aggregation path.
+// Every SQL aggregate reduces to a mergeable partial state over the shared
+// accumulator vector — COUNT/SUM/MIN/MAX are their own monoids, AVG is the
+// (sum, count) pair — so a partially executed SELECT can be merged with any
+// number of others before finalization. The single-warehouse path and the
+// shard router's scatter-gather both finalize through here, which is what
+// keeps a one-shard router bit-identical to a bare Warehouse.
+
+// AggOut binds one output column of an aggregate SELECT: either the
+// GroupIdx-th GROUP BY column, or an aggregate finalized from the Slots of
+// the accumulator vector.
+type AggOut struct {
+	// GroupIdx >= 0 marks a GROUP BY column (index into the group key);
+	// negative marks an aggregate.
+	GroupIdx int
+	// Avg marks an AVG aggregate: Slots holds [sum, count] and the final
+	// value is their quotient. Otherwise the final value is Slots[0]'s.
+	Avg   bool
+	Slots []int
+}
+
+// finalValue folds a merged accumulator vector into the column's value.
+func (o AggOut) finalValue(accs []dgf.Accumulator) float64 {
+	if o.Avg {
+		sum, count := accs[o.Slots[0]], accs[o.Slots[1]]
+		if count.Value == 0 {
+			return math.NaN()
+		}
+		return sum.Value / count.Value
+	}
+	return accs[o.Slots[0]].Value
+}
+
+// AggLayout is the accumulator-vector layout and output-column binding of
+// one aggregate SELECT. Compiling the same statement against the same
+// schema yields the same layout on every store, so a scatter-gather merger
+// can finalize merged state with any one shard's layout.
+type AggLayout struct {
+	SlotFuncs  []dgf.AggFunc
+	Outs       []AggOut
+	GroupKinds []storage.Kind
+	// Scalar marks an aggregation without GROUP BY, which yields exactly
+	// one output row even over empty input.
+	Scalar bool
+}
+
+// newAccs returns an empty accumulator vector in the layout's shape.
+func (l AggLayout) newAccs() []dgf.Accumulator {
+	accs := make([]dgf.Accumulator, len(l.SlotFuncs))
+	for i, f := range l.SlotFuncs {
+		accs[i].Func = f
+	}
+	return accs
+}
+
+// NewPartial returns empty partial-aggregation state for the layout.
+func (l AggLayout) NewPartial() *PartialAgg {
+	return &PartialAgg{Layout: l, Groups: map[string][]dgf.Accumulator{}}
+}
+
+// PartialAgg is mergeable partial-aggregation state: one accumulator vector
+// per group key.
+type PartialAgg struct {
+	Layout AggLayout
+	Groups map[string][]dgf.Accumulator
+}
+
+// fold merges one group contribution into the state. The accs slice is
+// copied, never retained.
+func (p *PartialAgg) fold(key string, accs []dgf.Accumulator) {
+	prev, ok := p.Groups[key]
+	if !ok {
+		prev = p.Layout.newAccs()
+		p.Groups[key] = prev
+	}
+	for i := range prev {
+		if i < len(accs) {
+			prev[i].Merge(accs[i])
+		}
+	}
+}
+
+// Merge combines another store's partial state into p (the layouts must
+// describe the same statement).
+func (p *PartialAgg) Merge(o *PartialAgg) error {
+	if o == nil {
+		return nil
+	}
+	if len(o.Layout.SlotFuncs) != len(p.Layout.SlotFuncs) {
+		return fmt.Errorf("hive: merging partials with %d and %d accumulator slots",
+			len(p.Layout.SlotFuncs), len(o.Layout.SlotFuncs))
+	}
+	for key, accs := range o.Groups {
+		p.fold(key, accs)
+	}
+	return nil
+}
+
+// Finalize renders the merged state as result rows, sorted by group key. A
+// scalar aggregation yields exactly one row even over empty input.
+func (p *PartialAgg) Finalize() []storage.Row {
+	if p.Layout.Scalar {
+		if _, ok := p.Groups[""]; !ok {
+			p.Groups[""] = p.Layout.newAccs()
+		}
+	}
+	keys := make([]string, 0, len(p.Groups))
+	for k := range p.Groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var rows []storage.Row
+	for _, key := range keys {
+		accs := p.Groups[key]
+		groupVals := strings.Split(key, "\x01")
+		row := make(storage.Row, 0, len(p.Layout.Outs))
+		for _, o := range p.Layout.Outs {
+			if o.GroupIdx < 0 {
+				row = append(row, storage.Float64(o.finalValue(accs)))
+				continue
+			}
+			raw := ""
+			if o.GroupIdx < len(groupVals) {
+				raw = groupVals[o.GroupIdx]
+			}
+			v, err := storage.ParseValue(p.Layout.GroupKinds[o.GroupIdx], raw)
+			if err != nil {
+				v = storage.Str(raw)
+			}
+			row = append(row, v)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PartialResult is the outcome of one SELECT executed on one store, kept in
+// mergeable form: plain rows for non-aggregate queries, per-group
+// accumulator state for aggregates. The shard router merges the
+// PartialResults of many shards and finalizes once; the single-warehouse
+// path finalizes its own partial directly, so both share one
+// combine/finalize implementation.
+type PartialResult struct {
+	Columns []string
+	// Stats is this store's own execution cost. Merge deliberately leaves
+	// it alone: scatter-gather cost semantics (sum the volumes, take the
+	// slowest shard's time) belong to the router.
+	Stats QueryStats
+	// Agg holds aggregation state; nil for non-aggregate queries.
+	Agg *PartialAgg
+	// Rows holds non-aggregate result rows.
+	Rows []storage.Row
+}
+
+// Merge folds another store's partial into pr: aggregate state merges
+// group-wise, plain rows append in call order.
+func (pr *PartialResult) Merge(o *PartialResult) error {
+	if o == nil {
+		return nil
+	}
+	if (pr.Agg == nil) != (o.Agg == nil) {
+		return fmt.Errorf("hive: merging aggregate and non-aggregate partials")
+	}
+	if pr.Agg != nil {
+		return pr.Agg.Merge(o.Agg)
+	}
+	pr.Rows = append(pr.Rows, o.Rows...)
+	return nil
+}
+
+// Finalize renders the (possibly merged) partial as a Result, applying
+// LIMIT (0 = none) and setting RowsOut. Wall is the caller's concern.
+func (pr *PartialResult) Finalize(limit int) *Result {
+	rows := pr.Rows
+	if pr.Agg != nil {
+		rows = pr.Agg.Finalize()
+	}
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	res := &Result{Columns: pr.Columns, Rows: rows, Stats: pr.Stats}
+	res.Stats.RowsOut = len(rows)
+	return res
+}

@@ -430,6 +430,60 @@ func (q *compiledQuery) compileAgg(call AggCall) (*compiledAgg, error) {
 	return agg, nil
 }
 
+// layout renders the compiled aggregation as its explicit combine/finalize
+// description: the accumulator-vector slot functions plus the binding of
+// each output column. Identical statements compiled against identical
+// schemas yield identical layouts on every shard.
+func (q *compiledQuery) layout() AggLayout {
+	l := AggLayout{
+		SlotFuncs:  q.slotFuncs,
+		GroupKinds: q.groupKinds,
+		Scalar:     len(q.groupBy) == 0,
+	}
+	for _, it := range q.items {
+		out := AggOut{GroupIdx: it.groupIdx}
+		if it.agg != nil {
+			out.GroupIdx = -1
+			out.Avg = it.agg.kind == aggAvg
+			out.Slots = it.agg.slots
+		}
+		l.Outs = append(l.Outs, out)
+	}
+	return l
+}
+
+// WhereRanges folds the WHERE conjunction of stmt into per-column ranges
+// over the FROM table's schema; literals coerce to the column kind.
+// Predicates on the join side, on unknown columns, or using != are skipped
+// (they never narrow a range). The shard router uses this to prune shards
+// without compiling the full query.
+func WhereRanges(stmt *SelectStmt, schema *storage.Schema) map[string]gridfile.Range {
+	out := map[string]gridfile.Range{}
+	for _, cmp := range stmt.Where {
+		if cmp.Op == "!=" {
+			continue
+		}
+		if cmp.Col.Qualifier != "" && !stmt.From.Matches(cmp.Col.Qualifier) {
+			continue
+		}
+		idx := schema.ColIndex(cmp.Col.Name)
+		if idx < 0 {
+			continue
+		}
+		val, err := coerce(cmp.Val, schema.Col(idx).Kind)
+		if err != nil {
+			continue
+		}
+		name := strings.ToLower(schema.Col(idx).Name)
+		r := rangeFromOp(cmp.Op, val)
+		if prev, ok := out[name]; ok {
+			r = prev.Intersect(r)
+		}
+		out[name] = r
+	}
+	return out
+}
+
 // dgfWantSpecs returns the pre-compute specs covering every aggregate, or
 // nil when at least one aggregate is not derivable from headers.
 func (q *compiledQuery) dgfWantSpecs() []dgf.AggSpec {

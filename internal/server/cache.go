@@ -8,19 +8,23 @@ import (
 )
 
 // lru is a minimal mutex-guarded LRU map. Both caches in the serving layer
-// (parsed plans, query results) are built on it.
+// (parsed plans, query results) are built on it. Entries may carry a byte
+// size; when maxBytes > 0 the cache also evicts oldest-first until the
+// total size fits the budget.
 type lru[V any] struct {
 	mu      sync.Mutex
 	max     int
 	ll      *list.List // front = most recently used
 	entries map[string]*list.Element
 
+	maxBytes, curBytes      int64
 	hits, misses, evictions int64
 }
 
 type lruEntry[V any] struct {
-	key string
-	val V
+	key  string
+	val  V
+	size int64
 }
 
 func newLRU[V any](max int) *lru[V] {
@@ -45,22 +49,38 @@ func (c *lru[V]) get(key string) (V, bool) {
 	return el.Value.(*lruEntry[V]).val, true
 }
 
-func (c *lru[V]) put(key string, val V) {
+func (c *lru[V]) put(key string, val V) { c.putSized(key, val, 0) }
+
+// putSized inserts val accounting size bytes against the cache's byte
+// budget. A value larger than the whole budget is not cached at all (it
+// would only evict everything else on its way in and out).
+func (c *lru[V]) putSized(key string, val V, size int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.max <= 0 {
 		return
 	}
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*lruEntry[V]).val = val
-		c.ll.MoveToFront(el)
+	if c.maxBytes > 0 && size > c.maxBytes {
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
-	for c.ll.Len() > c.max {
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*lruEntry[V])
+		c.curBytes += size - e.size
+		e.val, e.size = val, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val, size: size})
+		c.curBytes += size
+	}
+	for c.ll.Len() > c.max || (c.maxBytes > 0 && c.curBytes > c.maxBytes) {
 		oldest := c.ll.Back()
+		e := oldest.Value.(*lruEntry[V])
+		if e.key == key && c.ll.Len() == 1 {
+			break
+		}
 		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*lruEntry[V]).key)
+		delete(c.entries, e.key)
+		c.curBytes -= e.size
 		c.evictions++
 	}
 }
@@ -77,10 +97,18 @@ func (c *lru[V]) removeIf(pred func(V) bool) int {
 		}
 	}
 	for _, el := range doomed {
+		e := el.Value.(*lruEntry[V])
 		c.ll.Remove(el)
-		delete(c.entries, el.Value.(*lruEntry[V]).key)
+		delete(c.entries, e.key)
+		c.curBytes -= e.size
 	}
 	return len(doomed)
+}
+
+func (c *lru[V]) sizeBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
 }
 
 func (c *lru[V]) len() int {
@@ -106,15 +134,18 @@ type cachedResult struct {
 // tables' version counters. Version-qualified keys make stale entries
 // unreachable the moment a table mutates; invalidation additionally evicts
 // them eagerly so memory is returned and the invalidation counter surfaces
-// in /stats.
+// in /stats. Entries are accounted by approximate row-payload bytes so the
+// cache can hold a memory budget rather than an entry count.
 type resultCache struct {
 	lru           *lru[cachedResult]
 	mu            sync.Mutex
 	invalidations int64
 }
 
-func newResultCache(max int) *resultCache {
-	return &resultCache{lru: newLRU[cachedResult](max)}
+func newResultCache(max int, maxBytes int64) *resultCache {
+	l := newLRU[cachedResult](max)
+	l.maxBytes = maxBytes
+	return &resultCache{lru: l}
 }
 
 func (c *resultCache) get(key string) (*hive.Result, bool) {
@@ -126,7 +157,25 @@ func (c *resultCache) get(key string) (*hive.Result, bool) {
 }
 
 func (c *resultCache) put(key string, tables []string, res *hive.Result) {
-	c.lru.put(key, cachedResult{tables: tables, res: res})
+	c.lru.putSized(key, cachedResult{tables: tables, res: res}, resultSizeBytes(key, res))
+}
+
+// resultSizeBytes estimates the resident size of one cached result: the
+// key, the column names, and per row a fixed header plus each cell's
+// payload (strings by length, scalar kinds by the Value struct).
+func resultSizeBytes(key string, res *hive.Result) int64 {
+	const rowOverhead, cellOverhead = 48, 32
+	n := int64(len(key) + len(res.Message) + 96)
+	for _, c := range res.Columns {
+		n += int64(len(c)) + 16
+	}
+	for _, row := range res.Rows {
+		n += rowOverhead
+		for _, v := range row {
+			n += cellOverhead + int64(len(v.S))
+		}
+	}
+	return n
 }
 
 // invalidateTables evicts every entry that read one of the named tables
@@ -160,6 +209,10 @@ type CacheStats struct {
 	Misses        int64 `json:"misses"`
 	Evictions     int64 `json:"evictions"`
 	Invalidations int64 `json:"invalidations,omitempty"`
+	// SizeBytes is the estimated resident payload of all entries;
+	// MaxBytes is the configured budget (0 = uncapped).
+	SizeBytes int64 `json:"size_bytes,omitempty"`
+	MaxBytes  int64 `json:"max_bytes,omitempty"`
 }
 
 func (c *resultCache) stats() CacheStats {
@@ -167,5 +220,8 @@ func (c *resultCache) stats() CacheStats {
 	c.mu.Lock()
 	inv := c.invalidations
 	c.mu.Unlock()
-	return CacheStats{Entries: c.lru.len(), Hits: h, Misses: m, Evictions: e, Invalidations: inv}
+	return CacheStats{
+		Entries: c.lru.len(), Hits: h, Misses: m, Evictions: e, Invalidations: inv,
+		SizeBytes: c.lru.sizeBytes(), MaxBytes: c.lru.maxBytes,
+	}
 }

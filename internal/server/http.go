@@ -1,11 +1,15 @@
 package server
 
 import (
+	"bytes"
+	"encoding/csv"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/smartgrid-oss/dgfindex/internal/hive"
@@ -53,12 +57,14 @@ type errorResponse struct {
 // Handler returns the HTTP front-end:
 //
 //	POST/GET /query   execute one statement, JSON rows + QueryStats
+//	POST     /load    push rows into a table (JSON or CSV body)
 //	GET      /tables  catalog snapshot
 //	GET      /stats   server, session and cache metrics
 //	GET      /healthz liveness (503 while draining)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/load", s.handleLoad)
 	mux.HandleFunc("/tables", s.handleTables)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -188,7 +194,132 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Tables []hive.TableInfo `json:"tables"`
-	}{Tables: s.w.TableInfos()})
+	}{Tables: s.b.TableInfos()})
+}
+
+// loadRequest is the JSON body of POST /load. Cells may be numbers or
+// strings; each is coerced to its column's kind. A text/csv body with a
+// ?table= parameter is accepted instead, one comma-separated row per line.
+type loadRequest struct {
+	Table string  `json:"table"`
+	Rows  [][]any `json:"rows"`
+}
+
+type loadResponse struct {
+	Table       string `json:"table"`
+	RowsLoaded  int    `json:"rows_loaded"`
+	Invalidated int    `json:"invalidated"`
+}
+
+// handleLoad is the push half of streaming ingest: collectors POST readings
+// over HTTP instead of going through the CLI, and the server routes them
+// through LoadRows so metrics and cache invalidation stay exact.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 32<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	table := r.URL.Query().Get("table")
+	var cells [][]any
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "text/csv") || strings.HasPrefix(ct, "text/plain") {
+		records, err := csv.NewReader(bytes.NewReader(body)).ReadAll()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad CSV body: " + err.Error()})
+			return
+		}
+		for _, rec := range records {
+			row := make([]any, len(rec))
+			for i, f := range rec {
+				row[i] = f
+			}
+			cells = append(cells, row)
+		}
+	} else {
+		var req loadRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON body: " + err.Error()})
+			return
+		}
+		if req.Table != "" {
+			table = req.Table
+		}
+		cells = req.Rows
+	}
+	if table == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing table"})
+		return
+	}
+	if len(cells) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no rows"})
+		return
+	}
+
+	schema, err := s.b.TableSchema(table)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	rows := make([]storage.Row, len(cells))
+	for i, rec := range cells {
+		row, err := decodeLoadRow(schema, rec)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("row %d: %v", i+1, err)})
+			return
+		}
+		rows[i] = row
+	}
+
+	invalidated, err := s.LoadRows(table, rows)
+	if err != nil {
+		writeJSON(w, httpStatusOf(err), errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, loadResponse{Table: table, RowsLoaded: len(rows), Invalidated: invalidated})
+}
+
+// decodeLoadRow coerces one wire row (JSON cells or CSV fields) to the
+// table schema.
+func decodeLoadRow(schema *storage.Schema, rec []any) (storage.Row, error) {
+	if len(rec) != schema.Len() {
+		return nil, fmt.Errorf("has %d cells, schema wants %d", len(rec), schema.Len())
+	}
+	row := make(storage.Row, len(rec))
+	for i, cell := range rec {
+		kind := schema.Col(i).Kind
+		switch v := cell.(type) {
+		case float64: // every JSON number decodes to float64
+			switch kind {
+			case storage.KindInt64:
+				row[i] = storage.Int64(int64(v))
+			case storage.KindTime:
+				row[i] = storage.TimeUnix(int64(v))
+			case storage.KindFloat64:
+				row[i] = storage.Float64(v)
+			default:
+				row[i] = storage.Str(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		case string:
+			val, err := storage.ParseValue(kind, v)
+			if err != nil {
+				return nil, fmt.Errorf("column %s: %v", schema.Col(i).Name, err)
+			}
+			row[i] = val
+		case bool:
+			return nil, fmt.Errorf("column %s: booleans are not a supported cell type", schema.Col(i).Name)
+		case nil:
+			return nil, fmt.Errorf("column %s: null cells are not supported", schema.Col(i).Name)
+		default:
+			return nil, fmt.Errorf("column %s: unsupported cell type %T", schema.Col(i).Name, cell)
+		}
+	}
+	return row, nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

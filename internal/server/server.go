@@ -35,6 +35,26 @@ import (
 	"github.com/smartgrid-oss/dgfindex/internal/storage"
 )
 
+// Backend is the query store a Server fronts: a single *hive.Warehouse or a
+// sharded fleet behind a *shard.Router. The serving layer only needs
+// statement execution, row loading, version counters for cache keys, and
+// catalog snapshots — everything else (admission, caching, metrics) is
+// backend-agnostic, which is what lets one Server serve one warehouse today
+// and N shards tomorrow without changing its callers.
+type Backend interface {
+	// ExecParsed executes an already-parsed statement.
+	ExecParsed(stmt hive.Stmt, opts hive.ExecOptions) (*hive.Result, error)
+	// LoadRowsByName appends rows to the named table.
+	LoadRowsByName(table string, rows []storage.Row) error
+	// TableVersions snapshots the named tables' mutation counters; the
+	// counters must only ever grow (result-cache keys depend on it).
+	TableVersions(names ...string) map[string]uint64
+	// TableSchema returns the named table's column schema.
+	TableSchema(name string) (*storage.Schema, error)
+	// TableInfos snapshots the catalog for /tables.
+	TableInfos() []hive.TableInfo
+}
+
 // Sentinel errors returned by Query.
 var (
 	// ErrOverloaded reports that the worker pool and its wait queue are
@@ -63,6 +83,12 @@ type Config struct {
 	// CacheEntries sizes the result cache (0 uses the default 256;
 	// negative disables caching).
 	CacheEntries int
+	// MaxResultBytes caps the result cache by total row-payload bytes:
+	// past the budget, least-recently-used entries evict until the cache
+	// fits, and a single result larger than the budget is never cached.
+	// Zero means no byte cap (the entry cap still applies); negative
+	// disables result caching entirely.
+	MaxResultBytes int64
 	// PlanCacheEntries sizes the parsed-statement cache (0 uses the
 	// default 512; negative disables).
 	PlanCacheEntries int
@@ -94,6 +120,10 @@ func (c Config) withDefaults() Config {
 		c.PlanCacheEntries = 512
 	case c.PlanCacheEntries < 0:
 		c.PlanCacheEntries = 0
+	}
+	if c.MaxResultBytes < 0 {
+		c.CacheEntries = 0
+		c.MaxResultBytes = 0
 	}
 	return c
 }
@@ -145,9 +175,10 @@ func (s *Session) Created() time.Time { return s.created }
 // Snapshot returns the session's metrics.
 func (s *Session) Snapshot() MetricsSnapshot { return s.m.snapshot() }
 
-// Server turns a Warehouse into a concurrent query service.
+// Server turns a Backend (one warehouse or a sharded fleet) into a
+// concurrent query service.
 type Server struct {
-	w   *hive.Warehouse
+	b   Backend
 	cfg Config
 
 	sem chan struct{} // worker slots
@@ -175,12 +206,18 @@ type Server struct {
 // server's back are only reflected in cache keys (via table versions), not
 // in the server's load metrics.
 func New(w *hive.Warehouse, cfg Config) *Server {
+	return NewWithBackend(w, cfg)
+}
+
+// NewWithBackend wraps any Backend — a bare warehouse or a shard router —
+// in a server.
+func NewWithBackend(b Backend, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		w:        w,
+		b:        b,
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
-		results:  newResultCache(cfg.CacheEntries),
+		results:  newResultCache(cfg.CacheEntries, cfg.MaxResultBytes),
 		plans:    newLRU[hive.Stmt](cfg.PlanCacheEntries),
 		sessions: map[string]*Session{},
 		metrics:  newMetricSet(),
@@ -190,8 +227,15 @@ func New(w *hive.Warehouse, cfg Config) *Server {
 	return s
 }
 
-// Warehouse returns the wrapped warehouse.
-func (s *Server) Warehouse() *hive.Warehouse { return s.w }
+// Backend returns the wrapped backend.
+func (s *Server) Backend() Backend { return s.b }
+
+// Warehouse returns the wrapped warehouse, or nil when the backend is not a
+// bare *hive.Warehouse (e.g. a shard router — use Backend then).
+func (s *Server) Warehouse() *hive.Warehouse {
+	w, _ := s.b.(*hive.Warehouse)
+	return w
+}
 
 // Config returns the effective (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
@@ -303,7 +347,7 @@ func (s *Server) Query(ctx context.Context, req Request) (*Response, error) {
 	// between key construction and lookup and the entry is exact.
 	var key string
 	if cacheable {
-		key = cacheKey(norm, tables, s.w.TableVersions(tables...))
+		key = cacheKey(norm, tables, s.b.TableVersions(tables...))
 		if res, ok := s.results.get(key); ok {
 			return finish(res, true, nil)
 		}
@@ -341,7 +385,7 @@ func (s *Server) Query(ctx context.Context, req Request) (*Response, error) {
 			<-s.sem
 			s.release()
 		}()
-		res, err := s.w.ExecParsed(stmt, req.Opts)
+		res, err := s.b.ExecParsed(stmt, req.Opts)
 		if err == nil && s.cfg.SimPacing > 0 {
 			// Model the remote cluster: hold the worker slot for the
 			// query's simulated duration.
@@ -404,22 +448,23 @@ func cacheKey(norm string, tables []string, versions map[string]uint64) string {
 // LoadRows appends rows to the named table through the server, so the load
 // is counted in the serving metrics (Snapshot.Loads, Snapshot.RowsLoaded)
 // and dependent cache entries are evicted eagerly. (Loads made directly on
-// the warehouse stay correct — version-qualified keys can never serve stale
-// data — but bypass both.)
-func (s *Server) LoadRows(table string, rows []storage.Row) error {
+// the backend stay correct — version-qualified keys can never serve stale
+// data — but bypass both.) It returns how many cached results the load
+// invalidated, so operators can watch invalidation churn under load.
+func (s *Server) LoadRows(table string, rows []storage.Row) (int, error) {
 	if err := s.admit(); err != nil {
-		return err
+		return 0, err
 	}
 	defer s.release()
-	if err := s.w.LoadRowsByName(table, rows); err != nil {
-		return err
+	if err := s.b.LoadRowsByName(table, rows); err != nil {
+		return 0, err
 	}
-	s.results.invalidateTables([]string{strings.ToLower(table)})
+	invalidated := s.results.invalidateTables([]string{strings.ToLower(table)})
 	s.mu.Lock()
 	s.loads++
 	s.rowsLoaded += int64(len(rows))
 	s.mu.Unlock()
-	return nil
+	return invalidated, nil
 }
 
 // Invalidate evicts cached results that read any of the named tables. Call
@@ -474,18 +519,22 @@ func (s *Server) InFlight() int {
 
 // Snapshot is the full server state for /stats.
 type Snapshot struct {
-	UptimeSeconds float64                    `json:"uptime_seconds"`
-	Draining      bool                       `json:"draining"`
-	InFlight      int                        `json:"in_flight"`
-	Rejected      int64                      `json:"rejected"`
-	Loads         int64                      `json:"loads"`
-	RowsLoaded    int64                      `json:"rows_loaded"`
-	MaxConcurrent int                        `json:"max_concurrent"`
-	MaxQueue      int                        `json:"max_queue"`
-	Server        MetricsSnapshot            `json:"server"`
-	Sessions      map[string]MetricsSnapshot `json:"sessions"`
-	ResultCache   CacheStats                 `json:"result_cache"`
-	PlanCache     CacheStats                 `json:"plan_cache"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+	InFlight      int     `json:"in_flight"`
+	Rejected      int64   `json:"rejected"`
+	Loads         int64   `json:"loads"`
+	RowsLoaded    int64   `json:"rows_loaded"`
+	// ResultInvalidations counts cached results evicted because a table
+	// they read mutated (LOAD, DDL, or explicit Invalidate) — the
+	// invalidation churn of the serving fleet.
+	ResultInvalidations int64                      `json:"result_invalidations"`
+	MaxConcurrent       int                        `json:"max_concurrent"`
+	MaxQueue            int                        `json:"max_queue"`
+	Server              MetricsSnapshot            `json:"server"`
+	Sessions            map[string]MetricsSnapshot `json:"sessions"`
+	ResultCache         CacheStats                 `json:"result_cache"`
+	PlanCache           CacheStats                 `json:"plan_cache"`
 }
 
 // Stats snapshots the server-wide and per-session metrics.
@@ -501,18 +550,20 @@ func (s *Server) Stats() Snapshot {
 	}
 	s.sessMu.Unlock()
 	ph, pm, pe := s.plans.stats()
+	rc := s.results.stats()
 	return Snapshot{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Draining:      draining,
-		InFlight:      inflight,
-		Rejected:      rejected,
-		Loads:         loads,
-		RowsLoaded:    rowsLoaded,
-		MaxConcurrent: s.cfg.MaxConcurrent,
-		MaxQueue:      s.cfg.MaxQueue,
-		Server:        s.metrics.snapshot(),
-		Sessions:      sessions,
-		ResultCache:   s.results.stats(),
-		PlanCache:     CacheStats{Entries: s.plans.len(), Hits: ph, Misses: pm, Evictions: pe},
+		UptimeSeconds:       time.Since(s.started).Seconds(),
+		Draining:            draining,
+		InFlight:            inflight,
+		Rejected:            rejected,
+		Loads:               loads,
+		RowsLoaded:          rowsLoaded,
+		ResultInvalidations: rc.Invalidations,
+		MaxConcurrent:       s.cfg.MaxConcurrent,
+		MaxQueue:            s.cfg.MaxQueue,
+		Server:              s.metrics.snapshot(),
+		Sessions:            sessions,
+		ResultCache:         rc,
+		PlanCache:           CacheStats{Entries: s.plans.len(), Hits: ph, Misses: pm, Evictions: pe},
 	}
 }

@@ -101,7 +101,7 @@ func TestConcurrentQueriesWithLoads(t *testing.T) {
 		}(g)
 	}
 	for k := 1; k <= 3; k++ {
-		if err := s.LoadRows("meterdata", meterRows(1+k*60, 60, 4, 4)); err != nil {
+		if _, err := s.LoadRows("meterdata", meterRows(1+k*60, 60, 4, 4)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -156,7 +156,7 @@ func TestResultCacheHitAndInvalidation(t *testing.T) {
 	}
 
 	// Invalidating LOAD: users 10..50 gain one more day of readings.
-	if err := s.LoadRows("meterdata", meterRows(10, 41, 4, 1)); err != nil {
+	if _, err := s.LoadRows("meterdata", meterRows(10, 41, 4, 1)); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.ResultCache.Invalidations == 0 {
@@ -309,7 +309,7 @@ func TestSessionOverflow(t *testing.T) {
 // error instead of writing anywhere.
 func TestLoadRowsMissingTable(t *testing.T) {
 	s := New(testWarehouse(t), Config{})
-	if err := s.LoadRows("nosuch", meterRows(1, 1, 4, 1)); err == nil || !strings.Contains(err.Error(), "does not exist") {
+	if _, err := s.LoadRows("nosuch", meterRows(1, 1, 4, 1)); err == nil || !strings.Contains(err.Error(), "does not exist") {
 		t.Fatalf("want missing-table error, got %v", err)
 	}
 }
@@ -333,7 +333,7 @@ func TestGracefulDrain(t *testing.T) {
 	if _, err := s.Query(context.Background(), Request{SQL: `SHOW TABLES`}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("want ErrClosed after drain, got %v", err)
 	}
-	if err := s.LoadRows("meterdata", meterRows(900, 1, 4, 1)); !errors.Is(err, ErrClosed) {
+	if _, err := s.LoadRows("meterdata", meterRows(900, 1, 4, 1)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("want ErrClosed for load after drain, got %v", err)
 	}
 }
@@ -482,5 +482,112 @@ func TestSimPacingStretchesWallTime(t *testing.T) {
 	}
 	if again.Wall > wantMin {
 		t.Fatalf("cached wall %v should be below paced %v", again.Wall, wantMin)
+	}
+}
+
+// TestResultCacheByteBudget: with MaxResultBytes set, the cache evicts
+// LRU-first to stay under the payload budget instead of keeping a fixed
+// entry count, and a single result bigger than the whole budget is never
+// cached.
+func TestResultCacheByteBudget(t *testing.T) {
+	s := New(testWarehouse(t), Config{MaxResultBytes: 2000})
+	// Each per-user query returns 4 rows (~750 bytes with key overhead):
+	// two fit the budget, more force evictions.
+	for u := 1; u <= 6; u++ {
+		mustQuery(t, s, fmt.Sprintf(`SELECT userId, powerConsumed FROM meterdata WHERE userId = %d`, u))
+	}
+	st := s.Stats().ResultCache
+	if st.MaxBytes != 2000 {
+		t.Fatalf("MaxBytes = %d, want 2000", st.MaxBytes)
+	}
+	if st.SizeBytes <= 0 || st.SizeBytes > st.MaxBytes {
+		t.Fatalf("SizeBytes = %d, want within (0, %d]", st.SizeBytes, st.MaxBytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("expected byte-budget evictions, got %+v", st)
+	}
+	if st.Entries >= 6 {
+		t.Fatalf("cache kept all %d entries despite the byte budget", st.Entries)
+	}
+
+	// A 240-row full-table result exceeds the budget on its own: it must
+	// not be cached (a repeat recomputes).
+	mustQuery(t, s, `SELECT * FROM meterdata`)
+	if again := mustQuery(t, s, `SELECT * FROM meterdata`); again.Cached {
+		t.Fatal("oversized result was cached despite exceeding MaxResultBytes")
+	}
+}
+
+// TestLoadEndpoint: collectors push readings over POST /load as JSON or
+// CSV; rows decode against the table schema, route through LoadRows, and
+// the response reports the invalidation churn.
+func TestLoadEndpoint(t *testing.T) {
+	s := New(testWarehouse(t), Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Prime the cache so the load has something to invalidate.
+	before := mustQuery(t, s, `SELECT count(*) FROM meterdata`)
+	baseCount := before.Result.Rows[0][0].AsFloat()
+
+	// JSON body: numbers for bigint/double, strings for timestamps.
+	body := `{"table":"meterdata","rows":[[501,1,"2012-12-20 00:00:00",5.5],[502,2,"2012-12-20 00:15:00",6.25]]}`
+	resp, err := http.Post(ts.URL+"/load", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lr struct {
+		Table       string `json:"table"`
+		RowsLoaded  int    `json:"rows_loaded"`
+		Invalidated int    `json:"invalidated"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || lr.RowsLoaded != 2 || lr.Table != "meterdata" {
+		t.Fatalf("JSON load: status %d, %+v", resp.StatusCode, lr)
+	}
+	if lr.Invalidated == 0 {
+		t.Fatal("load did not report invalidated cache entries")
+	}
+
+	// CSV body with the table in the query string.
+	resp, err = http.Post(ts.URL+"/load?table=meterdata", "text/csv",
+		strings.NewReader("503,3,2012-12-21 00:00:00,7.5\n504,4,2012-12-21 00:15:00,8.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || lr.RowsLoaded != 2 {
+		t.Fatalf("CSV load: status %d, %+v", resp.StatusCode, lr)
+	}
+
+	after := mustQuery(t, s, `SELECT count(*) FROM meterdata`)
+	if got := after.Result.Rows[0][0].AsFloat(); got != baseCount+4 {
+		t.Fatalf("count %v -> %v, want +4", baseCount, got)
+	}
+	snap := s.Stats()
+	if snap.Loads != 2 || snap.RowsLoaded != 4 || snap.ResultInvalidations == 0 {
+		t.Fatalf("load metrics: %+v", snap)
+	}
+
+	// Error paths: wrong arity, unknown table, missing rows.
+	for _, bad := range []string{
+		`{"table":"meterdata","rows":[[1,2]]}`,
+		`{"table":"nosuch","rows":[[1,2,"2012-12-20",1.0]]}`,
+		`{"table":"meterdata"}`,
+	} {
+		resp, err := http.Post(ts.URL+"/load", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad load %q: status %d, want 400", bad, resp.StatusCode)
+		}
 	}
 }

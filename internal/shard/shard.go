@@ -1,0 +1,523 @@
+// Package shard partitions tables across N independent warehouses and
+// executes queries by scatter-gather: DDL broadcasts to every shard, loads
+// route row-by-row on a configurable key (hash on meter/user id, or ranges
+// on region), and SELECTs fan out concurrently to the shards the predicate
+// can reach, each returning mergeable partial-aggregation state that the
+// router combines and finalizes once.
+//
+// The paper's deployment indexes billions of readings from ~17M meters; one
+// in-process Warehouse cannot scale to that. Distributed partial
+// aggregation over partitioned stores is the same shape P2P
+// multidimensional indexes use (Bongers & Pouwelse's survey): every shard
+// keeps its own DGFIndex over its own slice of the data, and the additive
+// aggregates the paper pre-computes per GFU (sum/count/min/max, avg as
+// sum+count) merge across shards exactly as they merge across grid cells.
+//
+// The router implements the serving layer's Backend contract, so DGFServe's
+// admission control, caches, and metrics sit in front of a sharded fleet
+// unchanged.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
+	"github.com/smartgrid-oss/dgfindex/internal/hive"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// Strategy selects how a routing-key value maps to a shard.
+type Strategy uint8
+
+const (
+	// HashKey routes by FNV-1a hash of the key value: uniform spread, and
+	// equality predicates on the key prune to a single shard.
+	HashKey Strategy = iota
+	// RangeKey routes by position among Config.Bounds: contiguous key
+	// ranges per shard, so range predicates on the key prune shards.
+	RangeKey
+)
+
+// String names the strategy for flags and logs.
+func (s Strategy) String() string {
+	if s == RangeKey {
+		return "range"
+	}
+	return "hash"
+}
+
+// ParseStrategy reads "hash" or "range".
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(s) {
+	case "", "hash":
+		return HashKey, nil
+	case "range":
+		return RangeKey, nil
+	default:
+		return 0, fmt.Errorf("shard: unknown strategy %q (want hash or range)", s)
+	}
+}
+
+// Config describes the partitioning of a Router.
+type Config struct {
+	// Shards is the number of warehouses (>= 1).
+	Shards int
+	// Key names the routing column (case-insensitive). Tables whose schema
+	// lacks the column replicate to every shard instead — which keeps
+	// broadcast-join sides (the paper's userInfo) available shard-locally.
+	Key string
+	// Strategy selects hash or range routing. Default HashKey.
+	Strategy Strategy
+	// Bounds holds Shards-1 ascending split points for RangeKey: shard i
+	// covers key values in [Bounds[i-1], Bounds[i]). Ignored for HashKey.
+	Bounds []float64
+}
+
+func (c Config) validate() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("shard: need at least 1 shard, got %d", c.Shards)
+	}
+	if strings.TrimSpace(c.Key) == "" {
+		return fmt.Errorf("shard: routing key column must be named")
+	}
+	if c.Strategy == RangeKey {
+		if len(c.Bounds) != c.Shards-1 {
+			return fmt.Errorf("shard: range routing over %d shards needs %d bounds, got %d",
+				c.Shards, c.Shards-1, len(c.Bounds))
+		}
+		for i := 1; i < len(c.Bounds); i++ {
+			if c.Bounds[i-1] >= c.Bounds[i] {
+				return fmt.Errorf("shard: bounds must be strictly ascending")
+			}
+		}
+	}
+	return nil
+}
+
+// tableMeta is the router's record of one table created through it.
+type tableMeta struct {
+	schema *storage.Schema
+	// keyIdx is the routing column's position in the schema; -1 marks a
+	// replicated table (no routing column).
+	keyIdx int
+}
+
+// Router partitions tables across shards and executes statements by
+// broadcast (DDL), routed append (loads) or scatter-gather (SELECT). It
+// implements the serving layer's Backend interface; all methods are safe
+// for concurrent use — each shard warehouse carries its own locking, and
+// the router itself only guards its table records.
+type Router struct {
+	cfg    Config
+	shards []*hive.Warehouse
+
+	mu     sync.RWMutex
+	tables map[string]*tableMeta
+}
+
+// New builds a router over cfg.Shards fresh warehouses produced by mk
+// (called once per shard index). Each shard must get its own filesystem:
+// shards are independent stores, not views of one.
+func New(cfg Config, mk func(i int) *hive.Warehouse) (*Router, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := &Router{cfg: cfg, tables: map[string]*tableMeta{}}
+	for i := 0; i < cfg.Shards; i++ {
+		w := mk(i)
+		if w == nil {
+			return nil, fmt.Errorf("shard: nil warehouse for shard %d", i)
+		}
+		r.shards = append(r.shards, w)
+	}
+	return r, nil
+}
+
+// Config returns the router's partitioning configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// NumShards returns the shard count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Shard returns the i-th shard warehouse (for tests and tooling).
+func (r *Router) Shard(i int) *hive.Warehouse { return r.shards[i] }
+
+// meta looks up the router's record of a table (nil if the table was not
+// created through the router).
+func (r *Router) meta(table string) *tableMeta {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tables[strings.ToLower(table)]
+}
+
+// Exec parses and executes one HiveQL statement across the fleet.
+func (r *Router) Exec(sql string) (*hive.Result, error) {
+	stmt, err := hive.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return r.ExecParsed(stmt, hive.ExecOptions{})
+}
+
+// ExecParsed executes an already-parsed statement: SELECTs scatter-gather,
+// catalog reads go to shard 0 (every shard holds the same catalog), and DDL
+// broadcasts to all shards.
+func (r *Router) ExecParsed(stmt hive.Stmt, opts hive.ExecOptions) (*hive.Result, error) {
+	switch s := stmt.(type) {
+	case *hive.SelectStmt:
+		return r.execSelect(s, opts)
+	case *hive.ShowTablesStmt, *hive.DescribeStmt:
+		return r.shards[0].ExecParsed(stmt, opts)
+	case *hive.CreateTableStmt:
+		res, err := r.broadcast(stmt, opts)
+		if err != nil {
+			return nil, err
+		}
+		schema := storage.NewSchema(s.Cols...)
+		r.mu.Lock()
+		r.tables[strings.ToLower(s.Name)] = &tableMeta{schema: schema, keyIdx: schema.ColIndex(r.cfg.Key)}
+		r.mu.Unlock()
+		return res, nil
+	case *hive.DropTableStmt:
+		res, err := r.broadcast(stmt, opts)
+		if err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		delete(r.tables, strings.ToLower(s.Name))
+		r.mu.Unlock()
+		return res, nil
+	default:
+		// CREATE INDEX and future DDL: every shard indexes its own slice.
+		return r.broadcast(stmt, opts)
+	}
+}
+
+// broadcast runs one statement on every shard concurrently and returns
+// shard 0's result. On error the shards may diverge (some applied the DDL,
+// some did not); the first error is returned and the caller should retry or
+// rebuild the fleet.
+func (r *Router) broadcast(stmt hive.Stmt, opts hive.ExecOptions) (*hive.Result, error) {
+	results := make([]*hive.Result, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i := range r.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.shards[i].ExecParsed(stmt, opts)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results[0], nil
+}
+
+// execSelect is the scatter-gather path: prune shards by the routing-key
+// predicate, run SelectPartial on each target concurrently, merge the
+// partial states, finalize once.
+func (r *Router) execSelect(s *hive.SelectStmt, opts hive.ExecOptions) (*hive.Result, error) {
+	// A single-shard fleet is a plain warehouse: pass through so results —
+	// stats and access path included — are bit-identical to direct use.
+	if len(r.shards) == 1 {
+		return r.shards[0].ExecParsed(s, opts)
+	}
+	if s.InsertDir != "" {
+		return nil, fmt.Errorf("shard: INSERT OVERWRITE DIRECTORY is not supported on a sharded backend")
+	}
+	m := r.meta(s.From.Table)
+	if m == nil {
+		// Unknown table (created behind the router): only shard 0 holds it.
+		return r.shards[0].ExecParsed(s, opts)
+	}
+	if m.keyIdx < 0 {
+		// Replicated FROM table: shard 0's full copy answers alone —
+		// unless the join side is partitioned. Then every shard holds the
+		// full FROM copy plus a disjoint slice of the join table, so a
+		// full fan-out counts every match exactly once; shard 0 alone
+		// would silently drop the other shards' join rows.
+		if s.Join != nil {
+			if jm := r.meta(s.Join.Table.Table); jm != nil && jm.keyIdx >= 0 {
+				return r.scatter(s, opts, r.allShards())
+			}
+		}
+		return r.shards[0].ExecParsed(s, opts)
+	}
+	if err := r.checkJoin(s); err != nil {
+		return nil, err
+	}
+	return r.scatter(s, opts, r.targetShards(s, m))
+}
+
+// scatter fans the SELECT out to the target shards concurrently and merges
+// their partial results into one finalized Result.
+func (r *Router) scatter(s *hive.SelectStmt, opts hive.ExecOptions, targets []int) (*hive.Result, error) {
+	start := time.Now()
+	parts := make([]*hive.PartialResult, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, si := range targets {
+		wg.Add(1)
+		go func(i, si int) {
+			defer wg.Done()
+			parts[i], errs[i] = r.shards[si].SelectPartial(s, opts)
+		}(i, si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	merged := parts[0]
+	stats := merged.Stats
+	for _, p := range parts[1:] {
+		if err := merged.Merge(p); err != nil {
+			return nil, err
+		}
+		mergeStats(&stats, p.Stats)
+	}
+	merged.Stats = stats
+	res := merged.Finalize(s.Limit)
+	res.Stats.AccessPath = fmt.Sprintf("sharded(%d/%d):%s", len(targets), len(r.shards), parts[0].Stats.AccessPath)
+	res.Stats.Wall = time.Since(start)
+	return res, nil
+}
+
+// mergeStats folds one more shard's cost into the scatter-gather total:
+// data volumes add; the slowest shard bounds the simulated time, because
+// the shards run concurrently.
+func mergeStats(dst *hive.QueryStats, s hive.QueryStats) {
+	dst.RecordsRead += s.RecordsRead
+	dst.BytesRead += s.BytesRead
+	dst.Splits += s.Splits
+	dst.Seeks += s.Seeks
+	if s.SimTotalSec() > dst.SimTotalSec() {
+		dst.IndexSimSec, dst.DataSimSec = s.IndexSimSec, s.DataSimSec
+	}
+}
+
+// checkJoin verifies a join is answerable shard-locally: the right table is
+// replicated on every shard, or both join columns are the routing key (the
+// tables are then co-partitioned and matching rows share a shard).
+func (r *Router) checkJoin(s *hive.SelectStmt) error {
+	if s.Join == nil {
+		return nil
+	}
+	rm := r.meta(s.Join.Table.Table)
+	if rm == nil || rm.keyIdx < 0 {
+		return nil
+	}
+	if strings.EqualFold(s.Join.Left.Name, r.cfg.Key) && strings.EqualFold(s.Join.Right.Name, r.cfg.Key) {
+		return nil
+	}
+	return fmt.Errorf("shard: join with %q must be on the shard key %q (co-partitioned); join on other columns needs a replicated table (one without the key column)",
+		s.Join.Table.Table, r.cfg.Key)
+}
+
+// targetShards prunes the fan-out by the WHERE constraint on the routing
+// key: hash routing prunes equality predicates to one shard, range routing
+// prunes to the shards whose key interval intersects the predicate range.
+func (r *Router) targetShards(s *hive.SelectStmt, m *tableMeta) []int {
+	ranges := hive.WhereRanges(s, m.schema)
+	kr, ok := ranges[strings.ToLower(m.schema.Col(m.keyIdx).Name)]
+	if !ok {
+		return r.allShards()
+	}
+	if r.cfg.Strategy == RangeKey {
+		var out []int
+		for i := 0; i < len(r.shards); i++ {
+			if r.shardIntervalIntersects(i, kr) {
+				out = append(out, i)
+			}
+		}
+		if len(out) == 0 {
+			// Contradictory predicate: any one shard yields the correct
+			// empty (or scalar-NaN) result.
+			out = []int{0}
+		}
+		return out
+	}
+	// HashKey: only a point constraint picks a shard.
+	if !kr.LoUnbounded && !kr.HiUnbounded && !kr.LoOpen && !kr.HiOpen && storage.Compare(kr.Lo, kr.Hi) == 0 {
+		return []int{r.route(kr.Lo)}
+	}
+	return r.allShards()
+}
+
+func (r *Router) allShards() []int {
+	out := make([]int, len(r.shards))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// shardIntervalIntersects reports whether shard i's key interval
+// [Bounds[i-1], Bounds[i]) meets the predicate range.
+func (r *Router) shardIntervalIntersects(i int, kr gridfile.Range) bool {
+	if i > 0 && !kr.HiUnbounded {
+		lo, hi := r.cfg.Bounds[i-1], kr.Hi.AsFloat()
+		if hi < lo || (hi == lo && kr.HiOpen) {
+			return false
+		}
+	}
+	if i < len(r.cfg.Bounds) && !kr.LoUnbounded {
+		if kr.Lo.AsFloat() >= r.cfg.Bounds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// route maps one routing-key value to its shard.
+func (r *Router) route(v storage.Value) int {
+	if r.cfg.Strategy == RangeKey {
+		f := v.AsFloat()
+		for i, b := range r.cfg.Bounds {
+			if f < b {
+				return i
+			}
+		}
+		return len(r.shards) - 1
+	}
+	h := fnv.New64a()
+	h.Write([]byte(v.String()))
+	return int(h.Sum64() % uint64(len(r.shards)))
+}
+
+// LoadRowsByName appends rows, routing each row to its shard by the key
+// column (tables without the key column replicate the batch to every
+// shard). Shard loads run concurrently; each shard's own write lock keeps
+// its load atomic.
+func (r *Router) LoadRowsByName(table string, rows []storage.Row) error {
+	m := r.meta(table)
+	switch {
+	case m == nil:
+		return r.shards[0].LoadRowsByName(table, rows)
+	case m.keyIdx < 0:
+		return r.eachShard(func(w *hive.Warehouse) error {
+			return w.LoadRowsByName(table, rows)
+		})
+	}
+	batches := make([][]storage.Row, len(r.shards))
+	for _, row := range rows {
+		if m.keyIdx >= len(row) {
+			return fmt.Errorf("shard: row has %d columns; routing key %q is column %d", len(row), r.cfg.Key, m.keyIdx+1)
+		}
+		si := r.route(row[m.keyIdx])
+		batches[si] = append(batches[si], row)
+	}
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i := range r.shards {
+		if len(batches[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = r.shards[i].LoadRowsByName(table, batches[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// eachShard runs fn on every shard concurrently and returns the first
+// error.
+func (r *Router) eachShard(fn func(w *hive.Warehouse) error) error {
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i := range r.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(r.shards[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableVersions sums the shards' per-table mutation counters. Each shard's
+// counter only grows, so the sum only grows — the monotonicity the serving
+// layer's version-keyed result cache relies on.
+func (r *Router) TableVersions(names ...string) map[string]uint64 {
+	out := make(map[string]uint64, len(names))
+	for _, w := range r.shards {
+		for k, v := range w.TableVersions(names...) {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// TableSchema returns the named table's schema (identical on every shard by
+// DDL broadcast).
+func (r *Router) TableSchema(name string) (*storage.Schema, error) {
+	if m := r.meta(name); m != nil {
+		return m.schema, nil
+	}
+	return r.shards[0].TableSchema(name)
+}
+
+// TableInfos merges the shards' catalog snapshots: partitioned tables sum
+// sizes and versions across shards; replicated tables report shard 0's
+// numbers (each shard holds a full copy — summing would overstate the
+// logical table N-fold). The rest (schema, format, indexes) is identical
+// everywhere by DDL broadcast.
+func (r *Router) TableInfos() []hive.TableInfo {
+	infos := r.shards[0].TableInfos()
+	for _, w := range r.shards[1:] {
+		byName := map[string]hive.TableInfo{}
+		for _, o := range w.TableInfos() {
+			byName[o.Name] = o
+		}
+		for i := range infos {
+			if m := r.meta(infos[i].Name); m != nil && m.keyIdx < 0 {
+				continue
+			}
+			if o, ok := byName[infos[i].Name]; ok {
+				infos[i].SizeBytes += o.SizeBytes
+				infos[i].Version += o.Version
+			}
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// ShardSizes reports each shard's byte size of the named table, for balance
+// inspection in tests and tooling.
+func (r *Router) ShardSizes(table string) []int64 {
+	out := make([]int64, len(r.shards))
+	for i, w := range r.shards {
+		t, err := w.Table(table)
+		if err != nil {
+			continue
+		}
+		out[i] = w.TableSizeBytes(t)
+	}
+	return out
+}

@@ -1,0 +1,505 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/cluster"
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+	"github.com/smartgrid-oss/dgfindex/internal/hive"
+	"github.com/smartgrid-oss/dgfindex/internal/server"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+	"github.com/smartgrid-oss/dgfindex/internal/workload"
+)
+
+// The router must satisfy the serving layer's Backend contract.
+var _ server.Backend = (*Router)(nil)
+
+func testMeterConfig() workload.MeterConfig {
+	cfg := workload.DefaultMeterConfig()
+	cfg.Users = 40
+	cfg.Regions = 4
+	cfg.Days = 8
+	cfg.ReadingsPerDay = 2
+	cfg.OtherMetrics = 0
+	return cfg
+}
+
+func newShardWarehouse(int) *hive.Warehouse {
+	cc := cluster.Default()
+	cc.Workers = 4
+	return hive.NewWarehouse(dfs.New(1<<20), cc, "/warehouse")
+}
+
+// loader abstracts the direct warehouse and the router so one setup
+// function populates both identically.
+type loader interface {
+	Exec(sql string) (*hive.Result, error)
+	LoadRowsByName(table string, rows []storage.Row) error
+}
+
+func setupMeter(t *testing.T, l loader, cfg workload.MeterConfig, withIndex bool) {
+	t.Helper()
+	mustExec(t, l, `CREATE TABLE meterdata (userId bigint, regionId bigint, ts timestamp, powerConsumed double)`)
+	if err := l.LoadRowsByName("meterdata", cfg.AllRows()); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, l, `CREATE TABLE userInfo (userId bigint, userName string, regionId bigint, address string)`)
+	if err := l.LoadRowsByName("userInfo", cfg.UserInfoRows()); err != nil {
+		t.Fatal(err)
+	}
+	if withIndex {
+		mustExec(t, l, `CREATE INDEX idx ON TABLE meterdata(regionId, userId, ts)
+			AS 'dgf' IDXPROPERTIES ('regionId'='1_1', 'userId'='1_8',
+			'ts'='2012-12-01_1d', 'precompute'='sum(powerConsumed);count(*)')`)
+	}
+}
+
+func mustExec(t *testing.T, l loader, sql string) *hive.Result {
+	t.Helper()
+	res, err := l.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+// meterQuerySuite is the meter workload the equivalence tests replay: every
+// aggregate shape (AVG included), GROUP BY, a co-partitioned join, plain
+// projections, and predicates that match nothing.
+func meterQuerySuite(cfg workload.MeterConfig) []string {
+	qs := []string{
+		`SELECT count(*) FROM meterdata`,
+		`SELECT count(*), sum(powerConsumed), avg(powerConsumed), min(powerConsumed), max(powerConsumed) FROM meterdata WHERE userId>=5 AND userId<=30`,
+		`SELECT avg(powerConsumed) FROM meterdata WHERE userId>=1000`,
+		`SELECT sum(powerConsumed) FROM meterdata WHERE userId=7`,
+		`SELECT regionId, avg(powerConsumed), count(*) FROM meterdata WHERE ts>='2012-12-02' AND ts<'2012-12-06' GROUP BY regionId`,
+		`SELECT regionId, sum(powerConsumed) FROM meterdata WHERE userId>=3 AND userId<=25 AND regionId>=2 GROUP BY regionId`,
+		`SELECT t2.userName, sum(t1.powerConsumed) FROM meterdata t1 JOIN userInfo t2 ON t1.userId=t2.userId WHERE t1.userId>=3 AND t1.userId<=12 GROUP BY t2.userName`,
+		`SELECT userId, powerConsumed FROM meterdata WHERE userId=11 AND ts<'2012-12-03'`,
+	}
+	for _, frac := range []float64{0.01, 0.05, 0.12} {
+		qs = append(qs, "SELECT sum(powerConsumed) FROM meterdata WHERE "+cfg.Selective(frac).WhereClause())
+	}
+	qs = append(qs, "SELECT count(*) FROM meterdata WHERE "+cfg.Point().WhereClause())
+	return qs
+}
+
+// renderRows renders result rows exactly (bit-for-bit comparisons).
+func renderRows(rows []storage.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			if v.Kind == storage.KindFloat64 {
+				parts[j] = strconv.FormatFloat(v.F, 'b', -1, 64) // exact bits
+			} else {
+				parts[j] = v.String()
+			}
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	return out
+}
+
+// TestShardSingleShardByteIdentical: acceptance criterion — a 1-shard
+// router must produce byte-identical output to a bare warehouse for the
+// full meter workload, access path and cost model included.
+func TestShardSingleShardByteIdentical(t *testing.T) {
+	cfg := testMeterConfig()
+	direct := newShardWarehouse(0)
+	setupMeter(t, direct, cfg, true)
+	router, err := New(Config{Shards: 1, Key: "userId"}, newShardWarehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupMeter(t, router, cfg, true)
+
+	for _, q := range meterQuerySuite(cfg) {
+		want, err := direct.Exec(q)
+		if err != nil {
+			t.Fatalf("direct %q: %v", q, err)
+		}
+		got, err := router.Exec(q)
+		if err != nil {
+			t.Fatalf("router %q: %v", q, err)
+		}
+		if strings.Join(want.Columns, ",") != strings.Join(got.Columns, ",") {
+			t.Fatalf("%q: columns %v vs %v", q, want.Columns, got.Columns)
+		}
+		wr, gr := renderRows(want.Rows), renderRows(got.Rows)
+		if strings.Join(wr, "\n") != strings.Join(gr, "\n") {
+			t.Fatalf("%q:\ndirect: %v\nrouter: %v", q, wr, gr)
+		}
+		if want.Stats.AccessPath != got.Stats.AccessPath ||
+			want.Stats.RecordsRead != got.Stats.RecordsRead ||
+			want.Stats.BytesRead != got.Stats.BytesRead ||
+			want.Stats.SimTotalSec() != got.Stats.SimTotalSec() {
+			t.Fatalf("%q: stats differ: %+v vs %+v", q, want.Stats, got.Stats)
+		}
+	}
+}
+
+// closeRows compares rows with float tolerance (cross-shard aggregation
+// reorders float additions) and NaN treated as equal to NaN.
+func closeRows(want, got []storage.Row) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("row count %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if len(want[i]) != len(got[i]) {
+			return fmt.Errorf("row %d: width %d vs %d", i, len(want[i]), len(got[i]))
+		}
+		for j := range want[i] {
+			wv, gv := want[i][j], got[i][j]
+			if wv.Kind == storage.KindFloat64 && gv.Kind == storage.KindFloat64 {
+				if math.IsNaN(wv.F) && math.IsNaN(gv.F) {
+					continue
+				}
+				diff := math.Abs(wv.F - gv.F)
+				if diff > 1e-6+1e-9*math.Abs(wv.F) {
+					return fmt.Errorf("row %d col %d: %v vs %v", i, j, wv.F, gv.F)
+				}
+				continue
+			}
+			if storage.Compare(wv, gv) != 0 {
+				return fmt.Errorf("row %d col %d: %v vs %v", i, j, wv, gv)
+			}
+		}
+	}
+	return nil
+}
+
+// runEquivalence replays the meter suite on a direct warehouse and an
+// n-shard router and requires matching results.
+func runEquivalence(t *testing.T, cfg workload.MeterConfig, router *Router, withIndex bool) {
+	t.Helper()
+	direct := newShardWarehouse(0)
+	setupMeter(t, direct, cfg, withIndex)
+	setupMeter(t, router, cfg, withIndex)
+
+	for _, q := range meterQuerySuite(cfg) {
+		want, err := direct.Exec(q)
+		if err != nil {
+			t.Fatalf("direct %q: %v", q, err)
+		}
+		got, err := router.Exec(q)
+		if err != nil {
+			t.Fatalf("router %q: %v", q, err)
+		}
+		if strings.Join(want.Columns, ",") != strings.Join(got.Columns, ",") {
+			t.Fatalf("%q: columns %v vs %v", q, want.Columns, got.Columns)
+		}
+		if err := closeRows(want.Rows, got.Rows); err != nil {
+			t.Fatalf("%q: %v\ndirect: %v\nrouter: %v", q, err, want.Rows, got.Rows)
+		}
+		// No stats equality here: shard pruning and per-shard DGF planners
+		// (whose inner/boundary split depends on shard-local data extents)
+		// legitimately read fewer records than one big warehouse.
+	}
+}
+
+func TestShardFourWayHashEquivalence(t *testing.T) {
+	router, err := New(Config{Shards: 4, Key: "userId"}, newShardWarehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEquivalence(t, testMeterConfig(), router, true)
+	// Hash routing spreads 40 users over all 4 shards.
+	for i, size := range router.ShardSizes("meterdata") {
+		if size == 0 {
+			t.Errorf("shard %d holds no meter data", i)
+		}
+	}
+}
+
+func TestShardFourWayRangeEquivalence(t *testing.T) {
+	router, err := New(Config{Shards: 4, Key: "userId", Strategy: RangeKey, Bounds: []float64{11, 21, 31}}, newShardWarehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEquivalence(t, testMeterConfig(), router, true)
+}
+
+// TestShardScanEquivalence covers the no-index path (plain table scans per
+// shard) so the refactored aggregation pipeline is exercised without the
+// DGFIndex planner in front.
+func TestShardScanEquivalence(t *testing.T) {
+	router, err := New(Config{Shards: 3, Key: "userId"}, newShardWarehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEquivalence(t, testMeterConfig(), router, false)
+}
+
+// TestShardEmptyShards: with range routing and all keys in the first
+// bucket, three shards stay empty; scalar aggregates (AVG included) must
+// still come back correct, and empty-matching predicates must yield the
+// scalar empty-input row.
+func TestShardEmptyShards(t *testing.T) {
+	cfg := testMeterConfig()
+	cfg.Users = 9 // all users < 10: shards 1..3 hold no meter rows
+	router, err := New(Config{Shards: 4, Key: "userId", Strategy: RangeKey, Bounds: []float64{10, 20, 30}}, newShardWarehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runEquivalence(t, cfg, router, false)
+
+	sizes := router.ShardSizes("meterdata")
+	if sizes[0] == 0 || sizes[1] != 0 || sizes[2] != 0 || sizes[3] != 0 {
+		t.Fatalf("expected only shard 0 populated, got %v", sizes)
+	}
+	// A query forced across every shard still answers from the one
+	// populated shard plus three empty partials.
+	res := mustExec(t, router, `SELECT count(*), avg(powerConsumed) FROM meterdata`)
+	if n := res.Rows[0][0].AsFloat(); n != float64(cfg.Rows()) {
+		t.Fatalf("count over empty shards = %v, want %d", n, cfg.Rows())
+	}
+	if !strings.HasPrefix(res.Stats.AccessPath, "sharded(4/4)") {
+		t.Fatalf("access path %q, want sharded(4/4) fan-out", res.Stats.AccessPath)
+	}
+}
+
+// TestShardPruning: predicates on the routing key narrow the fan-out —
+// equality under hash routing, intervals under range routing.
+func TestShardPruning(t *testing.T) {
+	cfg := testMeterConfig()
+	hash, err := New(Config{Shards: 4, Key: "userId"}, newShardWarehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupMeter(t, hash, cfg, false)
+	res := mustExec(t, hash, `SELECT count(*) FROM meterdata WHERE userId=7`)
+	if !strings.HasPrefix(res.Stats.AccessPath, "sharded(1/4)") {
+		t.Fatalf("hash equality access path %q, want sharded(1/4)", res.Stats.AccessPath)
+	}
+	if n := res.Rows[0][0].AsFloat(); n != float64(cfg.Days*cfg.ReadingsPerDay) {
+		t.Fatalf("pruned count %v, want %d", n, cfg.Days*cfg.ReadingsPerDay)
+	}
+	res = mustExec(t, hash, `SELECT count(*) FROM meterdata WHERE userId>=7 AND userId<=8`)
+	if !strings.HasPrefix(res.Stats.AccessPath, "sharded(4/4)") {
+		t.Fatalf("hash range access path %q, want full fan-out", res.Stats.AccessPath)
+	}
+
+	rng, err := New(Config{Shards: 4, Key: "userId", Strategy: RangeKey, Bounds: []float64{11, 21, 31}}, newShardWarehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupMeter(t, rng, cfg, false)
+	res = mustExec(t, rng, `SELECT count(*) FROM meterdata WHERE userId>=12 AND userId<=20`)
+	if !strings.HasPrefix(res.Stats.AccessPath, "sharded(1/4)") {
+		t.Fatalf("range access path %q, want sharded(1/4)", res.Stats.AccessPath)
+	}
+	res = mustExec(t, rng, `SELECT count(*) FROM meterdata WHERE userId>=12 AND userId<=25`)
+	if !strings.HasPrefix(res.Stats.AccessPath, "sharded(2/4)") {
+		t.Fatalf("range access path %q, want sharded(2/4)", res.Stats.AccessPath)
+	}
+}
+
+// TestShardCatalogAndVersions: DDL broadcasts, catalog snapshots merge, and
+// version counters stay monotonic across routed loads.
+func TestShardCatalogAndVersions(t *testing.T) {
+	cfg := testMeterConfig()
+	router, err := New(Config{Shards: 4, Key: "userId"}, newShardWarehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupMeter(t, router, cfg, false)
+
+	infos := router.TableInfos()
+	if len(infos) != 2 || infos[0].Name != "meterdata" {
+		t.Fatalf("TableInfos: %+v", infos)
+	}
+	var total int64
+	for _, size := range router.ShardSizes("meterdata") {
+		total += size
+	}
+	if infos[0].SizeBytes != total {
+		t.Fatalf("merged size %d != shard sum %d", infos[0].SizeBytes, total)
+	}
+
+	v0 := router.TableVersions("meterdata")["meterdata"]
+	day := cfg
+	day.Days = 1
+	day.Start = cfg.Start.AddDate(0, 0, cfg.Days)
+	if err := router.LoadRowsByName("meterdata", day.AllRows()); err != nil {
+		t.Fatal(err)
+	}
+	if v1 := router.TableVersions("meterdata")["meterdata"]; v1 <= v0 {
+		t.Fatalf("version did not grow: %d -> %d", v0, v1)
+	}
+
+	if _, err := router.Exec(`DROP TABLE userInfo`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < router.NumShards(); i++ {
+		if _, err := router.Shard(i).Table("userInfo"); err == nil {
+			t.Fatalf("shard %d still has userInfo after broadcast drop", i)
+		}
+	}
+}
+
+// TestShardJoinGuard: a join on a non-key column against a key-partitioned
+// table cannot be answered shard-locally and must be rejected, not answered
+// wrong.
+func TestShardJoinGuard(t *testing.T) {
+	cfg := testMeterConfig()
+	router, err := New(Config{Shards: 2, Key: "userId"}, newShardWarehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupMeter(t, router, cfg, false)
+	_, err = router.Exec(`SELECT t2.address FROM meterdata t1 JOIN userInfo t2 ON t1.regionId=t2.regionId`)
+	if err == nil || !strings.Contains(err.Error(), "shard key") {
+		t.Fatalf("want co-partitioning error, got %v", err)
+	}
+	// INSERT OVERWRITE DIRECTORY writes shard-local files: rejected too.
+	_, err = router.Exec(`INSERT OVERWRITE DIRECTORY '/tmp/out' SELECT userId FROM meterdata`)
+	if err == nil || !strings.Contains(err.Error(), "not supported") {
+		t.Fatalf("want insert-dir rejection, got %v", err)
+	}
+}
+
+// TestShardReplicatedTables: a table without the routing key replicates to
+// every shard, and SELECTs on it answer from one shard without fan-out.
+func TestShardReplicatedTables(t *testing.T) {
+	router, err := New(Config{Shards: 3, Key: "userId"}, newShardWarehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, router, `CREATE TABLE regions (regionId bigint, name string)`)
+	rows := []storage.Row{
+		{storage.Int64(1), storage.Str("north")},
+		{storage.Int64(2), storage.Str("south")},
+	}
+	if err := router.LoadRowsByName("regions", rows); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < router.NumShards(); i++ {
+		res, err := router.Shard(i).Exec(`SELECT count(*) FROM regions`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := res.Rows[0][0].AsFloat(); n != 2 {
+			t.Fatalf("shard %d replica has %v rows, want 2", i, n)
+		}
+	}
+	res := mustExec(t, router, `SELECT count(*) FROM regions`)
+	if n := res.Rows[0][0].AsFloat(); n != 2 {
+		t.Fatalf("replicated count = %v, want 2 (no double counting)", n)
+	}
+	// Replicated tables report one copy's catalog numbers, not N copies'.
+	for _, info := range router.TableInfos() {
+		if info.Name != "regions" {
+			continue
+		}
+		tbl, err := router.Shard(0).Table("regions")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one := router.Shard(0).TableSizeBytes(tbl); info.SizeBytes != one {
+			t.Fatalf("replicated /tables size %d, want one copy's %d", info.SizeBytes, one)
+		}
+	}
+}
+
+// TestShardReplicatedJoinShardedTable: a join FROM a replicated table INTO
+// the partitioned table must scatter over every shard — answering from
+// shard 0 alone would silently drop the other shards' join rows.
+func TestShardReplicatedJoinShardedTable(t *testing.T) {
+	cfg := testMeterConfig()
+	direct := newShardWarehouse(0)
+	router, err := New(Config{Shards: 4, Key: "userId"}, newShardWarehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []loader{direct, router} {
+		setupMeter(t, l, cfg, false)
+		mustExec(t, l, `CREATE TABLE regions (regionId bigint, name string)`)
+		var rows []storage.Row
+		for rid := 1; rid <= cfg.Regions; rid++ {
+			rows = append(rows, storage.Row{storage.Int64(int64(rid)), storage.Str(fmt.Sprintf("region-%d", rid))})
+		}
+		if err := l.LoadRowsByName("regions", rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range []string{
+		`SELECT count(*) FROM regions r JOIN meterdata m ON r.regionId = m.regionId`,
+		`SELECT r.name, sum(m.powerConsumed) FROM regions r JOIN meterdata m ON r.regionId = m.regionId GROUP BY r.name`,
+	} {
+		want, err := direct.Exec(q)
+		if err != nil {
+			t.Fatalf("direct %q: %v", q, err)
+		}
+		got, err := router.Exec(q)
+		if err != nil {
+			t.Fatalf("router %q: %v", q, err)
+		}
+		if err := closeRows(want.Rows, got.Rows); err != nil {
+			t.Fatalf("%q: %v\ndirect: %v\nrouter: %v", q, err, want.Rows, got.Rows)
+		}
+		if !strings.HasPrefix(got.Stats.AccessPath, "sharded(4/4)") {
+			t.Fatalf("%q: access path %q, want full fan-out", q, got.Stats.AccessPath)
+		}
+	}
+}
+
+// TestShardServerIntegration: DGFServe's caches, invalidation and metrics
+// must work unchanged over a sharded backend.
+func TestShardServerIntegration(t *testing.T) {
+	cfg := testMeterConfig()
+	router, err := New(Config{Shards: 4, Key: "userId"}, newShardWarehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupMeter(t, router, cfg, true)
+	srv := server.NewWithBackend(router, server.Config{MaxConcurrent: 4})
+
+	const q = `SELECT sum(powerConsumed) FROM meterdata WHERE userId>=5 AND userId<=30`
+	first, err := srv.Query(context.Background(), server.Request{SQL: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(first.Result.Stats.AccessPath, "sharded(") {
+		t.Fatalf("access path %q, want sharded", first.Result.Stats.AccessPath)
+	}
+	again, err := srv.Query(context.Background(), server.Request{SQL: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatal("repeat over sharded backend should hit the result cache")
+	}
+
+	day := cfg
+	day.Days = 1
+	day.Start = cfg.Start.AddDate(0, 0, cfg.Days)
+	invalidated, err := srv.LoadRows("meterdata", day.AllRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invalidated == 0 {
+		t.Fatal("routed load did not invalidate the cached result")
+	}
+	after, err := srv.Query(context.Background(), server.Request{SQL: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached {
+		t.Fatal("post-load query served stale cache entry")
+	}
+	if snap := srv.Stats(); snap.ResultInvalidations == 0 || snap.RowsLoaded != int64(day.Rows()) {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
