@@ -108,8 +108,12 @@ type (
 	DGFPlanOptions = dgf.PlanOptions
 	// HiveIndexKind selects Compact, Aggregate or Bitmap.
 	HiveIndexKind = hiveindex.Kind
-	// Format selects TextFile or RCFile storage.
-	Format = hiveindex.Format
+	// Format selects TextFile or RCFile storage (the canonical enum of the
+	// storage layer's segment abstraction).
+	Format = storage.Format
+	// DGFSource describes the base-table records a direct (non-SQL)
+	// DGFIndex build reads: location, storage format, row-group sizing.
+	DGFSource = dgf.Source
 	// AdvisorConfig bounds SuggestPolicy, the splitting-policy advisor
 	// implementing the paper's stated future work.
 	AdvisorConfig = dgf.AdvisorConfig
@@ -139,9 +143,12 @@ const (
 	Compact   = hiveindex.Compact
 	Aggregate = hiveindex.Aggregate
 	Bitmap    = hiveindex.Bitmap
-	TextFile  = hiveindex.TextFile
-	RCFile    = hiveindex.RCFile
+	TextFile  = storage.TextFile
+	RCFile    = storage.RCFile
 )
+
+// ParseFormat reads a format name ("textfile" or "rcfile").
+var ParseFormat = storage.ParseFormat
 
 // Workload generators (the paper's evaluation datasets).
 type (

@@ -159,7 +159,7 @@ func TestSuggestedPolicyBuildsWorkingIndex(t *testing.T) {
 	}
 	spec := Spec{Name: "advised", Policy: adv.Policy,
 		Precompute: []AggSpec{{Func: AggSum, Col: "power"}}}
-	ix, _, err := Build(testCfg(), fs, kvstore.New(), spec, schema, "/tbl", "/tbl_dgf")
+	ix, _, err := Build(testCfg(), fs, kvstore.New(), spec, schema, Source{Dir: "/tbl"}, "/tbl_dgf")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,27 +26,62 @@ type BuildStats struct {
 // plus the key-value store writes.
 func (b BuildStats) SimTotalSec() float64 { return b.Job.SimTotalSec() + b.KVSimSeconds }
 
-// Build constructs a DGFIndex over the TextFile table rooted at inputDir,
-// reorganising its records into Slice files under dataDir (Algorithms 1 and
-// 2 of the paper). It returns the opened index.
+// Source describes the base-table records an index build reads: their
+// location and storage format, plus the row-group sizing the reorganised
+// data inherits when the format is columnar. It is the abstract record
+// source that keeps Build format-agnostic — the reorganised Slice files are
+// written in the same format, so an index over an RCFile table records
+// row-group-granular slices.
+type Source struct {
+	// Dir is scanned for data files when Paths is empty.
+	Dir string
+	// Paths selects explicit files.
+	Paths []string
+	// Format is the storage format of both the input files and the
+	// reorganised data (zero value: TextFile).
+	Format storage.Format
+	// GroupRows sizes the reorganised data's RCFile row groups (<= 0
+	// selects storage.DefaultRowGroupRows). Ignored for TextFile.
+	GroupRows int
+}
+
+// input builds the MapReduce input format reading the source's records.
+func (s Source) input(fs *dfs.FS, schema *storage.Schema) mapreduce.InputFormat {
+	if s.Format == storage.RCFile {
+		return &mapreduce.RCInput{FS: fs, Dir: s.Dir, Paths: s.Paths, Schema: schema}
+	}
+	return &mapreduce.TextInput{FS: fs, Dir: s.Dir, Paths: s.Paths}
+}
+
+// Build constructs a DGFIndex over the table described by src, reorganising
+// its records into Slice files under dataDir (Algorithms 1 and 2 of the
+// paper). It returns the opened index.
 //
 // The reorganisation is one MapReduce job: map standardises each record to
 // its GFUKey and emits <GFUKey, record>; each reduce task writes its groups
 // contiguously to one output file, accumulating the pre-computed header per
-// group, and puts the <GFUKey, GFUValue> pair into the key-value store.
+// group, and puts the <GFUKey, GFUValue> pair into the key-value store. The
+// output files are written through the storage package's segment writers, so
+// slice boundaries fall at line offsets for TextFile and at row-group
+// boundaries for RCFile.
 func Build(cfg *cluster.Config, fs *dfs.FS, kv *kvstore.Store, spec Spec,
-	schema *storage.Schema, inputDir, dataDir string) (*Index, *BuildStats, error) {
+	schema *storage.Schema, src Source, dataDir string) (*Index, *BuildStats, error) {
 	if err := spec.Validate(schema); err != nil {
 		return nil, nil, err
 	}
 	ix := &Index{
-		FS:      fs,
-		KV:      kv,
-		Spec:    spec,
-		Schema:  schema,
-		DataDir: dataDir,
-		minCell: make([]int64, len(spec.Policy.Dims)),
-		maxCell: make([]int64, len(spec.Policy.Dims)),
+		FS:        fs,
+		KV:        kv,
+		Spec:      spec,
+		Schema:    schema,
+		DataDir:   dataDir,
+		Format:    src.Format,
+		GroupRows: src.GroupRows,
+		minCell:   make([]int64, len(spec.Policy.Dims)),
+		maxCell:   make([]int64, len(spec.Policy.Dims)),
+	}
+	if ix.Format == storage.RCFile && ix.GroupRows <= 0 {
+		ix.GroupRows = storage.DefaultRowGroupRows
 	}
 	if err := ix.resolveColumns(); err != nil {
 		return nil, nil, err
@@ -54,7 +89,7 @@ func Build(cfg *cluster.Config, fs *dfs.FS, kv *kvstore.Store, spec Spec,
 	if err := fs.MkdirAll(dataDir); err != nil {
 		return nil, nil, err
 	}
-	stats, err := ix.runBuildJob(cfg, &mapreduce.TextInput{FS: fs, Dir: inputDir}, true)
+	stats, err := ix.runBuildJob(cfg, src.input(fs, schema), true)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -65,7 +100,9 @@ func Build(cfg *cluster.Config, fs *dfs.FS, kv *kvstore.Store, spec Spec,
 // The paper makes the timestamp a default index dimension precisely so that
 // appends only add new GFU pairs instead of rebuilding: "the time stamp
 // dimension in DGFIndex is extended and the DGFIndex construction process is
-// executed on these temporary files" (Section 4.2).
+// executed on these temporary files" (Section 4.2). The staged files are
+// always TextFile (loads stage rows as text regardless of the table format);
+// the reorganised output follows the index's format.
 func (ix *Index) Append(cfg *cluster.Config, files []string) (*BuildStats, error) {
 	return ix.runBuildJobFiles(cfg, files)
 }
@@ -129,28 +166,32 @@ func (ix *Index) runBuildJob(cfg *cluster.Config, input mapreduce.InputFormat, f
 				return nil
 			}
 			name := path.Join(ix.DataDir, fmt.Sprintf("part-%d-r-%05d", gen, task))
-			w, err := ix.FS.Create(name)
+			sw, err := storage.NewSegmentWriter(ix.FS, name, ix.Schema, ix.Format, ix.GroupRows)
 			if err != nil {
 				return err
 			}
-			tw := storage.NewTextWriter(w)
 			pairs := make(map[string][]byte, len(groups))
 			for _, g := range groups {
-				start := tw.Offset()
+				start := sw.Offset()
 				header := NewHeader(ix.Spec.Precompute)
 				for _, line := range g.Values {
 					if err := ix.foldLine(line, header); err != nil {
 						return err
 					}
-					if err := tw.WriteLine(line); err != nil {
+					if err := sw.WriteRecord(line); err != nil {
 						return err
 					}
 				}
-				end := tw.Offset()
+				// Cut at the GFU boundary so the slice covers whole
+				// addressable units (row groups for RCFile).
+				if err := sw.Cut(); err != nil {
+					return err
+				}
+				end := sw.Offset()
 				val := GFUValue{Header: header, Slices: []SliceLoc{{File: name, Start: start, End: end}}}
 				pairs[g.Key] = encodeGFUValue(val)
 			}
-			if err := tw.Close(); err != nil {
+			if err := sw.Close(); err != nil {
 				return err
 			}
 			// Merge with any existing pairs (late data for a known cell).
@@ -231,7 +272,7 @@ func (ix *Index) AddPrecompute(cfg *cluster.Config, newSpecs []AggSpec) (*mapred
 	headers := map[string]Header{}
 	job := &mapreduce.Job{
 		Name:  "dgf-addudf-" + ix.Spec.Name,
-		Input: &mapreduce.TextInput{FS: ix.FS, Dir: ix.DataDir},
+		Input: Source{Dir: ix.DataDir, Format: ix.Format}.input(ix.FS, ix.Schema),
 		Map: func(rec mapreduce.Record, emit mapreduce.Emit) error {
 			cells := make([]int64, len(next.dimCols))
 			if err := next.cellsOfLine(rec.Data, cells); err != nil {

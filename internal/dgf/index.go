@@ -24,6 +24,8 @@ const (
 	metaMaxPrefix = "meta/max/"
 	metaDataDir   = "meta/datadir"
 	metaGen       = "meta/generation"
+	metaFormat    = "meta/format"
+	metaGroupRows = "meta/grouprows"
 )
 
 // SliceLoc locates one Slice: a contiguous run of records of a single GFU
@@ -146,6 +148,12 @@ type Index struct {
 	// DataDir holds the reorganised Slice files. Queries on the indexed
 	// table read these files (the build job reorganises the base table).
 	DataDir string
+	// Format is the storage format of the reorganised data (it matches the
+	// base table's). Slice locations are line-granular for TextFile and
+	// row-group-granular for RCFile.
+	Format storage.Format
+	// GroupRows sizes the reorganised data's RCFile row groups.
+	GroupRows int
 
 	dimCols []int   // schema column index per policy dimension
 	aggCols [][]int // schema column indexes (product factors) per precompute spec; nil for count
@@ -268,6 +276,8 @@ func (ix *Index) saveMeta() {
 	ix.KV.Put(metaPolicy, encodePolicy(ix.Spec.Policy))
 	ix.KV.Put(metaPrecomp, encodeSpecs(ix.Spec.Precompute))
 	ix.KV.Put(metaDataDir, []byte(ix.DataDir))
+	ix.KV.Put(metaFormat, []byte(strings.ToLower(ix.Format.String())))
+	ix.KV.Put(metaGroupRows, []byte(strconv.Itoa(ix.GroupRows)))
 	for i := range ix.Spec.Policy.Dims {
 		ix.KV.Put(metaMinPrefix+strconv.Itoa(i), []byte(strconv.FormatInt(ix.minCell[i], 10)))
 		ix.KV.Put(metaMaxPrefix+strconv.Itoa(i), []byte(strconv.FormatInt(ix.maxCell[i], 10)))
@@ -298,6 +308,19 @@ func Open(fs *dfs.FS, kv *kvstore.Store, name string, schema *storage.Schema) (*
 		DataDir: string(dirData),
 		minCell: make([]int64, len(policy.Dims)),
 		maxCell: make([]int64, len(policy.Dims)),
+	}
+	if fData, ok := kv.Get(metaFormat); ok {
+		f, err := storage.ParseFormat(string(fData))
+		if err != nil {
+			return nil, err
+		}
+		ix.Format = f
+	}
+	if gData, ok := kv.Get(metaGroupRows); ok {
+		ix.GroupRows, err = strconv.Atoi(string(gData))
+		if err != nil {
+			return nil, fmt.Errorf("dgf: index %q has corrupt group-rows metadata %q", name, gData)
+		}
 	}
 	for i := range policy.Dims {
 		lo, ok1 := kv.Get(metaMinPrefix + strconv.Itoa(i))

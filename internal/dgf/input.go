@@ -13,19 +13,32 @@ import (
 // each chosen split the ordered list of its Slices so the record reader can
 // skip the margins between them (step 3 of the query pipeline).
 //
+// The reader is storage-format-agnostic: slices over TextFile data are read
+// line by line, slices over RCFile data open only the row groups the
+// GridFile selected, decoding only the columns the plan's projection kept
+// (column-projection pushdown).
+//
 // A Slice may stretch across two splits; in that case it is divided at the
 // boundary and the two parts are processed by the two splits' mappers,
-// exactly as Section 4.3 describes. Clip boundaries are arbitrary byte
-// positions, so the clipped sides follow Hadoop's pairing rules (the earlier
-// part owns the straddling line and any line starting exactly at the cut;
-// the later part skips through the first newline). True Slice edges are
-// exact line boundaries and use exact semantics — crucially, the reader
-// must not spill into an adjacent Slice of a GFU the plan excluded (an
-// inner GFU already answered from its header, say), or aggregation queries
-// would double count.
+// exactly as Section 4.3 describes. For TextFile, clip boundaries are
+// arbitrary byte positions, so the clipped sides follow Hadoop's pairing
+// rules (the earlier part owns the straddling line and any line starting
+// exactly at the cut; the later part skips through the first newline). True
+// Slice edges are exact line boundaries and use exact semantics — crucially,
+// the reader must not spill into an adjacent Slice of a GFU the plan
+// excluded (an inner GFU already answered from its header, say), or
+// aggregation queries would double count. For RCFile, ownership is always
+// "row group starts inside the range", which handles both true edges (always
+// group boundaries, because the build cuts groups at GFU boundaries) and
+// clip edges without special cases.
 type SliceInput struct {
 	FS   *dfs.FS
 	Plan *Plan
+	// Format is the storage format of the reorganised data files (the
+	// owning Index's Format).
+	Format storage.Format
+	// Schema decodes RCFile rows (ignored for TextFile).
+	Schema *storage.Schema
 }
 
 // clippedSlice is a slice byte range clipped to one split, remembering which
@@ -39,6 +52,9 @@ type clippedSlice struct {
 type sliceSplit struct {
 	dfs.Split
 	slices []clippedSlice // ordered by Start
+	// groupOffsets is the file's row-group index (RCFile data only),
+	// loaded once per file in Splits and shared by the file's splits.
+	groupOffsets []int64
 }
 
 // Label implements mapreduce.InputSplit.
@@ -58,6 +74,16 @@ func (in *SliceInput) Splits() ([]mapreduce.InputSplit, error) {
 		fileSplits, err := in.FS.Splits(file)
 		if err != nil {
 			return nil, err
+		}
+		var groupOffsets []int64
+		if in.Format == storage.RCFile {
+			// The side group index locates the row groups each slice owns
+			// (the model's stand-in for RCFile sync markers); one read
+			// serves every split of the file.
+			groupOffsets, err = storage.ReadGroupIndex(in.FS, file)
+			if err != nil {
+				return nil, fmt.Errorf("dgf: SliceInput: missing group index for %s: %w", file, err)
+			}
 		}
 		for _, sp := range fileSplits {
 			var own []clippedSlice
@@ -85,7 +111,7 @@ func (in *SliceInput) Splits() ([]mapreduce.InputSplit, error) {
 					ClipStart: sp.Start > 0, ClipEnd: true,
 				}}
 			}
-			out = append(out, sliceSplit{Split: sp, slices: own})
+			out = append(out, sliceSplit{Split: sp, slices: own, groupOffsets: groupOffsets})
 		}
 	}
 	return out, nil
@@ -101,18 +127,20 @@ func (in *SliceInput) Open(split mapreduce.InputSplit) (mapreduce.RecordReader, 
 	if err != nil {
 		return nil, err
 	}
-	return &sliceReader{file: r, path: s.Path, slices: s.slices}, nil
+	return &sliceReader{in: in, file: r, path: s.Path, slices: s.slices, groupOffsets: s.groupOffsets}, nil
 }
 
 // sliceReader reads the records of each Slice in turn, skipping the margin
 // between adjacent Slices; each jump across a margin counts as one seek.
 type sliceReader struct {
-	file   *dfs.FileReader
-	path   string
-	slices []clippedSlice
+	in           *SliceInput
+	file         *dfs.FileReader
+	path         string
+	slices       []clippedSlice
+	groupOffsets []int64 // RCFile only
 
 	idx       int
-	lr        *storage.LineReader
+	seg       storage.SegmentReader
 	bytesRead int64
 	seeks     int64
 	lastEnd   int64
@@ -120,7 +148,7 @@ type sliceReader struct {
 
 func (sr *sliceReader) Next() (mapreduce.Record, bool, error) {
 	for {
-		if sr.lr == nil {
+		if sr.seg == nil {
 			if sr.idx >= len(sr.slices) {
 				return mapreduce.Record{}, false, nil
 			}
@@ -130,22 +158,33 @@ func (sr *sliceReader) Next() (mapreduce.Record, bool, error) {
 				sr.seeks++ // jumping a margin between slices
 			}
 			sr.lastEnd = sl.End
-			sr.lr = storage.NewLineReaderOpts(sr.file, sl.Start, sl.End, sl.ClipStart, sl.ClipEnd)
+			sr.seg = storage.NewSegmentReader(sr.file, sr.in.Schema, sr.in.Format, sl.Start, sl.End, storage.SegmentOptions{
+				SkipFirst:    sl.ClipStart,
+				InclusiveEnd: sl.ClipEnd,
+				Project:      sr.in.Plan.Project,
+				GroupOffsets: sr.groupOffsets,
+			})
 		}
-		line, off, ok := sr.lr.Next()
+		rec, ok, err := sr.seg.Next()
+		if err != nil {
+			return mapreduce.Record{}, false, err
+		}
 		if !ok {
-			sr.bytesRead += sr.lr.BytesRead()
-			sr.lr = nil
+			sr.bytesRead += sr.seg.BytesRead()
+			sr.seg = nil
 			continue
 		}
-		return mapreduce.Record{Data: line, Path: sr.path, Offset: off}, true, nil
+		return mapreduce.Record{
+			Data: rec.Line, Row: rec.Row, Path: sr.path,
+			Offset: rec.Offset, RowInBlock: rec.RowInGroup,
+		}, true, nil
 	}
 }
 
 func (sr *sliceReader) BytesRead() int64 {
 	n := sr.bytesRead
-	if sr.lr != nil {
-		n += sr.lr.BytesRead()
+	if sr.seg != nil {
+		n += sr.seg.BytesRead()
 	}
 	return n
 }

@@ -20,6 +20,11 @@ type PlanOptions struct {
 	// DisableSliceSkip keeps split filtering but removes sub-split slice
 	// skipping: chosen splits are read in full, Compact-Index style.
 	DisableSliceSkip bool
+	// Project flags the table columns the query references, indexed by
+	// schema position. Over columnar data the slice readers then fetch
+	// only those columns' payloads; ProjectedBytes reports the resulting
+	// exact read volume. Nil (or all-true) reads full records.
+	Project []bool
 }
 
 // Plan is the outcome of Algorithm 3: the pre-aggregated inner result (for
@@ -42,11 +47,20 @@ type Plan struct {
 	InnerCells, BoundaryCells, MissingCells int64
 	// SliceBytes is the total byte volume of Slices.
 	SliceBytes int64
+	// ProjectedBytes is the byte volume a slice read with the plan's
+	// projection pushed down will actually fetch. Equal to SliceBytes for
+	// TextFile data (no pushdown) and for full-width projections; strictly
+	// lower over RCFile data when the query references a column subset.
+	// Computed exactly from the reorganised files' per-group column
+	// statistics, so cost attribution matches the readers byte for byte.
+	ProjectedBytes int64
 	// KVSimSeconds is the simulated index-access time of planning (the
 	// "read index" part of the paper's stacked bars).
 	KVSimSeconds float64
 	// DisableSliceSkip propagates the ablation flag to the input format.
 	DisableSliceSkip bool
+	// Project propagates the referenced-column set to the input format.
+	Project []bool
 }
 
 // CanPrecompute reports whether every requested aggregation is derivable
@@ -174,8 +188,69 @@ func (ix *Index) Plan(cfg *cluster.Config, ranges map[string]gridfile.Range, wan
 	for _, s := range plan.Slices {
 		plan.SliceBytes += s.Len()
 	}
+	if !fullProjection(opts.Project, ix.Schema.Len()) {
+		plan.Project = opts.Project
+	}
+	if err := ix.attributeProjectedBytes(plan); err != nil {
+		return nil, err
+	}
 	plan.KVSimSeconds = kvOps.SimSeconds(cfg)
 	return plan, nil
+}
+
+// fullProjection reports whether project keeps every one of n columns (a
+// nil projection does).
+func fullProjection(project []bool, n int) bool {
+	if project == nil {
+		return true
+	}
+	for i := 0; i < n; i++ {
+		if i >= len(project) || !project[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// attributeProjectedBytes computes Plan.ProjectedBytes: for TextFile data it
+// is the slice volume itself; for RCFile data it is derived, exactly, from
+// the per-group column statistics the build wrote next to each data file —
+// the same numbers the projected readers will report having fetched.
+func (ix *Index) attributeProjectedBytes(plan *Plan) error {
+	if ix.Format != storage.RCFile || plan.Project == nil {
+		// Full-width reads fetch the slices whole; the build's Cut
+		// invariant aligns every slice on row-group boundaries, so the
+		// slice volume already is the exact read volume — no need to
+		// touch the side statistics.
+		plan.ProjectedBytes = plan.SliceBytes
+		return nil
+	}
+	type fileStats struct {
+		offsets []int64
+		groups  []storage.GroupStat
+	}
+	cache := map[string]*fileStats{}
+	for _, sl := range plan.Slices {
+		fs, ok := cache[sl.File]
+		if !ok {
+			offsets, err := storage.ReadGroupIndex(ix.FS, sl.File)
+			if err != nil {
+				return fmt.Errorf("dgf: plan: group index for %s: %w", sl.File, err)
+			}
+			groups, err := storage.ReadColStats(ix.FS, sl.File)
+			if err != nil {
+				return fmt.Errorf("dgf: plan: column stats for %s: %w", sl.File, err)
+			}
+			fs = &fileStats{offsets: offsets, groups: groups}
+			cache[sl.File] = fs
+		}
+		lo := sort.Search(len(fs.offsets), func(i int) bool { return fs.offsets[i] >= sl.Start })
+		hi := sort.Search(len(fs.offsets), func(i int) bool { return fs.offsets[i] >= sl.End })
+		for g := lo; g < hi && g < len(fs.groups); g++ {
+			plan.ProjectedBytes += fs.groups[g].ProjectedSize(plan.Project)
+		}
+	}
+	return nil
 }
 
 func lookupRange(ranges map[string]gridfile.Range, name string) (gridfile.Range, bool) {

@@ -55,6 +55,13 @@ type ExecOptions struct {
 	Dgf dgf.PlanOptions
 }
 
+// IsZero reports whether the options request default behaviour — the case
+// the serving layer's result cache keys can safely represent. (PlanOptions
+// carries a slice, so ExecOptions is not comparable with ==.)
+func (o ExecOptions) IsZero() bool {
+	return !o.DisableIndexes && !o.Dgf.DisablePrecompute && !o.Dgf.DisableSliceSkip && o.Dgf.Project == nil
+}
+
 // Exec parses and executes one HiveQL statement.
 func (w *Warehouse) Exec(sql string) (*Result, error) {
 	return w.ExecOpts(sql, ExecOptions{})
@@ -168,11 +175,11 @@ func (w *Warehouse) execCreateIndexLocked(s *CreateIndexStmt) (*Result, error) {
 func (w *Warehouse) createHiveIndexLocked(t *Table, s *CreateIndexStmt, kind hiveindex.Kind) (*Result, error) {
 	format := t.Format
 	if f, ok := s.Props["format"]; ok {
-		if strings.EqualFold(f, "rcfile") {
-			format = hiveindex.RCFile
-		} else {
-			format = hiveindex.TextFile
+		pf, err := storage.ParseFormat(f)
+		if err != nil {
+			return nil, fmt.Errorf("hive: IDXPROPERTIES 'format'=%q: %w", f, err)
 		}
+		format = pf
 	}
 	ix, sec, err := w.buildHiveIndexStatsLocked(t, s.Name, kind, s.Cols, format)
 	if err != nil {
@@ -252,11 +259,15 @@ func (w *Warehouse) selectPartialLocked(stmt *SelectStmt, opts ExecOptions) (*Pa
 			// (the paper's "non-aggregation" cases): scan all related GFUs.
 			want = nil
 		}
-		plan, err = q.left.Dgf.Plan(w.Cluster, q.leftRanges, want, opts.Dgf)
+		// Push the SELECT's referenced-column set into the planner so
+		// columnar slice reads fetch only those payloads.
+		planOpts := opts.Dgf
+		planOpts.Project = q.projection()
+		plan, err = q.left.Dgf.Plan(w.Cluster, q.leftRanges, want, planOpts)
 		if err != nil {
 			return nil, err
 		}
-		input = &dgf.SliceInput{FS: w.FS, Plan: plan}
+		input = &dgf.SliceInput{FS: w.FS, Plan: plan, Format: q.left.Dgf.Format, Schema: q.left.Schema}
 		stats.IndexSimSec += plan.KVSimSeconds
 		stats.AccessPath = "dgfindex"
 		if plan.Aggregation {
@@ -300,6 +311,9 @@ func (w *Warehouse) selectPartialLocked(stmt *SelectStmt, opts ExecOptions) (*Pa
 		if err != nil {
 			return nil, err
 		}
+		if rc, ok := input.(*mapreduce.RCInput); ok {
+			rc.Project = q.projection()
+		}
 		stats.AccessPath = "index:" + ix.Name
 	default:
 		input, stats.AccessPath, err = q.scanInput(w)
@@ -338,7 +352,7 @@ func (w *Warehouse) selectPartialLocked(stmt *SelectStmt, opts ExecOptions) (*Pa
 func (q *compiledQuery) scanInput(w *Warehouse) (mapreduce.InputFormat, string, error) {
 	if q.left.PartitionBy == "" {
 		if q.left.Format == hiveindex.RCFile {
-			return &mapreduce.RCInput{FS: w.FS, Dir: q.left.Dir, Schema: q.left.Schema}, "scan", nil
+			return &mapreduce.RCInput{FS: w.FS, Dir: q.left.Dir, Schema: q.left.Schema, Project: q.projection()}, "scan", nil
 		}
 		return &mapreduce.TextInput{FS: w.FS, Dir: q.left.Dir}, "scan", nil
 	}
@@ -352,7 +366,7 @@ func (q *compiledQuery) scanInput(w *Warehouse) (mapreduce.InputFormat, string, 
 	}
 	label := fmt.Sprintf("scan(partitions %d/%d)", kept, total)
 	if q.left.Format == hiveindex.RCFile {
-		return &mapreduce.RCInput{FS: w.FS, Paths: files, Schema: q.left.Schema}, label, nil
+		return &mapreduce.RCInput{FS: w.FS, Paths: files, Schema: q.left.Schema, Project: q.projection()}, label, nil
 	}
 	return &mapreduce.TextInput{FS: w.FS, Paths: files}, label, nil
 }
@@ -445,9 +459,15 @@ func (w *Warehouse) runQueryJob(q *compiledQuery, input mapreduce.InputFormat, p
 
 	leftSchema := q.left.Schema
 	job.Map = func(rec mapreduce.Record, emit mapreduce.Emit) error {
-		leftRow, err := storage.DecodeTextRow(leftSchema, string(rec.Data))
-		if err != nil {
-			return err
+		// Columnar readers deliver decoded (possibly projected) rows; text
+		// readers deliver encoded lines.
+		leftRow := rec.Row
+		if leftRow == nil {
+			var err error
+			leftRow, err = storage.DecodeTextRow(leftSchema, string(rec.Data))
+			if err != nil {
+				return err
+			}
 		}
 		if q.right == nil {
 			for _, f := range q.filters {
@@ -602,8 +622,10 @@ func (q *compiledQuery) emitRow(l, r storage.Row, rec mapreduce.Record, emit map
 	for i, it := range q.items {
 		out[i] = it.expr(l, r)
 	}
-	// Keyed by source position so output order is deterministic.
-	emit(fmt.Sprintf("%s:%012d", rec.Path, rec.Offset), []byte(storage.EncodeTextRow(out)))
+	// Keyed by source position so output order is deterministic. RCFile
+	// records share their row group's offset, so the in-group row position
+	// breaks the tie (it is 0 for every text record).
+	emit(fmt.Sprintf("%s:%012d:%06d", rec.Path, rec.Offset, rec.RowInBlock), []byte(storage.EncodeTextRow(out)))
 }
 
 func (q *compiledQuery) combinePartials(key string, values [][]byte) [][]byte {

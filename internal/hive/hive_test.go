@@ -10,6 +10,8 @@ import (
 
 	"github.com/smartgrid-oss/dgfindex/internal/cluster"
 	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+	"github.com/smartgrid-oss/dgfindex/internal/dgf"
+	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
 	"github.com/smartgrid-oss/dgfindex/internal/storage"
 )
 
@@ -491,4 +493,143 @@ func TestStatsBreakdown(t *testing.T) {
 	if st.Wall <= 0 {
 		t.Error("wall time missing")
 	}
+}
+
+// setupMeterTableFormat is setupMeterTable with an explicit storage clause
+// and row-group sizing (small groups so RCFile slices span several).
+func setupMeterTableFormat(t *testing.T, w *Warehouse, users, regions, days int, stored string) []storage.Row {
+	t.Helper()
+	mustExec(t, w, fmt.Sprintf(`CREATE TABLE meterdata (userId bigint, regionId bigint,
+		ts timestamp, powerConsumed double) STORED AS %s`, stored))
+	rows := meterRows(users, regions, days)
+	tbl, _ := w.Table("meterdata")
+	tbl.RowGroupRows = 16
+	if err := w.LoadRows(tbl, rows); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// renderExact renders result rows with exact float bits for bit-identity
+// comparisons across storage formats.
+func renderExact(rows []storage.Row) string {
+	var b strings.Builder
+	for _, r := range rows {
+		for j, v := range r {
+			if j > 0 {
+				b.WriteByte('|')
+			}
+			if v.Kind == storage.KindFloat64 {
+				fmt.Fprintf(&b, "%x", v.F)
+			} else {
+				b.WriteString(v.String())
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestDgfOnRCFileBitIdentical is the acceptance criterion of the
+// format-agnostic index I/O refactor: CREATE INDEX ... 'dgf' succeeds on a
+// STORED AS RCFILE table, every index-guided query answers bit-identically
+// to the TextFile equivalent, and queries projecting a column subset read
+// strictly fewer bytes from the RCFile layout.
+func TestDgfOnRCFileBitIdentical(t *testing.T) {
+	textW := testWarehouse(1 << 14)
+	setupMeterTableFormat(t, textW, 40, 4, 8, "TEXTFILE")
+	createDgf(t, textW)
+	rcW := testWarehouse(1 << 14)
+	setupMeterTableFormat(t, rcW, 40, 4, 8, "RCFILE")
+	createDgf(t, rcW) // must succeed on the RCFile table
+
+	queries := []string{
+		`SELECT sum(powerConsumed) FROM meterdata WHERE userId>=5 AND userId<=30`,
+		`SELECT count(*), sum(powerConsumed), avg(powerConsumed), min(powerConsumed), max(powerConsumed) FROM meterdata WHERE userId>=3 AND userId<=37`,
+		`SELECT sum(powerConsumed) FROM meterdata WHERE userId=7`,
+		`SELECT regionId, avg(powerConsumed), count(*) FROM meterdata WHERE ts>='2012-12-02' AND ts<'2012-12-06' GROUP BY regionId`,
+		`SELECT userId, powerConsumed FROM meterdata WHERE userId=11 AND ts<'2012-12-03'`,
+		`SELECT count(*) FROM meterdata WHERE userId>=1000`,
+		`SELECT * FROM meterdata WHERE userId=19 AND ts='2012-12-04'`,
+	}
+	var projectingLower bool
+	for _, q := range queries {
+		wantRes := mustExec(t, textW, q)
+		gotRes := mustExec(t, rcW, q)
+		if !strings.HasPrefix(wantRes.Stats.AccessPath, "dgfindex") ||
+			!strings.HasPrefix(gotRes.Stats.AccessPath, "dgfindex") {
+			t.Fatalf("%q: access paths %q vs %q, want dgfindex on both", q, wantRes.Stats.AccessPath, gotRes.Stats.AccessPath)
+		}
+		if want, got := renderExact(wantRes.Rows), renderExact(gotRes.Rows); want != got {
+			t.Fatalf("%q: results differ\ntext:\n%s\nrcfile:\n%s", q, want, got)
+		}
+		if wantRes.Stats.RecordsRead != gotRes.Stats.RecordsRead {
+			t.Errorf("%q: records read differ: %d vs %d", q, wantRes.Stats.RecordsRead, gotRes.Stats.RecordsRead)
+		}
+		if gotRes.Stats.BytesRead < wantRes.Stats.BytesRead && wantRes.Stats.RecordsRead > 0 {
+			projectingLower = true
+		}
+	}
+	if !projectingLower {
+		t.Error("no projecting query read fewer bytes over RCFile than over TextFile")
+	}
+
+	// Plan-level check of the same criterion: a column-subset aggregation
+	// attributes strictly fewer projected bytes over RCFile.
+	textT, _ := textW.Table("meterdata")
+	rcT, _ := rcW.Table("meterdata")
+	ranges := map[string]gridfile.Range{
+		"userId": {Lo: storage.Int64(5), Hi: storage.Int64(30)},
+	}
+	project := []bool{true, false, false, true} // userId + powerConsumed
+	wantAggs := []dgf.AggSpec{{Func: dgf.AggSum, Col: "powerconsumed"}}
+	textPlan, err := textT.Dgf.Plan(textW.Cluster, ranges, wantAggs, dgf.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcPlan, err := rcT.Dgf.Plan(rcW.Cluster, ranges, wantAggs, dgf.PlanOptions{Project: project})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcPlan.ProjectedBytes <= 0 || rcPlan.ProjectedBytes >= textPlan.ProjectedBytes {
+		t.Errorf("rc plan projected bytes = %d, want strictly below text %d",
+			rcPlan.ProjectedBytes, textPlan.ProjectedBytes)
+	}
+}
+
+// TestLoadRowsThroughDgfAppendRCFile: incremental loads into an indexed
+// RCFile table flow through the append pipeline and stay queryable.
+func TestLoadRowsThroughDgfAppendRCFile(t *testing.T) {
+	w := testWarehouse(1 << 14)
+	rows := setupMeterTableFormat(t, w, 20, 2, 2, "RCFILE")
+	createDgf(t, w)
+	tbl, _ := w.Table("meterdata")
+	extra := meterRows(20, 2, 1)
+	if err := w.LoadRows(tbl, extra); err != nil {
+		t.Fatal(err)
+	}
+	all := mustExec(t, w, `SELECT count(*) FROM meterdata`)
+	if int(all.Rows[0][0].F) != len(rows)+len(extra) {
+		t.Errorf("post-append count = %v, want %d", all.Rows[0][0].F, len(rows)+len(extra))
+	}
+}
+
+// TestCreateIndexBadFormatProperty: an unknown 'format' index property must
+// fail naming the accepted values instead of silently building TextFile.
+func TestCreateIndexBadFormatProperty(t *testing.T) {
+	w := testWarehouse(1 << 16)
+	setupMeterTable(t, w, 10, 2, 2)
+	_, err := w.Exec(`CREATE INDEX ic ON TABLE meterdata(userId) AS 'compact'
+		IDXPROPERTIES ('format'='orcfile')`)
+	if err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if !strings.Contains(err.Error(), "orcfile") || !strings.Contains(err.Error(), "textfile") || !strings.Contains(err.Error(), "rcfile") {
+		t.Errorf("error %q does not name the bad value and the accepted values", err)
+	}
+	// The accepted spellings still work.
+	mustExec(t, w, `CREATE INDEX ic ON TABLE meterdata(userId) AS 'compact'
+		IDXPROPERTIES ('format'='rcfile')`)
+	mustExec(t, w, `CREATE INDEX ic2 ON TABLE meterdata(regionId) AS 'compact'
+		IDXPROPERTIES ('format'='TextFile')`)
 }

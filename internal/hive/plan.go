@@ -70,12 +70,30 @@ type compiledQuery struct {
 	joinRight  int // join column index in right schema
 	filters    []cfilter
 	leftRanges map[string]gridfile.Range
-	items      []compiledItem
-	groupBy    []cexpr
-	groupKinds []storage.Kind
-	aggs       []*compiledAgg
-	slotFuncs  []dgf.AggFunc // accumulator vector layout
-	isAgg      bool
+	// leftRefCols flags every left-schema column the query references
+	// (filters, projections, group keys, aggregate arguments, join key) —
+	// the set pushed down into columnar readers.
+	leftRefCols map[int]bool
+	items       []compiledItem
+	groupBy     []cexpr
+	groupKinds  []storage.Kind
+	aggs        []*compiledAgg
+	slotFuncs   []dgf.AggFunc // accumulator vector layout
+	isAgg       bool
+}
+
+// projection renders the referenced-column set as a schema-aligned flag
+// slice for columnar readers, or nil when the query touches every column
+// (projection pushdown would then buy nothing).
+func (q *compiledQuery) projection() []bool {
+	if len(q.leftRefCols) >= q.left.Schema.Len() {
+		return nil
+	}
+	out := make([]bool, q.left.Schema.Len())
+	for i := range out {
+		out[i] = q.leftRefCols[i]
+	}
+	return out
 }
 
 // compile resolves names, folds the WHERE conjunction into per-column
@@ -86,10 +104,11 @@ func (w *Warehouse) compile(stmt *SelectStmt) (*compiledQuery, error) {
 		return nil, err
 	}
 	q := &compiledQuery{
-		stmt:       stmt,
-		left:       left,
-		leftRef:    stmt.From,
-		leftRanges: map[string]gridfile.Range{},
+		stmt:        stmt,
+		left:        left,
+		leftRef:     stmt.From,
+		leftRanges:  map[string]gridfile.Range{},
+		leftRefCols: map[int]bool{},
 	}
 	if stmt.Join != nil {
 		right, err := w.tableLocked(stmt.Join.Table.Table)
@@ -158,6 +177,9 @@ func (q *compiledQuery) resolveCol(c ColRef) (side, int, storage.Kind, error) {
 	tryRight := q.right != nil && q.rightRef.Matches(c.Qualifier)
 	if tryLeft {
 		if i := q.left.Schema.ColIndex(c.Name); i >= 0 {
+			if q.leftRefCols != nil {
+				q.leftRefCols[i] = true
+			}
 			return sideLeft, i, q.left.Schema.Col(i).Kind, nil
 		}
 	}
@@ -303,6 +325,7 @@ func (q *compiledQuery) compileItem(item SelectItem) error {
 	// SELECT * expands to all columns.
 	if c, ok := item.Expr.(ColRef); ok && c.Name == "*" {
 		for i, col := range q.left.Schema.Cols {
+			q.leftRefCols[i] = true
 			q.items = append(q.items, compiledItem{
 				name: col.Name, groupIdx: -1, expr: colExpr(sideLeft, i), kind: col.Kind,
 			})

@@ -438,12 +438,13 @@ func (w *Warehouse) buildDgfIndexLocked(t *Table, spec dgf.Spec) (*dgf.BuildStat
 	if t.PartitionBy != "" {
 		return nil, fmt.Errorf("hive: table %q is partitioned; the experiments assume unpartitioned tables (paper Section 5.2: \"we suppose that there is no partitions\")", t.Name)
 	}
-	if t.Format != hiveindex.TextFile {
-		return nil, fmt.Errorf("hive: DGFIndex currently supports TextFile tables (paper Section 5.3.1); %q is %s", t.Name, t.Format)
-	}
+	// The paper restricts builds to TextFile tables (Section 5.3.1); the
+	// segment abstraction lifts that: an RCFile table's index records
+	// row-group-granular slices and its reads push column projections down.
 	kv := kvstore.New()
 	dataDir := t.Dir + "_dgf"
-	ix, stats, err := dgf.Build(w.Cluster, w.FS, kv, spec, t.Schema, t.Dir, dataDir)
+	src := dgf.Source{Dir: t.Dir, Format: t.Format, GroupRows: t.RowGroupRows}
+	ix, stats, err := dgf.Build(w.Cluster, w.FS, kv, spec, t.Schema, src, dataDir)
 	if err != nil {
 		return nil, err
 	}

@@ -62,22 +62,16 @@ func (k Kind) String() string {
 	}
 }
 
-// Format selects the file format of a table (base or index).
-type Format uint8
+// Format selects the file format of a table (base or index). The canonical
+// enum lives in the storage package (the segment abstraction dispatches on
+// it); the alias keeps this package's historical names working.
+type Format = storage.Format
 
 // Supported table formats.
 const (
-	TextFile Format = iota
-	RCFile
+	TextFile = storage.TextFile
+	RCFile   = storage.RCFile
 )
-
-// String names the format like the paper's tables do.
-func (f Format) String() string {
-	if f == RCFile {
-		return "RCFile"
-	}
-	return "TextFile"
-}
 
 // Options configures an index build.
 type Options struct {

@@ -109,6 +109,10 @@ type RCInput struct {
 	// RowFilter, when set, skips rows by their position in the group
 	// (Bitmap Index row filtering).
 	RowFilter func(path string, offset int64, row int) bool
+	// Project, when set, fetches only the flagged columns' payloads
+	// (column-projection pushdown). Records then carry only the decoded
+	// Row — with zero values in unprojected cells — and a nil Data.
+	Project []bool
 }
 
 // Splits implements InputFormat.
@@ -183,9 +187,16 @@ func (t *rcReader) Next() (Record, bool, error) {
 			if t.in.RowFilter != nil && !t.in.RowFilter(t.path, t.group.Offset, i) {
 				continue
 			}
-			t.encoded = storage.AppendTextRow(t.encoded[:0], t.rows[i])
-			data := t.encoded[:len(t.encoded)-1] // strip '\n'
-			return Record{Data: data, Path: t.path, Offset: t.group.Offset, RowInBlock: i}, true, nil
+			rec := Record{Row: t.rows[i], Path: t.path, Offset: t.group.Offset, RowInBlock: i}
+			if t.in.Project == nil {
+				// Full-width reads also carry the text rendering, which
+				// index-construction mappers field-extract from. Projected
+				// reads cannot: the encoding would misrepresent the
+				// skipped columns.
+				t.encoded = storage.AppendTextRow(t.encoded[:0], t.rows[i])
+				rec.Data = t.encoded[:len(t.encoded)-1] // strip '\n'
+			}
+			return rec, true, nil
 		}
 		// Advance to the next owned group, honouring the group filter.
 		var off int64 = -1
@@ -201,15 +212,15 @@ func (t *rcReader) Next() (Record, bool, error) {
 		if off < 0 {
 			return Record{}, false, nil
 		}
-		g, err := storage.ReadGroupAt(t.r, off)
+		g, read, err := storage.ReadGroupProjected(t.r, off, t.in.Project)
 		if err != nil {
 			return Record{}, false, err
 		}
-		rows, err := g.DecodeRows(t.schema)
+		rows, err := g.DecodeRowsProjected(t.schema, t.in.Project)
 		if err != nil {
 			return Record{}, false, err
 		}
-		t.bytesRead += g.Size
+		t.bytesRead += read
 		t.group, t.rows, t.nextRow = g, rows, 0
 	}
 }

@@ -20,13 +20,20 @@ import (
 	"time"
 
 	"github.com/smartgrid-oss/dgfindex/internal/cluster"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
 )
 
 // Record is one input record presented to a map function.
 type Record struct {
 	// Data is the record payload (a text line for TextFile input; an
-	// encoded row for RCFile input).
+	// encoded row for RCFile input). Columnar readers with a column
+	// projection pushed down leave Data nil — the partial record only
+	// exists in decoded form.
 	Data []byte
+	// Row is the decoded record, when the input format decodes rows anyway
+	// (RCFile readers). Map functions should prefer it over re-parsing
+	// Data; cells of columns excluded by a projection hold zero values.
+	Row storage.Row
 	// Path is the input file the record came from (INPUT_FILE_NAME in
 	// Hive's index-population query, Listing 1 of the paper).
 	Path string

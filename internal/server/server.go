@@ -340,7 +340,7 @@ func (s *Server) Query(ctx context.Context, req Request) (*Response, error) {
 	// (SHOW TABLES, DESCRIBE) reference no versioned table — caching them
 	// could serve a stale catalog — and they cost nothing to re-run.
 	_, isSelect := stmt.(*hive.SelectStmt)
-	cacheable := readOnly && isSelect && !req.NoCache && req.Opts == (hive.ExecOptions{}) && s.cfg.CacheEntries > 0
+	cacheable := readOnly && isSelect && !req.NoCache && req.Opts.IsZero() && s.cfg.CacheEntries > 0
 
 	// Result cache. The key carries the read tables' versions as of *before*
 	// execution: versions only grow, so a hit proves no mutation happened

@@ -45,7 +45,13 @@ type loader interface {
 
 func setupMeter(t *testing.T, l loader, cfg workload.MeterConfig, withIndex bool) {
 	t.Helper()
-	mustExec(t, l, `CREATE TABLE meterdata (userId bigint, regionId bigint, ts timestamp, powerConsumed double)`)
+	setupMeterStored(t, l, cfg, withIndex, "TEXTFILE")
+}
+
+// setupMeterStored is setupMeter with an explicit meterdata storage format.
+func setupMeterStored(t *testing.T, l loader, cfg workload.MeterConfig, withIndex bool, stored string) {
+	t.Helper()
+	mustExec(t, l, `CREATE TABLE meterdata (userId bigint, regionId bigint, ts timestamp, powerConsumed double) STORED AS `+stored)
 	if err := l.LoadRowsByName("meterdata", cfg.AllRows()); err != nil {
 		t.Fatal(err)
 	}
@@ -501,5 +507,69 @@ func TestShardServerIntegration(t *testing.T) {
 	defer cancel()
 	if err := srv.Close(ctx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestShardRCFileEquivalence: the format-agnostic index I/O path composed
+// with scatter-gather. The broadcast CREATE INDEX builds a per-shard
+// DGFIndex over each shard's RCFile slice; the full meter suite must then
+// answer bit-identically to the same 4-shard fleet backed by TextFile (the
+// storage format must not change a single result bit) and match the 1-shard
+// TextFile answer within float-merge tolerance.
+func TestShardRCFileEquivalence(t *testing.T) {
+	cfg := testMeterConfig()
+	mkRouter := func(stored string) *Router {
+		router, err := New(Config{Shards: 4, Key: "userId"}, newShardWarehouse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		setupMeterStored(t, router, cfg, true, stored)
+		return router
+	}
+	textRouter := mkRouter("TEXTFILE")
+	rcRouter := mkRouter("RCFILE")
+	oneShard, err := New(Config{Shards: 1, Key: "userId"}, newShardWarehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupMeterStored(t, oneShard, cfg, true, "TEXTFILE")
+
+	// Every shard must actually hold an RCFile-backed DGFIndex.
+	for i := 0; i < rcRouter.NumShards(); i++ {
+		tbl, err := rcRouter.Shard(i).Table("meterdata")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.Dgf == nil {
+			t.Fatalf("shard %d has no DGFIndex", i)
+		}
+		if tbl.Dgf.Format != storage.RCFile {
+			t.Fatalf("shard %d index format = %v, want RCFile", i, tbl.Dgf.Format)
+		}
+	}
+
+	for _, q := range meterQuerySuite(cfg) {
+		want, err := textRouter.Exec(q)
+		if err != nil {
+			t.Fatalf("text router %q: %v", q, err)
+		}
+		got, err := rcRouter.Exec(q)
+		if err != nil {
+			t.Fatalf("rc router %q: %v", q, err)
+		}
+		if strings.Join(want.Columns, ",") != strings.Join(got.Columns, ",") {
+			t.Fatalf("%q: columns %v vs %v", q, want.Columns, got.Columns)
+		}
+		wr, gr := renderRows(want.Rows), renderRows(got.Rows)
+		if strings.Join(wr, "\n") != strings.Join(gr, "\n") {
+			t.Fatalf("%q: formats disagree\ntext: %v\nrcfile: %v", q, wr, gr)
+		}
+		base, err := oneShard.Exec(q)
+		if err != nil {
+			t.Fatalf("1-shard %q: %v", q, err)
+		}
+		if err := closeRows(base.Rows, got.Rows); err != nil {
+			t.Fatalf("%q vs 1-shard TextFile: %v\nwant: %v\ngot: %v", q, err, base.Rows, got.Rows)
+		}
 	}
 }

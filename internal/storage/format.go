@@ -1,0 +1,42 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format selects the on-disk layout of a table's data files. It is the
+// canonical format enum of the whole stack: the warehouse catalog, the index
+// builders and the segment abstraction all share it, so the index I/O path
+// stays storage-format-agnostic.
+type Format uint8
+
+// Supported table formats.
+const (
+	// TextFile stores delimited lines; every line is addressable by its
+	// byte offset (Hive's default format, the paper's base-table format).
+	TextFile Format = iota
+	// RCFile stores row groups with column-major payloads; the addressable
+	// unit is the row group (offset) plus the row's position within it.
+	RCFile
+)
+
+// String names the format like the paper's tables do.
+func (f Format) String() string {
+	if f == RCFile {
+		return "RCFile"
+	}
+	return "TextFile"
+}
+
+// ParseFormat reads a format name ("textfile" or "rcfile", case-insensitive).
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "textfile", "text":
+		return TextFile, nil
+	case "rcfile", "rc":
+		return RCFile, nil
+	default:
+		return 0, fmt.Errorf("storage: unknown format %q (accepted values: textfile, rcfile)", s)
+	}
+}

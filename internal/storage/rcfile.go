@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"strings"
 
 	"github.com/smartgrid-oss/dgfindex/internal/dfs"
 )
@@ -41,6 +42,7 @@ type RCWriter struct {
 	pending      int      // rows buffered
 	off          int64    // file offset of the next group to be flushed
 	groupOffsets []int64
+	groupStats   []GroupStat
 }
 
 // NewRCWriter creates a writer; groupRows <= 0 selects DefaultRowGroupRows.
@@ -94,13 +96,16 @@ func (w *RCWriter) flushGroup() error {
 	buf.Write(tmp[:n])
 	n = binary.PutUvarint(tmp[:], uint64(len(w.cols)))
 	buf.Write(tmp[:n])
+	stat := GroupStat{Rows: w.pending, ColLens: make([]int64, len(w.cols))}
 	for i := range w.cols {
 		n = binary.PutUvarint(tmp[:], uint64(len(w.cols[i])))
 		buf.Write(tmp[:n])
 		buf.Write(w.cols[i])
+		stat.ColLens[i] = int64(len(w.cols[i]))
 		w.cols[i] = w.cols[i][:0]
 	}
 	w.groupOffsets = append(w.groupOffsets, w.off)
+	w.groupStats = append(w.groupStats, stat)
 	if _, err := w.w.Write(buf.Bytes()); err != nil {
 		return err
 	}
@@ -109,8 +114,17 @@ func (w *RCWriter) flushGroup() error {
 	return nil
 }
 
+// Flush ends the current row group so that the next written row starts a new
+// one; a writer with no buffered rows is left untouched. Index builders call
+// this at slice boundaries so that every slice covers whole row groups.
+func (w *RCWriter) Flush() error { return w.flushGroup() }
+
 // GroupOffsets returns the start offsets of the groups flushed so far.
 func (w *RCWriter) GroupOffsets() []int64 { return w.groupOffsets }
+
+// GroupStats returns the per-group row counts and column payload sizes of
+// the groups flushed so far.
+func (w *RCWriter) GroupStats() []GroupStat { return w.groupStats }
 
 // Close flushes the final partial group and closes the file.
 func (w *RCWriter) Close() error {
@@ -128,10 +142,14 @@ type RowGroup struct {
 	columns [][]byte // raw column payloads; values split lazily
 }
 
-// Column returns the text values of column i, one per row.
+// Column returns the text values of column i, one per row. Column panics for
+// a column skipped by a projected read; use DecodeRowsProjected instead.
 func (g *RowGroup) Column(i int) []string {
 	if g.Rows == 0 {
 		return nil
+	}
+	if g.columns[i] == nil {
+		panic(fmt.Sprintf("storage: column %d was not read (projected row group)", i))
 	}
 	payload := g.columns[i]
 	out := make([]string, 0, g.Rows)
@@ -147,14 +165,28 @@ func (g *RowGroup) Column(i int) []string {
 
 // DecodeRows materialises all rows of the group using the schema.
 func (g *RowGroup) DecodeRows(schema *Schema) ([]Row, error) {
+	return g.DecodeRowsProjected(schema, nil)
+}
+
+// DecodeRowsProjected materialises the group's rows, decoding only the
+// columns whose project flag is set (nil keeps every column). Cells of
+// unprojected columns carry the column kind's zero value — callers that push
+// a projection down promise never to read them.
+func (g *RowGroup) DecodeRowsProjected(schema *Schema, project []bool) ([]Row, error) {
 	cols := make([][]string, schema.Len())
 	for i := range cols {
-		cols[i] = g.Column(i)
+		if project == nil || (i < len(project) && project[i]) {
+			cols[i] = g.Column(i)
+		}
 	}
 	rows := make([]Row, g.Rows)
 	for r := 0; r < g.Rows; r++ {
 		row := make(Row, schema.Len())
 		for c := 0; c < schema.Len(); c++ {
+			if cols[c] == nil {
+				row[c] = ZeroValue(schema.Col(c).Kind)
+				continue
+			}
 			v, err := ParseValue(schema.Col(c).Kind, cols[c][r])
 			if err != nil {
 				return nil, err
@@ -190,12 +222,12 @@ func (rc *RCReader) Next() (g *RowGroup, ok bool, err error) {
 	if rc.pos >= rc.end || rc.pos >= rc.r.Size() {
 		return nil, false, nil
 	}
-	g, size, err := readGroupAt(rc.r, rc.pos)
+	g, read, err := ReadGroupProjected(rc.r, rc.pos, nil)
 	if err != nil {
 		return nil, false, err
 	}
-	rc.bytesRead += size
-	rc.pos += size
+	rc.bytesRead += read
+	rc.pos += g.Size
 	return g, true, nil
 }
 
@@ -204,11 +236,16 @@ func (rc *RCReader) BytesRead() int64 { return rc.bytesRead }
 
 // ReadGroupAt decodes the single row group starting at offset.
 func ReadGroupAt(r *dfs.FileReader, offset int64) (*RowGroup, error) {
-	g, _, err := readGroupAt(r, offset)
+	g, _, err := ReadGroupProjected(r, offset, nil)
 	return g, err
 }
 
-func readGroupAt(r *dfs.FileReader, offset int64) (*RowGroup, int64, error) {
+// ReadGroupProjected decodes the row group starting at offset, fetching only
+// the payloads of the columns whose project flag is set (nil fetches all).
+// The second return value is the logical byte volume the read consumed: the
+// group header and every column's length varint are always paid, skipped
+// payloads are not. With a nil projection it equals the group's encoded size.
+func ReadGroupProjected(r *dfs.FileReader, offset int64, project []bool) (*RowGroup, int64, error) {
 	// Read the header conservatively, then the column payloads exactly.
 	hdr := make([]byte, 64)
 	n, err := r.ReadAt(hdr, offset)
@@ -236,6 +273,7 @@ func readGroupAt(r *dfs.FileReader, offset int64) (*RowGroup, int64, error) {
 
 	g := &RowGroup{Offset: offset, Rows: int(rowCount), columns: make([][]byte, colCount)}
 	pos := offset + int64(p)
+	read := int64(p)
 	for c := 0; c < int(colCount); c++ {
 		var lenBuf [binary.MaxVarintLen64]byte
 		n, err := r.ReadAt(lenBuf[:], pos)
@@ -247,6 +285,13 @@ func readGroupAt(r *dfs.FileReader, offset int64) (*RowGroup, int64, error) {
 			return nil, 0, fmt.Errorf("storage: bad rcfile column %d length", c)
 		}
 		pos += int64(w)
+		read += int64(w)
+		if project != nil && (c >= len(project) || !project[c]) {
+			// Column-projection pushdown: skip the payload entirely; the
+			// nil marker tells DecodeRowsProjected the column is absent.
+			pos += int64(plen)
+			continue
+		}
 		payload := make([]byte, plen)
 		if plen > 0 {
 			if _, err := r.ReadAt(payload, pos); err != nil && err != io.EOF {
@@ -255,9 +300,10 @@ func readGroupAt(r *dfs.FileReader, offset int64) (*RowGroup, int64, error) {
 		}
 		g.columns[c] = payload
 		pos += int64(plen)
+		read += int64(plen)
 	}
 	g.Size = pos - offset
-	return g, g.Size, nil
+	return g, read, nil
 }
 
 // Real RCFile interleaves sync markers so readers can find row-group
@@ -267,12 +313,19 @@ func readGroupAt(r *dfs.FileReader, offset int64) (*RowGroup, int64, error) {
 // dfs.DirSplits (it only lists regular files directly under the table
 // directory), exactly like Hadoop ignores "_logs"-style side directories.
 
+// sideFilePath places a side file for dataPath under a sibling underscore
+// directory: "<dir>/<sideDir>/<base>".
+func sideFilePath(dataPath, sideDir string) string {
+	i := strings.LastIndexByte(dataPath, '/')
+	if i < 0 {
+		return sideDir + "/" + dataPath
+	}
+	return dataPath[:i] + "/" + sideDir + dataPath[i:]
+}
+
 // GroupIndexPath returns the side-file path holding the group offsets of the
 // RCFile at dataPath.
-func GroupIndexPath(dataPath string) string {
-	i := bytes.LastIndexByte([]byte(dataPath), '/')
-	return dataPath[:i] + "/_groups" + dataPath[i:]
-}
+func GroupIndexPath(dataPath string) string { return sideFilePath(dataPath, "_groups") }
 
 // WriteGroupIndex persists the group offsets of the RCFile at dataPath.
 func WriteGroupIndex(fs *dfs.FS, dataPath string, offsets []int64) error {
@@ -303,6 +356,103 @@ func ReadGroupIndex(fs *dfs.FS, dataPath string) ([]int64, error) {
 	return out, nil
 }
 
+// GroupStat records the shape of one flushed row group: its row count and
+// the payload size of every column. Together with the group's offset it
+// makes the cost of a projected read exactly computable without touching the
+// data file, which is how the DGFIndex planner attributes projected bytes.
+type GroupStat struct {
+	Rows    int
+	ColLens []int64
+}
+
+func uvarintLen(v uint64) int64 {
+	var tmp [binary.MaxVarintLen64]byte
+	return int64(binary.PutUvarint(tmp[:], v))
+}
+
+// EncodedSize returns the on-disk byte size of the group.
+func (g GroupStat) EncodedSize() int64 {
+	n := 1 + uvarintLen(uint64(g.Rows)) + uvarintLen(uint64(len(g.ColLens)))
+	for _, l := range g.ColLens {
+		n += uvarintLen(uint64(l)) + l
+	}
+	return n
+}
+
+// ProjectedSize returns the logical bytes a reader fetching only the flagged
+// columns consumes: the header and every length varint plus the kept
+// payloads. A nil projection keeps everything (== EncodedSize).
+func (g GroupStat) ProjectedSize(project []bool) int64 {
+	n := 1 + uvarintLen(uint64(g.Rows)) + uvarintLen(uint64(len(g.ColLens)))
+	for c, l := range g.ColLens {
+		n += uvarintLen(uint64(l))
+		if project == nil || (c < len(project) && project[c]) {
+			n += l
+		}
+	}
+	return n
+}
+
+// ColStatsPath returns the side-file path holding the per-group column
+// statistics of the RCFile at dataPath (sibling of the "_groups" index).
+func ColStatsPath(dataPath string) string { return sideFilePath(dataPath, "_colstats") }
+
+// WriteColStats persists the per-group statistics of the RCFile at dataPath.
+func WriteColStats(fs *dfs.FS, dataPath string, stats []GroupStat) error {
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	for _, g := range stats {
+		put(uint64(g.Rows))
+		put(uint64(len(g.ColLens)))
+		for _, l := range g.ColLens {
+			put(uint64(l))
+		}
+	}
+	return fs.WriteFile(ColStatsPath(dataPath), buf.Bytes())
+}
+
+// ReadColStats loads the per-group statistics of the RCFile at dataPath, in
+// group order (aligned with ReadGroupIndex).
+func ReadColStats(fs *dfs.FS, dataPath string) ([]GroupStat, error) {
+	data, err := fs.ReadFile(ColStatsPath(dataPath))
+	if err != nil {
+		return nil, err
+	}
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("storage: corrupt column stats for %s", dataPath)
+		}
+		data = data[n:]
+		return v, nil
+	}
+	var out []GroupStat
+	for len(data) > 0 {
+		rows, err := next()
+		if err != nil {
+			return nil, err
+		}
+		cols, err := next()
+		if err != nil {
+			return nil, err
+		}
+		g := GroupStat{Rows: int(rows), ColLens: make([]int64, cols)}
+		for c := range g.ColLens {
+			l, err := next()
+			if err != nil {
+				return nil, err
+			}
+			g.ColLens[c] = int64(l)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
 // WriteRCRows writes rows to a new RCFile at path.
 func WriteRCRows(fs *dfs.FS, path string, schema *Schema, rows []Row, groupRows int) ([]int64, error) {
 	w, err := fs.Create(path)
@@ -319,6 +469,9 @@ func WriteRCRows(fs *dfs.FS, path string, schema *Schema, rows []Row, groupRows 
 		return nil, err
 	}
 	if err := WriteGroupIndex(fs, path, rw.GroupOffsets()); err != nil {
+		return nil, err
+	}
+	if err := WriteColStats(fs, path, rw.GroupStats()); err != nil {
 		return nil, err
 	}
 	return rw.GroupOffsets(), nil

@@ -1,0 +1,244 @@
+package storage
+
+import (
+	"testing"
+
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+)
+
+// TestRCFileEmptyTable: a table with zero rows writes no groups and reads
+// back as no rows, with empty (but present) side metadata.
+func TestRCFileEmptyTable(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	s := meterSchema()
+	offsets, err := WriteRCRows(fs, "/tbl/empty", s, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offsets) != 0 {
+		t.Fatalf("empty table wrote %d groups", len(offsets))
+	}
+	got, err := ReadRCRows(fs, "/tbl/empty", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty table read %d rows", len(got))
+	}
+	idx, err := ReadGroupIndex(fs, "/tbl/empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 0 {
+		t.Fatalf("group index has %d entries", len(idx))
+	}
+	stats, err := ReadColStats(fs, "/tbl/empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 0 {
+		t.Fatalf("column stats have %d entries", len(stats))
+	}
+	r, _ := fs.Open("/tbl/empty")
+	rc := NewRCReader(r, 0, r.Size())
+	if _, ok, err := rc.Next(); ok || err != nil {
+		t.Fatalf("reader on empty file: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestRCFilePartialFinalGroup: rows % groupRows != 0 leaves a short final
+// group whose recorded stats and decoded rows stay consistent.
+func TestRCFilePartialFinalGroup(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	s := meterSchema()
+	rows := sampleRows(10)
+	offsets, err := WriteRCRows(fs, "/tbl/partial", s, rows, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offsets) != 3 {
+		t.Fatalf("got %d groups, want 3 (4+4+2)", len(offsets))
+	}
+	stats, err := ReadColStats(fs, "/tbl/partial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := []int{stats[0].Rows, stats[1].Rows, stats[2].Rows}; got[0] != 4 || got[1] != 4 || got[2] != 2 {
+		t.Fatalf("group row counts = %v, want [4 4 2]", got)
+	}
+	r, _ := fs.Open("/tbl/partial")
+	g, err := ReadGroupAt(r, offsets[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows != 2 {
+		t.Fatalf("final group rows = %d, want 2", g.Rows)
+	}
+	decoded, err := g.DecodeRows(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range rows[9] {
+		if Compare(decoded[1][c], rows[9][c]) != 0 {
+			t.Fatalf("final row col %d mismatch: %v vs %v", c, decoded[1][c], rows[9][c])
+		}
+	}
+	// The recorded stats reproduce the group's encoded size exactly.
+	if stats[2].EncodedSize() != g.Size {
+		t.Errorf("EncodedSize = %d, group size = %d", stats[2].EncodedSize(), g.Size)
+	}
+	got, err := ReadRCRows(fs, "/tbl/partial", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("round trip read %d rows, want %d", len(got), len(rows))
+	}
+}
+
+// TestRCFileProjectionReadsFewerBytes: fetching a single column's payload
+// must cost strictly fewer logical bytes than a full-row read, match the
+// GroupStat prediction exactly, and still decode the projected values
+// correctly (with zero placeholders elsewhere).
+func TestRCFileProjectionReadsFewerBytes(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	s := meterSchema()
+	rows := sampleRows(64)
+	offsets, err := WriteRCRows(fs, "/tbl/proj", s, rows, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ReadColStats(fs, "/tbl/proj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	project := make([]bool, s.Len())
+	project[3] = true // powerConsumed only
+
+	r, _ := fs.Open("/tbl/proj")
+	var fullBytes, projBytes int64
+	for gi, off := range offsets {
+		gFull, readFull, err := ReadGroupProjected(r, off, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gProj, readProj, err := ReadGroupProjected(r, off, project)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullBytes += readFull
+		projBytes += readProj
+		if readFull != gFull.Size || readFull != stats[gi].EncodedSize() {
+			t.Fatalf("group %d: full read %d, size %d, stat %d", gi, readFull, gFull.Size, stats[gi].EncodedSize())
+		}
+		if readProj != stats[gi].ProjectedSize(project) {
+			t.Fatalf("group %d: projected read %d, stat predicts %d", gi, readProj, stats[gi].ProjectedSize(project))
+		}
+		full, err := gFull.DecodeRows(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proj, err := gProj.DecodeRowsProjected(s, project)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range full {
+			if Compare(full[i][3], proj[i][3]) != 0 {
+				t.Fatalf("group %d row %d: projected col differs: %v vs %v", gi, i, proj[i][3], full[i][3])
+			}
+			if Compare(proj[i][0], ZeroValue(KindInt64)) != 0 {
+				t.Fatalf("group %d row %d: unprojected col not zero: %v", gi, i, proj[i][0])
+			}
+		}
+	}
+	if projBytes >= fullBytes {
+		t.Fatalf("projection did not save bytes: %d >= %d", projBytes, fullBytes)
+	}
+}
+
+// TestSegmentWriterCutAlignsSlices drives the format-agnostic writer the
+// way the DGFIndex build reducer does — Cut at every slice boundary — and
+// checks that each recorded [start, end) range reads back exactly its own
+// records in both formats.
+func TestSegmentWriterCutAlignsSlices(t *testing.T) {
+	s := meterSchema()
+	rows := sampleRows(30)
+	batches := [][]Row{rows[0:7], rows[7:19], rows[19:30]}
+
+	for _, format := range []Format{TextFile, RCFile} {
+		fs := dfs.New(1 << 20)
+		sw, err := NewSegmentWriter(fs, "/seg/data", s, format, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type span struct{ start, end int64 }
+		var spans []span
+		var line []byte
+		for _, batch := range batches {
+			start := sw.Offset()
+			for _, row := range batch {
+				line = AppendTextRow(line[:0], row)
+				if err := sw.WriteRecord(line[:len(line)-1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sw.Cut(); err != nil {
+				t.Fatal(err)
+			}
+			spans = append(spans, span{start, sw.Offset()})
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		var groupOffsets []int64
+		if format == RCFile {
+			groupOffsets, err = ReadGroupIndex(fs, "/seg/data")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Cut boundaries must coincide with row-group starts.
+			isBoundary := map[int64]bool{}
+			for _, off := range groupOffsets {
+				isBoundary[off] = true
+			}
+			for i, sp := range spans[1:] {
+				if !isBoundary[sp.start] {
+					t.Fatalf("%v: slice %d start %d is not a group boundary %v", format, i+1, sp.start, groupOffsets)
+				}
+			}
+		}
+		r, _ := fs.Open("/seg/data")
+		for bi, sp := range spans {
+			sr := NewSegmentReader(r, s, format, sp.start, sp.end, SegmentOptions{GroupOffsets: groupOffsets})
+			var got []Row
+			for {
+				rec, ok, err := sr.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				row := rec.Row
+				if row == nil {
+					row, err = DecodeTextRow(s, string(rec.Line))
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				got = append(got, row)
+			}
+			if len(got) != len(batches[bi]) {
+				t.Fatalf("%v: slice %d read %d rows, want %d", format, bi, len(got), len(batches[bi]))
+			}
+			for i := range got {
+				for c := range got[i] {
+					if Compare(got[i][c], batches[bi][i][c]) != 0 {
+						t.Fatalf("%v: slice %d row %d col %d mismatch", format, bi, i, c)
+					}
+				}
+			}
+		}
+	}
+}

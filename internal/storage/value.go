@@ -70,6 +70,21 @@ func Str(v string) Value       { return Value{Kind: KindString, S: v} }
 func Time(t time.Time) Value   { return Value{Kind: KindTime, I: t.Unix()} }
 func TimeUnix(sec int64) Value { return Value{Kind: KindTime, I: sec} }
 
+// ZeroValue returns the kind's zero value (the placeholder a projected read
+// leaves in the cells it skipped).
+func ZeroValue(kind Kind) Value {
+	switch kind {
+	case KindFloat64:
+		return Float64(0)
+	case KindString:
+		return Str("")
+	case KindTime:
+		return TimeUnix(0)
+	default:
+		return Int64(0)
+	}
+}
+
 // AsFloat converts numeric values to float64 (aggregation input).
 func (v Value) AsFloat() float64 {
 	switch v.Kind {
