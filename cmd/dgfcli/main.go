@@ -10,15 +10,24 @@
 //
 // Statements may span lines and end with ';'. Commands: !stats toggles the
 // per-query cost report, !quit exits.
+//
+// Queries run under a cancellable context: Ctrl-C aborts the in-flight
+// statement at its next split boundary and reports the partial scan stats
+// (records, splits) instead of killing the shell, and -timeout bounds every
+// statement the same way. SELECT rows stream as the scan produces them.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	dgfindex "github.com/smartgrid-oss/dgfindex"
 )
@@ -26,6 +35,7 @@ import (
 func main() {
 	demo := flag.Bool("demo", false, "preload generated meter data with a DGFIndex")
 	demoUsers := flag.Int("demo-users", 2000, "users in the demo dataset")
+	timeout := flag.Duration("timeout", 0, "per-statement deadline (0 = none); an expired deadline aborts the scan")
 	flag.Parse()
 
 	w := dgfindex.NewWithConfig(dgfindex.DefaultCluster().Scaled(500000), 2<<20)
@@ -73,7 +83,7 @@ func main() {
 		last := strings.LastIndexByte(pending, ';')
 		for _, stmt := range strings.Split(pending[:last], ";") {
 			if sql := strings.TrimSpace(stmt); sql != "" {
-				run(w, sql, showStats)
+				run(w, sql, showStats, *timeout)
 			}
 		}
 		if rest := strings.TrimSpace(pending[last+1:]); rest != "" {
@@ -84,21 +94,95 @@ func main() {
 	}
 }
 
-func run(w *dgfindex.Warehouse, sql string, showStats bool) {
-	res, err := w.Exec(sql)
+// run executes one statement under a cancellable context: SIGINT (and the
+// -timeout deadline) aborts the scan at its next split boundary. SELECTs
+// stream through a cursor so rows appear as splits complete and a cancelled
+// query still reports how far it got.
+func run(w *dgfindex.Warehouse, sql string, showStats bool, timeout time.Duration) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	stmt, err := dgfindex.ParseSQL(sql)
 	if err != nil {
 		fmt.Printf("error: %v\n", err)
+		return
+	}
+	if sel, ok := stmt.(*dgfindex.SelectStmt); ok && sel.InsertDir == "" {
+		runSelect(ctx, w, sel, showStats)
+		return
+	}
+
+	res, err := w.ExecParsedContext(ctx, stmt, dgfindex.ExecOptions{})
+	if err != nil {
+		reportError(err)
 		return
 	}
 	if res.Message != "" {
 		fmt.Println(res.Message)
 	}
-	if len(res.Columns) > 0 {
-		fmt.Println(strings.Join(res.Columns, "\t"))
+	printRows(res.Columns, res.Rows)
+	printStats(showStats, res.Stats)
+}
+
+// runSelect streams the rows of one SELECT and, on Ctrl-C or a missed
+// deadline, prints the partial scan stats instead of dying silently.
+func runSelect(ctx context.Context, w *dgfindex.Warehouse, sel *dgfindex.SelectStmt, showStats bool) {
+	cur, err := w.SelectCursor(ctx, sel, dgfindex.ExecOptions{})
+	if err != nil {
+		reportError(err)
+		return
 	}
-	for i, row := range res.Rows {
+	defer cur.Close()
+	fmt.Println(strings.Join(cur.Columns(), "\t"))
+	shown := 0
+	total := 0
+	for cur.Next() {
+		total++
+		if shown < 40 {
+			row := cur.Row()
+			cells := make([]string, len(row))
+			for j, v := range row {
+				cells[j] = v.String()
+			}
+			fmt.Println(strings.Join(cells, "\t"))
+			shown++
+		}
+	}
+	if total > shown {
+		fmt.Printf("... (%d more rows)\n", total-shown)
+	}
+	stats := cur.Stats()
+	if err := cur.Err(); err != nil {
+		reportError(err)
+		fmt.Printf("-- partial scan before abort: %d records, %d splits, %d rows delivered\n",
+			stats.RecordsRead, stats.Splits, total)
+	}
+	printStats(showStats, stats)
+}
+
+func reportError(err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		fmt.Println("-- query canceled (Ctrl-C)")
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Println("-- query deadline exceeded (-timeout)")
+	default:
+		fmt.Printf("error: %v\n", err)
+	}
+}
+
+func printRows(cols []string, rows []dgfindex.Row) {
+	if len(cols) > 0 {
+		fmt.Println(strings.Join(cols, "\t"))
+	}
+	for i, row := range rows {
 		if i == 40 {
-			fmt.Printf("... (%d more rows)\n", len(res.Rows)-40)
+			fmt.Printf("... (%d more rows)\n", len(rows)-40)
 			break
 		}
 		cells := make([]string, len(row))
@@ -107,12 +191,15 @@ func run(w *dgfindex.Warehouse, sql string, showStats bool) {
 		}
 		fmt.Println(strings.Join(cells, "\t"))
 	}
-	if showStats && res.Stats.AccessPath != "" {
-		st := res.Stats
-		fmt.Printf("-- [%s] sim %.1fs (index+other %.1fs, data %.1fs), %d records, %d splits, wall %v\n",
-			st.AccessPath, st.SimTotalSec(), st.IndexSimSec, st.DataSimSec,
-			st.RecordsRead, st.Splits, st.Wall.Round(1e6))
+}
+
+func printStats(showStats bool, st dgfindex.QueryStats) {
+	if !showStats || st.AccessPath == "" {
+		return
 	}
+	fmt.Printf("-- [%s] sim %.1fs (index+other %.1fs, data %.1fs), %d records, %d splits, wall %v\n",
+		st.AccessPath, st.SimTotalSec(), st.IndexSimSec, st.DataSimSec,
+		st.RecordsRead, st.Splits, st.Wall.Round(1e6))
 }
 
 func loadDemo(w *dgfindex.Warehouse, users int) error {

@@ -18,9 +18,24 @@
 //	w.Exec(`CREATE INDEX idx ON TABLE meterdata(regionId, userId, ts)
 //	        AS 'dgf' IDXPROPERTIES ('regionId'='1_1', 'userId'='1_1000',
 //	        'ts'='2012-12-01_1d', 'precompute'='sum(powerConsumed)')`)
-//	res, _ := w.Exec(`SELECT sum(powerConsumed) FROM meterdata
+//
+//	// Queries are context-first: a ctx that expires mid-scan aborts the
+//	// MapReduce job within one split boundary (Exec is the
+//	// context.Background() shorthand).
+//	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+//	defer cancel()
+//	res, _ := w.ExecContext(ctx, `SELECT sum(powerConsumed) FROM meterdata
 //	        WHERE userId>=100 AND userId<=5000 AND regionId=3
-//	        AND ts>='2012-12-05' AND ts<'2012-12-12'`)
+//	        AND ts>='2012-12-05' AND ts<'2012-12-12'`, dgfindex.ExecOptions{})
+//
+//	// EXPLAIN reports the access path and exact read volume the execution
+//	// would have; cursors stream rows as splits complete and stop a LIMIT
+//	// scan early.
+//	plan, _ := w.Exec(`EXPLAIN SELECT * FROM meterdata WHERE userId=42`)
+//	stmt, _ := dgfindex.ParseSQL(`SELECT * FROM meterdata LIMIT 10`)
+//	cur, _ := w.SelectCursor(ctx, stmt.(*dgfindex.SelectStmt), dgfindex.ExecOptions{})
+//	for cur.Next() { _ = cur.Row() }
+//	_ = cur.Close()
 //
 // Every query reports both its result rows and a QueryStats breakdown in
 // the terms of the paper's figures: simulated cluster seconds split into
@@ -53,7 +68,22 @@ type (
 	QueryStats = hive.QueryStats
 	// ExecOptions carries per-statement options (index ablations).
 	ExecOptions = hive.ExecOptions
+	// Cursor is an incremental SELECT result: rows stream as splits
+	// complete, LIMIT stops the scan early, Close aborts it. Obtained from
+	// Warehouse.SelectCursor or ShardRouter.SelectCursor.
+	Cursor = hive.Cursor
+	// ExplainPlan is the structured EXPLAIN outcome: access path, projected
+	// columns and exact read bytes, GFU slice counts, shard target set.
+	ExplainPlan = hive.ExplainPlan
+	// Stmt is one parsed HiveQL statement (see ParseSQL).
+	Stmt = hive.Stmt
+	// SelectStmt is a parsed SELECT, the statement cursors accept.
+	SelectStmt = hive.SelectStmt
 )
+
+// ParseSQL parses one HiveQL statement for reuse across executions (the
+// parse-once half of ExecParsedContext and SelectCursor).
+var ParseSQL = hive.Parse
 
 // Record model.
 type (
@@ -181,6 +211,9 @@ type (
 	QueryRequest = server.Request
 	// QueryResponse is the outcome of one served query.
 	QueryResponse = server.Response
+	// ServerStream is one in-flight streaming query: a Cursor holding its
+	// worker slot until Close (see Server.QueryStream).
+	ServerStream = server.Stream
 	// ServerSession carries per-session serving metrics.
 	ServerSession = server.Session
 	// ServerSnapshot is the full /stats payload.

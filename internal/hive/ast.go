@@ -39,6 +39,12 @@ type ShowTablesStmt struct{}
 // DescribeStmt is DESCRIBE tbl.
 type DescribeStmt struct{ Table string }
 
+// ExplainStmt is EXPLAIN SELECT ...: plan the query — access path, GFU
+// slices, projected columns and bytes, shard targets — without running it.
+type ExplainStmt struct {
+	Select *SelectStmt
+}
+
 // SelectStmt covers the paper's query listings: projections/aggregations,
 // one optional equi-join, a conjunctive WHERE, GROUP BY, LIMIT, and an
 // optional INSERT OVERWRITE DIRECTORY sink.
@@ -135,3 +141,4 @@ func (DropTableStmt) stmt()   {}
 func (ShowTablesStmt) stmt()  {}
 func (DescribeStmt) stmt()    {}
 func (SelectStmt) stmt()      {}
+func (ExplainStmt) stmt()     {}

@@ -1,11 +1,13 @@
 package hive
 
 import (
+	"context"
 	"fmt"
 	"path"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/smartgrid-oss/dgfindex/internal/dgf"
@@ -62,18 +64,26 @@ func (o ExecOptions) IsZero() bool {
 	return !o.DisableIndexes && !o.Dgf.DisablePrecompute && !o.Dgf.DisableSliceSkip && o.Dgf.Project == nil
 }
 
-// Exec parses and executes one HiveQL statement.
+// Exec parses and executes one HiveQL statement. It is ExecContext under
+// context.Background(): the statement always runs to completion.
 func (w *Warehouse) Exec(sql string) (*Result, error) {
-	return w.ExecOpts(sql, ExecOptions{})
+	return w.ExecContext(context.Background(), sql, ExecOptions{})
 }
 
 // ExecOpts is Exec with explicit options.
 func (w *Warehouse) ExecOpts(sql string, opts ExecOptions) (*Result, error) {
+	return w.ExecContext(context.Background(), sql, opts)
+}
+
+// ExecContext parses and executes one HiveQL statement under ctx. A ctx that
+// expires mid-scan aborts the MapReduce job within one split boundary and
+// returns an error wrapping ctx.Err() — never a partial result.
+func (w *Warehouse) ExecContext(ctx context.Context, sql string, opts ExecOptions) (*Result, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return w.ExecParsed(stmt, opts)
+	return w.ExecParsedContext(ctx, stmt, opts)
 }
 
 // ExecParsed executes an already-parsed statement. Callers that execute the
@@ -81,9 +91,26 @@ func (w *Warehouse) ExecOpts(sql string, opts ExecOptions) (*Result, error) {
 // reuse the Stmt; execution never mutates it, so one parsed statement is
 // safe to run from many goroutines.
 func (w *Warehouse) ExecParsed(stmt Stmt, opts ExecOptions) (*Result, error) {
+	return w.ExecParsedContext(context.Background(), stmt, opts)
+}
+
+// ExecParsedContext is ExecParsed under ctx. SELECT scans honour ctx at
+// split granularity; DDL and LOAD statements only check it on entry (index
+// builds are not interruptible mid-build — aborting one would leave a
+// half-reorganised table).
+func (w *Warehouse) ExecParsedContext(ctx context.Context, stmt Stmt, opts ExecOptions) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("hive: statement not started: %w", err)
+	}
 	switch s := stmt.(type) {
 	case *SelectStmt:
-		return w.Select(s, opts)
+		return w.SelectContext(ctx, s, opts)
+	case *ExplainStmt:
+		plan, err := w.Explain(s.Select, opts)
+		if err != nil {
+			return nil, err
+		}
+		return plan.Render(), nil
 	case *ShowTablesStmt:
 		w.mu.RLock()
 		defer w.mu.RUnlock()
@@ -193,6 +220,12 @@ func (w *Warehouse) createHiveIndexLocked(t *Table, s *CreateIndexStmt, kind hiv
 // lock so any number run in parallel; a SELECT with an INSERT OVERWRITE
 // DIRECTORY sink writes to the filesystem and is serialized as a writer.
 func (w *Warehouse) Select(stmt *SelectStmt, opts ExecOptions) (*Result, error) {
+	return w.SelectContext(context.Background(), stmt, opts)
+}
+
+// SelectContext is Select under ctx: a ctx that ends mid-scan aborts the job
+// within one split boundary and returns the (wrapped) ctx error.
+func (w *Warehouse) SelectContext(ctx context.Context, stmt *SelectStmt, opts ExecOptions) (*Result, error) {
 	if stmt.InsertDir != "" {
 		w.mu.Lock()
 		defer w.mu.Unlock()
@@ -200,7 +233,7 @@ func (w *Warehouse) Select(stmt *SelectStmt, opts ExecOptions) (*Result, error) 
 		w.mu.RLock()
 		defer w.mu.RUnlock()
 	}
-	return w.selectLocked(stmt, opts)
+	return w.selectLocked(ctx, stmt, opts)
 }
 
 // SelectPartial plans and executes a SELECT, returning its result in
@@ -209,17 +242,85 @@ func (w *Warehouse) Select(stmt *SelectStmt, opts ExecOptions) (*Result, error) 
 // any number of shards' partials Merge before one Finalize. INSERT
 // OVERWRITE DIRECTORY sinks cannot be executed partially.
 func (w *Warehouse) SelectPartial(stmt *SelectStmt, opts ExecOptions) (*PartialResult, error) {
+	return w.SelectPartialContext(context.Background(), stmt, opts)
+}
+
+// SelectPartialContext is SelectPartial under ctx — the scatter phase of a
+// cancellable scatter-gather: the router cancels the shared ctx on the first
+// shard error, and every sibling shard's scan stops at its next split
+// boundary.
+func (w *Warehouse) SelectPartialContext(ctx context.Context, stmt *SelectStmt, opts ExecOptions) (*PartialResult, error) {
 	if stmt.InsertDir != "" {
 		return nil, fmt.Errorf("hive: INSERT OVERWRITE DIRECTORY cannot be executed partially")
 	}
 	w.mu.RLock()
 	defer w.mu.RUnlock()
-	return w.selectPartialLocked(stmt, opts)
+	pr, err := w.selectPartialLocked(ctx, stmt, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	return pr, nil
 }
 
-func (w *Warehouse) selectLocked(stmt *SelectStmt, opts ExecOptions) (*Result, error) {
+// rowStream is the streaming half of a cursor-driven SELECT: columns fires
+// once after compilation (before any input is read), row receives each
+// output row of a plain projection as its split completes and stops the scan
+// by returning false.
+type rowStream struct {
+	columns func(cols []string)
+	row     func(r storage.Row) bool
+}
+
+// pathKind enumerates the access paths the planner can choose.
+type pathKind uint8
+
+const (
+	pathDgf pathKind = iota
+	pathHiveIndex
+	pathScan
+)
+
+// pathChoice is the planner's access-path decision plus the inputs the
+// chosen path needs. Execution and EXPLAIN both consume this one decision,
+// which is what keeps the announced plan truthful: they cannot diverge on
+// which path runs.
+type pathChoice struct {
+	kind pathKind
+	// want/planOpts parameterize the DGF plan (pathDgf).
+	want     []dgf.AggSpec
+	planOpts dgf.PlanOptions
+	// ix is the chosen Compact/Aggregate/Bitmap index (pathHiveIndex);
+	// aggRewrite marks the "index as data" rewrite.
+	ix         *hiveindex.Index
+	aggRewrite bool
+}
+
+// choosePath decides the access path for a compiled query.
+func (q *compiledQuery) choosePath(opts ExecOptions) pathChoice {
+	switch {
+	case !opts.DisableIndexes && q.left.Dgf != nil:
+		want := q.dgfWantSpecs()
+		if q.right != nil || len(q.groupBy) > 0 {
+			// Join and GROUP BY queries cannot be answered from headers
+			// (the paper's "non-aggregation" cases): scan all related GFUs.
+			want = nil
+		}
+		// Push the SELECT's referenced-column set into the planner so
+		// columnar slice reads fetch only those payloads.
+		planOpts := opts.Dgf
+		planOpts.Project = q.projection()
+		return pathChoice{kind: pathDgf, want: want, planOpts: planOpts}
+	case !opts.DisableIndexes && len(q.left.HiveIndexes) > 0:
+		if ix := q.pickHiveIndex(); ix != nil {
+			return pathChoice{kind: pathHiveIndex, ix: ix, aggRewrite: q.canAggRewrite(ix)}
+		}
+	}
+	return pathChoice{kind: pathScan}
+}
+
+func (w *Warehouse) selectLocked(ctx context.Context, stmt *SelectStmt, opts ExecOptions) (*Result, error) {
 	start := time.Now()
-	pr, err := w.selectPartialLocked(stmt, opts)
+	pr, err := w.selectPartialLocked(ctx, stmt, opts, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -236,7 +337,49 @@ func (w *Warehouse) selectLocked(stmt *SelectStmt, opts ExecOptions) (*Result, e
 	return res, nil
 }
 
-func (w *Warehouse) selectPartialLocked(stmt *SelectStmt, opts ExecOptions) (*PartialResult, error) {
+// selectPartialLocked plans and runs one SELECT under the catalog lock.
+// stream, when non-nil and the query is a plain projection (no aggregates),
+// receives each output row as its split completes instead of the rows being
+// materialized into the PartialResult; a false return stops the scan at the
+// next split boundary (LIMIT cursors). On a mid-scan abort the returned
+// error wraps ctx.Err() and the PartialResult still carries the stats of
+// the work done so far — callers that want all-or-nothing semantics must
+// check the error first.
+func (w *Warehouse) selectPartialLocked(ctx context.Context, stmt *SelectStmt, opts ExecOptions, stream *rowStream) (*PartialResult, error) {
+	p, err := w.prepareSelectLocked(stmt, opts, stream)
+	if err != nil {
+		return nil, err
+	}
+	return w.runPreparedSelect(ctx, p, stream)
+}
+
+// preparedSelect is a SELECT planned under the catalog lock — compiled,
+// access path chosen, index planning and filtering done — ready to run its
+// main query job. Cursors run that job after releasing the lock, so a
+// consumer pacing a stream never blocks writers; the job reads a snapshot
+// of the file layout (the model filesystem is internally synchronized), and
+// a concurrent DROP surfaces as a read error, not a hang.
+type preparedSelect struct {
+	q     *compiledQuery
+	pr    *PartialResult
+	input mapreduce.InputFormat
+	plan  *dgf.Plan
+	start time.Time
+	// done marks a query answered entirely during preparation (the
+	// aggregate-index rewrite): pr is complete, no job runs.
+	done bool
+	// sideBytes is the broadcast join side's volume and joinMap its loaded
+	// hash map, both resolved under the lock so the job itself touches no
+	// catalog state.
+	sideBytes int64
+	joinMap   map[string][]storage.Row
+}
+
+// prepareSelectLocked compiles the statement, decides the access path via
+// choosePath (the same decision EXPLAIN reports), and performs every step
+// that must see a consistent catalog: DGF planning, hive-index filtering,
+// the aggregate-index rewrite, partition pruning. Caller holds w.mu.
+func (w *Warehouse) prepareSelectLocked(stmt *SelectStmt, opts ExecOptions, stream *rowStream) (*preparedSelect, error) {
 	start := time.Now()
 	q, err := w.compile(stmt)
 	if err != nil {
@@ -246,86 +389,107 @@ func (w *Warehouse) selectPartialLocked(stmt *SelectStmt, opts ExecOptions) (*Pa
 	for _, it := range q.items {
 		pr.Columns = append(pr.Columns, it.name)
 	}
-
-	// --- choose the access path ---
-	var input mapreduce.InputFormat
-	var plan *dgf.Plan
+	if stream != nil && stream.columns != nil {
+		stream.columns(pr.Columns)
+	}
+	p := &preparedSelect{q: q, pr: pr, start: start}
 	stats := &pr.Stats
-	switch {
-	case !opts.DisableIndexes && q.left.Dgf != nil:
-		want := q.dgfWantSpecs()
-		if q.right != nil || len(q.groupBy) > 0 {
-			// Join and GROUP BY queries cannot be answered from headers
-			// (the paper's "non-aggregation" cases): scan all related GFUs.
-			want = nil
-		}
-		// Push the SELECT's referenced-column set into the planner so
-		// columnar slice reads fetch only those payloads.
-		planOpts := opts.Dgf
-		planOpts.Project = q.projection()
-		plan, err = q.left.Dgf.Plan(w.Cluster, q.leftRanges, want, planOpts)
+
+	choice := q.choosePath(opts)
+	switch choice.kind {
+	case pathDgf:
+		plan, err := q.left.Dgf.Plan(w.Cluster, q.leftRanges, choice.want, choice.planOpts)
 		if err != nil {
 			return nil, err
 		}
-		input = &dgf.SliceInput{FS: w.FS, Plan: plan, Format: q.left.Dgf.Format, Schema: q.left.Schema}
+		p.plan = plan
+		p.input = &dgf.SliceInput{FS: w.FS, Plan: plan, Format: q.left.Dgf.Format, Schema: q.left.Schema}
 		stats.IndexSimSec += plan.KVSimSeconds
 		stats.AccessPath = "dgfindex"
 		if plan.Aggregation {
 			stats.AccessPath = "dgfindex(precompute)"
 		}
-	case !opts.DisableIndexes && len(q.left.HiveIndexes) > 0:
-		ix := q.pickHiveIndex()
-		if ix == nil {
-			input, stats.AccessPath, err = q.scanInput(w)
-			if err != nil {
-				return nil, err
-			}
-			break
-		}
+	case pathHiveIndex:
+		ix := choice.ix
 		// Aggregate Index rewrite: covered GROUP BY count queries read the
 		// index table only. The per-group counts become partial COUNT state
 		// so the rewrite also merges across shards.
-		if counts, st, ok := w.tryAggRewrite(q, ix); ok {
-			pr.Agg = q.layout().NewPartial()
-			for key, n := range counts {
-				accs := pr.Agg.Layout.newAccs()
-				for _, a := range q.aggs {
-					accs[a.slots[0]].Value = float64(n)
-					accs[a.slots[0]].N = n
+		if choice.aggRewrite {
+			if counts, st, ok := w.tryAggRewrite(q, ix); ok {
+				pr.Agg = q.layout().NewPartial()
+				for key, n := range counts {
+					accs := pr.Agg.Layout.newAccs()
+					for _, a := range q.aggs {
+						accs[a.slots[0]].Value = float64(n)
+						accs[a.slots[0]].N = n
+					}
+					pr.Agg.fold(key, accs)
 				}
-				pr.Agg.fold(key, accs)
+				stats.AccessPath = "aggindex-rewrite:" + ix.Name
+				stats.IndexSimSec = st.SimTotalSec()
+				stats.RecordsRead = st.InputRecords
+				stats.BytesRead = st.InputBytes
+				stats.Wall = time.Since(start)
+				p.done = true
+				return p, nil
 			}
-			stats.AccessPath = "aggindex-rewrite:" + ix.Name
-			stats.IndexSimSec = st.SimTotalSec()
-			stats.RecordsRead = st.InputRecords
-			stats.BytesRead = st.InputBytes
-			stats.Wall = time.Since(start)
-			return pr, nil
 		}
 		fr, err := ix.Filter(w.Cluster, w.FS, q.leftRanges)
 		if err != nil {
 			return nil, err
 		}
 		stats.IndexSimSec += fr.ScanStats.SimTotalSec()
-		input, err = ix.BaseInput(w.FS, fr)
+		p.input, err = ix.BaseInput(w.FS, fr)
 		if err != nil {
 			return nil, err
 		}
-		if rc, ok := input.(*mapreduce.RCInput); ok {
+		if rc, ok := p.input.(*mapreduce.RCInput); ok {
 			rc.Project = q.projection()
 		}
 		stats.AccessPath = "index:" + ix.Name
 	default:
-		input, stats.AccessPath, err = q.scanInput(w)
+		p.input, stats.AccessPath, err = q.scanInput(w)
 		if err != nil {
 			return nil, err
 		}
 	}
+	if q.right != nil {
+		p.sideBytes = w.tableSizeBytesLocked(q.right)
+		// Broadcast hash join: load the small side once (Hive's map-side
+		// join) while the catalog is stable — the join table's directory
+		// must not move under us.
+		p.joinMap, err = w.readJoinMap(q.right, q.joinRight)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
 
-	// --- run the query job ---
-	jobStats, rows, agg, err := w.runQueryJob(q, input, plan)
+// runPreparedSelect executes the prepared query's main job. It touches no
+// catalog state, so callers may invoke it with or without the lock held.
+func (w *Warehouse) runPreparedSelect(ctx context.Context, p *preparedSelect, stream *rowStream) (*PartialResult, error) {
+	q, pr := p.q, p.pr
+	stats := &pr.Stats
+	if p.done {
+		return pr, nil
+	}
+	var rowSink func(storage.Row) bool
+	if stream != nil {
+		rowSink = stream.row
+	}
+	jobStats, rows, agg, err := w.runQueryJob(ctx, p, rowSink)
 	if err != nil {
-		return nil, err
+		// A cancelled scan still reports how far it got (cursors surface
+		// this as partial stats); the result itself is the error.
+		if jobStats != nil {
+			stats.RecordsRead = jobStats.InputRecords
+			stats.BytesRead = jobStats.InputBytes
+			stats.Splits = jobStats.Splits
+			stats.Seeks = jobStats.Seeks
+			stats.Wall = time.Since(p.start)
+		}
+		return pr, err
 	}
 	pr.Rows, pr.Agg = rows, agg
 	stats.RecordsRead = jobStats.InputRecords
@@ -338,11 +502,10 @@ func (w *Warehouse) selectPartialLocked(stmt *SelectStmt, opts ExecOptions) (*Pa
 
 	// Broadcast side-table read for the map-side join.
 	if q.right != nil {
-		side := w.tableSizeBytesLocked(q.right)
-		stats.DataSimSec += float64(side) / (w.Cluster.MapperMBps() * (1 << 20))
-		stats.BytesRead += side
+		stats.DataSimSec += float64(p.sideBytes) / (w.Cluster.MapperMBps() * (1 << 20))
+		stats.BytesRead += p.sideBytes
 	}
-	stats.Wall = time.Since(start)
+	stats.Wall = time.Since(p.start)
 	return pr, nil
 }
 
@@ -396,18 +559,40 @@ func (q *compiledQuery) pickHiveIndex() *hiveindex.Index {
 	return best
 }
 
-// tryAggRewrite applies the Aggregate Index "index as data" rewrite when
-// the query is a covered GROUP BY count, returning raw per-group counts for
-// the caller to fold into partial state.
-func (w *Warehouse) tryAggRewrite(q *compiledQuery, ix *hiveindex.Index) (map[string]int64, *mapreduce.Stats, bool) {
+// canAggRewrite reports whether the Aggregate Index "index as data" rewrite
+// applies: a join-free covered GROUP BY whose every aggregate is COUNT. The
+// predicate is shared with EXPLAIN so the announced access path matches the
+// executed one.
+func (q *compiledQuery) canAggRewrite(ix *hiveindex.Index) bool {
 	if ix.Kind != hiveindex.Aggregate || len(q.groupBy) == 0 || q.right != nil {
-		return nil, nil, false
+		return false
 	}
 	// Every aggregate must be COUNT and every GROUP BY column indexed.
 	for _, a := range q.aggs {
 		if a.kind != aggCount {
-			return nil, nil, false
+			return false
 		}
+	}
+	for _, g := range q.stmt.GroupBy {
+		covered := false
+		for _, c := range ix.Cols {
+			if strings.EqualFold(c, g.Name) {
+				covered = true
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// tryAggRewrite applies the Aggregate Index "index as data" rewrite when
+// the query is a covered GROUP BY count, returning raw per-group counts for
+// the caller to fold into partial state.
+func (w *Warehouse) tryAggRewrite(q *compiledQuery, ix *hiveindex.Index) (map[string]int64, *mapreduce.Stats, bool) {
+	if !q.canAggRewrite(ix) {
+		return nil, nil, false
 	}
 	var groupCols []string
 	for _, g := range q.stmt.GroupBy {
@@ -422,22 +607,42 @@ func (w *Warehouse) tryAggRewrite(q *compiledQuery, ix *hiveindex.Index) (map[st
 
 // runQueryJob executes the main MapReduce job of the query and gathers its
 // output in mergeable form: plain rows for projections, partial accumulator
-// state for aggregations.
-func (w *Warehouse) runQueryJob(q *compiledQuery, input mapreduce.InputFormat, plan *dgf.Plan) (*mapreduce.Stats, []storage.Row, *PartialAgg, error) {
-	// Broadcast hash join: load the small side once (Hive's map-side join).
-	var joinMap map[string][]storage.Row
-	if q.right != nil {
-		var err error
-		joinMap, err = w.readJoinMap(q.right, q.joinRight)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-	}
+// state for aggregations. A non-nil stream (plain projections only) replaces
+// the materializing collector: each output row is decoded and handed over as
+// its split completes, and a false return stops split consumption early. On
+// a cancelled ctx the returned stats are non-nil partial progress alongside
+// the error.
+func (w *Warehouse) runQueryJob(ctx context.Context, p *preparedSelect, stream func(storage.Row) bool) (*mapreduce.Stats, []storage.Row, *PartialAgg, error) {
+	q, joinMap, plan := p.q, p.joinMap, p.plan
 	collector := mapreduce.NewCollector()
 	job := &mapreduce.Job{
 		Name:   "query-" + q.left.Name,
-		Input:  input,
+		Input:  p.input,
 		Output: collector.Emit,
+	}
+	var streamErr error
+	if stream != nil && !q.isAgg {
+		// Streaming mode: decode and forward rows instead of collecting
+		// them. Output calls are serialized by the job runner, but StopEarly
+		// is polled from the scheduler goroutine — hence the atomic.
+		collector = nil
+		outSchema := q.outSchema()
+		var stop atomic.Bool
+		job.Output = func(key string, value []byte) {
+			if stop.Load() {
+				return
+			}
+			row, err := storage.DecodeTextRow(outSchema, string(value))
+			if err != nil {
+				streamErr = err
+				stop.Store(true)
+				return
+			}
+			if !stream(row) {
+				stop.Store(true)
+			}
+		}
+		job.StopEarly = stop.Load
 	}
 	if q.isAgg {
 		// Map-side partial aggregation, Hive style: per-record partials,
@@ -495,9 +700,18 @@ func (w *Warehouse) runQueryJob(q *compiledQuery, input mapreduce.InputFormat, p
 		return nil
 	}
 
-	jobStats, err := mapreduce.Run(w.Cluster, job)
+	jobStats, err := mapreduce.RunContext(ctx, w.Cluster, job)
 	if err != nil {
-		return nil, nil, nil, err
+		// jobStats are non-nil partial progress on a mid-scan abort.
+		return jobStats, nil, nil, err
+	}
+	if streamErr != nil {
+		return jobStats, nil, nil, streamErr
+	}
+	if collector == nil {
+		// Streamed rows were delivered as splits completed; nothing to
+		// gather.
+		return jobStats, nil, nil, nil
 	}
 	rows, agg, err := q.gather(collector.Pairs(), plan)
 	if err != nil {

@@ -1,0 +1,245 @@
+package hive
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/smartgrid-oss/dgfindex/internal/mapreduce"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// ExplainPlan is the structured outcome of EXPLAIN SELECT: the access path
+// the executor will choose, the exact data volume the chosen path will
+// fetch, and — when produced by a shard router — the shard target set. Every
+// field is derived from the same planning code the executor runs, so a plan
+// followed immediately by the real execution reports matching numbers
+// (AccessPath equals QueryStats.AccessPath; ProjectedBytes, where known,
+// equals QueryStats.BytesRead).
+type ExplainPlan struct {
+	// Table is the FROM table; JoinTable the broadcast side, if any.
+	Table     string `json:"table"`
+	JoinTable string `json:"join_table,omitempty"`
+	// Format is the FROM table's storage format.
+	Format string `json:"format"`
+	// AccessPath is the label execution will report: "dgfindex",
+	// "dgfindex(precompute)", "index:<name>", "aggindex-rewrite:<name>",
+	// "scan", "scan(partitions k/t)" — or, from a router,
+	// "sharded(k/n):<shard path>".
+	AccessPath string `json:"access_path"`
+	// ProjectedColumns names the columns the query references (and therefore
+	// the columns columnar readers will fetch); all columns when the query
+	// touches every one.
+	ProjectedColumns []string `json:"projected_columns"`
+	// ProjectedBytes is the exact byte volume the scan will read: the DGF
+	// planner's per-group attribution for index slices, the (projected)
+	// row-group stats for RCFile scans, file sizes for TextFile scans, plus
+	// the broadcast side of a join. It is -1 when the path cannot predict
+	// the volume without executing (Compact/Aggregate/Bitmap index paths,
+	// whose base read set only exists after the index scan runs).
+	ProjectedBytes int64 `json:"projected_bytes"`
+	// GFUSlices is the number of index slices the DGF plan will scan
+	// (boundary slices only under a precompute hit).
+	GFUSlices int `json:"gfu_slices,omitempty"`
+	// InnerCells/BoundaryCells/MissingCells decompose the DGF query region.
+	InnerCells    int64 `json:"inner_cells,omitempty"`
+	BoundaryCells int64 `json:"boundary_cells,omitempty"`
+	MissingCells  int64 `json:"missing_cells,omitempty"`
+	// PrecomputeHit marks a DGF plan whose inner region is answered from
+	// pre-computed GFU headers alone.
+	PrecomputeHit bool `json:"precompute_hit,omitempty"`
+	// ShardsTotal/ShardsTargeted/TargetShards describe a router plan: how
+	// many shards exist, how many the routing-key predicate left in the
+	// fan-out, and which. Zero ShardsTotal means the plan came from a bare
+	// warehouse (or a single-shard router, which is pass-through).
+	ShardsTotal    int   `json:"shards_total,omitempty"`
+	ShardsTargeted int   `json:"shards_targeted,omitempty"`
+	TargetShards   []int `json:"target_shards,omitempty"`
+	// Limit echoes the statement's LIMIT (0 = none); a cursor over the
+	// statement stops consuming splits once it is satisfied.
+	Limit int `json:"limit,omitempty"`
+}
+
+// Render lays the plan out as a two-column result (plan_item, value), the
+// form the SQL layer and /query serialize like any other rows.
+func (p *ExplainPlan) Render() *Result {
+	res := &Result{Columns: []string{"plan_item", "value"}}
+	add := func(k, v string) {
+		res.Rows = append(res.Rows, storage.Row{storage.Str(k), storage.Str(v)})
+	}
+	add("access_path", p.AccessPath)
+	add("table", p.Table)
+	if p.JoinTable != "" {
+		add("join_table", p.JoinTable)
+	}
+	add("format", p.Format)
+	add("projected_columns", strings.Join(p.ProjectedColumns, ","))
+	if p.ProjectedBytes >= 0 {
+		add("projected_bytes", strconv.FormatInt(p.ProjectedBytes, 10))
+	} else {
+		add("projected_bytes", "unknown (index scan decides the read set)")
+	}
+	if strings.HasPrefix(p.AccessPath, "dgfindex") || strings.Contains(p.AccessPath, ":dgfindex") {
+		add("gfu_slices", strconv.Itoa(p.GFUSlices))
+		add("inner_cells", strconv.FormatInt(p.InnerCells, 10))
+		add("boundary_cells", strconv.FormatInt(p.BoundaryCells, 10))
+		add("missing_cells", strconv.FormatInt(p.MissingCells, 10))
+		add("precompute_hit", strconv.FormatBool(p.PrecomputeHit))
+	}
+	if p.ShardsTotal > 0 {
+		targets := make([]string, len(p.TargetShards))
+		for i, s := range p.TargetShards {
+			targets[i] = strconv.Itoa(s)
+		}
+		add("shards", fmt.Sprintf("%d/%d targeted: %s", p.ShardsTargeted, p.ShardsTotal, strings.Join(targets, ",")))
+	}
+	if p.Limit > 0 {
+		add("limit", strconv.Itoa(p.Limit))
+	}
+	res.Stats.RowsOut = len(res.Rows)
+	return res
+}
+
+// Explain plans the SELECT without executing it, reporting the access path
+// and read volume the immediately following execution would have. It runs
+// the same compilation and (for DGF tables) the same index planning as the
+// executor — index KV reads happen, data reads do not.
+func (w *Warehouse) Explain(stmt *SelectStmt, opts ExecOptions) (*ExplainPlan, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.explainLocked(stmt, opts)
+}
+
+func (w *Warehouse) explainLocked(stmt *SelectStmt, opts ExecOptions) (*ExplainPlan, error) {
+	q, err := w.compile(stmt)
+	if err != nil {
+		return nil, err
+	}
+	ep := &ExplainPlan{
+		Table:            q.left.Name,
+		Format:           q.left.Format.String(),
+		ProjectedColumns: projectedColumnNames(q),
+		Limit:            stmt.Limit,
+	}
+	if q.right != nil {
+		ep.JoinTable = q.right.Name
+	}
+
+	// The access path comes from choosePath — the same decision the
+	// executor consumes in prepareSelectLocked — so the announced plan and
+	// the executed plan cannot diverge.
+	choice := q.choosePath(opts)
+	switch choice.kind {
+	case pathDgf:
+		plan, err := q.left.Dgf.Plan(w.Cluster, q.leftRanges, choice.want, choice.planOpts)
+		if err != nil {
+			return nil, err
+		}
+		ep.AccessPath = "dgfindex"
+		if plan.Aggregation {
+			ep.AccessPath = "dgfindex(precompute)"
+		}
+		ep.PrecomputeHit = plan.Aggregation
+		ep.GFUSlices = len(plan.Slices)
+		ep.InnerCells, ep.BoundaryCells, ep.MissingCells = plan.InnerCells, plan.BoundaryCells, plan.MissingCells
+		ep.ProjectedBytes = plan.ProjectedBytes
+	case pathHiveIndex:
+		if choice.aggRewrite {
+			ep.AccessPath = "aggindex-rewrite:" + choice.ix.Name
+		} else {
+			ep.AccessPath = "index:" + choice.ix.Name
+		}
+		// The base read set (matched offsets) only exists once the index
+		// scan has run; the volume is unknowable without executing.
+		ep.ProjectedBytes = -1
+	default:
+		if err := w.explainScanLocked(q, ep); err != nil {
+			return nil, err
+		}
+	}
+
+	// The broadcast join side is read in full alongside any access path.
+	if q.right != nil && ep.ProjectedBytes >= 0 {
+		ep.ProjectedBytes += w.tableSizeBytesLocked(q.right)
+	}
+	return ep, nil
+}
+
+// explainScanLocked fills the plan for the full-scan path, computing the
+// exact read volume: per-row-group (projected) column stats for RCFile, file
+// sizes for TextFile. TextFile volumes are exact when splits align with
+// files (always, below one block per file); a split boundary mid-file adds
+// the few re-read bytes of the boundary line.
+func (w *Warehouse) explainScanLocked(q *compiledQuery, ep *ExplainPlan) error {
+	input, label, err := q.scanInput(w)
+	if err != nil {
+		return err
+	}
+	ep.AccessPath = label
+	var files []string
+	var project []bool
+	switch in := input.(type) {
+	case *mapreduce.TextInput:
+		files = in.Paths
+		if files == nil {
+			files, err = listFilePaths(w, in.Dir)
+			if err != nil {
+				return err
+			}
+		}
+		for _, f := range files {
+			fi, err := w.FS.Stat(f)
+			if err != nil {
+				return err
+			}
+			ep.ProjectedBytes += fi.Size
+		}
+		return nil
+	case *mapreduce.RCInput:
+		files = in.Paths
+		project = in.Project
+		if files == nil {
+			files, err = listFilePaths(w, in.Dir)
+			if err != nil {
+				return err
+			}
+		}
+		for _, f := range files {
+			stats, err := storage.ReadColStats(w.FS, f)
+			if err != nil {
+				return err
+			}
+			for _, g := range stats {
+				ep.ProjectedBytes += g.ProjectedSize(project)
+			}
+		}
+		return nil
+	default:
+		ep.ProjectedBytes = -1
+		return nil
+	}
+}
+
+func listFilePaths(w *Warehouse, dir string) ([]string, error) {
+	fis, err := w.FS.ListFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, len(fis))
+	for i, fi := range fis {
+		paths[i] = fi.Path
+	}
+	return paths, nil
+}
+
+// projectedColumnNames renders the referenced-column set in schema order.
+func projectedColumnNames(q *compiledQuery) []string {
+	proj := q.projection()
+	var out []string
+	for i, c := range q.left.Schema.Cols {
+		if proj == nil || (i < len(proj) && proj[i]) {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}

@@ -59,6 +59,11 @@ func StatementTables(stmt Stmt) []string {
 		if s.Join != nil {
 			add(s.Join.Table.Table)
 		}
+	case *ExplainStmt:
+		add(s.Select.From.Table)
+		if s.Select.Join != nil {
+			add(s.Select.Join.Table.Table)
+		}
 	case *CreateTableStmt:
 		add(s.Name)
 	case *DropTableStmt:
@@ -78,7 +83,7 @@ func IsReadOnly(stmt Stmt) bool {
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		return s.InsertDir == ""
-	case *ShowTablesStmt, *DescribeStmt:
+	case *ShowTablesStmt, *DescribeStmt, *ExplainStmt:
 		return true
 	default:
 		return false

@@ -118,6 +118,16 @@ func (p *parser) parseStmt() (Stmt, error) {
 	case p.at(tokKeyword, "SELECT"):
 		p.next()
 		return p.parseSelectBody()
+	case p.at(tokKeyword, "EXPLAIN"):
+		p.next()
+		if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+			return nil, err
+		}
+		sel, err := p.parseSelectBody()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Select: sel}, nil
 	default:
 		return nil, p.errf("unsupported statement starting with %q", p.cur().text)
 	}

@@ -12,6 +12,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -110,6 +111,14 @@ type Job struct {
 	// Output receives final pairs. Nil output discards them (jobs whose
 	// reducers write to the filesystem themselves).
 	Output Emit
+	// StopEarly, when set, is polled before each split is scheduled and
+	// before each scheduled split starts: once it returns true, remaining
+	// splits are skipped and the job finishes gracefully with the stats of
+	// the splits already processed (no error). This is how a LIMIT cursor
+	// stops consuming input once satisfied. It is called from the scheduler
+	// and worker goroutines, so it must be safe for concurrent use (an
+	// atomic.Bool load, typically).
+	StopEarly func() bool
 }
 
 // Stats reports the measured work and the simulated cluster time of one job.
@@ -160,8 +169,34 @@ type kvPair struct {
 	value []byte
 }
 
-// Run executes the job and returns its statistics.
+// mapResult is one split's map-task outcome. ran distinguishes a processed
+// split from one skipped by cancellation or StopEarly (whose zero value must
+// stay out of the job accounting).
+type mapResult struct {
+	parts   [][]kvPair // per-reducer partition buffers
+	bytes   int64
+	records int64
+	seeks   int64
+	emitted int64 // shuffle bytes from this task
+	err     error
+	ran     bool
+}
+
+// Run executes the job and returns its statistics. It is RunContext under
+// context.Background(): the job always runs to completion.
 func Run(cfg *cluster.Config, job *Job) (*Stats, error) {
+	return RunContext(context.Background(), cfg, job)
+}
+
+// RunContext executes the job under ctx. Cancellation is honoured at split
+// granularity: a cancelled ctx stops the scheduler from handing out further
+// splits and lets the splits already running finish, so the abort lands
+// within one split boundary per worker. The returned error then wraps
+// ctx.Err() and names the position the scan stopped at; the returned Stats
+// are non-nil and describe the work done before the abort (callers that
+// surface partial progress — a cursor reporting how far a cancelled scan
+// got — read them; callers that want all-or-nothing discard them).
+func RunContext(ctx context.Context, cfg *cluster.Config, job *Job) (*Stats, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -200,14 +235,6 @@ func Run(cfg *cluster.Config, job *Job) (*Stats, error) {
 	}
 
 	// ---- Map phase ----
-	type mapResult struct {
-		parts   [][]kvPair // per-reducer partition buffers
-		bytes   int64
-		records int64
-		seeks   int64
-		emitted int64 // shuffle bytes from this task
-		err     error
-	}
 	results := make([]mapResult, len(splits))
 	pool := runtime.GOMAXPROCS(0)
 	if pool > len(splits) {
@@ -216,6 +243,9 @@ func Run(cfg *cluster.Config, job *Job) (*Stats, error) {
 	if pool < 1 {
 		pool = 1
 	}
+	stopped := func() bool {
+		return ctx.Err() != nil || (job.StopEarly != nil && job.StopEarly())
+	}
 	var wg sync.WaitGroup
 	splitCh := make(chan int)
 	for w := 0; w < pool; w++ {
@@ -223,27 +253,55 @@ func Run(cfg *cluster.Config, job *Job) (*Stats, error) {
 		go func() {
 			defer wg.Done()
 			for i := range splitCh {
+				// A split handed out just before cancellation still must
+				// not start: the ran flag keeps skipped splits out of the
+				// accounting below.
+				if stopped() {
+					continue
+				}
 				results[i] = runMapTask(job, splits[i], numReducers, hasReduce, output)
+				results[i].ran = true
 			}
 		}()
 	}
+feed:
 	for i := range splits {
-		splitCh <- i
+		if stopped() {
+			break feed
+		}
+		select {
+		case splitCh <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(splitCh)
 	wg.Wait()
 
+	processed := 0
 	mapTimes := make([]float64, 0, len(results))
 	for i := range results {
 		r := &results[i]
+		if !r.ran {
+			continue
+		}
 		if r.err != nil {
 			return nil, fmt.Errorf("mapreduce: job %q: map over %s: %w", job.Name, splits[i].Label(), r.err)
 		}
+		processed++
 		stats.InputBytes += r.bytes
 		stats.InputRecords += r.records
 		stats.Seeks += r.seeks
 		stats.ShuffleBytes += r.emitted
 		mapTimes = append(mapTimes, cfg.ScanTaskSeconds(r.bytes, r.records, r.seeks))
+	}
+	// Splits/MapTasks report the splits actually consumed: fewer than
+	// enumerated when a cursor's LIMIT (or a cancel) stopped the scan early.
+	stats.Splits, stats.MapTasks = processed, processed
+	if err := ctx.Err(); err != nil {
+		stats.Wall = time.Since(start)
+		return stats, fmt.Errorf("mapreduce: job %q canceled after %d of %d splits: %w",
+			job.Name, processed, len(splits), err)
 	}
 	if cfg.ScaleFactor > 1 {
 		// The in-process data is a sample of the modelled deployment's:
@@ -265,6 +323,9 @@ func Run(cfg *cluster.Config, job *Job) (*Stats, error) {
 	stats.SimShuffleSec = cfg.ScaledShuffleSeconds(stats.ShuffleBytes)
 	partitions := make([][]kvPair, numReducers)
 	for _, r := range results {
+		if !r.ran {
+			continue
+		}
 		for p := 0; p < numReducers; p++ {
 			partitions[p] = append(partitions[p], r.parts[p]...)
 			stats.ShufflePairs += int64(len(r.parts[p]))
@@ -292,15 +353,28 @@ func Run(cfg *cluster.Config, job *Job) (*Stats, error) {
 		go func() {
 			defer rwg.Done()
 			for p := range taskCh {
+				if ctx.Err() != nil {
+					rResults[p] = reduceResult{err: ctx.Err()}
+					continue
+				}
 				rResults[p] = runReduceTask(job, p, partitions[p], output)
 			}
 		}()
 	}
+rfeed:
 	for p := 0; p < numReducers; p++ {
-		taskCh <- p
+		select {
+		case taskCh <- p:
+		case <-ctx.Done():
+			break rfeed
+		}
 	}
 	close(taskCh)
 	rwg.Wait()
+	if err := ctx.Err(); err != nil {
+		stats.Wall = time.Since(start)
+		return stats, fmt.Errorf("mapreduce: job %q canceled in reduce phase: %w", job.Name, err)
+	}
 
 	reduceTimes := make([]float64, 0, numReducers)
 	var reduceBytes, reduceGroups int64
@@ -322,14 +396,7 @@ func Run(cfg *cluster.Config, job *Job) (*Stats, error) {
 	return stats, nil
 }
 
-func runMapTask(job *Job, split InputSplit, numReducers int, hasReduce bool, output Emit) (res struct {
-	parts   [][]kvPair
-	bytes   int64
-	records int64
-	seeks   int64
-	emitted int64
-	err     error
-}) {
+func runMapTask(job *Job, split InputSplit, numReducers int, hasReduce bool, output Emit) (res mapResult) {
 	reader, err := job.Input.Open(split)
 	if err != nil {
 		res.err = err

@@ -1,9 +1,12 @@
 package mapreduce
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -446,5 +449,80 @@ func TestStatsAdd(t *testing.T) {
 	a.Add(b)
 	if a.Splits != 3 || a.InputBytes != 15 || a.SimTotalSec() != 6 {
 		t.Errorf("Add = %+v", a)
+	}
+}
+
+// TestRunContextCancel: a cancelled ctx stops the scheduler at a split
+// boundary and returns partial stats alongside an error wrapping ctx.Err()
+// that names the abort position.
+func TestRunContextCancel(t *testing.T) {
+	fs := dfs.New(8)
+	var words []string
+	for i := 0; i < 200; i++ {
+		words = append(words, fmt.Sprintf("w%03d", i))
+	}
+	writeWords(t, fs, "/in/words", words)
+
+	// A pre-cancelled ctx: nothing runs, the error wraps context.Canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := RunContext(ctx, testCfg(), &Job{
+		Name:  "cancelled",
+		Input: &TextInput{FS: fs, Dir: "/in"},
+		Map:   func(rec Record, emit Emit) error { return nil },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "canceled after") {
+		t.Fatalf("error lacks the split position: %v", err)
+	}
+	if stats == nil || stats.InputRecords != 0 {
+		t.Fatalf("pre-cancelled run stats = %+v", stats)
+	}
+}
+
+// TestStopEarly: once StopEarly reports true, remaining splits are skipped
+// gracefully — no error, stats cover only the consumed splits.
+func TestStopEarly(t *testing.T) {
+	fs := dfs.New(8) // tiny blocks: many splits
+	var words []string
+	for i := 0; i < 120; i++ {
+		words = append(words, fmt.Sprintf("w%03d", i))
+	}
+	writeWords(t, fs, "/in/words", words)
+
+	var records atomic.Int64
+	var stop atomic.Bool
+	stats, err := RunContext(context.Background(), testCfg(), &Job{
+		Name:  "stop-early",
+		Input: &TextInput{FS: fs, Dir: "/in"},
+		Map: func(rec Record, emit Emit) error {
+			if records.Add(1) >= 5 {
+				stop.Store(true)
+			}
+			return nil
+		},
+		StopEarly: stop.Load,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InputRecords >= int64(len(words)) {
+		t.Fatalf("StopEarly consumed the whole input: %d of %d records", stats.InputRecords, len(words))
+	}
+	if stats.Splits == 0 || stats.InputRecords == 0 {
+		t.Fatalf("no work recorded: %+v", stats)
+	}
+	full, err := Run(testCfg(), &Job{
+		Name:  "full",
+		Input: &TextInput{FS: fs, Dir: "/in"},
+		Map:   func(rec Record, emit Emit) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Splits >= full.Splits {
+		t.Fatalf("StopEarly consumed all %d splits", full.Splits)
 	}
 }

@@ -17,12 +17,17 @@ import (
 )
 
 // queryRequest is the JSON body of POST /query. GET /query accepts the same
-// fields as URL parameters (q/sql, session, timeout_ms, no_cache).
+// fields as URL parameters (q/sql, session, timeout_ms, no_cache, stream).
 type queryRequest struct {
 	SQL       string `json:"sql"`
 	Session   string `json:"session,omitempty"`
 	TimeoutMs int64  `json:"timeout_ms,omitempty"`
 	NoCache   bool   `json:"no_cache,omitempty"`
+	// Stream selects the response framing: "" buffers the whole result into
+	// one JSON object; "ndjson" streams rows as the scan produces them —
+	// one JSON line for the header, one per row, one trailer with the final
+	// stats — and honours a client disconnect by aborting the scan.
+	Stream string `json:"stream,omitempty"`
 }
 
 // queryStatsJSON renders hive.QueryStats in the paper's terms.
@@ -108,12 +113,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			req.TimeoutMs = v
 		}
 		req.NoCache = q.Get("no_cache") == "1" || q.Get("no_cache") == "true"
+		req.Stream = q.Get("stream")
 	default:
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET or POST"})
 		return
 	}
 	if req.SQL == "" {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing sql"})
+		return
+	}
+	switch req.Stream {
+	case "":
+	case "ndjson":
+		s.handleQueryStream(w, r, req)
+		return
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "unknown stream mode " + strconv.Quote(req.Stream) + " (want ndjson)"})
 		return
 	}
 
@@ -153,6 +168,87 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		out.Rows = append(out.Rows, jsonRow(row))
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// streamHeader is the first NDJSON line of a streaming response.
+type streamHeader struct {
+	Columns []string `json:"columns"`
+	Session string   `json:"session"`
+}
+
+// streamTrailer is the last NDJSON line: the scan's outcome and final stats
+// (partial when the scan was aborted — Error then says why).
+type streamTrailer struct {
+	Done     bool           `json:"done"`
+	RowCount int            `json:"row_count"`
+	Error    string         `json:"error,omitempty"`
+	WallMs   float64        `json:"wall_ms"`
+	Stats    queryStatsJSON `json:"stats"`
+}
+
+// handleQueryStream serves one SELECT as NDJSON, writing rows as the cursor
+// delivers them. The scan runs under r.Context(): a client that disconnects
+// mid-stream aborts it within one split boundary.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, req queryRequest) {
+	start := time.Now()
+	st, err := s.QueryStream(r.Context(), Request{
+		SQL:     req.SQL,
+		Session: req.Session,
+		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
+	})
+	if err != nil {
+		writeJSON(w, httpStatusOf(err), errorResponse{Error: err.Error()})
+		return
+	}
+	defer st.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(streamHeader{Columns: st.Columns(), Session: st.Session})
+	flush()
+
+	rows := 0
+	for st.Next() {
+		enc.Encode(jsonRow(st.Row()))
+		rows++
+		if rows%64 == 0 {
+			flush()
+		}
+	}
+
+	// The scan is finished (or aborted); Stats/Err no longer block.
+	stats := st.Stats()
+	trailer := streamTrailer{
+		Done:     true,
+		RowCount: rows,
+		WallMs:   float64(time.Since(start).Microseconds()) / 1e3,
+		Stats: queryStatsJSON{
+			AccessPath:  stats.AccessPath,
+			IndexSimSec: stats.IndexSimSec,
+			DataSimSec:  stats.DataSimSec,
+			SimTotalSec: stats.SimTotalSec(),
+			RecordsRead: stats.RecordsRead,
+			BytesRead:   stats.BytesRead,
+			Splits:      stats.Splits,
+			Seeks:       stats.Seeks,
+			RowsOut:     stats.RowsOut,
+			WallMs:      float64(stats.Wall.Microseconds()) / 1e3,
+		},
+	}
+	if err := st.Err(); err != nil {
+		trailer.Done = false
+		trailer.Error = err.Error()
+	}
+	enc.Encode(trailer)
+	flush()
 }
 
 // jsonRow converts one storage.Row into JSON-encodable cells: numbers stay

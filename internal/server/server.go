@@ -42,8 +42,11 @@ import (
 // backend-agnostic, which is what lets one Server serve one warehouse today
 // and N shards tomorrow without changing its callers.
 type Backend interface {
-	// ExecParsed executes an already-parsed statement.
-	ExecParsed(stmt hive.Stmt, opts hive.ExecOptions) (*hive.Result, error)
+	// ExecParsedContext executes an already-parsed statement under ctx: a
+	// ctx that ends mid-scan must abort the underlying job (both provided
+	// backends stop within one split boundary) and return an error wrapping
+	// ctx.Err(), never a partial result.
+	ExecParsedContext(ctx context.Context, stmt hive.Stmt, opts hive.ExecOptions) (*hive.Result, error)
 	// LoadRowsByName appends rows to the named table.
 	LoadRowsByName(table string, rows []storage.Row) error
 	// TableVersions snapshots the named tables' mutation counters; the
@@ -367,13 +370,15 @@ func (s *Server) Query(ctx context.Context, req Request) (*Response, error) {
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
-		return finish(nil, false, ctxError(ctx))
+		return finish(nil, false, ctxError(ctx.Err()))
 	}
 
 	// Execute on a worker goroutine that owns the slot and the admission
-	// reservation: if the caller times out and abandons the query, the job
-	// still runs to completion and only then frees its resources, so drain
-	// and admission accounting stay exact.
+	// reservation. The backend call runs under the request ctx, so a missed
+	// deadline or an abandoning caller actually aborts the scan (within one
+	// split boundary) instead of the job holding its worker slot to
+	// completion; the goroutine frees its resources as soon as the abort
+	// surfaces, keeping drain and admission accounting exact.
 	type outcome struct {
 		res *hive.Result
 		err error
@@ -385,7 +390,7 @@ func (s *Server) Query(ctx context.Context, req Request) (*Response, error) {
 			<-s.sem
 			s.release()
 		}()
-		res, err := s.b.ExecParsed(stmt, req.Opts)
+		res, err := s.b.ExecParsedContext(ctx, stmt, req.Opts)
 		if err == nil && s.cfg.SimPacing > 0 {
 			// Model the remote cluster: hold the worker slot for the
 			// query's simulated duration.
@@ -405,7 +410,7 @@ func (s *Server) Query(ctx context.Context, req Request) (*Response, error) {
 	select {
 	case out := <-ch:
 		if out.err != nil {
-			return finish(nil, false, out.err)
+			return finish(nil, false, ctxError(out.err))
 		}
 		if cacheable {
 			s.results.put(key, tables, out.res)
@@ -415,18 +420,32 @@ func (s *Server) Query(ctx context.Context, req Request) (*Response, error) {
 		}
 		return finish(out.res, false, nil)
 	case <-ctx.Done():
-		return finish(nil, false, ctxError(ctx))
+		return finish(nil, false, ctxError(ctx.Err()))
 	}
 }
 
-// ctxError classifies why the request context ended: a missed deadline is a
-// query timeout (counted as such in metrics, HTTP 504); a caller
-// cancellation — an HTTP client disconnecting mid-query — is not.
-func ctxError(ctx context.Context) error {
-	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-		return fmt.Errorf("%w: %v", ErrQueryTimeout, ctx.Err())
+// ctxError is the one place a context termination maps onto the server's
+// sentinel errors, shared by Query, QueryStream and the HTTP handlers. It
+// classifies both forms an expired request takes — the request ctx's own
+// Err(), and the wrapped ctx error a mid-scan abort bubbles up through the
+// execution stack — so a missed deadline is always ErrQueryTimeout (counted
+// as a timeout in metrics, HTTP 504) no matter where the deadline caught
+// the query, and a caller cancellation (an HTTP client disconnecting
+// mid-scan) is always a cancellation, not a timeout. Errors unrelated to a
+// context pass through unchanged.
+func ctxError(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrQueryTimeout):
+		return err
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %v", ErrQueryTimeout, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("server: request canceled: %w", err)
+	default:
+		return err
 	}
-	return fmt.Errorf("server: request canceled: %w", ctx.Err())
 }
 
 // cacheKey renders "normalized sql @ table:version,..." deterministically.
@@ -443,6 +462,147 @@ func cacheKey(norm string, tables []string, versions map[string]uint64) string {
 		fmt.Fprintf(&b, "%s:%d", n, versions[n])
 	}
 	return b.String()
+}
+
+// streamer is the optional Backend extension for cursor-driven streaming.
+// Both provided backends (warehouse and shard router) implement it; a
+// Backend without it falls back to full execution replayed through a cursor.
+type streamer interface {
+	SelectCursor(ctx context.Context, stmt *hive.SelectStmt, opts hive.ExecOptions) (hive.Cursor, error)
+}
+
+// Stream is one in-flight streaming query: the cursor plus the serving
+// resources it holds (a worker slot, an admission reservation, the request
+// deadline). The caller must Close it — that aborts an unfinished scan,
+// releases the slot, and records the query in the serving metrics. Close is
+// idempotent.
+type Stream struct {
+	hive.Cursor
+	// Session is the session the query is attributed to.
+	Session string
+
+	s      *Server
+	sess   *Session
+	cancel context.CancelFunc
+	start  time.Time
+	once   sync.Once
+}
+
+// Close aborts the scan if still running, releases the worker slot and
+// admission reservation, and observes the final (possibly partial) stats in
+// the server and session metrics.
+func (st *Stream) Close() error {
+	st.once.Do(func() {
+		st.Cursor.Close()
+		st.cancel()
+		stats := st.Cursor.Stats()
+		err := ctxError(st.Cursor.Err())
+		res := &hive.Result{Stats: stats}
+		wall := time.Since(st.start)
+		isTimeout := errors.Is(err, ErrQueryTimeout)
+		st.s.metrics.observe(wall, res, false, isTimeout, err != nil)
+		st.sess.m.observe(wall, res, false, isTimeout, err != nil)
+		<-st.s.sem
+		st.s.release()
+	})
+	return nil
+}
+
+// Err returns the scan's terminal error mapped onto the server's sentinel
+// errors (a mid-scan deadline becomes ErrQueryTimeout, exactly as it does
+// for a non-streaming Query).
+func (st *Stream) Err() error { return ctxError(st.Cursor.Err()) }
+
+// QueryStream executes one SELECT under admission control and returns a
+// Stream delivering rows as the scan produces them. Streaming queries
+// bypass the result cache in both directions (there is no materialized
+// result to cache) but share the plan cache, the worker pool, and the
+// timeout discipline with Query: the request ctx plus the configured
+// timeout bound the whole stream, and cancelling either aborts the scan
+// within one split boundary.
+func (s *Server) QueryStream(ctx context.Context, req Request) (*Stream, error) {
+	start := time.Now()
+	sess := s.Session(req.Session)
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
+	admitted := true
+	defer func() {
+		if admitted {
+			s.release()
+		}
+	}()
+	// fail observes the error in the metrics exactly as Query's finish
+	// does, so /stats error and timeout rates cannot diverge between the
+	// streaming and non-streaming paths.
+	fail := func(err error) (*Stream, error) {
+		err = ctxError(err)
+		wall := time.Since(start)
+		isTimeout := errors.Is(err, ErrQueryTimeout)
+		s.metrics.observe(wall, nil, false, isTimeout, true)
+		sess.m.observe(wall, nil, false, isTimeout, true)
+		return nil, err
+	}
+
+	norm, err := hive.Normalize(req.SQL)
+	if err != nil {
+		return fail(err)
+	}
+	stmt, ok := s.plans.get(norm)
+	if !ok {
+		stmt, err = hive.Parse(req.SQL)
+		if err != nil {
+			return fail(err)
+		}
+		s.plans.put(norm, stmt)
+	}
+	sel, isSelect := stmt.(*hive.SelectStmt)
+	if !isSelect {
+		return fail(fmt.Errorf("server: only SELECT statements can stream (got %T)", stmt))
+	}
+
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	var cancel context.CancelFunc = func() {}
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+
+	// Wait for a worker slot; the stream holds it until Close.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		cancel()
+		return fail(ctx.Err())
+	}
+
+	var cur hive.Cursor
+	if sb, ok := s.b.(streamer); ok {
+		cur, err = sb.SelectCursor(ctx, sel, req.Opts)
+	} else {
+		// Fallback for custom backends: run to completion, replay the rows.
+		var res *hive.Result
+		res, err = s.b.ExecParsedContext(ctx, sel, req.Opts)
+		if err == nil {
+			cur = hive.NewRowsCursor(res)
+		}
+	}
+	if err != nil {
+		<-s.sem
+		cancel()
+		return fail(err)
+	}
+	admitted = false // the Stream owns the reservation now
+	return &Stream{
+		Cursor:  cur,
+		Session: sess.id,
+		s:       s,
+		sess:    sess,
+		cancel:  cancel,
+		start:   start,
+	}, nil
 }
 
 // LoadRows appends rows to the named table through the server, so the load

@@ -19,6 +19,8 @@
 package shard
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -164,17 +166,43 @@ func (r *Router) Exec(sql string) (*hive.Result, error) {
 	return r.ExecParsed(stmt, hive.ExecOptions{})
 }
 
-// ExecParsed executes an already-parsed statement: SELECTs scatter-gather,
-// catalog reads go to shard 0 (every shard holds the same catalog), and DDL
-// broadcasts to all shards.
+// ExecContext is Exec under ctx: a ctx that ends mid-scatter cancels every
+// in-flight shard scan at its next split boundary.
+func (r *Router) ExecContext(ctx context.Context, sql string, opts hive.ExecOptions) (*hive.Result, error) {
+	stmt, err := hive.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return r.ExecParsedContext(ctx, stmt, opts)
+}
+
+// ExecParsed executes an already-parsed statement. It is ExecParsedContext
+// under context.Background().
 func (r *Router) ExecParsed(stmt hive.Stmt, opts hive.ExecOptions) (*hive.Result, error) {
+	return r.ExecParsedContext(context.Background(), stmt, opts)
+}
+
+// ExecParsedContext executes an already-parsed statement: SELECTs
+// scatter-gather under a cancellable group, catalog reads go to shard 0
+// (every shard holds the same catalog), and DDL broadcasts to all shards.
+func (r *Router) ExecParsedContext(ctx context.Context, stmt hive.Stmt, opts hive.ExecOptions) (*hive.Result, error) {
 	switch s := stmt.(type) {
 	case *hive.SelectStmt:
-		return r.execSelect(s, opts)
+		return r.execSelect(ctx, s, opts)
+	case *hive.ExplainStmt:
+		if len(r.shards) == 1 {
+			// Pass through: bit-identical to a bare warehouse.
+			return r.shards[0].ExecParsedContext(ctx, stmt, opts)
+		}
+		plan, err := r.Explain(s.Select, opts)
+		if err != nil {
+			return nil, err
+		}
+		return plan.Render(), nil
 	case *hive.ShowTablesStmt, *hive.DescribeStmt:
-		return r.shards[0].ExecParsed(stmt, opts)
+		return r.shards[0].ExecParsedContext(ctx, stmt, opts)
 	case *hive.CreateTableStmt:
-		res, err := r.broadcast(stmt, opts)
+		res, err := r.broadcast(ctx, stmt, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -184,7 +212,7 @@ func (r *Router) ExecParsed(stmt hive.Stmt, opts hive.ExecOptions) (*hive.Result
 		r.mu.Unlock()
 		return res, nil
 	case *hive.DropTableStmt:
-		res, err := r.broadcast(stmt, opts)
+		res, err := r.broadcast(ctx, stmt, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -194,7 +222,7 @@ func (r *Router) ExecParsed(stmt hive.Stmt, opts hive.ExecOptions) (*hive.Result
 		return res, nil
 	default:
 		// CREATE INDEX and future DDL: every shard indexes its own slice.
-		return r.broadcast(stmt, opts)
+		return r.broadcast(ctx, stmt, opts)
 	}
 }
 
@@ -202,7 +230,7 @@ func (r *Router) ExecParsed(stmt hive.Stmt, opts hive.ExecOptions) (*hive.Result
 // shard 0's result. On error the shards may diverge (some applied the DDL,
 // some did not); the first error is returned and the caller should retry or
 // rebuild the fleet.
-func (r *Router) broadcast(stmt hive.Stmt, opts hive.ExecOptions) (*hive.Result, error) {
+func (r *Router) broadcast(ctx context.Context, stmt hive.Stmt, opts hive.ExecOptions) (*hive.Result, error) {
 	results := make([]*hive.Result, len(r.shards))
 	errs := make([]error, len(r.shards))
 	var wg sync.WaitGroup
@@ -210,7 +238,7 @@ func (r *Router) broadcast(stmt hive.Stmt, opts hive.ExecOptions) (*hive.Result,
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = r.shards[i].ExecParsed(stmt, opts)
+			results[i], errs[i] = r.shards[i].ExecParsedContext(ctx, stmt, opts)
 		}(i)
 	}
 	wg.Wait()
@@ -222,46 +250,69 @@ func (r *Router) broadcast(stmt hive.Stmt, opts hive.ExecOptions) (*hive.Result,
 	return results[0], nil
 }
 
-// execSelect is the scatter-gather path: prune shards by the routing-key
-// predicate, run SelectPartial on each target concurrently, merge the
-// partial states, finalize once.
-func (r *Router) execSelect(s *hive.SelectStmt, opts hive.ExecOptions) (*hive.Result, error) {
-	// A single-shard fleet is a plain warehouse: pass through so results —
-	// stats and access path included — are bit-identical to direct use.
+// routeSelect is the one place the fleet decides how a SELECT executes:
+// pass through to one warehouse untouched, or scatter to a target set.
+// Execution, EXPLAIN, and the streaming cursor all consume this single
+// decision, so the plan a router announces, the shards a cursor opens, and
+// the shards the gather reads can never diverge.
+//
+// passthrough=true names the single answering warehouse (always shard 0):
+// a one-shard fleet (bit-identical to a bare warehouse — stats and access
+// path included), a table created behind the router (only shard 0 holds
+// it), or a replicated FROM table (every shard holds a full copy). The one
+// replicated-FROM exception is a join against a partitioned table: every
+// shard then holds the full FROM copy plus a disjoint slice of the join
+// side, so a full fan-out counts every match exactly once, while shard 0
+// alone would silently drop the other shards' join rows.
+func (r *Router) routeSelect(s *hive.SelectStmt) (targets []int, passthrough bool, err error) {
 	if len(r.shards) == 1 {
-		return r.shards[0].ExecParsed(s, opts)
+		return nil, true, nil
 	}
 	if s.InsertDir != "" {
-		return nil, fmt.Errorf("shard: INSERT OVERWRITE DIRECTORY is not supported on a sharded backend")
+		return nil, false, fmt.Errorf("shard: INSERT OVERWRITE DIRECTORY is not supported on a sharded backend")
 	}
 	m := r.meta(s.From.Table)
 	if m == nil {
-		// Unknown table (created behind the router): only shard 0 holds it.
-		return r.shards[0].ExecParsed(s, opts)
+		return nil, true, nil
 	}
 	if m.keyIdx < 0 {
-		// Replicated FROM table: shard 0's full copy answers alone —
-		// unless the join side is partitioned. Then every shard holds the
-		// full FROM copy plus a disjoint slice of the join table, so a
-		// full fan-out counts every match exactly once; shard 0 alone
-		// would silently drop the other shards' join rows.
 		if s.Join != nil {
 			if jm := r.meta(s.Join.Table.Table); jm != nil && jm.keyIdx >= 0 {
-				return r.scatter(s, opts, r.allShards())
+				return r.allShards(), false, nil
 			}
 		}
-		return r.shards[0].ExecParsed(s, opts)
+		return nil, true, nil
 	}
 	if err := r.checkJoin(s); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return r.scatter(s, opts, r.targetShards(s, m))
+	return r.targetShards(s, m), false, nil
 }
 
-// scatter fans the SELECT out to the target shards concurrently and merges
-// their partial results into one finalized Result.
-func (r *Router) scatter(s *hive.SelectStmt, opts hive.ExecOptions, targets []int) (*hive.Result, error) {
-	start := time.Now()
+// execSelect is the scatter-gather path: prune shards by the routing-key
+// predicate, run SelectPartial on each target concurrently, merge the
+// partial states, finalize once.
+func (r *Router) execSelect(ctx context.Context, s *hive.SelectStmt, opts hive.ExecOptions) (*hive.Result, error) {
+	targets, passthrough, err := r.routeSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	if passthrough {
+		return r.shards[0].ExecParsedContext(ctx, s, opts)
+	}
+	return r.scatter(ctx, s, opts, targets)
+}
+
+// scatterPartials fans the SELECT out to the target shards under a
+// cancellable group: the first shard error (or a caller cancel) cancels the
+// shared sub-context, and every sibling scan aborts at its next split
+// boundary instead of running — and holding its goroutine — to completion.
+// The goroutines are always joined before returning; a non-nil error is the
+// root cause (a sibling's ctx.Canceled never masks the shard error that
+// triggered the cancellation).
+func (r *Router) scatterPartials(ctx context.Context, s *hive.SelectStmt, opts hive.ExecOptions, targets []int) ([]*hive.PartialResult, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	parts := make([]*hive.PartialResult, len(targets))
 	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
@@ -269,14 +320,45 @@ func (r *Router) scatter(s *hive.SelectStmt, opts hive.ExecOptions, targets []in
 		wg.Add(1)
 		go func(i, si int) {
 			defer wg.Done()
-			parts[i], errs[i] = r.shards[si].SelectPartial(s, opts)
+			parts[i], errs[i] = r.shards[si].SelectPartialContext(sctx, s, opts)
+			if errs[i] != nil {
+				cancel()
+			}
 		}(i, si)
 	}
 	wg.Wait()
+	// Prefer the root cause: a real shard failure outranks the ctx errors
+	// its cancellation induced in siblings; a caller cancel surfaces as the
+	// caller ctx's own error.
+	var ctxErr error
 	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if ctxErr != nil {
+		if cause := ctx.Err(); cause != nil {
+			return nil, fmt.Errorf("shard: scatter canceled: %w", cause)
+		}
+		return nil, ctxErr
+	}
+	return parts, nil
+}
+
+// scatter runs scatterPartials and merges the shards' partial results into
+// one finalized Result.
+func (r *Router) scatter(ctx context.Context, s *hive.SelectStmt, opts hive.ExecOptions, targets []int) (*hive.Result, error) {
+	start := time.Now()
+	parts, err := r.scatterPartials(ctx, s, opts, targets)
+	if err != nil {
+		return nil, err
 	}
 
 	merged := parts[0]
@@ -292,6 +374,61 @@ func (r *Router) scatter(s *hive.SelectStmt, opts hive.ExecOptions, targets []in
 	res.Stats.AccessPath = fmt.Sprintf("sharded(%d/%d):%s", len(targets), len(r.shards), parts[0].Stats.AccessPath)
 	res.Stats.Wall = time.Since(start)
 	return res, nil
+}
+
+// Explain plans a SELECT across the fleet without executing it, consuming
+// the same routeSelect decision execution does: pass-through cases return
+// the single answering warehouse's plan untouched; scatter cases merge the
+// target shards' plans (volumes and slice counts sum — exactly how the
+// executed stats merge) and prefix the access path with the same
+// "sharded(k/n):" label the gather will report.
+func (r *Router) Explain(s *hive.SelectStmt, opts hive.ExecOptions) (*hive.ExplainPlan, error) {
+	targets, passthrough, err := r.routeSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	if passthrough {
+		return r.shards[0].Explain(s, opts)
+	}
+	return r.explainScatter(s, opts, targets)
+}
+
+// explainScatter merges the per-target-shard plans into the fleet plan.
+func (r *Router) explainScatter(s *hive.SelectStmt, opts hive.ExecOptions, targets []int) (*hive.ExplainPlan, error) {
+	plans := make([]*hive.ExplainPlan, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, si := range targets {
+		wg.Add(1)
+		go func(i, si int) {
+			defer wg.Done()
+			plans[i], errs[i] = r.shards[si].Explain(s, opts)
+		}(i, si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The gather reports the first target's access path; so does the plan.
+	merged := *plans[0]
+	merged.AccessPath = fmt.Sprintf("sharded(%d/%d):%s", len(targets), len(r.shards), plans[0].AccessPath)
+	merged.ShardsTotal = len(r.shards)
+	merged.ShardsTargeted = len(targets)
+	merged.TargetShards = append([]int(nil), targets...)
+	for _, p := range plans[1:] {
+		if merged.ProjectedBytes >= 0 && p.ProjectedBytes >= 0 {
+			merged.ProjectedBytes += p.ProjectedBytes
+		} else {
+			merged.ProjectedBytes = -1
+		}
+		merged.GFUSlices += p.GFUSlices
+		merged.InnerCells += p.InnerCells
+		merged.BoundaryCells += p.BoundaryCells
+		merged.MissingCells += p.MissingCells
+	}
+	return &merged, nil
 }
 
 // mergeStats folds one more shard's cost into the scatter-gather total:

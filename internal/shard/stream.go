@@ -1,0 +1,206 @@
+// Scatter streaming: the router's cursor fans a plain-projection SELECT out
+// to the target shards' warehouse cursors and forwards rows into one merged
+// stream as the shards produce them — the first row arrives while the
+// slowest shard is still scanning. Aggregations cannot stream before the
+// gather (no row exists until every shard's partial state merges), so their
+// cursor materializes the scatter-gather result and replays it.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/hive"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// SelectCursor opens a streaming cursor over one SELECT across the fleet,
+// consuming the same routeSelect decision execution does: single-shard
+// fleets and shard-0-only tables pass through to the warehouse cursor
+// untouched; partitioned tables scatter. Cancelling ctx (or closing the
+// cursor) aborts every shard's scan at its next split boundary.
+func (r *Router) SelectCursor(ctx context.Context, s *hive.SelectStmt, opts hive.ExecOptions) (hive.Cursor, error) {
+	targets, passthrough, err := r.routeSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	if passthrough {
+		return r.shards[0].SelectCursor(ctx, s, opts)
+	}
+	if stmtIsAggregate(s) {
+		res, err := r.scatter(ctx, s, opts, targets)
+		if err != nil {
+			return nil, err
+		}
+		return hive.NewRowsCursor(res), nil
+	}
+	return r.newScatterCursor(ctx, s, opts, targets)
+}
+
+// stmtIsAggregate mirrors the compiler's isAgg classification: the statement
+// aggregates iff a SELECT item is an aggregate call.
+func stmtIsAggregate(s *hive.SelectStmt) bool {
+	for _, item := range s.Select {
+		if _, ok := item.Expr.(hive.AggCall); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// scatterCursor merges the target shards' row streams. Rows arrive in shard
+// completion order; a LIMIT is enforced globally at delivery and cancels the
+// shard scans once satisfied.
+type scatterCursor struct {
+	cctx    context.Context
+	cancel  context.CancelFunc
+	curs    []hive.Cursor
+	nShards int
+
+	ch   chan storage.Row
+	done chan struct{}
+
+	limit     int
+	delivered int
+	row       storage.Row
+
+	// stopped marks a deliberate shutdown (LIMIT satisfied or Close): the
+	// ctx errors it induces in shard cursors are not failures.
+	stopped atomic.Bool
+
+	stats hive.QueryStats
+	err   error
+}
+
+func (r *Router) newScatterCursor(ctx context.Context, s *hive.SelectStmt, opts hive.ExecOptions, targets []int) (hive.Cursor, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	c := &scatterCursor{
+		cctx:    cctx,
+		cancel:  cancel,
+		nShards: len(r.shards),
+		ch:      make(chan storage.Row, 64),
+		done:    make(chan struct{}),
+		limit:   s.Limit,
+	}
+	for _, si := range targets {
+		cur, err := r.shards[si].SelectCursor(cctx, s, opts)
+		if err != nil {
+			cancel()
+			for _, open := range c.curs {
+				open.Close()
+			}
+			return nil, err
+		}
+		c.curs = append(c.curs, cur)
+	}
+	go c.run()
+	return c, nil
+}
+
+func (c *scatterCursor) run() {
+	defer close(c.done)
+	start := time.Now()
+	errs := make([]error, len(c.curs))
+	var wg sync.WaitGroup
+	for i, cur := range c.curs {
+		wg.Add(1)
+		go func(i int, cur hive.Cursor) {
+			defer wg.Done()
+			for cur.Next() {
+				select {
+				case c.ch <- cur.Row():
+				case <-c.cctx.Done():
+					cur.Close()
+					return
+				}
+			}
+			if err := cur.Err(); err != nil {
+				errs[i] = err
+				// First failure cancels the sibling scans.
+				c.cancel()
+			}
+		}(i, cur)
+	}
+	wg.Wait()
+
+	// Merge costs the way the gather does: volumes sum, the slowest shard
+	// bounds the simulated time, the first target names the access path.
+	stats := c.curs[0].Stats()
+	first := stats.AccessPath
+	for _, cur := range c.curs[1:] {
+		mergeStats(&stats, cur.Stats())
+	}
+	stats.AccessPath = fmt.Sprintf("sharded(%d/%d):%s", len(c.curs), c.nShards, first)
+	stats.Wall = time.Since(start)
+	c.stats = stats
+	for _, cur := range c.curs {
+		cur.Close()
+	}
+
+	deliberate := c.stopped.Load()
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		isCtx := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+		if isCtx && deliberate {
+			continue // our own LIMIT/Close shutdown, not a failure
+		}
+		if !isCtx {
+			c.err = err
+			break
+		}
+		if c.err == nil {
+			c.err = err
+		}
+	}
+	close(c.ch)
+}
+
+func (c *scatterCursor) Next() bool {
+	if c.limit > 0 && c.delivered >= c.limit {
+		if !c.stopped.Swap(true) {
+			c.cancel()
+		}
+		c.row = nil
+		return false
+	}
+	row, ok := <-c.ch
+	if !ok {
+		c.row = nil
+		return false
+	}
+	c.row = row
+	c.delivered++
+	return true
+}
+
+func (c *scatterCursor) Row() storage.Row { return c.row }
+
+func (c *scatterCursor) Columns() []string { return c.curs[0].Columns() }
+
+func (c *scatterCursor) Stats() hive.QueryStats {
+	<-c.done
+	stats := c.stats
+	stats.RowsOut = c.delivered
+	return stats
+}
+
+func (c *scatterCursor) Err() error {
+	<-c.done
+	return c.err
+}
+
+func (c *scatterCursor) Close() error {
+	c.stopped.Store(true)
+	c.cancel()
+	for range c.ch {
+		// Drain so the pumps never block on a send.
+	}
+	<-c.done
+	return nil
+}
