@@ -7,6 +7,7 @@
 //
 //	dgfserver -demo -addr :8080
 //	dgfserver -demo -shards 4 -shard-key userId -addr :8080
+//	dgfserver -demo -shards 4 -replicas 2 -addr :8080   # per-shard failover
 //
 // then query it:
 //
@@ -56,6 +57,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query timeout")
 	pacing := flag.Duration("pacing", 0, "wall time per simulated cluster-second (0 disables pacing)")
 	shards := flag.Int("shards", 1, "warehouse shards behind the server (1 = unsharded)")
+	replicas := flag.Int("replicas", 1, "warehouse replicas per shard (sharded mode; reads fail over, writes go to all)")
 	shardKey := flag.String("shard-key", "userId", "routing column for sharded mode")
 	shardStrategy := flag.String("shard-strategy", "hash", "shard routing: hash or range")
 	shardBounds := flag.String("shard-bounds", "", "comma-separated ascending split points for range routing (shards-1 values; -demo derives them when omitted)")
@@ -67,12 +69,12 @@ func main() {
 	cc := dgfindex.DefaultCluster().Scaled(500000)
 	var be dgfindex.Backend
 	var demoTarget backend
-	if *shards > 1 {
+	if *shards > 1 || *replicas > 1 {
 		strategy, err := dgfindex.ParseShardStrategy(*shardStrategy)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg := dgfindex.ShardConfig{Shards: *shards, Key: *shardKey, Strategy: strategy}
+		cfg := dgfindex.ShardConfig{Shards: *shards, Replicas: *replicas, Key: *shardKey, Strategy: strategy}
 		if strategy == dgfindex.ShardByRange {
 			cfg.Bounds, err = rangeBounds(*shardBounds, *shards, *demo, *demoUsers)
 			if err != nil {
@@ -105,8 +107,8 @@ func main() {
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {
-		log.Printf("dgfserver listening on %s (shards=%d workers=%d queue=%d cache=%d/%dMB)",
-			*addr, *shards, *workers, *queue, *cache, *cacheBytes>>20)
+		log.Printf("dgfserver listening on %s (shards=%d replicas=%d workers=%d queue=%d cache=%d/%dMB)",
+			*addr, *shards, *replicas, *workers, *queue, *cache, *cacheBytes>>20)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}

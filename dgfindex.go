@@ -249,11 +249,21 @@ type (
 	Backend = server.Backend
 	// ShardRouter fans statements out across shard warehouses.
 	ShardRouter = shard.Router
-	// ShardConfig sets shard count, routing key, and strategy.
+	// ShardConfig sets shard count, replicas per shard, routing key, and
+	// strategy.
 	ShardConfig = shard.Config
 	// ShardStrategy selects hash or range routing.
 	ShardStrategy = shard.Strategy
+	// ShardSetHealth is one shard's replica-set health (Router.Health,
+	// /stats, /healthz).
+	ShardSetHealth = shard.SetHealth
+	// ShardReplicaHealth is one replica's health record.
+	ShardReplicaHealth = shard.ReplicaHealth
 )
+
+// ErrReplicaDown marks a request that failed because its chosen shard
+// replica is down; the router retries it on the shard's other replicas.
+var ErrReplicaDown = shard.ErrReplicaDown
 
 // Shard routing strategies.
 const (
@@ -264,18 +274,19 @@ const (
 // ParseShardStrategy reads "hash" or "range" (CLI flags).
 var ParseShardStrategy = shard.ParseStrategy
 
-// NewSharded creates a shard router over cfg.Shards fresh in-memory
-// warehouses, each with the default cluster model and block size (the
-// sharded sibling of New).
+// NewSharded creates a shard router over cfg.Shards shards of cfg.Replicas
+// fresh in-memory warehouses each, every one with the default cluster model
+// and block size (the sharded sibling of New).
 func NewSharded(cfg ShardConfig) (*ShardRouter, error) {
-	return shard.New(cfg, func(int) *Warehouse { return New() })
+	return shard.New(cfg, func(int, int) *Warehouse { return New() })
 }
 
-// NewShardedWithConfig creates a shard router whose shards share a cluster
-// model and block size (the sharded sibling of NewWithConfig). Each shard
-// still gets its own filesystem: shards are independent stores.
+// NewShardedWithConfig creates a shard router whose warehouses share a
+// cluster model and block size (the sharded sibling of NewWithConfig). Each
+// shard — and each replica of each shard — still gets its own filesystem:
+// they are independent stores.
 func NewShardedWithConfig(cfg ShardConfig, cc *ClusterConfig, blockSize int64) (*ShardRouter, error) {
-	return shard.New(cfg, func(int) *Warehouse {
+	return shard.New(cfg, func(int, int) *Warehouse {
 		return hive.NewWarehouse(dfs.New(blockSize), cc, "/warehouse")
 	})
 }

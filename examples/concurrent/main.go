@@ -17,9 +17,11 @@
 // With -shards > 1 the same workload runs against a sharded fleet: the
 // meter table partitions across N warehouses by userId hash, every SELECT
 // scatter-gathers across the shards, and the per-query simulated cluster
-// time drops to the slowest shard's share.
+// time drops to the slowest shard's share. With -replicas > 1 each shard is
+// R identical copies, and the demo kills one replica mid-traffic to show
+// reads failing over while every client keeps getting answers.
 //
-// Run: go run ./examples/concurrent [-clients 8] [-queries 40] [-users 1000] [-shards 4]
+// Run: go run ./examples/concurrent [-clients 8] [-queries 40] [-users 1000] [-shards 4] [-replicas 2]
 package main
 
 import (
@@ -50,6 +52,7 @@ func main() {
 	queries := flag.Int("queries", 40, "queries per client")
 	users := flag.Int("users", 1000, "users in the generated dataset")
 	shards := flag.Int("shards", 1, "warehouse shards behind the server (1 = unsharded)")
+	replicas := flag.Int("replicas", 1, "warehouse replicas per shard (sharded mode)")
 	pacing := flag.Duration("pacing", 2*time.Millisecond, "wall time per simulated cluster-second")
 	flag.Parse()
 
@@ -59,8 +62,10 @@ func main() {
 	cfg.Users = *users
 	cfg.OtherMetrics = 0
 	var be backend
-	if *shards > 1 {
-		router, err := dgfindex.NewSharded(dgfindex.ShardConfig{Shards: *shards, Key: "userId"})
+	var router *dgfindex.ShardRouter
+	if *shards > 1 || *replicas > 1 {
+		var err error
+		router, err = dgfindex.NewSharded(dgfindex.ShardConfig{Shards: *shards, Replicas: *replicas, Key: "userId"})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -83,8 +88,8 @@ func main() {
 	})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	fmt.Printf("DGFServe on %s: %d shard(s), %d clients x %d queries, pacing %v per sim-second\n\n",
-		ts.URL, *shards, *clients, *queries, *pacing)
+	fmt.Printf("DGFServe on %s: %d shard(s) x %d replica(s), %d clients x %d queries, pacing %v per sim-second\n\n",
+		ts.URL, *shards, *replicas, *clients, *queries, *pacing)
 
 	// Every client replays the same shuffled mix of point and range
 	// queries (the paper's Fig. 8-10 shapes) under its own session.
@@ -127,7 +132,17 @@ func main() {
 	if _, err := srv.LoadRows("meterdata", day31.AllRows()); err != nil {
 		log.Fatalf("interleaved load: %v", err)
 	}
+	// With a replicated fleet, one replica dies under the parallel traffic:
+	// every read fails over to its shard sibling and no client notices.
+	outage := router != nil && *replicas > 1
+	if outage {
+		router.Kill(0, 0)
+	}
 	wg.Wait()
+	if outage {
+		router.Revive(0, 0)
+		fmt.Println("replica outage: shard 0 replica 0 was down mid-phase; reads failed over to its sibling")
+	}
 	parallel := time.Since(parallelStart)
 	total := *clients * len(queryMix)
 	fmt.Printf("parallel : %3d queries in %8v (%6.1f q/s) across %d clients\n",

@@ -55,6 +55,12 @@ type ExplainPlan struct {
 	ShardsTotal    int   `json:"shards_total,omitempty"`
 	ShardsTargeted int   `json:"shards_targeted,omitempty"`
 	TargetShards   []int `json:"target_shards,omitempty"`
+	// ReplicasPerShard is the router's copies per shard (1 = unreplicated);
+	// ChosenReplicas names, per target shard, the replica the router's
+	// least-loaded selection would currently read from (the execution that
+	// follows picks again, and may fail over past the choice).
+	ReplicasPerShard int   `json:"replicas_per_shard,omitempty"`
+	ChosenReplicas   []int `json:"chosen_replicas,omitempty"`
 	// Limit echoes the statement's LIMIT (0 = none); a cursor over the
 	// statement stops consuming splits once it is satisfied.
 	Limit int `json:"limit,omitempty"`
@@ -92,6 +98,15 @@ func (p *ExplainPlan) Render() *Result {
 			targets[i] = strconv.Itoa(s)
 		}
 		add("shards", fmt.Sprintf("%d/%d targeted: %s", p.ShardsTargeted, p.ShardsTotal, strings.Join(targets, ",")))
+		// Replication detail only when the fleet is actually replicated, so
+		// an unreplicated router's EXPLAIN output is unchanged.
+		if p.ReplicasPerShard > 1 {
+			chosen := make([]string, len(p.ChosenReplicas))
+			for i, rep := range p.ChosenReplicas {
+				chosen[i] = strconv.Itoa(rep)
+			}
+			add("replicas", fmt.Sprintf("%d per shard; chosen: %s", p.ReplicasPerShard, strings.Join(chosen, ",")))
+		}
 	}
 	if p.Limit > 0 {
 		add("limit", strconv.Itoa(p.Limit))

@@ -426,10 +426,40 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// healthzResponse is the /healthz body. For a replicated fleet it carries
+// the per-shard live-replica counts, and DeadShards names shards with no
+// live replica left — those fail scatters, so the endpoint reports 503
+// "degraded" and a load balancer can stop routing here until they recover.
+type healthzResponse struct {
+	Status      string `json:"status"`
+	Shards      int    `json:"shards,omitempty"`
+	Replicas    int    `json:"replicas,omitempty"`
+	LiveByShard []int  `json:"live_by_shard,omitempty"`
+	DeadShards  []int  `json:"dead_shards,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, healthzResponse{Status: "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := healthzResponse{Status: "ok"}
+	if health := s.ShardHealth(); len(health) > 0 {
+		resp.Shards = len(health)
+		for _, sh := range health {
+			if sh.Replicas > resp.Replicas {
+				resp.Replicas = sh.Replicas
+			}
+			resp.LiveByShard = append(resp.LiveByShard, sh.Live)
+			if sh.Live == 0 {
+				resp.DeadShards = append(resp.DeadShards, sh.Shard)
+			}
+		}
+	}
+	if len(resp.DeadShards) > 0 {
+		resp.Status = "degraded"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"github.com/smartgrid-oss/dgfindex/internal/hive"
+	"github.com/smartgrid-oss/dgfindex/internal/shard"
 	"github.com/smartgrid-oss/dgfindex/internal/storage"
 )
 
@@ -464,6 +465,23 @@ func cacheKey(norm string, tables []string, versions map[string]uint64) string {
 	return b.String()
 }
 
+// replicaHealthReporter is the optional Backend extension a replicated
+// shard router implements: per-shard replica-set health for /stats and
+// /healthz. A Backend without it (a bare warehouse, an unsharded fleet)
+// simply reports no shard section.
+type replicaHealthReporter interface {
+	Health() []shard.SetHealth
+}
+
+// ShardHealth returns the backend's per-shard replica health, or nil when
+// the backend is not a replicated router.
+func (s *Server) ShardHealth() []shard.SetHealth {
+	if hr, ok := s.b.(replicaHealthReporter); ok {
+		return hr.Health()
+	}
+	return nil
+}
+
 // streamer is the optional Backend extension for cursor-driven streaming.
 // Both provided backends (warehouse and shard router) implement it; a
 // Backend without it falls back to full execution replayed through a cursor.
@@ -695,6 +713,10 @@ type Snapshot struct {
 	Sessions            map[string]MetricsSnapshot `json:"sessions"`
 	ResultCache         CacheStats                 `json:"result_cache"`
 	PlanCache           CacheStats                 `json:"plan_cache"`
+	// Shards reports per-shard replica-set health when the backend is a
+	// replicated shard router (absent otherwise): replicas per shard, how
+	// many are live, and each replica's failure/ejection record.
+	Shards []shard.SetHealth `json:"shards,omitempty"`
 }
 
 // Stats snapshots the server-wide and per-session metrics.
@@ -725,5 +747,6 @@ func (s *Server) Stats() Snapshot {
 		Sessions:            sessions,
 		ResultCache:         rc,
 		PlanCache:           CacheStats{Entries: s.plans.len(), Hits: ph, Misses: pm, Evictions: pe},
+		Shards:              s.ShardHealth(),
 	}
 }

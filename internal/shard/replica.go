@@ -1,0 +1,498 @@
+// Per-shard replica sets: each shard of the fleet is R identical warehouse
+// copies instead of one. Writes (DDL broadcast, routed loads) apply to every
+// replica so the copies never diverge; reads pick one live replica per shard
+// — least-loaded first, round-robin among ties — and fail over to the next
+// replica when the chosen one errors, so a down replica degrades a shard's
+// read capacity instead of failing the whole scatter.
+//
+// Health is tracked per replica: consecutive failures past a threshold eject
+// the replica from selection, and a timed re-probe lets it earn its way back
+// (one trial request after the re-probe interval; success resets the
+// failure count, failure re-ejects). Kill/Revive inject the failure mode the
+// P2P overlay literature calls node churn: a killed replica refuses new
+// requests and aborts in-flight ones, exactly what a crashed store looks
+// like to the router.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/hive"
+)
+
+// ErrReplicaDown marks a request that failed because the chosen replica is
+// down (killed, or aborted mid-request by a kill). The router retries such
+// failures on the shard's surviving replicas; it only surfaces once a
+// shard's replicas are all exhausted.
+var ErrReplicaDown = errors.New("shard: replica down")
+
+// replica is one warehouse copy of one shard, with health accounting and the
+// kill switch the failover tests (and operators simulating an outage) use.
+type replica struct {
+	shard, idx int
+	w          *hive.Warehouse
+
+	// inflight counts requests currently executing on this replica; the
+	// picker prefers the least-loaded live replica.
+	inflight atomic.Int64
+
+	mu           sync.Mutex
+	fails        int       // consecutive failures
+	ejectedUntil time.Time // zero when not ejected
+	killed       bool
+	killCh       chan struct{} // closed while killed; replaced on Revive
+}
+
+func newReplica(shard, idx int, w *hive.Warehouse) *replica {
+	return &replica{shard: shard, idx: idx, w: w, killCh: make(chan struct{})}
+}
+
+// Warehouse returns the replica's underlying warehouse (tests and tooling).
+func (rep *replica) Warehouse() *hive.Warehouse { return rep.w }
+
+// kill marks the replica down: new requests fail immediately and in-flight
+// requests are aborted at their next split boundary.
+func (rep *replica) kill() {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if !rep.killed {
+		rep.killed = true
+		close(rep.killCh)
+	}
+}
+
+// revive brings a killed replica back and clears its health record, modelling
+// a restarted store that is immediately eligible again.
+func (rep *replica) revive() {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if rep.killed {
+		rep.killed = false
+		rep.killCh = make(chan struct{})
+	}
+	rep.fails = 0
+	rep.ejectedUntil = time.Time{}
+}
+
+func (rep *replica) isKilled() bool {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	return rep.killed
+}
+
+// downErr is the immediate failure a killed replica returns without touching
+// its warehouse (the "connection refused" of the model).
+func (rep *replica) downErr() error {
+	return fmt.Errorf("%w (shard %d replica %d)", ErrReplicaDown, rep.shard, rep.idx)
+}
+
+// watchCtx derives a context that additionally ends when the replica is
+// killed, so a kill aborts in-flight work on this replica without touching
+// its siblings. It returns this request's kill-generation channel: classify
+// consults the generation, not the current killed flag, so a Revive racing
+// the aborted request cannot disguise the kill as a caller cancellation.
+// The caller must call the returned cancel.
+func (rep *replica) watchCtx(parent context.Context) (context.Context, context.CancelFunc, <-chan struct{}) {
+	rep.mu.Lock()
+	killCh := rep.killCh
+	rep.mu.Unlock()
+	kctx, cancel := context.WithCancel(parent)
+	go func() {
+		select {
+		case <-killCh:
+			cancel()
+		case <-kctx.Done():
+		}
+	}()
+	return kctx, cancel, killCh
+}
+
+// classify maps one request outcome on this replica onto failover semantics:
+// a context error while the scatter itself is still live and this request's
+// kill generation fired means the replica was killed under the request (a
+// replica failure, retryable), not that the caller cancelled. Real errors
+// pass through; caller cancellations stay cancellations.
+func (rep *replica) classify(parent context.Context, killCh <-chan struct{}, err error) error {
+	if err == nil {
+		return nil
+	}
+	killed := false
+	select {
+	case <-killCh:
+		killed = true
+	default:
+	}
+	if killed && isCtxErr(err) && parent.Err() == nil {
+		return fmt.Errorf("%w (shard %d replica %d): aborted in flight: %v", ErrReplicaDown, rep.shard, rep.idx, err)
+	}
+	return err
+}
+
+// do runs one read request against the replica under kill supervision.
+// Success resets the health record; failures are counted by the caller
+// (replicaSet.noteFailure), which owns the ejection policy.
+func (rep *replica) do(parent context.Context, fn func(ctx context.Context) error) error {
+	if rep.isKilled() {
+		return rep.downErr()
+	}
+	kctx, cancel, killCh := rep.watchCtx(parent)
+	defer cancel()
+	rep.inflight.Add(1)
+	err := rep.classify(parent, killCh, fn(kctx))
+	rep.inflight.Add(-1)
+	if err == nil {
+		rep.noteSuccess()
+	}
+	return err
+}
+
+func (rep *replica) noteSuccess() {
+	rep.mu.Lock()
+	rep.fails = 0
+	rep.ejectedUntil = time.Time{}
+	rep.mu.Unlock()
+}
+
+// openCursor opens a streaming cursor on this replica under kill
+// supervision: a kill after the open aborts the scan at its next split
+// boundary, and the returned cursor reports it as a replica failure rather
+// than a bare cancellation. Closing the cursor releases the kill watcher.
+func (rep *replica) openCursor(parent context.Context, s *hive.SelectStmt, opts hive.ExecOptions) (hive.Cursor, error) {
+	if rep.isKilled() {
+		return nil, rep.downErr()
+	}
+	kctx, cancel, killCh := rep.watchCtx(parent)
+	cur, err := rep.w.SelectCursor(kctx, s, opts)
+	if err != nil {
+		cancel()
+		return nil, rep.classify(parent, killCh, err)
+	}
+	rep.inflight.Add(1)
+	return &replicaCursor{Cursor: cur, rep: rep, parent: parent, killCh: killCh, cancel: cancel}, nil
+}
+
+// replicaCursor decorates a warehouse cursor with its replica's kill
+// supervision: Err reclassifies a kill-induced abort as ErrReplicaDown, and
+// Close releases the watcher and the inflight slot exactly once.
+type replicaCursor struct {
+	hive.Cursor
+	rep    *replica
+	parent context.Context
+	killCh <-chan struct{}
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+func (c *replicaCursor) Err() error {
+	return c.rep.classify(c.parent, c.killCh, c.Cursor.Err())
+}
+
+func (c *replicaCursor) Close() error {
+	err := c.Cursor.Close()
+	c.once.Do(func() {
+		c.cancel()
+		c.rep.inflight.Add(-1)
+	})
+	return err
+}
+
+// isCtxErr reports whether err is a context termination (cancel or deadline).
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// replicaSet is one shard's R replicas plus the selection state.
+type replicaSet struct {
+	shard      int
+	reps       []*replica
+	next       atomic.Uint64 // round-robin tie-break cursor
+	ejectAfter int
+	reprobe    time.Duration
+}
+
+func newReplicaSet(shard int, ejectAfter int, reprobe time.Duration, reps []*replica) *replicaSet {
+	return &replicaSet{shard: shard, reps: reps, ejectAfter: ejectAfter, reprobe: reprobe}
+}
+
+// noteFailure records one failure on rep under this set's ejection policy.
+func (rs *replicaSet) noteFailure(rep *replica) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	rep.fails++
+	if rep.fails >= rs.ejectAfter {
+		rep.ejectedUntil = time.Now().Add(rs.reprobe)
+	}
+}
+
+// live reports whether rep is currently eligible for selection (healthy,
+// not ejected).
+func (rs *replicaSet) live(rep *replica) bool {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	return rep.ejectedUntil.IsZero()
+}
+
+// tryClaimProbe claims rep's re-probe if its ejection window has elapsed:
+// claiming pushes the window forward by one re-probe interval under the
+// lock, so of any number of concurrent picks exactly one sends the trial
+// request and the rest keep using the healthy replicas — a still-dead
+// replica costs one failed request per interval, not a thundering probe.
+func (rep *replica) tryClaimProbe(reprobe time.Duration) bool {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if rep.ejectedUntil.IsZero() || time.Now().Before(rep.ejectedUntil) {
+		return false
+	}
+	rep.ejectedUntil = time.Now().Add(reprobe)
+	return true
+}
+
+// pick chooses the next replica to try, skipping the already-tried set: a
+// due re-probe wins first (single-flight — see tryClaimProbe), then the
+// least-loaded healthy replica (round-robin among ties); with no healthy
+// candidate left the least-recently-ejected one is probed anyway — refusing
+// to try at all would fail queries a recovered replica could serve. It
+// returns nil once every replica has been tried.
+func (rs *replicaSet) pick(tried []bool) *replica {
+	for i, rep := range rs.reps {
+		if !tried[i] && rep.tryClaimProbe(rs.reprobe) {
+			return rep
+		}
+	}
+	start := int(rs.next.Add(1) - 1)
+	var best *replica
+	var bestLoad int64
+	for off := 0; off < len(rs.reps); off++ {
+		i := (start + off) % len(rs.reps)
+		rep := rs.reps[i]
+		if tried[i] || !rs.live(rep) {
+			continue
+		}
+		if load := rep.inflight.Load(); best == nil || load < bestLoad {
+			best, bestLoad = rep, load
+		}
+	}
+	if best != nil {
+		return best
+	}
+	// Every untried replica is ejected and not yet due: probe the one due
+	// back soonest.
+	var when time.Time
+	for i, rep := range rs.reps {
+		if tried[i] {
+			continue
+		}
+		rep.mu.Lock()
+		until := rep.ejectedUntil
+		rep.mu.Unlock()
+		if best == nil || until.Before(when) {
+			best, when = rep, until
+		}
+	}
+	return best
+}
+
+// index returns rep's position in the set.
+func (rs *replicaSet) index(rep *replica) int {
+	for i, r := range rs.reps {
+		if r == rep {
+			return i
+		}
+	}
+	return -1
+}
+
+// exhaustedErr wraps the last failure once every replica of the shard has
+// been tried: the root cause the scatter surfaces for a fully-dead shard.
+// An unreplicated shard returns the failure untouched, keeping a Replicas:1
+// router's errors identical to an unreplicated one's.
+func (rs *replicaSet) exhaustedErr(last error) error {
+	if len(rs.reps) == 1 {
+		return last
+	}
+	return fmt.Errorf("shard %d: all %d replicas failed: %w", rs.shard, len(rs.reps), last)
+}
+
+// withFailover runs fn against replicas of the shard until one succeeds: a
+// replica failure (including a kill that aborted the request in flight)
+// moves on to the next live replica; a caller cancellation propagates
+// immediately; exhausting every replica returns the last root cause.
+func (rs *replicaSet) withFailover(ctx context.Context, fn func(ctx context.Context, rep *replica) error) error {
+	tried := make([]bool, len(rs.reps))
+	fl := failureLog{rs: rs}
+	var last error
+	for {
+		rep := rs.pick(tried)
+		if rep == nil {
+			return rs.exhaustedErr(last)
+		}
+		tried[rs.index(rep)] = true
+		err := rep.do(ctx, func(kctx context.Context) error { return fn(kctx, rep) })
+		if err == nil {
+			fl.succeeded()
+			return nil
+		}
+		if isCtxErr(err) {
+			// The caller's own cancellation (do already reclassified a kill
+			// as ErrReplicaDown): not a replica failure, nothing to retry.
+			return err
+		}
+		fl.observe(rep, err)
+		last = err
+	}
+}
+
+// failureLog defers health penalties until the query proves a sibling could
+// serve it: a replica that fails where another then succeeds earns its
+// strike, while a query that fails on every replica penalizes no one — the
+// query itself is bad (unknown table, bad column), and ejecting healthy
+// replicas over user errors would flip /healthz to degraded on a healthy
+// fleet. A down replica (ErrReplicaDown) is penalized immediately: refusing
+// requests is never the query's fault.
+type failureLog struct {
+	rs     *replicaSet
+	failed []*replica
+}
+
+func (fl *failureLog) observe(rep *replica, err error) {
+	if errors.Is(err, ErrReplicaDown) {
+		fl.rs.noteFailure(rep)
+		return
+	}
+	fl.failed = append(fl.failed, rep)
+}
+
+// succeeded reports that a later replica served the query, proving every
+// deferred failure was replica-specific after all.
+func (fl *failureLog) succeeded() {
+	for _, rep := range fl.failed {
+		fl.rs.noteFailure(rep)
+	}
+	fl.failed = nil
+}
+
+// openCursor opens a streaming cursor on the next live replica, failing
+// over past replicas that refuse one. tried persists across a pump's
+// attempts (a replica is never retried within one query), fl accumulates
+// the health strikes, and last seeds the root cause reported if the set is
+// already exhausted.
+func (rs *replicaSet) openCursor(ctx context.Context, s *hive.SelectStmt, opts hive.ExecOptions, tried []bool, fl *failureLog, last error) (hive.Cursor, *replica, error) {
+	for {
+		rep := rs.pick(tried)
+		if rep == nil {
+			return nil, nil, rs.exhaustedErr(last)
+		}
+		tried[rs.index(rep)] = true
+		cur, err := rep.openCursor(ctx, s, opts)
+		if err == nil {
+			return cur, rep, nil
+		}
+		if isCtxErr(err) {
+			return nil, nil, err
+		}
+		fl.observe(rep, err)
+		last = err
+	}
+}
+
+// execPartial is the scatter's per-shard unit of work under failover.
+func (rs *replicaSet) execPartial(ctx context.Context, s *hive.SelectStmt, opts hive.ExecOptions) (*hive.PartialResult, int, error) {
+	var part *hive.PartialResult
+	chosen := -1
+	err := rs.withFailover(ctx, func(kctx context.Context, rep *replica) error {
+		p, err := rep.w.SelectPartialContext(kctx, s, opts)
+		if err != nil {
+			return err
+		}
+		part, chosen = p, rep.idx
+		return nil
+	})
+	return part, chosen, err
+}
+
+// execStmt runs one full statement on the shard under failover (the
+// pass-through and catalog paths).
+func (rs *replicaSet) execStmt(ctx context.Context, stmt hive.Stmt, opts hive.ExecOptions) (*hive.Result, error) {
+	var res *hive.Result
+	err := rs.withFailover(ctx, func(kctx context.Context, rep *replica) error {
+		r, err := rep.w.ExecParsedContext(kctx, stmt, opts)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	return res, err
+}
+
+// explain plans the SELECT on one live replica under failover, reporting
+// which replica answered (EXPLAIN's per-shard chosen replica).
+func (rs *replicaSet) explain(ctx context.Context, s *hive.SelectStmt, opts hive.ExecOptions) (*hive.ExplainPlan, int, error) {
+	var plan *hive.ExplainPlan
+	chosen := -1
+	err := rs.withFailover(ctx, func(_ context.Context, rep *replica) error {
+		p, err := rep.w.Explain(s, opts)
+		if err != nil {
+			return err
+		}
+		plan, chosen = p, rep.idx
+		return nil
+	})
+	return plan, chosen, err
+}
+
+// ReplicaHealth is one replica's health record, surfaced through
+// Router.Health, the server's /stats, and /healthz.
+type ReplicaHealth struct {
+	Replica int `json:"replica"`
+	// Live: eligible for selection (not killed and not currently ejected).
+	Live bool `json:"live"`
+	// Killed: down via Kill (operator- or test-injected outage).
+	Killed bool `json:"killed,omitempty"`
+	// ConsecutiveFailures since the last success.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+	// EjectedForMs is how long until the next re-probe (0 when not ejected).
+	EjectedForMs int64 `json:"ejected_for_ms,omitempty"`
+	// Inflight requests currently executing on the replica.
+	Inflight int64 `json:"inflight,omitempty"`
+}
+
+// SetHealth is one shard's replica-set health summary.
+type SetHealth struct {
+	Shard    int `json:"shard"`
+	Replicas int `json:"replicas"`
+	// Live counts replicas currently eligible for reads; 0 means the shard
+	// cannot answer and scatters over it will fail.
+	Live   int             `json:"live"`
+	Detail []ReplicaHealth `json:"detail"`
+}
+
+// health snapshots the set.
+func (rs *replicaSet) health() SetHealth {
+	sh := SetHealth{Shard: rs.shard, Replicas: len(rs.reps)}
+	now := time.Now()
+	for i, rep := range rs.reps {
+		rep.mu.Lock()
+		h := ReplicaHealth{
+			Replica:             i,
+			Killed:              rep.killed,
+			ConsecutiveFailures: rep.fails,
+			Inflight:            rep.inflight.Load(),
+		}
+		if !rep.ejectedUntil.IsZero() && now.Before(rep.ejectedUntil) {
+			h.EjectedForMs = rep.ejectedUntil.Sub(now).Milliseconds()
+		}
+		h.Live = !rep.killed && h.EjectedForMs == 0
+		rep.mu.Unlock()
+		if h.Live {
+			sh.Live++
+		}
+		sh.Detail = append(sh.Detail, h)
+	}
+	return sh
+}

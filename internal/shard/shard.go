@@ -20,10 +20,10 @@ package shard
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -65,10 +65,14 @@ func ParseStrategy(s string) (Strategy, error) {
 	}
 }
 
-// Config describes the partitioning of a Router.
+// Config describes the partitioning and replication of a Router.
 type Config struct {
-	// Shards is the number of warehouses (>= 1).
+	// Shards is the number of logical shards (>= 1).
 	Shards int
+	// Replicas is how many identical warehouse copies each shard keeps
+	// (0 or 1 = unreplicated). Writes apply to every replica; reads pick one
+	// and fail over to the others on error.
+	Replicas int
 	// Key names the routing column (case-insensitive). Tables whose schema
 	// lacks the column replicate to every shard instead — which keeps
 	// broadcast-join sides (the paper's userInfo) available shard-locally.
@@ -78,11 +82,42 @@ type Config struct {
 	// Bounds holds Shards-1 ascending split points for RangeKey: shard i
 	// covers key values in [Bounds[i-1], Bounds[i]). Ignored for HashKey.
 	Bounds []float64
+	// EjectAfter is how many consecutive failures remove a replica from read
+	// selection (default 3).
+	EjectAfter int
+	// Reprobe is how long an ejected replica sits out before the router
+	// probes it with one trial request (default 2s).
+	Reprobe time.Duration
+}
+
+// replicas returns the effective copies per shard (>= 1).
+func (c Config) replicas() int {
+	if c.Replicas < 1 {
+		return 1
+	}
+	return c.Replicas
+}
+
+func (c Config) ejectAfter() int {
+	if c.EjectAfter < 1 {
+		return 3
+	}
+	return c.EjectAfter
+}
+
+func (c Config) reprobe() time.Duration {
+	if c.Reprobe <= 0 {
+		return 2 * time.Second
+	}
+	return c.Reprobe
 }
 
 func (c Config) validate() error {
 	if c.Shards < 1 {
 		return fmt.Errorf("shard: need at least 1 shard, got %d", c.Shards)
+	}
+	if c.Replicas < 0 {
+		return fmt.Errorf("shard: negative replica count %d", c.Replicas)
 	}
 	if strings.TrimSpace(c.Key) == "" {
 		return fmt.Errorf("shard: routing key column must be named")
@@ -115,27 +150,32 @@ type tableMeta struct {
 // for concurrent use — each shard warehouse carries its own locking, and
 // the router itself only guards its table records.
 type Router struct {
-	cfg    Config
-	shards []*hive.Warehouse
+	cfg  Config
+	sets []*replicaSet
 
 	mu     sync.RWMutex
 	tables map[string]*tableMeta
 }
 
-// New builds a router over cfg.Shards fresh warehouses produced by mk
-// (called once per shard index). Each shard must get its own filesystem:
-// shards are independent stores, not views of one.
-func New(cfg Config, mk func(i int) *hive.Warehouse) (*Router, error) {
+// New builds a router over cfg.Shards shards of cfg.Replicas fresh
+// warehouses each, produced by mk (called once per (shard, replica) pair).
+// Every warehouse must get its own filesystem: shards are independent
+// stores, not views of one, and a shard's replicas are independent copies.
+func New(cfg Config, mk func(shard, replica int) *hive.Warehouse) (*Router, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	r := &Router{cfg: cfg, tables: map[string]*tableMeta{}}
 	for i := 0; i < cfg.Shards; i++ {
-		w := mk(i)
-		if w == nil {
-			return nil, fmt.Errorf("shard: nil warehouse for shard %d", i)
+		reps := make([]*replica, cfg.replicas())
+		for j := range reps {
+			w := mk(i, j)
+			if w == nil {
+				return nil, fmt.Errorf("shard: nil warehouse for shard %d replica %d", i, j)
+			}
+			reps[j] = newReplica(i, j, w)
 		}
-		r.shards = append(r.shards, w)
+		r.sets = append(r.sets, newReplicaSet(i, cfg.ejectAfter(), cfg.reprobe(), reps))
 	}
 	return r, nil
 }
@@ -144,10 +184,39 @@ func New(cfg Config, mk func(i int) *hive.Warehouse) (*Router, error) {
 func (r *Router) Config() Config { return r.cfg }
 
 // NumShards returns the shard count.
-func (r *Router) NumShards() int { return len(r.shards) }
+func (r *Router) NumShards() int { return len(r.sets) }
 
-// Shard returns the i-th shard warehouse (for tests and tooling).
-func (r *Router) Shard(i int) *hive.Warehouse { return r.shards[i] }
+// NumReplicas returns the copies per shard.
+func (r *Router) NumReplicas() int { return r.cfg.replicas() }
+
+// Shard returns the i-th shard's first replica warehouse (for tests and
+// tooling; replicas hold identical data, so any one represents the shard).
+func (r *Router) Shard(i int) *hive.Warehouse { return r.sets[i].reps[0].w }
+
+// Replica returns the j-th replica warehouse of shard i.
+func (r *Router) Replica(i, j int) *hive.Warehouse { return r.sets[i].reps[j].w }
+
+// Kill marks one replica down, as if the store crashed: new requests to it
+// fail immediately, and in-flight reads and DDL abort at their next split
+// boundary (an in-flight load runs to completion — loads are not
+// context-aware). Reads fail over to the shard's surviving replicas; writes
+// fail until Revive (replicas are kept exactly consistent — there is no
+// hinted handoff).
+func (r *Router) Kill(shard, replica int) { r.sets[shard].reps[replica].kill() }
+
+// Revive brings a killed replica back into selection with a clean health
+// record.
+func (r *Router) Revive(shard, replica int) { r.sets[shard].reps[replica].revive() }
+
+// Health snapshots every shard's replica-set health (the serving layer's
+// /stats and /healthz surface this).
+func (r *Router) Health() []SetHealth {
+	out := make([]SetHealth, len(r.sets))
+	for i, rs := range r.sets {
+		out[i] = rs.health()
+	}
+	return out
+}
 
 // meta looks up the router's record of a table (nil if the table was not
 // created through the router).
@@ -190,9 +259,9 @@ func (r *Router) ExecParsedContext(ctx context.Context, stmt hive.Stmt, opts hiv
 	case *hive.SelectStmt:
 		return r.execSelect(ctx, s, opts)
 	case *hive.ExplainStmt:
-		if len(r.shards) == 1 {
+		if len(r.sets) == 1 {
 			// Pass through: bit-identical to a bare warehouse.
-			return r.shards[0].ExecParsedContext(ctx, stmt, opts)
+			return r.sets[0].execStmt(ctx, stmt, opts)
 		}
 		plan, err := r.Explain(s.Select, opts)
 		if err != nil {
@@ -200,7 +269,9 @@ func (r *Router) ExecParsedContext(ctx context.Context, stmt hive.Stmt, opts hiv
 		}
 		return plan.Render(), nil
 	case *hive.ShowTablesStmt, *hive.DescribeStmt:
-		return r.shards[0].ExecParsedContext(ctx, stmt, opts)
+		// Catalog reads: any replica of shard 0 answers (identical catalogs
+		// everywhere by DDL broadcast), with failover.
+		return r.sets[0].execStmt(ctx, stmt, opts)
 	case *hive.CreateTableStmt:
 		res, err := r.broadcast(ctx, stmt, opts)
 		if err != nil {
@@ -226,28 +297,74 @@ func (r *Router) ExecParsedContext(ctx context.Context, stmt hive.Stmt, opts hiv
 	}
 }
 
-// broadcast runs one statement on every shard concurrently and returns
-// shard 0's result. On error the shards may diverge (some applied the DDL,
-// some did not); the first error is returned and the caller should retry or
-// rebuild the fleet.
+// broadcast runs one statement on every warehouse of the fleet (all
+// replicas of all shards) concurrently and returns shard 0 replica 0's
+// result. On error the fleet may diverge (some stores applied the DDL, some
+// did not); the returned error enumerates every store's outcome — which
+// shard/replica failed and why, and which shards applied the statement — so
+// an operator knows exactly what needs repair instead of seeing one error
+// and guessing.
 func (r *Router) broadcast(ctx context.Context, stmt hive.Stmt, opts hive.ExecOptions) (*hive.Result, error) {
-	results := make([]*hive.Result, len(r.shards))
-	errs := make([]error, len(r.shards))
+	nr := r.cfg.replicas()
+	results := make([]*hive.Result, len(r.sets)*nr)
+	errs := make([]error, len(r.sets)*nr)
 	var wg sync.WaitGroup
-	for i := range r.shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i], errs[i] = r.shards[i].ExecParsedContext(ctx, stmt, opts)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	for i, rs := range r.sets {
+		for j, rep := range rs.reps {
+			wg.Add(1)
+			go func(slot int, rep *replica) {
+				defer wg.Done()
+				// The same kill supervision the read paths get via do(): a
+				// replica killed mid-DDL aborts at its next split boundary
+				// and the outcome names the dead store, not a bare cancel.
+				errs[slot] = rep.do(ctx, func(kctx context.Context) error {
+					res, err := rep.w.ExecParsedContext(kctx, stmt, opts)
+					results[slot] = res
+					return err
+				})
+			}(i*nr+j, rep)
 		}
 	}
+	wg.Wait()
+	if err := r.broadcastOutcome(errs); err != nil {
+		return nil, err
+	}
 	return results[0], nil
+}
+
+// broadcastOutcome folds the per-store errors of one broadcast into a single
+// error that names every failed store and the shards that applied the
+// statement (nil when everything applied).
+func (r *Router) broadcastOutcome(errs []error) error {
+	nr := r.cfg.replicas()
+	var failed []string
+	var applied []string
+	for i := range r.sets {
+		ok := true
+		for j := 0; j < nr; j++ {
+			if err := errs[i*nr+j]; err != nil {
+				ok = false
+				if nr > 1 {
+					failed = append(failed, fmt.Sprintf("shard %d/%d replica %d failed: %v", i, len(r.sets), j, err))
+				} else {
+					failed = append(failed, fmt.Sprintf("shard %d/%d failed: %v", i, len(r.sets), err))
+				}
+			}
+		}
+		if ok {
+			applied = append(applied, strconv.Itoa(i))
+		}
+	}
+	if failed == nil {
+		return nil
+	}
+	msg := strings.Join(failed, "; ")
+	if len(applied) > 0 {
+		msg += "; shards " + strings.Join(applied, ",") + " applied"
+	} else {
+		msg += "; no shard applied"
+	}
+	return fmt.Errorf("shard: broadcast diverged the fleet: %s", msg)
 }
 
 // routeSelect is the one place the fleet decides how a SELECT executes:
@@ -265,11 +382,16 @@ func (r *Router) broadcast(ctx context.Context, stmt hive.Stmt, opts hive.ExecOp
 // side, so a full fan-out counts every match exactly once, while shard 0
 // alone would silently drop the other shards' join rows.
 func (r *Router) routeSelect(s *hive.SelectStmt) (targets []int, passthrough bool, err error) {
-	if len(r.shards) == 1 {
-		return nil, true, nil
+	// A directory sink writes into whichever store executes it: on a
+	// sharded fleet the shards' outputs would land in different
+	// filesystems, and on a replicated one only the chosen replica would
+	// hold the files — silently diverging the copies. Only a 1-shard,
+	// 1-replica router (true pass-through) can support it.
+	if s.InsertDir != "" && (len(r.sets) > 1 || r.cfg.replicas() > 1) {
+		return nil, false, fmt.Errorf("shard: INSERT OVERWRITE DIRECTORY is not supported on a sharded or replicated backend")
 	}
-	if s.InsertDir != "" {
-		return nil, false, fmt.Errorf("shard: INSERT OVERWRITE DIRECTORY is not supported on a sharded backend")
+	if len(r.sets) == 1 {
+		return nil, true, nil
 	}
 	m := r.meta(s.From.Table)
 	if m == nil {
@@ -298,18 +420,20 @@ func (r *Router) execSelect(ctx context.Context, s *hive.SelectStmt, opts hive.E
 		return nil, err
 	}
 	if passthrough {
-		return r.shards[0].ExecParsedContext(ctx, s, opts)
+		return r.sets[0].execStmt(ctx, s, opts)
 	}
 	return r.scatter(ctx, s, opts, targets)
 }
 
 // scatterPartials fans the SELECT out to the target shards under a
-// cancellable group: the first shard error (or a caller cancel) cancels the
-// shared sub-context, and every sibling scan aborts at its next split
-// boundary instead of running — and holding its goroutine — to completion.
-// The goroutines are always joined before returning; a non-nil error is the
-// root cause (a sibling's ctx.Canceled never masks the shard error that
-// triggered the cancellation).
+// cancellable group. A replica error inside one shard does NOT touch the
+// sibling shards: the failed shard's partial is retried against its next
+// live replica (least-loaded first), and only when a shard has exhausted
+// every replica does the group cancel — the sibling scans then abort at
+// their next split boundary instead of running to completion. The goroutines
+// are always joined before returning; a non-nil error is the root cause (a
+// sibling's ctx.Canceled never masks the shard error that triggered the
+// cancellation).
 func (r *Router) scatterPartials(ctx context.Context, s *hive.SelectStmt, opts hive.ExecOptions, targets []int) ([]*hive.PartialResult, error) {
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -320,8 +444,10 @@ func (r *Router) scatterPartials(ctx context.Context, s *hive.SelectStmt, opts h
 		wg.Add(1)
 		go func(i, si int) {
 			defer wg.Done()
-			parts[i], errs[i] = r.shards[si].SelectPartialContext(sctx, s, opts)
+			parts[i], _, errs[i] = r.sets[si].execPartial(sctx, s, opts)
 			if errs[i] != nil {
+				// All of this shard's replicas are exhausted (or the caller
+				// cancelled): now, and only now, stop the siblings.
 				cancel()
 			}
 		}(i, si)
@@ -335,7 +461,7 @@ func (r *Router) scatterPartials(ctx context.Context, s *hive.SelectStmt, opts h
 		if err == nil {
 			continue
 		}
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if isCtxErr(err) {
 			if ctxErr == nil {
 				ctxErr = err
 			}
@@ -371,7 +497,7 @@ func (r *Router) scatter(ctx context.Context, s *hive.SelectStmt, opts hive.Exec
 	}
 	merged.Stats = stats
 	res := merged.Finalize(s.Limit)
-	res.Stats.AccessPath = fmt.Sprintf("sharded(%d/%d):%s", len(targets), len(r.shards), parts[0].Stats.AccessPath)
+	res.Stats.AccessPath = fmt.Sprintf("sharded(%d/%d):%s", len(targets), len(r.sets), parts[0].Stats.AccessPath)
 	res.Stats.Wall = time.Since(start)
 	return res, nil
 }
@@ -388,21 +514,26 @@ func (r *Router) Explain(s *hive.SelectStmt, opts hive.ExecOptions) (*hive.Expla
 		return nil, err
 	}
 	if passthrough {
-		return r.shards[0].Explain(s, opts)
+		plan, _, err := r.sets[0].explain(context.Background(), s, opts)
+		return plan, err
 	}
 	return r.explainScatter(s, opts, targets)
 }
 
 // explainScatter merges the per-target-shard plans into the fleet plan.
+// Each shard's plan comes from a live replica (failover included, so EXPLAIN
+// keeps working with a replica down), and the plan records which replica the
+// router chose for each target shard.
 func (r *Router) explainScatter(s *hive.SelectStmt, opts hive.ExecOptions, targets []int) (*hive.ExplainPlan, error) {
 	plans := make([]*hive.ExplainPlan, len(targets))
+	chosen := make([]int, len(targets))
 	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
 	for i, si := range targets {
 		wg.Add(1)
 		go func(i, si int) {
 			defer wg.Done()
-			plans[i], errs[i] = r.shards[si].Explain(s, opts)
+			plans[i], chosen[i], errs[i] = r.sets[si].explain(context.Background(), s, opts)
 		}(i, si)
 	}
 	wg.Wait()
@@ -413,10 +544,14 @@ func (r *Router) explainScatter(s *hive.SelectStmt, opts hive.ExecOptions, targe
 	}
 	// The gather reports the first target's access path; so does the plan.
 	merged := *plans[0]
-	merged.AccessPath = fmt.Sprintf("sharded(%d/%d):%s", len(targets), len(r.shards), plans[0].AccessPath)
-	merged.ShardsTotal = len(r.shards)
+	merged.AccessPath = fmt.Sprintf("sharded(%d/%d):%s", len(targets), len(r.sets), plans[0].AccessPath)
+	merged.ShardsTotal = len(r.sets)
 	merged.ShardsTargeted = len(targets)
 	merged.TargetShards = append([]int(nil), targets...)
+	merged.ReplicasPerShard = r.cfg.replicas()
+	if merged.ReplicasPerShard > 1 {
+		merged.ChosenReplicas = chosen
+	}
 	for _, p := range plans[1:] {
 		if merged.ProjectedBytes >= 0 && p.ProjectedBytes >= 0 {
 			merged.ProjectedBytes += p.ProjectedBytes
@@ -473,7 +608,7 @@ func (r *Router) targetShards(s *hive.SelectStmt, m *tableMeta) []int {
 	}
 	if r.cfg.Strategy == RangeKey {
 		var out []int
-		for i := 0; i < len(r.shards); i++ {
+		for i := 0; i < len(r.sets); i++ {
 			if r.shardIntervalIntersects(i, kr) {
 				out = append(out, i)
 			}
@@ -487,13 +622,13 @@ func (r *Router) targetShards(s *hive.SelectStmt, m *tableMeta) []int {
 	}
 	// HashKey: only a point constraint picks a shard.
 	if !kr.LoUnbounded && !kr.HiUnbounded && !kr.LoOpen && !kr.HiOpen && storage.Compare(kr.Lo, kr.Hi) == 0 {
-		return []int{r.route(kr.Lo)}
+		return []int{r.route(kr.Lo, m.schema.Col(m.keyIdx).Kind)}
 	}
 	return r.allShards()
 }
 
 func (r *Router) allShards() []int {
-	out := make([]int, len(r.shards))
+	out := make([]int, len(r.sets))
 	for i := range out {
 		out[i] = i
 	}
@@ -517,8 +652,14 @@ func (r *Router) shardIntervalIntersects(i int, kr gridfile.Range) bool {
 	return true
 }
 
-// route maps one routing-key value to its shard.
-func (r *Router) route(v storage.Value) int {
+// route maps one routing-key value to its shard. The value is first coerced
+// through the schema column's kind, so the same logical key always lands on
+// the same shard no matter how a caller rendered it: hashing the raw text
+// would send the typed load's Int64(5), a CSV batch's Str("05") and a JSON
+// timestamp's raw Unix seconds to three different shards, and a point query
+// (whose literal parses through the schema) would then miss rows.
+func (r *Router) route(v storage.Value, kind storage.Kind) int {
+	v = coerceKey(v, kind)
 	if r.cfg.Strategy == RangeKey {
 		f := v.AsFloat()
 		for i, b := range r.cfg.Bounds {
@@ -526,46 +667,119 @@ func (r *Router) route(v storage.Value) int {
 				return i
 			}
 		}
-		return len(r.shards) - 1
+		return len(r.sets) - 1
 	}
 	h := fnv.New64a()
 	h.Write([]byte(v.String()))
-	return int(h.Sum64() % uint64(len(r.shards)))
+	return int(h.Sum64() % uint64(len(r.sets)))
+}
+
+// coerceKey canonicalizes a routing-key value to its schema kind before it
+// is hashed or compared against range bounds: strings parse through the
+// column's parser ("05" and "5" are the same bigint key), numerics convert
+// through their float reading the way the /load endpoint coerces wire rows.
+func coerceKey(v storage.Value, kind storage.Kind) storage.Value {
+	if v.Kind == kind {
+		return v
+	}
+	if v.Kind == storage.KindString {
+		if p, err := storage.ParseValue(kind, v.S); err == nil {
+			return p
+		}
+	}
+	switch kind {
+	case storage.KindInt64:
+		return storage.Int64(int64(v.AsFloat()))
+	case storage.KindFloat64:
+		return storage.Float64(v.AsFloat())
+	case storage.KindTime:
+		return storage.TimeUnix(int64(v.AsFloat()))
+	default:
+		return storage.Str(v.String())
+	}
 }
 
 // LoadRowsByName appends rows, routing each row to its shard by the key
 // column (tables without the key column replicate the batch to every
-// shard). Shard loads run concurrently; each shard's own write lock keeps
-// its load atomic.
+// shard). A shard's batch is written to every one of its replicas, so the
+// copies stay exactly consistent — a down replica therefore fails the load
+// (no hinted handoff; Revive and re-load, or rebuild the replica). Loads run
+// concurrently; each warehouse's own write lock keeps its load atomic.
 func (r *Router) LoadRowsByName(table string, rows []storage.Row) error {
 	m := r.meta(table)
 	switch {
 	case m == nil:
-		return r.shards[0].LoadRowsByName(table, rows)
+		return r.loadShardReplicas(r.sets[0], table, rows)
 	case m.keyIdx < 0:
-		return r.eachShard(func(w *hive.Warehouse) error {
-			return w.LoadRowsByName(table, rows)
+		return r.eachShard(func(rs *replicaSet) error {
+			return r.loadShardReplicas(rs, table, rows)
 		})
 	}
-	batches := make([][]storage.Row, len(r.shards))
+	kind := m.schema.Col(m.keyIdx).Kind
+	batches := make([][]storage.Row, len(r.sets))
 	for _, row := range rows {
 		if m.keyIdx >= len(row) {
 			return fmt.Errorf("shard: row has %d columns; routing key %q is column %d", len(row), r.cfg.Key, m.keyIdx+1)
 		}
-		si := r.route(row[m.keyIdx])
+		si := r.route(row[m.keyIdx], kind)
 		batches[si] = append(batches[si], row)
 	}
-	errs := make([]error, len(r.shards))
-	var wg sync.WaitGroup
-	for i := range r.shards {
-		if len(batches[i]) == 0 {
-			continue
+	return r.eachShard(func(rs *replicaSet) error {
+		if len(batches[rs.shard]) == 0 {
+			return nil
 		}
+		return r.loadShardReplicas(rs, table, batches[rs.shard])
+	})
+}
+
+// loadShardReplicas writes one batch to every replica of one shard
+// concurrently, failing with the store's identity if any copy rejects it.
+// A replica known to be down fails the load before any copy is written, so
+// the surviving replicas do not silently diverge from the dead one (a
+// replica dying mid-load can still leave copies diverged; the returned
+// error names the store to rebuild).
+func (r *Router) loadShardReplicas(rs *replicaSet, table string, rows []storage.Row) error {
+	for _, rep := range rs.reps {
+		if rep.isKilled() {
+			return fmt.Errorf("shard %d: load rejected: %w", rs.shard, rep.downErr())
+		}
+	}
+	errs := make([]error, len(rs.reps))
+	var wg sync.WaitGroup
+	for j, rep := range rs.reps {
 		wg.Add(1)
-		go func(i int) {
+		go func(j int, rep *replica) {
 			defer wg.Done()
-			errs[i] = r.shards[i].LoadRowsByName(table, batches[i])
-		}(i)
+			if rep.isKilled() {
+				errs[j] = rep.downErr()
+				return
+			}
+			errs[j] = rep.w.LoadRowsByName(table, rows)
+		}(j, rep)
+	}
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			if len(rs.reps) > 1 {
+				return fmt.Errorf("shard %d replica %d: load failed: %w", rs.shard, j, err)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// eachShard runs fn on every shard's replica set concurrently and returns
+// the first error.
+func (r *Router) eachShard(fn func(rs *replicaSet) error) error {
+	errs := make([]error, len(r.sets))
+	var wg sync.WaitGroup
+	for i, rs := range r.sets {
+		wg.Add(1)
+		go func(i int, rs *replicaSet) {
+			defer wg.Done()
+			errs[i] = fn(rs)
+		}(i, rs)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -576,34 +790,23 @@ func (r *Router) LoadRowsByName(table string, rows []storage.Row) error {
 	return nil
 }
 
-// eachShard runs fn on every shard concurrently and returns the first
-// error.
-func (r *Router) eachShard(fn func(w *hive.Warehouse) error) error {
-	errs := make([]error, len(r.shards))
-	var wg sync.WaitGroup
-	for i := range r.shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = fn(r.shards[i])
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// TableVersions sums the shards' per-table mutation counters. Each shard's
+// TableVersions sums the shards' per-table mutation counters. A shard's
+// counter is the max across its replicas (replicas apply every write, so
+// the copies agree; max keeps the value monotone even mid-broadcast). Each
 // counter only grows, so the sum only grows — the monotonicity the serving
 // layer's version-keyed result cache relies on.
 func (r *Router) TableVersions(names ...string) map[string]uint64 {
 	out := make(map[string]uint64, len(names))
-	for _, w := range r.shards {
-		for k, v := range w.TableVersions(names...) {
+	for _, rs := range r.sets {
+		shardMax := make(map[string]uint64, len(names))
+		for _, rep := range rs.reps {
+			for k, v := range rep.w.TableVersions(names...) {
+				if v > shardMax[k] {
+					shardMax[k] = v
+				}
+			}
+		}
+		for k, v := range shardMax {
 			out[k] += v
 		}
 	}
@@ -616,19 +819,22 @@ func (r *Router) TableSchema(name string) (*storage.Schema, error) {
 	if m := r.meta(name); m != nil {
 		return m.schema, nil
 	}
-	return r.shards[0].TableSchema(name)
+	return r.sets[0].reps[0].w.TableSchema(name)
 }
 
 // TableInfos merges the shards' catalog snapshots: partitioned tables sum
-// sizes and versions across shards; replicated tables report shard 0's
-// numbers (each shard holds a full copy — summing would overstate the
-// logical table N-fold). The rest (schema, format, indexes) is identical
-// everywhere by DDL broadcast.
+// sizes across shards; replicated tables report shard 0's size (each shard
+// holds a full copy — summing would overstate the logical table N-fold).
+// Every table's Version is the same summed counter TableVersions reports —
+// replicated tables included — so the version /tables shows is exactly the
+// version the serving layer's result-cache keys carry; the two views cannot
+// disagree. The rest (schema, format, indexes) is identical everywhere by
+// DDL broadcast.
 func (r *Router) TableInfos() []hive.TableInfo {
-	infos := r.shards[0].TableInfos()
-	for _, w := range r.shards[1:] {
+	infos := r.sets[0].reps[0].w.TableInfos()
+	for _, rs := range r.sets[1:] {
 		byName := map[string]hive.TableInfo{}
-		for _, o := range w.TableInfos() {
+		for _, o := range rs.reps[0].w.TableInfos() {
 			byName[o.Name] = o
 		}
 		for i := range infos {
@@ -637,19 +843,27 @@ func (r *Router) TableInfos() []hive.TableInfo {
 			}
 			if o, ok := byName[infos[i].Name]; ok {
 				infos[i].SizeBytes += o.SizeBytes
-				infos[i].Version += o.Version
 			}
 		}
+	}
+	names := make([]string, len(infos))
+	for i := range infos {
+		names[i] = infos[i].Name
+	}
+	versions := r.TableVersions(names...)
+	for i := range infos {
+		infos[i].Version = versions[strings.ToLower(infos[i].Name)]
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	return infos
 }
 
-// ShardSizes reports each shard's byte size of the named table, for balance
-// inspection in tests and tooling.
+// ShardSizes reports each shard's byte size of the named table (replica 0's
+// copy), for balance inspection in tests and tooling.
 func (r *Router) ShardSizes(table string) []int64 {
-	out := make([]int64, len(r.shards))
-	for i, w := range r.shards {
+	out := make([]int64, len(r.sets))
+	for i, rs := range r.sets {
+		w := rs.reps[0].w
 		t, err := w.Table(table)
 		if err != nil {
 			continue

@@ -1,24 +1,18 @@
 package shard
 
 import (
-	"context"
 	"fmt"
 	"math"
 	"strconv"
 	"strings"
 	"testing"
-	"time"
 
 	"github.com/smartgrid-oss/dgfindex/internal/cluster"
 	"github.com/smartgrid-oss/dgfindex/internal/dfs"
 	"github.com/smartgrid-oss/dgfindex/internal/hive"
-	"github.com/smartgrid-oss/dgfindex/internal/server"
 	"github.com/smartgrid-oss/dgfindex/internal/storage"
 	"github.com/smartgrid-oss/dgfindex/internal/workload"
 )
-
-// The router must satisfy the serving layer's Backend contract.
-var _ server.Backend = (*Router)(nil)
 
 func testMeterConfig() workload.MeterConfig {
 	cfg := workload.DefaultMeterConfig()
@@ -30,7 +24,7 @@ func testMeterConfig() workload.MeterConfig {
 	return cfg
 }
 
-func newShardWarehouse(int) *hive.Warehouse {
+func newShardWarehouse(int, int) *hive.Warehouse {
 	cc := cluster.Default()
 	cc.Workers = 4
 	return hive.NewWarehouse(dfs.New(1<<20), cc, "/warehouse")
@@ -118,7 +112,7 @@ func renderRows(rows []storage.Row) []string {
 // full meter workload, access path and cost model included.
 func TestShardSingleShardByteIdentical(t *testing.T) {
 	cfg := testMeterConfig()
-	direct := newShardWarehouse(0)
+	direct := newShardWarehouse(0, 0)
 	setupMeter(t, direct, cfg, true)
 	router, err := New(Config{Shards: 1, Key: "userId"}, newShardWarehouse)
 	if err != nil {
@@ -185,7 +179,7 @@ func closeRows(want, got []storage.Row) error {
 // n-shard router and requires matching results.
 func runEquivalence(t *testing.T, cfg workload.MeterConfig, router *Router, withIndex bool) {
 	t.Helper()
-	direct := newShardWarehouse(0)
+	direct := newShardWarehouse(0, 0)
 	setupMeter(t, direct, cfg, withIndex)
 	setupMeter(t, router, cfg, withIndex)
 
@@ -419,7 +413,7 @@ func TestShardReplicatedTables(t *testing.T) {
 // shard 0 alone would silently drop the other shards' join rows.
 func TestShardReplicatedJoinShardedTable(t *testing.T) {
 	cfg := testMeterConfig()
-	direct := newShardWarehouse(0)
+	direct := newShardWarehouse(0, 0)
 	router, err := New(Config{Shards: 4, Key: "userId"}, newShardWarehouse)
 	if err != nil {
 		t.Fatal(err)
@@ -456,59 +450,10 @@ func TestShardReplicatedJoinShardedTable(t *testing.T) {
 	}
 }
 
-// TestShardServerIntegration: DGFServe's caches, invalidation and metrics
-// must work unchanged over a sharded backend.
-func TestShardServerIntegration(t *testing.T) {
-	cfg := testMeterConfig()
-	router, err := New(Config{Shards: 4, Key: "userId"}, newShardWarehouse)
-	if err != nil {
-		t.Fatal(err)
-	}
-	setupMeter(t, router, cfg, true)
-	srv := server.NewWithBackend(router, server.Config{MaxConcurrent: 4})
-
-	const q = `SELECT sum(powerConsumed) FROM meterdata WHERE userId>=5 AND userId<=30`
-	first, err := srv.Query(context.Background(), server.Request{SQL: q})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.HasPrefix(first.Result.Stats.AccessPath, "sharded(") {
-		t.Fatalf("access path %q, want sharded", first.Result.Stats.AccessPath)
-	}
-	again, err := srv.Query(context.Background(), server.Request{SQL: q})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !again.Cached {
-		t.Fatal("repeat over sharded backend should hit the result cache")
-	}
-
-	day := cfg
-	day.Days = 1
-	day.Start = cfg.Start.AddDate(0, 0, cfg.Days)
-	invalidated, err := srv.LoadRows("meterdata", day.AllRows())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if invalidated == 0 {
-		t.Fatal("routed load did not invalidate the cached result")
-	}
-	after, err := srv.Query(context.Background(), server.Request{SQL: q})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if after.Cached {
-		t.Fatal("post-load query served stale cache entry")
-	}
-	if snap := srv.Stats(); snap.ResultInvalidations == 0 || snap.RowsLoaded != int64(day.Rows()) {
-		t.Fatalf("snapshot: %+v", snap)
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := srv.Close(ctx); err != nil {
-		t.Fatal(err)
-	}
-}
+// TestShardServerIntegration (DGFServe over a sharded backend) lives in
+// integration_test.go (package shard_test): the serving layer now imports
+// this package for replica health, so the server-facing tests run from an
+// external test package to avoid an import cycle.
 
 // TestShardRCFileEquivalence: the format-agnostic index I/O path composed
 // with scatter-gather. The broadcast CREATE INDEX builds a per-shard
