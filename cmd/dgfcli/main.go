@@ -9,7 +9,9 @@
 //	     AND ts>='2012-12-05' AND ts<'2012-12-20';
 //
 // Statements may span lines and end with ';'. Commands: !stats toggles the
-// per-query cost report, !quit exits.
+// per-query cost report, !quit exits. TRACE SELECT ... (or the -trace flag,
+// which applies it to every SELECT) prints the query's span tree — admission,
+// plan, scatter, per-shard execution — instead of its rows.
 //
 // Queries run under a cancellable context: Ctrl-C aborts the in-flight
 // statement at its next split boundary and reports the partial scan stats
@@ -36,6 +38,7 @@ func main() {
 	demo := flag.Bool("demo", false, "preload generated meter data with a DGFIndex")
 	demoUsers := flag.Int("demo-users", 2000, "users in the demo dataset")
 	timeout := flag.Duration("timeout", 0, "per-statement deadline (0 = none); an expired deadline aborts the scan")
+	traceAll := flag.Bool("trace", false, "print the span tree instead of rows for every SELECT (same as prefixing TRACE)")
 	flag.Parse()
 
 	w := dgfindex.NewWithConfig(dgfindex.DefaultCluster().Scaled(500000), 2<<20)
@@ -83,7 +86,7 @@ func main() {
 		last := strings.LastIndexByte(pending, ';')
 		for _, stmt := range strings.Split(pending[:last], ";") {
 			if sql := strings.TrimSpace(stmt); sql != "" {
-				run(w, sql, showStats, *timeout)
+				run(w, sql, showStats, *timeout, *traceAll)
 			}
 		}
 		if rest := strings.TrimSpace(pending[last+1:]); rest != "" {
@@ -98,7 +101,7 @@ func main() {
 // -timeout deadline) aborts the scan at its next split boundary. SELECTs
 // stream through a cursor so rows appear as splits complete and a cancelled
 // query still reports how far it got.
-func run(w *dgfindex.Warehouse, sql string, showStats bool, timeout time.Duration) {
+func run(w *dgfindex.Warehouse, sql string, showStats bool, timeout time.Duration, traceAll bool) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if timeout > 0 {
@@ -113,8 +116,14 @@ func run(w *dgfindex.Warehouse, sql string, showStats bool, timeout time.Duratio
 		return
 	}
 	if sel, ok := stmt.(*dgfindex.SelectStmt); ok && sel.InsertDir == "" {
-		runSelect(ctx, w, sel, showStats)
-		return
+		if traceAll {
+			// -trace turns every plain SELECT into its TRACE twin: run the
+			// query, print the span tree instead of the rows.
+			stmt = &dgfindex.TraceStmt{Select: sel}
+		} else {
+			runSelect(ctx, w, sel, showStats)
+			return
+		}
 	}
 
 	res, err := w.ExecParsedContext(ctx, stmt, dgfindex.ExecOptions{})

@@ -15,17 +15,21 @@
 //	  "SELECT sum(powerConsumed) FROM meterdata WHERE userId>=100 AND userId<=4000 AND regionId=3 AND ts>='\''2012-12-05'\'' AND ts<'\''2012-12-12'\''"}'
 //	curl -s localhost:8080/tables
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/metrics      # Prometheus text exposition
+//	curl -s localhost:8080/debug/slow   # slow-query flight recorder
 //
 // and push new readings over HTTP:
 //
 //	curl -s 'localhost:8080/load' --data '{"table":"meterdata",
 //	  "rows":[[17,1,"2013-01-01 00:15:00",1.25]]}'
 //
-// SIGINT/SIGTERM drains in-flight queries before exiting.
+// SIGINT/SIGTERM drains in-flight queries before exiting; SIGQUIT dumps the
+// slow-query flight recorder to the log and keeps serving.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -64,6 +68,8 @@ func main() {
 	demo := flag.Bool("demo", false, "preload generated meter data with a DGFIndex")
 	demoUsers := flag.Int("demo-users", 2000, "users in the demo dataset")
 	drainWait := flag.Duration("drain", 30*time.Second, "max wait for in-flight queries on shutdown")
+	slowMs := flag.Int("slow-ms", 500, "flight-recorder slow-query threshold in ms (negative records errors only)")
+	traceRing := flag.Int("trace-ring", 64, "flight-recorder capacity in queries (negative disables)")
 	flag.Parse()
 
 	cc := dgfindex.DefaultCluster().Scaled(500000)
@@ -103,7 +109,29 @@ func main() {
 		MaxResultBytes: *cacheBytes,
 		DefaultTimeout: *timeout,
 		SimPacing:      *pacing,
+		SlowQueryMs:    *slowMs,
+		TraceRingSize:  *traceRing,
 	})
+
+	// SIGQUIT dumps the slow-query flight recorder and keeps serving (this
+	// replaces Go's default stack dump for that signal; use SIGABRT for
+	// stacks). kill -QUIT <pid> is the operator's "why was it slow just now".
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			recs := srv.SlowTraces()
+			log.Printf("flight recorder: %d retained slow/errored queries", len(recs))
+			for _, rec := range recs {
+				b, err := json.Marshal(rec)
+				if err != nil {
+					log.Printf("flight recorder: marshal: %v", err)
+					continue
+				}
+				log.Printf("flight recorder: %s", b)
+			}
+		}
+	}()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {

@@ -53,6 +53,7 @@ import (
 	"github.com/smartgrid-oss/dgfindex/internal/server"
 	"github.com/smartgrid-oss/dgfindex/internal/shard"
 	"github.com/smartgrid-oss/dgfindex/internal/storage"
+	"github.com/smartgrid-oss/dgfindex/internal/trace"
 	"github.com/smartgrid-oss/dgfindex/internal/workload"
 )
 
@@ -79,6 +80,9 @@ type (
 	Stmt = hive.Stmt
 	// SelectStmt is a parsed SELECT, the statement cursors accept.
 	SelectStmt = hive.SelectStmt
+	// TraceStmt is a parsed TRACE SELECT: it executes the wrapped SELECT and
+	// returns its span tree instead of its rows (EXPLAIN's runtime twin).
+	TraceStmt = hive.TraceStmt
 )
 
 // ParseSQL parses one HiveQL statement for reuse across executions (the
@@ -224,6 +228,12 @@ type (
 	ServerCacheStats = server.CacheStats
 	// TableInfo is a read-only catalog snapshot entry.
 	TableInfo = hive.TableInfo
+	// TraceSpan is one node of a query's span tree (QueryResponse.Trace,
+	// Server.SlowTraces); offsets and walls are milliseconds from the root.
+	TraceSpan = trace.SpanSnapshot
+	// TraceRecord is one flight-recorder entry: a slow or errored query with
+	// its full span tree (Server.SlowTraces, GET /debug/slow).
+	TraceRecord = trace.Record
 )
 
 // Serving-layer constructors and sentinel errors.

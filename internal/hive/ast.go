@@ -45,6 +45,13 @@ type ExplainStmt struct {
 	Select *SelectStmt
 }
 
+// TraceStmt is TRACE SELECT ...: run the query and return its span tree —
+// per-layer wall and sim durations, access path, per-shard read volumes —
+// instead of its rows. The runtime twin of EXPLAIN's static plan.
+type TraceStmt struct {
+	Select *SelectStmt
+}
+
 // SelectStmt covers the paper's query listings: projections/aggregations,
 // one optional equi-join, a conjunctive WHERE, GROUP BY, LIMIT, and an
 // optional INSERT OVERWRITE DIRECTORY sink.
@@ -142,3 +149,4 @@ func (ShowTablesStmt) stmt()  {}
 func (DescribeStmt) stmt()    {}
 func (SelectStmt) stmt()      {}
 func (ExplainStmt) stmt()     {}
+func (TraceStmt) stmt()       {}

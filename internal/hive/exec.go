@@ -14,6 +14,7 @@ import (
 	"github.com/smartgrid-oss/dgfindex/internal/hiveindex"
 	"github.com/smartgrid-oss/dgfindex/internal/mapreduce"
 	"github.com/smartgrid-oss/dgfindex/internal/storage"
+	"github.com/smartgrid-oss/dgfindex/internal/trace"
 )
 
 // QueryStats mirrors the paper's stacked-bar decomposition: index access
@@ -111,6 +112,8 @@ func (w *Warehouse) ExecParsedContext(ctx context.Context, stmt Stmt, opts ExecO
 			return nil, err
 		}
 		return plan.Render(), nil
+	case *TraceStmt:
+		return w.traceSelect(ctx, s, opts)
 	case *ShowTablesStmt:
 		w.mu.RLock()
 		defer w.mu.RUnlock()
@@ -471,9 +474,27 @@ func (w *Warehouse) prepareSelectLocked(stmt *SelectStmt, opts ExecOptions, stre
 func (w *Warehouse) runPreparedSelect(ctx context.Context, p *preparedSelect, stream *rowStream) (*PartialResult, error) {
 	q, pr := p.q, p.pr
 	stats := &pr.Stats
+	// The warehouse span opens at the prepare timestamp so planning time is
+	// attributed here, not lost between the parent span and this one.
+	sp := trace.FromContext(ctx).ChildAt("warehouse", p.start)
+	defer func() {
+		sp.Set("records_read", stats.RecordsRead)
+		sp.Set("bytes_read", stats.BytesRead)
+		sp.Set("splits", stats.Splits)
+		sp.Set("sim_sec", stats.IndexSimSec+stats.DataSimSec)
+		sp.Finish()
+	}()
+	sp.Set("table", q.stmt.From.Table)
+	sp.Set("access_path", stats.AccessPath)
+	if p.plan != nil {
+		sp.Set("gfu_slices", len(p.plan.Slices))
+		sp.Set("gfu_cells", p.plan.InnerCells+p.plan.BoundaryCells+p.plan.MissingCells)
+		sp.Set("projected_bytes", p.plan.ProjectedBytes)
+	}
 	if p.done {
 		return pr, nil
 	}
+	ctx = trace.NewContext(ctx, sp)
 	var rowSink func(storage.Row) bool
 	if stream != nil {
 		rowSink = stream.row

@@ -64,6 +64,11 @@ func StatementTables(stmt Stmt) []string {
 		if s.Select.Join != nil {
 			add(s.Select.Join.Table.Table)
 		}
+	case *TraceStmt:
+		add(s.Select.From.Table)
+		if s.Select.Join != nil {
+			add(s.Select.Join.Table.Table)
+		}
 	case *CreateTableStmt:
 		add(s.Name)
 	case *DropTableStmt:
@@ -83,7 +88,7 @@ func IsReadOnly(stmt Stmt) bool {
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		return s.InsertDir == ""
-	case *ShowTablesStmt, *DescribeStmt, *ExplainStmt:
+	case *ShowTablesStmt, *DescribeStmt, *ExplainStmt, *TraceStmt:
 		return true
 	default:
 		return false

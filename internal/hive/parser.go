@@ -128,6 +128,16 @@ func (p *parser) parseStmt() (Stmt, error) {
 			return nil, err
 		}
 		return &ExplainStmt{Select: sel}, nil
+	case p.at(tokKeyword, "TRACE"):
+		p.next()
+		if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+			return nil, err
+		}
+		sel, err := p.parseSelectBody()
+		if err != nil {
+			return nil, err
+		}
+		return &TraceStmt{Select: sel}, nil
 	default:
 		return nil, p.errf("unsupported statement starting with %q", p.cur().text)
 	}

@@ -1,0 +1,87 @@
+package hive
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTraceStatement: TRACE SELECT executes the wrapped SELECT and renders
+// its span tree as span/wall_ms/detail rows — the root "query" span first,
+// a "warehouse" span beneath it carrying the access-path decision and read
+// volumes, and the mapreduce span beneath that — while preserving the
+// execution's QueryStats.
+func TestTraceStatement(t *testing.T) {
+	w := testWarehouse(1 << 14)
+	setupMeterTable(t, w, 100, 5, 10)
+	createDgf(t, w)
+
+	const sel = `SELECT sum(powerConsumed), count(*) FROM meterdata
+		WHERE userId>=3 AND userId<=40 AND ts>='2012-12-02' AND ts<'2012-12-05'`
+	base := mustExec(t, w, sel)
+	res := mustExec(t, w, "TRACE "+sel)
+
+	if got := strings.Join(res.Columns, ","); got != "span,wall_ms,detail" {
+		t.Fatalf("columns %q", got)
+	}
+	if len(res.Rows) == 0 || res.Rows[0][0].String() != "query" {
+		t.Fatalf("first row should be the root query span, got %v", res.Rows)
+	}
+	// The tree must attribute the work: a warehouse span carrying the same
+	// access path the plain execution reported.
+	var warehouseDetail string
+	for _, row := range res.Rows {
+		if strings.TrimSpace(row[0].String()) == "warehouse" {
+			warehouseDetail = row[2].String()
+		}
+	}
+	if warehouseDetail == "" {
+		t.Fatalf("no warehouse span in trace:\n%s", renderTraceRows(res))
+	}
+	if !strings.Contains(warehouseDetail, "access_path="+base.Stats.AccessPath) {
+		t.Fatalf("warehouse span detail %q missing access_path=%s", warehouseDetail, base.Stats.AccessPath)
+	}
+	// TRACE reports the traced execution's stats, not the rendering's.
+	if res.Stats.AccessPath != base.Stats.AccessPath || res.Stats.RecordsRead != base.Stats.RecordsRead {
+		t.Fatalf("TRACE stats %+v diverge from plain execution %+v", res.Stats, base.Stats)
+	}
+}
+
+// TestTraceStatementNormalization: TRACE statements are read-only and report
+// the tables of the wrapped SELECT (cache keying and invalidation depend on
+// both).
+func TestTraceStatementNormalization(t *testing.T) {
+	stmt, err := Parse(`TRACE SELECT count(*) FROM meterdata`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, ok := stmt.(*TraceStmt)
+	if !ok {
+		t.Fatalf("parsed %T, want *TraceStmt", stmt)
+	}
+	if ts.Select == nil || ts.Select.From.Table != "meterdata" {
+		t.Fatalf("wrapped select not preserved: %+v", ts.Select)
+	}
+	if !IsReadOnly(stmt) {
+		t.Fatal("TRACE SELECT must be read-only")
+	}
+	if tables := StatementTables(stmt); len(tables) != 1 || tables[0] != "meterdata" {
+		t.Fatalf("StatementTables = %v, want [meterdata]", tables)
+	}
+	if _, err := Parse(`TRACE SHOW TABLES`); err == nil {
+		t.Fatal("TRACE must require a SELECT")
+	}
+}
+
+func renderTraceRows(res *Result) string {
+	var b strings.Builder
+	for _, row := range res.Rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

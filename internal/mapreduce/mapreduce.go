@@ -22,6 +22,7 @@ import (
 
 	"github.com/smartgrid-oss/dgfindex/internal/cluster"
 	"github.com/smartgrid-oss/dgfindex/internal/storage"
+	"github.com/smartgrid-oss/dgfindex/internal/trace"
 )
 
 // Record is one input record presented to a map function.
@@ -223,6 +224,16 @@ func RunContext(ctx context.Context, cfg *cluster.Config, job *Job) (*Stats, err
 	stats := &Stats{Splits: len(splits), MapTasks: len(splits), ReduceTasks: numReducers}
 	stats.SimStartupSec = cfg.JobStartupSec
 
+	sp := trace.FromContext(ctx).ChildAt("mapreduce", start)
+	sp.Set("job", job.Name)
+	defer func() {
+		sp.Set("splits", stats.Splits)
+		sp.Set("records", stats.InputRecords)
+		sp.Set("bytes", stats.InputBytes)
+		sp.Set("sim_sec", stats.SimTotalSec())
+		sp.Finish()
+	}()
+
 	var outMu sync.Mutex
 	var outPairs int64
 	output := func(key string, value []byte) {
@@ -293,12 +304,14 @@ feed:
 		stats.InputRecords += r.records
 		stats.Seeks += r.seeks
 		stats.ShuffleBytes += r.emitted
+		sp.Eventf("split %s: %d records, %d bytes", splits[i].Label(), r.records, r.bytes)
 		mapTimes = append(mapTimes, cfg.ScanTaskSeconds(r.bytes, r.records, r.seeks))
 	}
 	// Splits/MapTasks report the splits actually consumed: fewer than
 	// enumerated when a cursor's LIMIT (or a cancel) stopped the scan early.
 	stats.Splits, stats.MapTasks = processed, processed
 	if err := ctx.Err(); err != nil {
+		sp.Eventf("canceled after %d of %d splits", processed, len(splits))
 		stats.Wall = time.Since(start)
 		return stats, fmt.Errorf("mapreduce: job %q canceled after %d of %d splits: %w",
 			job.Name, processed, len(splits), err)

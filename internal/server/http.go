@@ -14,6 +14,7 @@ import (
 
 	"github.com/smartgrid-oss/dgfindex/internal/hive"
 	"github.com/smartgrid-oss/dgfindex/internal/storage"
+	"github.com/smartgrid-oss/dgfindex/internal/trace"
 )
 
 // queryRequest is the JSON body of POST /query. GET /query accepts the same
@@ -28,6 +29,9 @@ type queryRequest struct {
 	// one JSON line for the header, one per row, one trailer with the final
 	// stats — and honours a client disconnect by aborting the scan.
 	Stream string `json:"stream,omitempty"`
+	// Trace asks for the query's span tree in the response (the trailer,
+	// for streaming responses). GET accepts it as ?trace=1.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // queryStatsJSON renders hive.QueryStats in the paper's terms.
@@ -45,14 +49,15 @@ type queryStatsJSON struct {
 }
 
 type queryResponse struct {
-	Columns  []string       `json:"columns,omitempty"`
-	Rows     [][]any        `json:"rows,omitempty"`
-	RowCount int            `json:"row_count"`
-	Message  string         `json:"message,omitempty"`
-	Cached   bool           `json:"cached"`
-	Session  string         `json:"session"`
-	WallMs   float64        `json:"wall_ms"`
-	Stats    queryStatsJSON `json:"stats"`
+	Columns  []string            `json:"columns,omitempty"`
+	Rows     [][]any             `json:"rows,omitempty"`
+	RowCount int                 `json:"row_count"`
+	Message  string              `json:"message,omitempty"`
+	Cached   bool                `json:"cached"`
+	Session  string              `json:"session"`
+	WallMs   float64             `json:"wall_ms"`
+	Stats    queryStatsJSON      `json:"stats"`
+	Trace    *trace.SpanSnapshot `json:"trace,omitempty"`
 }
 
 type errorResponse struct {
@@ -61,17 +66,21 @@ type errorResponse struct {
 
 // Handler returns the HTTP front-end:
 //
-//	POST/GET /query   execute one statement, JSON rows + QueryStats
-//	POST     /load    push rows into a table (JSON or CSV body)
-//	GET      /tables  catalog snapshot
-//	GET      /stats   server, session and cache metrics
-//	GET      /healthz liveness (503 while draining)
+//	POST/GET /query      execute one statement, JSON rows + QueryStats
+//	POST     /load       push rows into a table (JSON or CSV body)
+//	GET      /tables     catalog snapshot
+//	GET      /stats      server, session and cache metrics
+//	GET      /metrics    the same metrics in Prometheus text format
+//	GET      /debug/slow the slow-query flight recorder's retained traces
+//	GET      /healthz    liveness (503 while draining)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/load", s.handleLoad)
 	mux.HandleFunc("/tables", s.handleTables)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/slow", s.handleDebugSlow)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -114,6 +123,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		req.NoCache = q.Get("no_cache") == "1" || q.Get("no_cache") == "true"
 		req.Stream = q.Get("stream")
+		req.Trace = q.Get("trace") == "1" || q.Get("trace") == "true"
 	default:
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET or POST"})
 		return
@@ -137,6 +147,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Session: req.Session,
 		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
 		NoCache: req.NoCache,
+		Trace:   req.Trace,
 	})
 	if err != nil {
 		writeJSON(w, httpStatusOf(err), errorResponse{Error: err.Error()})
@@ -151,6 +162,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Cached:   resp.Cached,
 		Session:  resp.Session,
 		WallMs:   float64(resp.Wall.Microseconds()) / 1e3,
+		Trace:    resp.Trace,
 		Stats: queryStatsJSON{
 			AccessPath:  res.Stats.AccessPath,
 			IndexSimSec: res.Stats.IndexSimSec,
@@ -179,11 +191,12 @@ type streamHeader struct {
 // streamTrailer is the last NDJSON line: the scan's outcome and final stats
 // (partial when the scan was aborted — Error then says why).
 type streamTrailer struct {
-	Done     bool           `json:"done"`
-	RowCount int            `json:"row_count"`
-	Error    string         `json:"error,omitempty"`
-	WallMs   float64        `json:"wall_ms"`
-	Stats    queryStatsJSON `json:"stats"`
+	Done     bool                `json:"done"`
+	RowCount int                 `json:"row_count"`
+	Error    string              `json:"error,omitempty"`
+	WallMs   float64             `json:"wall_ms"`
+	Stats    queryStatsJSON      `json:"stats"`
+	Trace    *trace.SpanSnapshot `json:"trace,omitempty"`
 }
 
 // handleQueryStream serves one SELECT as NDJSON, writing rows as the cursor
@@ -195,6 +208,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, req q
 		SQL:     req.SQL,
 		Session: req.Session,
 		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
+		Trace:   req.Trace,
 	})
 	if err != nil {
 		writeJSON(w, httpStatusOf(err), errorResponse{Error: err.Error()})
@@ -224,7 +238,10 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, req q
 		}
 	}
 
-	// The scan is finished (or aborted); Stats/Err no longer block.
+	// The scan is finished (or aborted); Stats/Err no longer block. Close
+	// now (idempotent — the deferred call no-ops) so the trace tree in the
+	// trailer is final rather than a mid-flight snapshot.
+	st.Close()
 	stats := st.Stats()
 	trailer := streamTrailer{
 		Done:     true,
@@ -247,8 +264,43 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, req q
 		trailer.Done = false
 		trailer.Error = err.Error()
 	}
+	if req.Trace {
+		trailer.Trace = st.TraceSnapshot()
+	}
 	enc.Encode(trailer)
 	flush()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.WriteMetrics(w)
+}
+
+// debugSlowResponse is the /debug/slow body: the flight recorder's retained
+// traces, newest first.
+type debugSlowResponse struct {
+	// Total counts records ever taken, including those the ring evicted.
+	Total       int64          `json:"total"`
+	SlowQueryMs int            `json:"slow_query_ms"`
+	RingSize    int            `json:"ring_size"`
+	Records     []trace.Record `json:"records"`
+}
+
+func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET"})
+		return
+	}
+	writeJSON(w, http.StatusOK, debugSlowResponse{
+		Total:       s.recorder.Total(),
+		SlowQueryMs: s.cfg.SlowQueryMs,
+		RingSize:    s.cfg.TraceRingSize,
+		Records:     s.SlowTraces(),
+	})
 }
 
 // jsonRow converts one storage.Row into JSON-encodable cells: numbers stay

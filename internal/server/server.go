@@ -34,6 +34,7 @@ import (
 	"github.com/smartgrid-oss/dgfindex/internal/hive"
 	"github.com/smartgrid-oss/dgfindex/internal/shard"
 	"github.com/smartgrid-oss/dgfindex/internal/storage"
+	"github.com/smartgrid-oss/dgfindex/internal/trace"
 )
 
 // Backend is the query store a Server fronts: a single *hive.Warehouse or a
@@ -101,6 +102,15 @@ type Config struct {
 	// wall time inside its worker slot. Zero (the default) disables
 	// pacing. Cache hits never pace — no cluster work happens.
 	SimPacing time.Duration
+	// SlowQueryMs is the flight recorder's slow threshold in milliseconds:
+	// a query at or above it (or one that errors) has its trace retained.
+	// Zero uses the default 500; negative records errored queries only.
+	SlowQueryMs int
+	// TraceRingSize bounds the flight recorder: the N most recent
+	// slow/errored traces are kept. Zero uses the default 64; negative
+	// disables the recorder entirely (queries are then only traced on
+	// request via Request.Trace).
+	TraceRingSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +139,15 @@ func (c Config) withDefaults() Config {
 		c.CacheEntries = 0
 		c.MaxResultBytes = 0
 	}
+	if c.SlowQueryMs == 0 {
+		c.SlowQueryMs = 500
+	}
+	switch {
+	case c.TraceRingSize == 0:
+		c.TraceRingSize = 64
+	case c.TraceRingSize < 0:
+		c.TraceRingSize = 0
+	}
 	return c
 }
 
@@ -148,6 +167,10 @@ type Request struct {
 	// Opts carries planner ablation flags. Results are cached only for
 	// zero-valued Opts.
 	Opts hive.ExecOptions
+	// Trace asks for the query's span tree in Response.Trace. Traced
+	// requests skip the result cache's fast path only in the sense that a
+	// cache hit still produces a (shallow) trace showing the hit.
+	Trace bool
 }
 
 // Response is the outcome of one query.
@@ -161,6 +184,9 @@ type Response struct {
 	Session string
 	// Wall is the end-to-end service time, queueing included.
 	Wall time.Duration
+	// Trace is the query's span tree, present only when Request.Trace was
+	// set. Its root wall duration equals Wall exactly.
+	Trace *trace.SpanSnapshot
 }
 
 // Session carries per-session serving metrics.
@@ -201,8 +227,9 @@ type Server struct {
 	sessMu   sync.Mutex
 	sessions map[string]*Session
 
-	metrics *metricSet
-	started time.Time
+	metrics  *metricSet
+	recorder *trace.Recorder // nil when TraceRingSize < 0
+	started  time.Time
 }
 
 // New wraps a warehouse in a server. The warehouse stays usable directly —
@@ -225,6 +252,7 @@ func NewWithBackend(b Backend, cfg Config) *Server {
 		plans:    newLRU[hive.Stmt](cfg.PlanCacheEntries),
 		sessions: map[string]*Session{},
 		metrics:  newMetricSet(),
+		recorder: trace.NewRecorder(cfg.TraceRingSize),
 		started:  time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -302,6 +330,15 @@ func (s *Server) Query(ctx context.Context, req Request) (*Response, error) {
 	start := time.Now()
 	sess := s.Session(req.Session)
 
+	// The root span opens whenever anyone could want the tree: the caller
+	// asked (Trace), or the flight recorder is armed — it cannot know in
+	// advance which queries will turn out slow, so it traces all of them.
+	var root *trace.Span
+	if req.Trace || s.recorder != nil {
+		root = trace.NewAt("query", start)
+		root.Set("session", sess.id)
+	}
+
 	if err := s.admit(); err != nil {
 		return nil, err
 	}
@@ -312,30 +349,49 @@ func (s *Server) Query(ctx context.Context, req Request) (*Response, error) {
 		}
 	}()
 
+	var queued time.Duration
 	finish := func(res *hive.Result, cached bool, err error) (*Response, error) {
 		wall := time.Since(start)
 		isTimeout := errors.Is(err, ErrQueryTimeout)
-		s.metrics.observe(wall, res, cached, isTimeout, err != nil)
-		sess.m.observe(wall, res, cached, isTimeout, err != nil)
+		s.metrics.observe(wall, queued, res, cached, isTimeout, err != nil)
+		sess.m.observe(wall, queued, res, cached, isTimeout, err != nil)
+		var snap *trace.SpanSnapshot
+		if root != nil {
+			// Finishing at start+wall makes the root's wall duration equal
+			// Response.Wall exactly, not up to a second clock read.
+			root.FinishAt(start.Add(wall))
+			sn := root.Snapshot()
+			snap = &sn
+			s.record(req.SQL, sess.id, wall, err, sn)
+		}
 		if err != nil {
 			return nil, err
 		}
-		return &Response{Result: res, Cached: cached, Session: sess.id, Wall: wall}, nil
+		resp := &Response{Result: res, Cached: cached, Session: sess.id, Wall: wall}
+		if req.Trace {
+			resp.Trace = snap
+		}
+		return resp, nil
 	}
 
 	// Plan cache: parse once per normal form, reuse across sessions.
+	psp := root.Child("plan")
 	norm, err := hive.Normalize(req.SQL)
 	if err != nil {
+		psp.Finish()
 		return finish(nil, false, err)
 	}
 	stmt, ok := s.plans.get(norm)
+	psp.Set("plan_cache_hit", ok)
 	if !ok {
 		stmt, err = hive.Parse(req.SQL)
 		if err != nil {
+			psp.Finish()
 			return finish(nil, false, err)
 		}
 		s.plans.put(norm, stmt)
 	}
+	psp.Finish()
 
 	tables := hive.StatementTables(stmt)
 	readOnly := hive.IsReadOnly(stmt)
@@ -351,8 +407,12 @@ func (s *Server) Query(ctx context.Context, req Request) (*Response, error) {
 	// between key construction and lookup and the entry is exact.
 	var key string
 	if cacheable {
+		csp := root.Child("result_cache")
 		key = cacheKey(norm, tables, s.b.TableVersions(tables...))
-		if res, ok := s.results.get(key); ok {
+		res, hit := s.results.get(key)
+		csp.Set("hit", hit)
+		csp.Finish()
+		if hit {
 			return finish(res, true, nil)
 		}
 	}
@@ -367,10 +427,19 @@ func (s *Server) Query(ctx context.Context, req Request) (*Response, error) {
 		defer cancel()
 	}
 
-	// Wait for a worker slot.
+	// Wait for a worker slot; the wait is accounted separately from
+	// execution (MetricsSnapshot.QueueWaitSeconds) so a saturated pool shows
+	// up as admission pressure, not as slow queries.
+	asp := root.Child("admission")
+	queueStart := time.Now()
 	select {
 	case s.sem <- struct{}{}:
+		queued = time.Since(queueStart)
+		asp.Finish()
 	case <-ctx.Done():
+		queued = time.Since(queueStart)
+		asp.Eventf("gave up waiting for a worker slot")
+		asp.Finish()
 		return finish(nil, false, ctxError(ctx.Err()))
 	}
 
@@ -386,12 +455,17 @@ func (s *Server) Query(ctx context.Context, req Request) (*Response, error) {
 	}
 	handoff = true
 	ch := make(chan outcome, 1)
+	// The backend call runs under the root span, so the router's scatter and
+	// each warehouse's execution hang their child spans off this request's
+	// tree (a timed-out caller snapshots the tree mid-flight; spans are
+	// concurrency-safe and unfinished ones report elapsed time).
+	ectx := trace.NewContext(ctx, root)
 	go func() {
 		defer func() {
 			<-s.sem
 			s.release()
 		}()
-		res, err := s.b.ExecParsedContext(ctx, stmt, req.Opts)
+		res, err := s.b.ExecParsedContext(ectx, stmt, req.Opts)
 		if err == nil && s.cfg.SimPacing > 0 {
 			// Model the remote cluster: hold the worker slot for the
 			// query's simulated duration.
@@ -423,6 +497,37 @@ func (s *Server) Query(ctx context.Context, req Request) (*Response, error) {
 	case <-ctx.Done():
 		return finish(nil, false, ctxError(ctx.Err()))
 	}
+}
+
+// record feeds the flight recorder: a finished query whose wall time crossed
+// the slow threshold, or one that errored, has its trace retained.
+func (s *Server) record(sql, session string, wall time.Duration, err error, snap trace.SpanSnapshot) {
+	if s.recorder == nil {
+		return
+	}
+	slow := s.cfg.SlowQueryMs > 0 && wall >= time.Duration(s.cfg.SlowQueryMs)*time.Millisecond
+	if !slow && err == nil {
+		return
+	}
+	rec := trace.Record{
+		Time:    time.Now(),
+		SQL:     sql,
+		Session: session,
+		WallMs:  float64(wall.Microseconds()) / 1e3,
+		Slow:    slow,
+		Trace:   snap,
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	s.recorder.Add(rec)
+}
+
+// SlowTraces returns the flight recorder's retained records, newest first
+// (nil when the recorder is disabled). Served at /debug/slow and dumped on
+// SIGQUIT by the daemon.
+func (s *Server) SlowTraces() []trace.Record {
+	return s.recorder.Snapshot()
 }
 
 // ctxError is the one place a context termination maps onto the server's
@@ -503,6 +608,9 @@ type Stream struct {
 	sess   *Session
 	cancel context.CancelFunc
 	start  time.Time
+	queued time.Duration
+	sql    string
+	root   *trace.Span // nil when neither tracing nor the recorder is on
 	once   sync.Once
 }
 
@@ -518,12 +626,27 @@ func (st *Stream) Close() error {
 		res := &hive.Result{Stats: stats}
 		wall := time.Since(st.start)
 		isTimeout := errors.Is(err, ErrQueryTimeout)
-		st.s.metrics.observe(wall, res, false, isTimeout, err != nil)
-		st.sess.m.observe(wall, res, false, isTimeout, err != nil)
+		st.s.metrics.observe(wall, st.queued, res, false, isTimeout, err != nil)
+		st.sess.m.observe(wall, st.queued, res, false, isTimeout, err != nil)
+		if st.root != nil {
+			st.root.FinishAt(st.start.Add(wall))
+			st.s.record(st.sql, st.sess.id, wall, err, st.root.Snapshot())
+		}
 		<-st.s.sem
 		st.s.release()
 	})
 	return nil
+}
+
+// TraceSnapshot returns the stream's span tree so far, or nil when the
+// stream is untraced. After Close the tree is final; before it, running
+// spans report their elapsed time.
+func (st *Stream) TraceSnapshot() *trace.SpanSnapshot {
+	if st.root == nil {
+		return nil
+	}
+	sn := st.root.Snapshot()
+	return &sn
 }
 
 // Err returns the scan's terminal error mapped onto the server's sentinel
@@ -541,6 +664,14 @@ func (st *Stream) Err() error { return ctxError(st.Cursor.Err()) }
 func (s *Server) QueryStream(ctx context.Context, req Request) (*Stream, error) {
 	start := time.Now()
 	sess := s.Session(req.Session)
+
+	var root *trace.Span
+	if req.Trace || s.recorder != nil {
+		root = trace.NewAt("query", start)
+		root.Set("session", sess.id)
+		root.Set("stream", true)
+	}
+
 	if err := s.admit(); err != nil {
 		return nil, err
 	}
@@ -550,6 +681,7 @@ func (s *Server) QueryStream(ctx context.Context, req Request) (*Stream, error) 
 			s.release()
 		}
 	}()
+	var queued time.Duration
 	// fail observes the error in the metrics exactly as Query's finish
 	// does, so /stats error and timeout rates cannot diverge between the
 	// streaming and non-streaming paths.
@@ -557,23 +689,32 @@ func (s *Server) QueryStream(ctx context.Context, req Request) (*Stream, error) 
 		err = ctxError(err)
 		wall := time.Since(start)
 		isTimeout := errors.Is(err, ErrQueryTimeout)
-		s.metrics.observe(wall, nil, false, isTimeout, true)
-		sess.m.observe(wall, nil, false, isTimeout, true)
+		s.metrics.observe(wall, queued, nil, false, isTimeout, true)
+		sess.m.observe(wall, queued, nil, false, isTimeout, true)
+		if root != nil {
+			root.FinishAt(start.Add(wall))
+			s.record(req.SQL, sess.id, wall, err, root.Snapshot())
+		}
 		return nil, err
 	}
 
+	psp := root.Child("plan")
 	norm, err := hive.Normalize(req.SQL)
 	if err != nil {
+		psp.Finish()
 		return fail(err)
 	}
 	stmt, ok := s.plans.get(norm)
+	psp.Set("plan_cache_hit", ok)
 	if !ok {
 		stmt, err = hive.Parse(req.SQL)
 		if err != nil {
+			psp.Finish()
 			return fail(err)
 		}
 		s.plans.put(norm, stmt)
 	}
+	psp.Finish()
 	sel, isSelect := stmt.(*hive.SelectStmt)
 	if !isSelect {
 		return fail(fmt.Errorf("server: only SELECT statements can stream (got %T)", stmt))
@@ -589,20 +730,28 @@ func (s *Server) QueryStream(ctx context.Context, req Request) (*Stream, error) 
 	}
 
 	// Wait for a worker slot; the stream holds it until Close.
+	asp := root.Child("admission")
+	queueStart := time.Now()
 	select {
 	case s.sem <- struct{}{}:
+		queued = time.Since(queueStart)
+		asp.Finish()
 	case <-ctx.Done():
+		queued = time.Since(queueStart)
+		asp.Eventf("gave up waiting for a worker slot")
+		asp.Finish()
 		cancel()
 		return fail(ctx.Err())
 	}
 
+	ectx := trace.NewContext(ctx, root)
 	var cur hive.Cursor
 	if sb, ok := s.b.(streamer); ok {
-		cur, err = sb.SelectCursor(ctx, sel, req.Opts)
+		cur, err = sb.SelectCursor(ectx, sel, req.Opts)
 	} else {
 		// Fallback for custom backends: run to completion, replay the rows.
 		var res *hive.Result
-		res, err = s.b.ExecParsedContext(ctx, sel, req.Opts)
+		res, err = s.b.ExecParsedContext(ectx, sel, req.Opts)
 		if err == nil {
 			cur = hive.NewRowsCursor(res)
 		}
@@ -620,6 +769,9 @@ func (s *Server) QueryStream(ctx context.Context, req Request) (*Stream, error) 
 		sess:    sess,
 		cancel:  cancel,
 		start:   start,
+		queued:  queued,
+		sql:     req.SQL,
+		root:    root,
 	}, nil
 }
 
@@ -707,8 +859,11 @@ type Snapshot struct {
 	// they read mutated (LOAD, DDL, or explicit Invalidate) — the
 	// invalidation churn of the serving fleet.
 	ResultInvalidations int64                      `json:"result_invalidations"`
-	MaxConcurrent       int                        `json:"max_concurrent"`
-	MaxQueue            int                        `json:"max_queue"`
+	// SlowTraces counts flight-recorder records ever taken (including
+	// records the ring has since evicted).
+	SlowTraces    int64 `json:"slow_traces"`
+	MaxConcurrent int   `json:"max_concurrent"`
+	MaxQueue      int   `json:"max_queue"`
 	Server              MetricsSnapshot            `json:"server"`
 	Sessions            map[string]MetricsSnapshot `json:"sessions"`
 	ResultCache         CacheStats                 `json:"result_cache"`
@@ -741,6 +896,7 @@ func (s *Server) Stats() Snapshot {
 		Loads:               loads,
 		RowsLoaded:          rowsLoaded,
 		ResultInvalidations: rc.Invalidations,
+		SlowTraces:          s.recorder.Total(),
 		MaxConcurrent:       s.cfg.MaxConcurrent,
 		MaxQueue:            s.cfg.MaxQueue,
 		Server:              s.metrics.snapshot(),

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/smartgrid-oss/dgfindex/internal/hive"
+	"github.com/smartgrid-oss/dgfindex/internal/trace"
 )
 
 // ErrReplicaDown marks a request that failed because the chosen replica is
@@ -219,14 +220,19 @@ func newReplicaSet(shard int, ejectAfter int, reprobe time.Duration, reps []*rep
 	return &replicaSet{shard: shard, reps: reps, ejectAfter: ejectAfter, reprobe: reprobe}
 }
 
-// noteFailure records one failure on rep under this set's ejection policy.
-func (rs *replicaSet) noteFailure(rep *replica) {
+// noteFailure records one failure on rep under this set's ejection policy,
+// reporting whether this strike ejected it (so callers can annotate the
+// query's trace with the health consequence of its failures).
+func (rs *replicaSet) noteFailure(rep *replica) bool {
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
 	rep.fails++
 	if rep.fails >= rs.ejectAfter {
+		ejected := rep.ejectedUntil.IsZero()
 		rep.ejectedUntil = time.Now().Add(rs.reprobe)
+		return ejected
 	}
+	return false
 }
 
 // live reports whether rep is currently eligible for selection (healthy,
@@ -325,6 +331,7 @@ func (rs *replicaSet) exhaustedErr(last error) error {
 func (rs *replicaSet) withFailover(ctx context.Context, fn func(ctx context.Context, rep *replica) error) error {
 	tried := make([]bool, len(rs.reps))
 	fl := failureLog{rs: rs}
+	sp := trace.FromContext(ctx)
 	var last error
 	for {
 		rep := rs.pick(tried)
@@ -334,7 +341,9 @@ func (rs *replicaSet) withFailover(ctx context.Context, fn func(ctx context.Cont
 		tried[rs.index(rep)] = true
 		err := rep.do(ctx, func(kctx context.Context) error { return fn(kctx, rep) })
 		if err == nil {
-			fl.succeeded()
+			for _, idx := range fl.succeeded() {
+				sp.Eventf("replica %d ejected", idx)
+			}
 			return nil
 		}
 		if isCtxErr(err) {
@@ -342,7 +351,10 @@ func (rs *replicaSet) withFailover(ctx context.Context, fn func(ctx context.Cont
 			// as ErrReplicaDown): not a replica failure, nothing to retry.
 			return err
 		}
-		fl.observe(rep, err)
+		sp.Eventf("replica %d failed: %v", rep.idx, err)
+		if fl.observe(rep, err) {
+			sp.Eventf("replica %d ejected", rep.idx)
+		}
 		last = err
 	}
 }
@@ -359,21 +371,28 @@ type failureLog struct {
 	failed []*replica
 }
 
-func (fl *failureLog) observe(rep *replica, err error) {
+// observe logs one failure, reporting whether it ejected the replica on the
+// spot (only ErrReplicaDown strikes immediately; other failures defer).
+func (fl *failureLog) observe(rep *replica, err error) bool {
 	if errors.Is(err, ErrReplicaDown) {
-		fl.rs.noteFailure(rep)
-		return
+		return fl.rs.noteFailure(rep)
 	}
 	fl.failed = append(fl.failed, rep)
+	return false
 }
 
 // succeeded reports that a later replica served the query, proving every
-// deferred failure was replica-specific after all.
-func (fl *failureLog) succeeded() {
+// deferred failure was replica-specific after all. It returns the indices of
+// replicas the deferred strikes ejected.
+func (fl *failureLog) succeeded() []int {
+	var ejected []int
 	for _, rep := range fl.failed {
-		fl.rs.noteFailure(rep)
+		if fl.rs.noteFailure(rep) {
+			ejected = append(ejected, rep.idx)
+		}
 	}
 	fl.failed = nil
+	return ejected
 }
 
 // openCursor opens a streaming cursor on the next live replica, failing
@@ -382,6 +401,7 @@ func (fl *failureLog) succeeded() {
 // the health strikes, and last seeds the root cause reported if the set is
 // already exhausted.
 func (rs *replicaSet) openCursor(ctx context.Context, s *hive.SelectStmt, opts hive.ExecOptions, tried []bool, fl *failureLog, last error) (hive.Cursor, *replica, error) {
+	sp := trace.FromContext(ctx)
 	for {
 		rep := rs.pick(tried)
 		if rep == nil {
@@ -395,7 +415,10 @@ func (rs *replicaSet) openCursor(ctx context.Context, s *hive.SelectStmt, opts h
 		if isCtxErr(err) {
 			return nil, nil, err
 		}
-		fl.observe(rep, err)
+		sp.Eventf("replica %d failed: %v", rep.idx, err)
+		if fl.observe(rep, err) {
+			sp.Eventf("replica %d ejected", rep.idx)
+		}
 		last = err
 	}
 }

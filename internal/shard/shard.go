@@ -31,6 +31,7 @@ import (
 	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
 	"github.com/smartgrid-oss/dgfindex/internal/hive"
 	"github.com/smartgrid-oss/dgfindex/internal/storage"
+	"github.com/smartgrid-oss/dgfindex/internal/trace"
 )
 
 // Strategy selects how a routing-key value maps to a shard.
@@ -268,6 +269,19 @@ func (r *Router) ExecParsedContext(ctx context.Context, stmt hive.Stmt, opts hiv
 			return nil, err
 		}
 		return plan.Render(), nil
+	case *hive.TraceStmt:
+		// TRACE SELECT: run the query under a fresh root span and return its
+		// rendered timing tree — the runtime twin of EXPLAIN's static plan.
+		root := trace.New("query")
+		root.Set("sql", "TRACE SELECT")
+		res, err := r.execSelect(trace.NewContext(ctx, root), s.Select, opts)
+		root.Finish()
+		if err != nil {
+			return nil, err
+		}
+		out := hive.RenderTrace(root.Snapshot())
+		out.Stats = res.Stats
+		return out, nil
 	case *hive.ShowTablesStmt, *hive.DescribeStmt:
 		// Catalog reads: any replica of shard 0 answers (identical catalogs
 		// everywhere by DDL broadcast), with failover.
@@ -437,6 +451,9 @@ func (r *Router) execSelect(ctx context.Context, s *hive.SelectStmt, opts hive.E
 func (r *Router) scatterPartials(ctx context.Context, s *hive.SelectStmt, opts hive.ExecOptions, targets []int) ([]*hive.PartialResult, error) {
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	ssp := trace.FromContext(ctx).Child("scatter")
+	ssp.Set("targets", fmt.Sprintf("%d/%d", len(targets), len(r.sets)))
+	defer ssp.Finish()
 	parts := make([]*hive.PartialResult, len(targets))
 	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
@@ -444,12 +461,24 @@ func (r *Router) scatterPartials(ctx context.Context, s *hive.SelectStmt, opts h
 		wg.Add(1)
 		go func(i, si int) {
 			defer wg.Done()
-			parts[i], _, errs[i] = r.sets[si].execPartial(sctx, s, opts)
+			shsp := ssp.Child(fmt.Sprintf("shard %d", si))
+			defer shsp.Finish()
+			var chosen int
+			parts[i], chosen, errs[i] = r.sets[si].execPartial(trace.NewContext(sctx, shsp), s, opts)
 			if errs[i] != nil {
+				shsp.Set("error", errs[i].Error())
 				// All of this shard's replicas are exhausted (or the caller
 				// cancelled): now, and only now, stop the siblings.
 				cancel()
+				return
 			}
+			st := parts[i].Stats
+			shsp.Set("replica", chosen)
+			shsp.Set("access_path", st.AccessPath)
+			shsp.Set("records_read", st.RecordsRead)
+			shsp.Set("bytes_read", st.BytesRead)
+			shsp.Set("splits", st.Splits)
+			shsp.Set("sim_sec", st.IndexSimSec+st.DataSimSec)
 		}(i, si)
 	}
 	wg.Wait()

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// PromWriter renders the Prometheus text exposition format (version 0.0.4)
+// with no external dependency: each helper emits the # HELP / # TYPE
+// preamble followed by samples. Metric families must be written as a unit
+// (all samples of one name together), which the per-family helpers enforce
+// by construction.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w. Write errors are sticky: the first one is
+// remembered and returned by Err, so callers check once at the end.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *PromWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Counter writes a single-sample counter family.
+func (p *PromWriter) Counter(name, help string, labels map[string]string, value float64) {
+	p.header(name, help, "counter")
+	p.sample(name, labels, value)
+}
+
+// Gauge writes a single-sample gauge family.
+func (p *PromWriter) Gauge(name, help string, labels map[string]string, value float64) {
+	p.header(name, help, "gauge")
+	p.sample(name, labels, value)
+}
+
+// CounterVec writes a counter family with one sample per label value.
+// labelName is the single varying label; values map label value → sample.
+// Values are emitted in sorted label order so scrapes are deterministic.
+func (p *PromWriter) CounterVec(name, help, labelName string, values map[string]float64) {
+	p.header(name, help, "counter")
+	for _, k := range sortedKeys(values) {
+		p.sample(name, map[string]string{labelName: k}, values[k])
+	}
+}
+
+// GaugeRow writes one sample of an already-headed gauge family. Callers
+// open the family with GaugeHead then emit rows, for families whose label
+// sets vary per sample (shard+replica).
+func (p *PromWriter) GaugeRow(name string, labels map[string]string, value float64) {
+	p.sample(name, labels, value)
+}
+
+// GaugeHead writes the preamble of a multi-sample gauge family.
+func (p *PromWriter) GaugeHead(name, help string) {
+	p.header(name, help, "gauge")
+}
+
+// Histogram writes a histogram family from explicit finite upper bounds and
+// per-slot counts, where counts has one more slot than bounds (the last is
+// the +Inf overflow). sum is the total of all observations in the
+// histogram's unit.
+func (p *PromWriter) Histogram(name, help string, bounds []float64, counts []int64, sum float64) {
+	p.header(name, help, "histogram")
+	var cum int64
+	for i, b := range bounds {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		p.sample(name+"_bucket", map[string]string{"le": formatFloat(b)}, float64(cum))
+	}
+	if len(counts) > len(bounds) {
+		cum += counts[len(bounds)]
+	}
+	p.sample(name+"_bucket", map[string]string{"le": "+Inf"}, float64(cum))
+	p.sample(name+"_sum", nil, sum)
+	p.sample(name+"_count", nil, float64(cum))
+}
+
+func (p *PromWriter) sample(name string, labels map[string]string, value float64) {
+	if len(labels) == 0 {
+		p.printf("%s %s\n", name, formatFloat(value))
+		return
+	}
+	pairs := make([]string, 0, len(labels))
+	for _, k := range sortedKeys(labels) {
+		pairs = append(pairs, k+`="`+escapeLabel(labels[k])+`"`)
+	}
+	p.printf("%s{%s} %s\n", name, strings.Join(pairs, ","), formatFloat(value))
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strings.TrimSuffix(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
+
+func escapeHelp(s string) string {
+	return strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(s)
+}
+
+func escapeLabel(s string) string {
+	return strings.NewReplacer("\\", `\\`, "\n", `\n`, "\"", `\"`).Replace(s)
+}
+
+func sortedKeys[M map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,362 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric is one parsed sample: a metric name, its label set, and a value.
+type Metric struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// MetricFamily is one parsed family: the # TYPE declaration plus every
+// sample that belongs to it (histogram families include their _bucket,
+// _sum, and _count series).
+type MetricFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Metric
+}
+
+// ParseMetrics is a promtool-style validating parser for the Prometheus
+// text exposition format, strict enough to catch the mistakes a
+// hand-written exporter can make: samples without a # TYPE declaration,
+// interleaved families, malformed label syntax, unparsable values,
+// duplicate label sets, and histograms whose buckets are non-cumulative or
+// missing the +Inf/_sum/_count series. It exists so tests can validate
+// /metrics output without an external promtool binary.
+func ParseMetrics(text string) (map[string]*MetricFamily, error) {
+	families := make(map[string]*MetricFamily)
+	var current string
+	seen := make(map[string]bool) // family name -> closed (a new family started after it)
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, lineNo, families, &current, seen); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam := familyOf(families, name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q has no # TYPE declaration", lineNo, name)
+		}
+		if fam.Name != current {
+			return nil, fmt.Errorf("line %d: sample %q interleaved into family %q", lineNo, name, current)
+		}
+		fam.Samples = append(fam.Samples, Metric{Name: name, Labels: labels, Value: value})
+	}
+	for _, fam := range families {
+		if err := validateFamily(fam); err != nil {
+			return nil, err
+		}
+	}
+	return families, nil
+}
+
+func parseComment(line string, lineNo int, families map[string]*MetricFamily, current *string, seen map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "HELP":
+		name := fields[2]
+		help := ""
+		if len(fields) == 4 {
+			help = fields[3]
+		}
+		if f, ok := families[name]; ok {
+			f.Help = help
+		} else {
+			families[name] = &MetricFamily{Name: name, Help: help}
+		}
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("line %d: malformed # TYPE line", lineNo)
+		}
+		name, typ := fields[2], fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+		}
+		if seen[name] {
+			return fmt.Errorf("line %d: family %q declared twice", lineNo, name)
+		}
+		f, ok := families[name]
+		if !ok {
+			f = &MetricFamily{Name: name}
+			families[name] = f
+		}
+		if f.Type != "" {
+			return fmt.Errorf("line %d: family %q declared twice", lineNo, name)
+		}
+		f.Type = typ
+		if *current != "" {
+			seen[*current] = true
+		}
+		*current = name
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family, accounting for
+// the _bucket/_sum/_count series histograms and summaries add.
+func familyOf(families map[string]*MetricFamily, name string) *MetricFamily {
+	if f, ok := families[name]; ok && f.Type != "" {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if f, ok := families[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+			return f
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		labels = make(map[string]string)
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " ,")
+			if rest == "" {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
+			}
+			key := rest[:eq]
+			if !validLabelName(key) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", key)
+			}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			val, remainder, ok := scanQuoted(rest)
+			if !ok {
+				return "", nil, 0, fmt.Errorf("unterminated label value in %q", line)
+			}
+			if _, dup := labels[key]; dup {
+				return "", nil, 0, fmt.Errorf("duplicate label %q in %q", key, line)
+			}
+			labels[key] = val
+			rest = remainder
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp may follow the value; this exporter never emits one, and
+	// the parser rejects it to keep the contract tight.
+	if strings.ContainsAny(rest, " \t") {
+		return "", nil, 0, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	value, err = parsePromFloat(rest)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// scanQuoted consumes a double-quoted string with \\, \", and \n escapes,
+// returning the unescaped value and the remainder after the closing quote.
+func scanQuoted(s string) (val, rest string, ok bool) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", false
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				return "", "", false
+			}
+		case '"':
+			return b.String(), s[i+1:], true
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", false
+}
+
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validateFamily(fam *MetricFamily) error {
+	if fam.Type == "" {
+		return fmt.Errorf("family %q has # HELP but no # TYPE", fam.Name)
+	}
+	if len(fam.Samples) == 0 {
+		return fmt.Errorf("family %q declared but has no samples", fam.Name)
+	}
+	dup := make(map[string]bool)
+	for _, m := range fam.Samples {
+		key := m.Name + "\x00" + labelKey(m.Labels)
+		if dup[key] {
+			return fmt.Errorf("family %q: duplicate sample %s{%s}", fam.Name, m.Name, labelKey(m.Labels))
+		}
+		dup[key] = true
+	}
+	if fam.Type == "histogram" {
+		return validateHistogram(fam)
+	}
+	return nil
+}
+
+// validateHistogram checks each label-partition of a histogram family for
+// cumulative buckets ending in +Inf, with _count equal to the +Inf bucket.
+func validateHistogram(fam *MetricFamily) error {
+	type series struct {
+		bounds   []float64
+		cumul    []float64
+		count    float64
+		hasCount bool
+		hasSum   bool
+	}
+	parts := make(map[string]*series)
+	part := func(labels map[string]string) *series {
+		rest := make(map[string]string, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		key := labelKey(rest)
+		if parts[key] == nil {
+			parts[key] = &series{}
+		}
+		return parts[key]
+	}
+	for _, m := range fam.Samples {
+		switch m.Name {
+		case fam.Name + "_bucket":
+			le, ok := m.Labels["le"]
+			if !ok {
+				return fmt.Errorf("family %q: bucket sample without le label", fam.Name)
+			}
+			bound, err := parsePromFloat(le)
+			if err != nil {
+				return fmt.Errorf("family %q: bad le %q", fam.Name, le)
+			}
+			p := part(m.Labels)
+			p.bounds = append(p.bounds, bound)
+			p.cumul = append(p.cumul, m.Value)
+		case fam.Name + "_sum":
+			part(m.Labels).hasSum = true
+		case fam.Name + "_count":
+			p := part(m.Labels)
+			p.hasCount = true
+			p.count = m.Value
+		default:
+			return fmt.Errorf("family %q: unexpected histogram sample %q", fam.Name, m.Name)
+		}
+	}
+	for key, p := range parts {
+		if !p.hasSum || !p.hasCount {
+			return fmt.Errorf("family %q{%s}: missing _sum or _count", fam.Name, key)
+		}
+		if len(p.bounds) == 0 {
+			return fmt.Errorf("family %q{%s}: no buckets", fam.Name, key)
+		}
+		if !sort.Float64sAreSorted(p.bounds) {
+			return fmt.Errorf("family %q{%s}: bucket bounds not sorted", fam.Name, key)
+		}
+		if !math.IsInf(p.bounds[len(p.bounds)-1], 1) {
+			return fmt.Errorf("family %q{%s}: missing +Inf bucket", fam.Name, key)
+		}
+		for i := 1; i < len(p.cumul); i++ {
+			if p.cumul[i] < p.cumul[i-1] {
+				return fmt.Errorf("family %q{%s}: buckets not cumulative", fam.Name, key)
+			}
+		}
+		if inf := p.cumul[len(p.cumul)-1]; inf != p.count {
+			return fmt.Errorf("family %q{%s}: _count %v != +Inf bucket %v", fam.Name, key, p.count, inf)
+		}
+	}
+	return nil
+}
+
+func labelKey(labels map[string]string) string {
+	pairs := make([]string, 0, len(labels))
+	for k, v := range labels {
+		pairs = append(pairs, k+"="+v)
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ",")
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Record is one flight-recorder entry: a finished query that crossed the
+// slow threshold or errored, with its full span tree.
+type Record struct {
+	Time    time.Time    `json:"time"`
+	SQL     string       `json:"sql"`
+	Session string       `json:"session,omitempty"`
+	Error   string       `json:"error,omitempty"`
+	WallMs  float64      `json:"wall_ms"`
+	Slow    bool         `json:"slow"`
+	Trace   SpanSnapshot `json:"trace"`
+}
+
+// Recorder is a bounded ring buffer of slow/errored query traces — the
+// flight recorder. When full, a new record evicts the oldest; Total keeps
+// counting past the cap so operators can tell "ring is full" from "only N
+// slow queries ever".
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []Record
+	next  int
+	count int
+	total int64
+}
+
+// NewRecorder returns a recorder retaining the size most recent records.
+// size <= 0 returns nil, and a nil *Recorder no-ops on every method, so a
+// disabled flight recorder costs nothing at call sites.
+func NewRecorder(size int) *Recorder {
+	if size <= 0 {
+		return nil
+	}
+	return &Recorder{ring: make([]Record, size)}
+}
+
+// Add appends a record, evicting the oldest when full.
+func (r *Recorder) Add(rec Record) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ring[r.next] = rec
+	r.next = (r.next + 1) % len(r.ring)
+	if r.count < len(r.ring) {
+		r.count++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained records newest-first.
+func (r *Recorder) Snapshot() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Record, 0, r.count)
+	for i := 1; i <= r.count; i++ {
+		out = append(out, r.ring[(r.next-i+len(r.ring))%len(r.ring)])
+	}
+	return out
+}
+
+// Total is the count of records ever added, including those evicted.
+func (r *Recorder) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
