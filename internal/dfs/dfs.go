@@ -52,6 +52,15 @@ type FS struct {
 
 	bytesWritten atomic.Int64
 	bytesRead    atomic.Int64
+
+	parseCache sync.Map // path -> *parseEntry, see CachedParse
+}
+
+// parseEntry is one CachedParse result, valid while the file keeps the size
+// it had when parsed.
+type parseEntry struct {
+	size  int64
+	value any
 }
 
 type node struct {
@@ -88,6 +97,52 @@ func (fs *FS) BytesRead() int64 { return fs.bytesRead.Load() }
 func (fs *FS) ResetCounters() {
 	fs.bytesWritten.Store(0)
 	fs.bytesRead.Store(0)
+}
+
+// CachedParse memoises the parsed form of a file, so metadata consulted on
+// every query plan — row-group indexes, column statistics, bitmap sidecars —
+// is decoded once instead of per query. The cache key is the path; an entry
+// is valid while the file keeps the size it had when parsed — appends (the
+// only in-place mutation this DFS offers) grow the size, and every
+// truncating or namespace operation (Create, Remove, RemoveAll, Rename)
+// evicts the affected entries outright. A missing file caches too (size
+// -1), so repeated probes for an absent side file cost one Stat. Callers
+// must treat the returned value as immutable — it is shared with every
+// other caller.
+func (fs *FS) CachedParse(p string, parse func() (any, error)) (any, error) {
+	key := path.Clean("/" + p)
+	size := int64(-1)
+	if fi, err := fs.Stat(key); err == nil {
+		size = fi.Size
+	}
+	if v, ok := fs.parseCache.Load(key); ok {
+		if e := v.(*parseEntry); e.size == size {
+			return e.value, nil
+		}
+	}
+	val, err := parse()
+	if err != nil {
+		return nil, err // parse failures are not cached: the next call retries
+	}
+	fs.parseCache.Store(key, &parseEntry{size: size, value: val})
+	return val, nil
+}
+
+// invalidateParse drops the CachedParse entry for p (no-op when absent).
+func (fs *FS) invalidateParse(p string) {
+	fs.parseCache.Delete(path.Clean("/" + p))
+}
+
+// invalidateParseTree drops every CachedParse entry at or under p.
+func (fs *FS) invalidateParseTree(p string) {
+	prefix := path.Clean("/" + p)
+	fs.parseCache.Range(func(k, _ any) bool {
+		key := k.(string)
+		if key == prefix || strings.HasPrefix(key, prefix+"/") || prefix == "/" {
+			fs.parseCache.Delete(key)
+		}
+		return true
+	})
 }
 
 func splitPath(p string) []string {
@@ -247,6 +302,7 @@ func (fs *FS) Remove(p string) error {
 		return fmt.Errorf("%w: %s", ErrNotEmpty, p)
 	}
 	delete(parent.children, base)
+	fs.invalidateParse(p)
 	return nil
 }
 
@@ -258,6 +314,7 @@ func (fs *FS) RemoveAll(p string) error {
 	defer fs.mu.Unlock()
 	if base == "" { // removing "/" clears the namespace
 		fs.root.children = map[string]*node{}
+		fs.invalidateParseTree("/")
 		return nil
 	}
 	parent, err := fs.lookup(dir)
@@ -265,6 +322,7 @@ func (fs *FS) RemoveAll(p string) error {
 		return nil
 	}
 	delete(parent.children, base)
+	fs.invalidateParseTree(p)
 	return nil
 }
 
@@ -296,6 +354,8 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 	delete(oldParent.children, oldBase)
 	n.name = newBase
 	newParent.children[newBase] = n
+	fs.invalidateParseTree(oldPath)
+	fs.invalidateParseTree(newPath)
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path"
 	"strconv"
+	"strings"
 	"sync"
 
 	"github.com/smartgrid-oss/dgfindex/internal/cluster"
@@ -166,7 +167,8 @@ func (ix *Index) runBuildJob(cfg *cluster.Config, input mapreduce.InputFormat, f
 				return nil
 			}
 			name := path.Join(ix.DataDir, fmt.Sprintf("part-%d-r-%05d", gen, task))
-			sw, err := storage.NewSegmentWriter(ix.FS, name, ix.Schema, ix.Format, ix.GroupRows)
+			sw, err := storage.NewSegmentWriterOpts(ix.FS, name, ix.Schema, ix.Format, ix.GroupRows,
+				storage.SegmentWriterOptions{BitmapCols: ix.bitmapCols})
 			if err != nil {
 				return err
 			}
@@ -356,6 +358,15 @@ func ParseIdxProperties(name string, cols []string, schema *storage.Schema, prop
 			return Spec{}, err
 		}
 		spec.Precompute = specs
+	}
+	if raw, ok := props["bitmap"]; ok && raw != "" {
+		for _, col := range strings.Split(raw, ";") {
+			col = strings.TrimSpace(col)
+			if col == "" {
+				continue
+			}
+			spec.BitmapCols = append(spec.BitmapCols, col)
+		}
 	}
 	if err := spec.Validate(schema); err != nil {
 		return Spec{}, err

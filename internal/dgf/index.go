@@ -22,10 +22,11 @@ const (
 	metaPrecomp   = "meta/precompute"
 	metaMinPrefix = "meta/min/"
 	metaMaxPrefix = "meta/max/"
-	metaDataDir   = "meta/datadir"
-	metaGen       = "meta/generation"
-	metaFormat    = "meta/format"
-	metaGroupRows = "meta/grouprows"
+	metaDataDir    = "meta/datadir"
+	metaGen        = "meta/generation"
+	metaFormat     = "meta/format"
+	metaGroupRows  = "meta/grouprows"
+	metaBitmapCols = "meta/bitmapcols"
 )
 
 // SliceLoc locates one Slice: a contiguous run of records of a single GFU
@@ -111,6 +112,11 @@ type Spec struct {
 	Policy gridfile.Policy
 	// Precompute lists the additive aggregations stored per GFU.
 	Precompute []AggSpec
+	// BitmapCols names low-cardinality columns to build per-row-group value
+	// bitmaps for at index-build time (the 'bitmap' IDXPROPERTIES key);
+	// equality predicates on them prune row groups inside selected slices.
+	// RCFile-format indexes only.
+	BitmapCols []string
 }
 
 // Validate checks the spec against a table schema.
@@ -135,6 +141,11 @@ func (s *Spec) Validate(schema *storage.Schema) error {
 			}
 		}
 	}
+	for _, b := range s.BitmapCols {
+		if schema.ColIndex(b) < 0 {
+			return fmt.Errorf("dgf: bitmap column %q is not a table column", b)
+		}
+	}
 	return nil
 }
 
@@ -155,11 +166,15 @@ type Index struct {
 	// GroupRows sizes the reorganised data's RCFile row groups.
 	GroupRows int
 
-	dimCols []int   // schema column index per policy dimension
-	aggCols [][]int // schema column indexes (product factors) per precompute spec; nil for count
-	minCell []int64 // observed data bounds per dimension, in cells
-	maxCell []int64
+	dimCols    []int   // schema column index per policy dimension
+	aggCols    [][]int // schema column indexes (product factors) per precompute spec; nil for count
+	bitmapCols []int   // schema column index per bitmap column
+	minCell    []int64 // observed data bounds per dimension, in cells
+	maxCell    []int64
 }
+
+// BitmapColumns returns the schema column indices carrying bitmap sidecars.
+func (ix *Index) BitmapColumns() []int { return ix.bitmapCols }
 
 func (ix *Index) resolveColumns() error {
 	ix.dimCols = make([]int, len(ix.Spec.Policy.Dims))
@@ -179,6 +194,14 @@ func (ix *Index) resolveColumns() error {
 			}
 			ix.aggCols[i] = append(ix.aggCols[i], c)
 		}
+	}
+	ix.bitmapCols = ix.bitmapCols[:0]
+	for _, b := range ix.Spec.BitmapCols {
+		c := ix.Schema.ColIndex(b)
+		if c < 0 {
+			return fmt.Errorf("dgf: bitmap column %q missing from schema", b)
+		}
+		ix.bitmapCols = append(ix.bitmapCols, c)
 	}
 	return nil
 }
@@ -278,6 +301,7 @@ func (ix *Index) saveMeta() {
 	ix.KV.Put(metaDataDir, []byte(ix.DataDir))
 	ix.KV.Put(metaFormat, []byte(strings.ToLower(ix.Format.String())))
 	ix.KV.Put(metaGroupRows, []byte(strconv.Itoa(ix.GroupRows)))
+	ix.KV.Put(metaBitmapCols, []byte(strings.Join(ix.Spec.BitmapCols, ";")))
 	for i := range ix.Spec.Policy.Dims {
 		ix.KV.Put(metaMinPrefix+strconv.Itoa(i), []byte(strconv.FormatInt(ix.minCell[i], 10)))
 		ix.KV.Put(metaMaxPrefix+strconv.Itoa(i), []byte(strconv.FormatInt(ix.maxCell[i], 10)))
@@ -321,6 +345,9 @@ func Open(fs *dfs.FS, kv *kvstore.Store, name string, schema *storage.Schema) (*
 		if err != nil {
 			return nil, fmt.Errorf("dgf: index %q has corrupt group-rows metadata %q", name, gData)
 		}
+	}
+	if bData, ok := kv.Get(metaBitmapCols); ok && len(bData) > 0 {
+		ix.Spec.BitmapCols = strings.Split(string(bData), ";")
 	}
 	for i := range policy.Dims {
 		lo, ok1 := kv.Get(metaMinPrefix + strconv.Itoa(i))

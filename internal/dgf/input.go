@@ -39,6 +39,9 @@ type SliceInput struct {
 	Format storage.Format
 	// Schema decodes RCFile rows (ignored for TextFile).
 	Schema *storage.Schema
+	// Vector switches RCFile slice readers to batch delivery: one Record
+	// per row group with Batch set, honouring the plan's SkipGroups.
+	Vector bool
 }
 
 // clippedSlice is a slice byte range clipped to one split, remembering which
@@ -80,7 +83,7 @@ func (in *SliceInput) Splits() ([]mapreduce.InputSplit, error) {
 			// The side group index locates the row groups each slice owns
 			// (the model's stand-in for RCFile sync markers); one read
 			// serves every split of the file.
-			groupOffsets, err = storage.ReadGroupIndex(in.FS, file)
+			groupOffsets, err = storage.ReadGroupIndexCached(in.FS, file)
 			if err != nil {
 				return nil, fmt.Errorf("dgf: SliceInput: missing group index for %s: %w", file, err)
 			}
@@ -127,7 +130,11 @@ func (in *SliceInput) Open(split mapreduce.InputSplit) (mapreduce.RecordReader, 
 	if err != nil {
 		return nil, err
 	}
-	return &sliceReader{in: in, file: r, path: s.Path, slices: s.slices, groupOffsets: s.groupOffsets}, nil
+	sr := &sliceReader{in: in, file: r, path: s.Path, slices: s.slices, groupOffsets: s.groupOffsets}
+	if skips := in.Plan.SkipGroups[s.Path]; len(skips) > 0 {
+		sr.skipGroup = func(off int64) bool { return skips[off] }
+	}
+	return sr, nil
 }
 
 // sliceReader reads the records of each Slice in turn, skipping the margin
@@ -143,7 +150,9 @@ type sliceReader struct {
 	seg       storage.SegmentReader
 	bytesRead int64
 	seeks     int64
+	skipped   int64
 	lastEnd   int64
+	skipGroup func(offset int64) bool
 }
 
 func (sr *sliceReader) Next() (mapreduce.Record, bool, error) {
@@ -163,6 +172,8 @@ func (sr *sliceReader) Next() (mapreduce.Record, bool, error) {
 				InclusiveEnd: sl.ClipEnd,
 				Project:      sr.in.Plan.Project,
 				GroupOffsets: sr.groupOffsets,
+				Vector:       sr.in.Vector && sr.in.Format == storage.RCFile,
+				SkipGroup:    sr.skipGroup,
 			})
 		}
 		rec, ok, err := sr.seg.Next()
@@ -170,15 +181,23 @@ func (sr *sliceReader) Next() (mapreduce.Record, bool, error) {
 			return mapreduce.Record{}, false, err
 		}
 		if !ok {
-			sr.bytesRead += sr.seg.BytesRead()
-			sr.seg = nil
+			sr.drainSeg()
 			continue
 		}
 		return mapreduce.Record{
-			Data: rec.Line, Row: rec.Row, Path: sr.path,
+			Data: rec.Line, Row: rec.Row, Batch: rec.Batch, Path: sr.path,
 			Offset: rec.Offset, RowInBlock: rec.RowInGroup,
 		}, true, nil
 	}
+}
+
+// drainSeg folds the finished segment's counters into the reader's totals.
+func (sr *sliceReader) drainSeg() {
+	sr.bytesRead += sr.seg.BytesRead()
+	if gs, ok := sr.seg.(storage.GroupSkipper); ok {
+		sr.skipped += gs.GroupsSkipped()
+	}
+	sr.seg = nil
 }
 
 func (sr *sliceReader) BytesRead() int64 {
@@ -189,4 +208,19 @@ func (sr *sliceReader) BytesRead() int64 {
 	return n
 }
 
-func (sr *sliceReader) Seeks() int64 { return sr.seeks }
+func (sr *sliceReader) Seeks() int64 {
+	// Each pruned group forces the reader to jump over its bytes — count it
+	// like a margin jump so seek accounting stays honest.
+	return sr.seeks + sr.GroupsSkipped()
+}
+
+// GroupsSkipped returns the row groups the plan's SkipGroups pruned so far.
+func (sr *sliceReader) GroupsSkipped() int64 {
+	n := sr.skipped
+	if sr.seg != nil {
+		if gs, ok := sr.seg.(storage.GroupSkipper); ok {
+			n += gs.GroupsSkipped()
+		}
+	}
+	return n
+}

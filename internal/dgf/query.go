@@ -25,6 +25,12 @@ type PlanOptions struct {
 	// only those columns' payloads; ProjectedBytes reports the resulting
 	// exact read volume. Nil (or all-true) reads full records.
 	Project []bool
+	// ZoneSkip consults per-row-group zone maps (and value-bitmap sidecars
+	// where built) to drop whole row groups inside selected slices — the
+	// double pruning of the vectorised path. RCFile data only; the pruned
+	// groups are recorded in Plan.SkipGroups so executed skips match the
+	// plan exactly.
+	ZoneSkip bool
 }
 
 // Plan is the outcome of Algorithm 3: the pre-aggregated inner result (for
@@ -61,6 +67,16 @@ type Plan struct {
 	DisableSliceSkip bool
 	// Project propagates the referenced-column set to the input format.
 	Project []bool
+	// GroupsSkipped counts the row groups inside selected slices that zone
+	// maps or bitmap sidecars pruned (ZoneSkip planning only). Their bytes
+	// are excluded from ProjectedBytes.
+	GroupsSkipped int64
+	// BitmapHits counts the pruned groups that only a bitmap sidecar could
+	// rule out (the zone map alone would have kept them).
+	BitmapHits int64
+	// SkipGroups records the pruned groups as file → group-offset set; the
+	// slice readers consult it so executed skips match the plan.
+	SkipGroups map[string]map[int64]bool
 }
 
 // CanPrecompute reports whether every requested aggregation is derivable
@@ -191,7 +207,7 @@ func (ix *Index) Plan(cfg *cluster.Config, ranges map[string]gridfile.Range, wan
 	if !fullProjection(opts.Project, ix.Schema.Len()) {
 		plan.Project = opts.Project
 	}
-	if err := ix.attributeProjectedBytes(plan); err != nil {
+	if err := ix.attributeProjectedBytes(plan, ranges, opts.ZoneSkip); err != nil {
 		return nil, err
 	}
 	plan.KVSimSeconds = kvOps.SimSeconds(cfg)
@@ -212,12 +228,33 @@ func fullProjection(project []bool, n int) bool {
 	return true
 }
 
+// ZoneDisjoint reports whether the zone [minV, maxV] cannot intersect r —
+// the row-group pruning predicate, shared with the full-scan path so both
+// prune identically from the same column statistics.
+func ZoneDisjoint(minV, maxV storage.Value, r gridfile.Range) bool {
+	if !r.LoUnbounded {
+		if c := storage.Compare(maxV, r.Lo); c < 0 || (c == 0 && r.LoOpen) {
+			return true
+		}
+	}
+	if !r.HiUnbounded {
+		if c := storage.Compare(minV, r.Hi); c > 0 || (c == 0 && r.HiOpen) {
+			return true
+		}
+	}
+	return false
+}
+
 // attributeProjectedBytes computes Plan.ProjectedBytes: for TextFile data it
 // is the slice volume itself; for RCFile data it is derived, exactly, from
 // the per-group column statistics the build wrote next to each data file —
-// the same numbers the projected readers will report having fetched.
-func (ix *Index) attributeProjectedBytes(plan *Plan) error {
-	if ix.Format != storage.RCFile || plan.Project == nil {
+// the same numbers the projected readers will report having fetched. With
+// zoneSkip set it additionally drops every row group whose zone map is
+// disjoint from a predicate range — or, for equality predicates on bitmap
+// columns, whose value bitmap rules the group out — recording the pruned
+// groups in plan.SkipGroups for the readers.
+func (ix *Index) attributeProjectedBytes(plan *Plan, ranges map[string]gridfile.Range, zoneSkip bool) error {
+	if ix.Format != storage.RCFile || (plan.Project == nil && !zoneSkip) {
 		// Full-width reads fetch the slices whole; the build's Cut
 		// invariant aligns every slice on row-group boundaries, so the
 		// slice volume already is the exact read volume — no need to
@@ -225,29 +262,111 @@ func (ix *Index) attributeProjectedBytes(plan *Plan) error {
 		plan.ProjectedBytes = plan.SliceBytes
 		return nil
 	}
+	// Resolve the predicate ranges to schema columns once. Equality ranges
+	// on bitmap-sidecar columns double as bitmap probes, keyed by the
+	// value's text rendering (what the builder indexed).
+	type colRange struct {
+		col  int
+		kind storage.Kind
+		r    gridfile.Range
+	}
+	type bitmapProbe struct {
+		col  int
+		text string
+	}
+	var zones []colRange
+	var probes []bitmapProbe
+	if zoneSkip {
+		for name, r := range ranges {
+			c := ix.Schema.ColIndex(name)
+			if c < 0 {
+				continue
+			}
+			zones = append(zones, colRange{col: c, kind: ix.Schema.Col(c).Kind, r: r})
+			if !r.LoUnbounded && !r.HiUnbounded && !r.LoOpen && !r.HiOpen && storage.Compare(r.Lo, r.Hi) == 0 {
+				for _, bc := range ix.bitmapCols {
+					if bc == c {
+						probes = append(probes, bitmapProbe{col: c, text: r.Lo.String()})
+					}
+				}
+			}
+		}
+	}
 	type fileStats struct {
 		offsets []int64
 		groups  []storage.GroupStat
+		bitmaps *storage.BitmapSidecar
 	}
 	cache := map[string]*fileStats{}
 	for _, sl := range plan.Slices {
 		fs, ok := cache[sl.File]
 		if !ok {
-			offsets, err := storage.ReadGroupIndex(ix.FS, sl.File)
+			offsets, err := storage.ReadGroupIndexCached(ix.FS, sl.File)
 			if err != nil {
 				return fmt.Errorf("dgf: plan: group index for %s: %w", sl.File, err)
 			}
-			groups, err := storage.ReadColStats(ix.FS, sl.File)
+			groups, err := storage.ReadColStatsCached(ix.FS, sl.File)
 			if err != nil {
 				return fmt.Errorf("dgf: plan: column stats for %s: %w", sl.File, err)
 			}
 			fs = &fileStats{offsets: offsets, groups: groups}
+			if len(probes) > 0 {
+				sc, ok, err := storage.ReadBitmapSidecarCached(ix.FS, sl.File)
+				if err != nil {
+					return fmt.Errorf("dgf: plan: bitmap sidecar for %s: %w", sl.File, err)
+				}
+				if ok {
+					fs.bitmaps = sc
+				}
+			}
 			cache[sl.File] = fs
 		}
 		lo := sort.Search(len(fs.offsets), func(i int) bool { return fs.offsets[i] >= sl.Start })
 		hi := sort.Search(len(fs.offsets), func(i int) bool { return fs.offsets[i] >= sl.End })
 		for g := lo; g < hi && g < len(fs.groups); g++ {
-			plan.ProjectedBytes += fs.groups[g].ProjectedSize(plan.Project)
+			stat := fs.groups[g]
+			skip, byBitmap := false, false
+			if zoneSkip && stat.HasZone() {
+				for _, z := range zones {
+					if z.col >= len(stat.Mins) {
+						continue
+					}
+					minV, err1 := storage.ParseValue(z.kind, stat.Mins[z.col])
+					maxV, err2 := storage.ParseValue(z.kind, stat.Maxs[z.col])
+					if err1 != nil || err2 != nil {
+						continue // unparseable zone: never skip on it
+					}
+					if ZoneDisjoint(minV, maxV, z.r) {
+						skip = true
+						break
+					}
+				}
+			}
+			if !skip && fs.bitmaps != nil {
+				for _, p := range probes {
+					if bs, ok := fs.bitmaps.Lookup(p.col, p.text); ok && !bs.Has(g) {
+						skip, byBitmap = true, true
+						break
+					}
+				}
+			}
+			if skip {
+				plan.GroupsSkipped++
+				if byBitmap {
+					plan.BitmapHits++
+				}
+				if plan.SkipGroups == nil {
+					plan.SkipGroups = map[string]map[int64]bool{}
+				}
+				fileSkips := plan.SkipGroups[sl.File]
+				if fileSkips == nil {
+					fileSkips = map[int64]bool{}
+					plan.SkipGroups[sl.File] = fileSkips
+				}
+				fileSkips[fs.offsets[g]] = true
+				continue
+			}
+			plan.ProjectedBytes += stat.ProjectedSize(plan.Project)
 		}
 	}
 	return nil

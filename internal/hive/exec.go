@@ -35,8 +35,17 @@ type QueryStats struct {
 	BytesRead int64
 	Splits    int
 	Seeks     int64
-	RowsOut   int
-	Wall      time.Duration
+	// GroupsSkipped counts the row groups pruned before their payloads were
+	// fetched — zone maps, or bitmap sidecars on DGF plans (vectorised
+	// executions only; the row path never prunes groups).
+	GroupsSkipped int64
+	// BitmapHits counts the pruned groups that only a bitmap sidecar could
+	// rule out (zone maps are consulted first and take the credit).
+	BitmapHits int64
+	// Vectorized reports whether the scan ran the batch execution path.
+	Vectorized bool
+	RowsOut    int
+	Wall       time.Duration
 }
 
 // SimTotalSec is the simulated end-to-end query time.
@@ -54,6 +63,9 @@ type Result struct {
 type ExecOptions struct {
 	// DisableIndexes forces full table scans.
 	DisableIndexes bool
+	// DisableVectorized forces row-at-a-time execution: no batch decoding,
+	// no zone-map or bitmap row-group pruning.
+	DisableVectorized bool
 	// Dgf carries the DGFIndex planner ablation flags.
 	Dgf dgf.PlanOptions
 }
@@ -62,7 +74,8 @@ type ExecOptions struct {
 // the serving layer's result cache keys can safely represent. (PlanOptions
 // carries a slice, so ExecOptions is not comparable with ==.)
 func (o ExecOptions) IsZero() bool {
-	return !o.DisableIndexes && !o.Dgf.DisablePrecompute && !o.Dgf.DisableSliceSkip && o.Dgf.Project == nil
+	return !o.DisableIndexes && !o.DisableVectorized &&
+		!o.Dgf.DisablePrecompute && !o.Dgf.DisableSliceSkip && o.Dgf.Project == nil
 }
 
 // Exec parses and executes one HiveQL statement. It is ExecContext under
@@ -296,10 +309,21 @@ type pathChoice struct {
 	// aggRewrite marks the "index as data" rewrite.
 	ix         *hiveindex.Index
 	aggRewrite bool
+	// vectorized selects the batch execution path: row groups decoded into
+	// column vectors, WHERE run as kernels, zone maps (and bitmap sidecars
+	// on DGF plans) pruning whole groups.
+	vectorized bool
 }
 
 // choosePath decides the access path for a compiled query.
+//
+// The vectorised path applies to join-free queries over RCFile data on the
+// DGF and full-scan paths; joins, TextFile data, and the hive-index path
+// (whose bitmap RowFilter is inherently per-row) fall back to row-at-a-time
+// execution, as does the slice-skip ablation (whose whole-split reads the
+// plan's skip set does not describe).
 func (q *compiledQuery) choosePath(opts ExecOptions) pathChoice {
+	vecOK := !opts.DisableVectorized && !opts.Dgf.DisableSliceSkip && q.right == nil
 	switch {
 	case !opts.DisableIndexes && q.left.Dgf != nil:
 		want := q.dgfWantSpecs()
@@ -312,13 +336,15 @@ func (q *compiledQuery) choosePath(opts ExecOptions) pathChoice {
 		// columnar slice reads fetch only those payloads.
 		planOpts := opts.Dgf
 		planOpts.Project = q.projection()
-		return pathChoice{kind: pathDgf, want: want, planOpts: planOpts}
+		vec := vecOK && q.left.Dgf.Format == storage.RCFile
+		planOpts.ZoneSkip = vec
+		return pathChoice{kind: pathDgf, want: want, planOpts: planOpts, vectorized: vec}
 	case !opts.DisableIndexes && len(q.left.HiveIndexes) > 0:
 		if ix := q.pickHiveIndex(); ix != nil {
 			return pathChoice{kind: pathHiveIndex, ix: ix, aggRewrite: q.canAggRewrite(ix)}
 		}
 	}
-	return pathChoice{kind: pathScan}
+	return pathChoice{kind: pathScan, vectorized: vecOK && q.left.Format == hiveindex.RCFile}
 }
 
 func (w *Warehouse) selectLocked(ctx context.Context, stmt *SelectStmt, opts ExecOptions) (*Result, error) {
@@ -376,6 +402,11 @@ type preparedSelect struct {
 	// catalog state.
 	sideBytes int64
 	joinMap   map[string][]storage.Row
+	// vectorized marks the batch execution path; vecFilters are the WHERE
+	// conjunction lowered to selection-vector kernels (compiled under the
+	// lock, applied by the job's mapper).
+	vectorized bool
+	vecFilters []vecPred
 }
 
 // prepareSelectLocked compiles the statement, decides the access path via
@@ -406,12 +437,19 @@ func (w *Warehouse) prepareSelectLocked(stmt *SelectStmt, opts ExecOptions, stre
 			return nil, err
 		}
 		p.plan = plan
-		p.input = &dgf.SliceInput{FS: w.FS, Plan: plan, Format: q.left.Dgf.Format, Schema: q.left.Schema}
+		p.input = &dgf.SliceInput{
+			FS: w.FS, Plan: plan, Format: q.left.Dgf.Format,
+			Schema: q.left.Schema, Vector: choice.vectorized,
+		}
 		stats.IndexSimSec += plan.KVSimSeconds
 		stats.AccessPath = "dgfindex"
 		if plan.Aggregation {
 			stats.AccessPath = "dgfindex(precompute)"
 		}
+		// The planner attributes each pruned group to the structure that
+		// ruled it out; execution reports the skips it actually performed
+		// (copied from job stats after the run).
+		stats.BitmapHits = plan.BitmapHits
 	case pathHiveIndex:
 		ix := choice.ix
 		// Aggregate Index rewrite: covered GROUP BY count queries read the
@@ -455,6 +493,32 @@ func (w *Warehouse) prepareSelectLocked(stmt *SelectStmt, opts ExecOptions, stre
 		if err != nil {
 			return nil, err
 		}
+		if rc, ok := p.input.(*mapreduce.RCInput); ok && choice.vectorized {
+			// Full-scan double pruning: consult the zone maps under the lock
+			// (the same consultation EXPLAIN performs) and hand the readers
+			// the resulting skip set.
+			files := rc.Paths
+			if files == nil {
+				if files, err = listFilePaths(w, rc.Dir); err != nil {
+					return nil, err
+				}
+			}
+			skips, _, err := scanGroupSkips(w.FS, files, q.left.Schema, q.leftRanges)
+			if err != nil {
+				return nil, err
+			}
+			if len(skips) > 0 {
+				rc.SkipGroup = func(path string, off int64) bool { return skips[path][off] }
+			}
+			rc.Vector = true
+		}
+	}
+	if choice.vectorized {
+		p.vectorized = true
+		stats.Vectorized = true
+		if p.vecFilters, err = q.compileVecFilters(); err != nil {
+			return nil, err
+		}
 	}
 	if q.right != nil {
 		p.sideBytes = w.tableSizeBytesLocked(q.right)
@@ -482,10 +546,17 @@ func (w *Warehouse) runPreparedSelect(ctx context.Context, p *preparedSelect, st
 		sp.Set("bytes_read", stats.BytesRead)
 		sp.Set("splits", stats.Splits)
 		sp.Set("sim_sec", stats.IndexSimSec+stats.DataSimSec)
+		if stats.GroupsSkipped > 0 {
+			sp.Set("groups_skipped", stats.GroupsSkipped)
+		}
+		if stats.BitmapHits > 0 {
+			sp.Set("bitmap_hits", stats.BitmapHits)
+		}
 		sp.Finish()
 	}()
 	sp.Set("table", q.stmt.From.Table)
 	sp.Set("access_path", stats.AccessPath)
+	sp.Set("vectorized", p.vectorized)
 	if p.plan != nil {
 		sp.Set("gfu_slices", len(p.plan.Slices))
 		sp.Set("gfu_cells", p.plan.InnerCells+p.plan.BoundaryCells+p.plan.MissingCells)
@@ -508,6 +579,7 @@ func (w *Warehouse) runPreparedSelect(ctx context.Context, p *preparedSelect, st
 			stats.BytesRead = jobStats.InputBytes
 			stats.Splits = jobStats.Splits
 			stats.Seeks = jobStats.Seeks
+			stats.GroupsSkipped = jobStats.GroupsSkipped
 			stats.Wall = time.Since(p.start)
 		}
 		return pr, err
@@ -517,6 +589,7 @@ func (w *Warehouse) runPreparedSelect(ctx context.Context, p *preparedSelect, st
 	stats.BytesRead = jobStats.InputBytes
 	stats.Splits = jobStats.Splits
 	stats.Seeks = jobStats.Seeks
+	stats.GroupsSkipped = jobStats.GroupsSkipped
 	// The paper's stacked bars: job startup counts as "index and other".
 	stats.IndexSimSec += jobStats.SimStartupSec
 	stats.DataSimSec += jobStats.SimTotalSec() - jobStats.SimStartupSec
@@ -684,7 +757,31 @@ func (w *Warehouse) runQueryJob(ctx context.Context, p *preparedSelect, stream f
 	}
 
 	leftSchema := q.left.Schema
+	vecFilters := p.vecFilters
 	job.Map = func(rec mapreduce.Record, emit mapreduce.Emit) error {
+		if rec.Batch != nil {
+			// Vectorised path (join-free by construction): the kernels
+			// shrink a selection vector over the whole decoded group, and
+			// only the surviving positions materialise as rows. The scratch
+			// row is reused per position — emitRow consumes its cells before
+			// the next iteration overwrites them.
+			b := rec.Batch
+			sel := b.Sel()
+			for i := 0; i < b.Rows; i++ {
+				sel = append(sel, i)
+			}
+			for _, k := range vecFilters {
+				if sel = k(b, sel); len(sel) == 0 {
+					return nil
+				}
+			}
+			for _, ri := range sel {
+				brec := rec
+				brec.RowInBlock = ri
+				q.emitRow(b.MaterialiseRow(ri), nil, brec, emit)
+			}
+			return nil
+		}
 		// Columnar readers deliver decoded (possibly projected) rows; text
 		// readers deliver encoded lines.
 		leftRow := rec.Row

@@ -48,6 +48,19 @@ type ExplainPlan struct {
 	// PrecomputeHit marks a DGF plan whose inner region is answered from
 	// pre-computed GFU headers alone.
 	PrecomputeHit bool `json:"precompute_hit,omitempty"`
+	// Vectorized reports whether execution will run the batch path: row
+	// groups decoded into column vectors with zone-map (and, on DGF plans,
+	// bitmap-sidecar) row-group pruning. False means row-at-a-time
+	// execution — joins, TextFile data, hive-index paths, or the
+	// DisableVectorized/DisableSliceSkip options.
+	Vectorized bool `json:"vectorized,omitempty"`
+	// GroupsSkipped is the number of row groups the vectorised scan will
+	// prune without fetching; their bytes are excluded from ProjectedBytes.
+	// Execution reports the same number in QueryStats.GroupsSkipped.
+	GroupsSkipped int64 `json:"groups_skipped,omitempty"`
+	// BitmapHits is the subset of GroupsSkipped only a bitmap sidecar could
+	// rule out (equality predicates on DGF bitmap columns).
+	BitmapHits int64 `json:"bitmap_hits,omitempty"`
 	// ShardsTotal/ShardsTargeted/TargetShards describe a router plan: how
 	// many shards exist, how many the routing-key predicate left in the
 	// fan-out, and which. Zero ShardsTotal means the plan came from a bare
@@ -84,6 +97,11 @@ func (p *ExplainPlan) Render() *Result {
 		add("projected_bytes", strconv.FormatInt(p.ProjectedBytes, 10))
 	} else {
 		add("projected_bytes", "unknown (index scan decides the read set)")
+	}
+	add("vectorized", strconv.FormatBool(p.Vectorized))
+	if p.Vectorized {
+		add("groups_skipped", strconv.FormatInt(p.GroupsSkipped, 10))
+		add("bitmap_hits", strconv.FormatInt(p.BitmapHits, 10))
 	}
 	if strings.HasPrefix(p.AccessPath, "dgfindex") || strings.Contains(p.AccessPath, ":dgfindex") {
 		add("gfu_slices", strconv.Itoa(p.GFUSlices))
@@ -144,6 +162,7 @@ func (w *Warehouse) explainLocked(stmt *SelectStmt, opts ExecOptions) (*ExplainP
 	// executor consumes in prepareSelectLocked — so the announced plan and
 	// the executed plan cannot diverge.
 	choice := q.choosePath(opts)
+	ep.Vectorized = choice.vectorized
 	switch choice.kind {
 	case pathDgf:
 		plan, err := q.left.Dgf.Plan(w.Cluster, q.leftRanges, choice.want, choice.planOpts)
@@ -158,6 +177,8 @@ func (w *Warehouse) explainLocked(stmt *SelectStmt, opts ExecOptions) (*ExplainP
 		ep.GFUSlices = len(plan.Slices)
 		ep.InnerCells, ep.BoundaryCells, ep.MissingCells = plan.InnerCells, plan.BoundaryCells, plan.MissingCells
 		ep.ProjectedBytes = plan.ProjectedBytes
+		ep.GroupsSkipped = plan.GroupsSkipped
+		ep.BitmapHits = plan.BitmapHits
 	case pathHiveIndex:
 		if choice.aggRewrite {
 			ep.AccessPath = "aggindex-rewrite:" + choice.ix.Name
@@ -219,12 +240,31 @@ func (w *Warehouse) explainScanLocked(q *compiledQuery, ep *ExplainPlan) error {
 				return err
 			}
 		}
-		for _, f := range files {
-			stats, err := storage.ReadColStats(w.FS, f)
+		// The vectorised scan prunes zone-disjoint row groups, so their
+		// bytes never hit the readers: exclude them here the same way
+		// prepareSelectLocked's skip set excludes them from execution.
+		var skips map[string]map[int64]bool
+		if ep.Vectorized {
+			skips, ep.GroupsSkipped, err = scanGroupSkips(w.FS, files, q.left.Schema, q.leftRanges)
 			if err != nil {
 				return err
 			}
-			for _, g := range stats {
+		}
+		for _, f := range files {
+			stats, err := storage.ReadColStatsCached(w.FS, f)
+			if err != nil {
+				return err
+			}
+			var offsets []int64
+			if len(skips[f]) > 0 {
+				if offsets, err = storage.ReadGroupIndexCached(w.FS, f); err != nil {
+					return err
+				}
+			}
+			for gi, g := range stats {
+				if offsets != nil && gi < len(offsets) && skips[f][offsets[gi]] {
+					continue
+				}
 				ep.ProjectedBytes += g.ProjectedSize(project)
 			}
 		}

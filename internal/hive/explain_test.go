@@ -34,6 +34,9 @@ func TestExplainTruthful(t *testing.T) {
 	rows := meterRows(20, 4, 6)
 	for _, name := range []string{"rawmeter", "rcmeter"} {
 		tbl, _ := w.Table(name)
+		// Small row groups give the RCFile copy several zone-map candidates
+		// per file, so the suite covers plans that prune groups.
+		tbl.RowGroupRows = 16
 		if err := w.LoadRows(tbl, rows); err != nil {
 			t.Fatal(err)
 		}
@@ -52,13 +55,25 @@ func TestExplainTruthful(t *testing.T) {
 		`SELECT userId FROM rcmeter WHERE userId<=10`,
 		// RCFile scan touching every column.
 		`SELECT * FROM rcmeter`,
+		// RCFile scan whose zone maps prune the early-date row groups: the
+		// announced skips and the skipped groups' bytes must both match the
+		// execution exactly.
+		`SELECT powerConsumed FROM rcmeter WHERE ts>='2012-12-06'`,
 	}
+	var sawSkips bool
 	for _, sql := range suite {
 		plan := explainOf(t, w, sql)
 		res := mustExec(t, w, sql)
 		if plan.AccessPath != res.Stats.AccessPath {
 			t.Errorf("%s\n  EXPLAIN access path %q, execution %q", sql, plan.AccessPath, res.Stats.AccessPath)
 		}
+		if plan.Vectorized != res.Stats.Vectorized {
+			t.Errorf("%s\n  EXPLAIN vectorized %v, execution %v", sql, plan.Vectorized, res.Stats.Vectorized)
+		}
+		if plan.GroupsSkipped != res.Stats.GroupsSkipped {
+			t.Errorf("%s\n  EXPLAIN GroupsSkipped %d, execution %d", sql, plan.GroupsSkipped, res.Stats.GroupsSkipped)
+		}
+		sawSkips = sawSkips || plan.GroupsSkipped > 0
 		if plan.ProjectedBytes < 0 {
 			t.Errorf("%s\n  ProjectedBytes unknown on a predictable path %q", sql, plan.AccessPath)
 			continue
@@ -66,6 +81,9 @@ func TestExplainTruthful(t *testing.T) {
 		if plan.ProjectedBytes != res.Stats.BytesRead {
 			t.Errorf("%s\n  EXPLAIN ProjectedBytes %d, execution BytesRead %d", sql, plan.ProjectedBytes, res.Stats.BytesRead)
 		}
+	}
+	if !sawSkips {
+		t.Error("no suite query skipped a row group; the zone-map case covers nothing")
 	}
 }
 

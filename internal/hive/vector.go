@@ -1,0 +1,217 @@
+package hive
+
+import (
+	"strings"
+
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+	"github.com/smartgrid-oss/dgfindex/internal/dgf"
+	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// This file is the vectorised half of the executor: the WHERE conjunction
+// lowered to kernels that run over a decoded row group's column vectors and
+// shrink a selection vector, plus the zone-map consultation the full-scan
+// path uses to drop whole row groups before their payloads are fetched.
+// Rows are only materialised for the positions that survive every kernel.
+
+// vecPred narrows sel to the rows of b that satisfy one predicate. Kernels
+// filter in place (the returned slice aliases sel's backing array).
+type vecPred func(b *storage.ColumnBatch, sel []int) []int
+
+// compileVecFilters lowers the statement's WHERE conjunction to vectorised
+// kernels, one per comparison, in the same order the row path applies its
+// filters. Each kernel reproduces compileComparison's semantics exactly —
+// storage.Compare of the cell against the coerced literal — so the two paths
+// keep identical row sets on every input.
+func (q *compiledQuery) compileVecFilters() ([]vecPred, error) {
+	var out []vecPred
+	for _, cmp := range q.stmt.Where {
+		// The vectorised path only runs join-free, so every column resolves
+		// to the left (and only) table.
+		_, idx, kind, err := q.resolveCol(cmp.Col)
+		if err != nil {
+			return nil, err
+		}
+		val, err := coerce(cmp.Val, kind)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, compileVecComparison(idx, kind, cmp.Op, val))
+	}
+	return out, nil
+}
+
+// opKeep returns the predicate over storage.Compare's three-way result for
+// one comparison operator (false for every c on an unknown operator, like
+// the row path's default case).
+func opKeep(op string) func(c int) bool {
+	switch op {
+	case "<":
+		return func(c int) bool { return c < 0 }
+	case "<=":
+		return func(c int) bool { return c <= 0 }
+	case ">":
+		return func(c int) bool { return c > 0 }
+	case ">=":
+		return func(c int) bool { return c >= 0 }
+	case "=":
+		return func(c int) bool { return c == 0 }
+	case "!=":
+		return func(c int) bool { return c != 0 }
+	default:
+		return func(int) bool { return false }
+	}
+}
+
+// compareFloats is storage.Compare's numeric branch.
+func compareFloats(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// compileVecComparison builds the kernel for one comparison. The typed fast
+// paths read the column's vector directly; any combination they do not cover
+// falls back to materialising single cells through the exact comparison the
+// row path uses.
+func compileVecComparison(col int, kind storage.Kind, op string, val storage.Value) vecPred {
+	keep := opKeep(op)
+	switch {
+	case kind == storage.KindString && val.Kind == storage.KindString:
+		s := val.S
+		return func(b *storage.ColumnBatch, sel []int) []int {
+			v := &b.Cols[col]
+			if !v.Valid {
+				return genericFilter(v, val, keep, sel)
+			}
+			out := sel[:0]
+			for _, i := range sel {
+				if keep(strings.Compare(v.Strs[i], s)) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+	case kind == storage.KindFloat64 && val.Kind != storage.KindString:
+		f := val.AsFloat()
+		return func(b *storage.ColumnBatch, sel []int) []int {
+			v := &b.Cols[col]
+			if !v.Valid {
+				return genericFilter(v, val, keep, sel)
+			}
+			out := sel[:0]
+			for _, i := range sel {
+				if keep(compareFloats(v.Floats[i], f)) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+	case (kind == storage.KindInt64 || kind == storage.KindTime) && val.Kind != storage.KindString:
+		f := val.AsFloat()
+		return func(b *storage.ColumnBatch, sel []int) []int {
+			v := &b.Cols[col]
+			if !v.Valid {
+				return genericFilter(v, val, keep, sel)
+			}
+			out := sel[:0]
+			for _, i := range sel {
+				// Ints vs a float literal compares as floats, exactly like
+				// storage.Compare on the materialised values.
+				if keep(compareFloats(float64(v.Ints[i]), f)) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+	default:
+		return func(b *storage.ColumnBatch, sel []int) []int {
+			return genericFilter(&b.Cols[col], val, keep, sel)
+		}
+	}
+}
+
+// genericFilter is the cell-at-a-time fallback: identical to the row path's
+// storage.Compare on the materialised value (also the !Valid case, where the
+// cell is the kind's zero value — the row path sees the same zero cell).
+func genericFilter(v *storage.ColumnVector, val storage.Value, keep func(int) bool, sel []int) []int {
+	out := sel[:0]
+	for _, i := range sel {
+		if keep(storage.Compare(v.Value(i), val)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// scanZoneCol is one WHERE range resolved against the scanned table's schema.
+type scanZoneCol struct {
+	col  int
+	kind storage.Kind
+	r    gridfile.Range
+}
+
+// scanGroupSkips consults the per-row-group zone maps of the given RCFile
+// data files and returns, per file, the start offsets of the groups whose
+// zones are disjoint from a predicate range — the full-scan counterpart of
+// the DGF planner's double pruning. The count is the total planned skips.
+// Files whose column statistics predate zone maps contribute nothing (their
+// groups are never skipped), so results stay correct on mixed data.
+func scanGroupSkips(fs *dfs.FS, files []string, schema *storage.Schema, ranges map[string]gridfile.Range) (map[string]map[int64]bool, int64, error) {
+	var zones []scanZoneCol
+	for name, r := range ranges {
+		idx := schema.ColIndex(name)
+		if idx < 0 {
+			continue
+		}
+		zones = append(zones, scanZoneCol{col: idx, kind: schema.Col(idx).Kind, r: r})
+	}
+	if len(zones) == 0 {
+		return nil, 0, nil
+	}
+	var skips map[string]map[int64]bool
+	var skipped int64
+	for _, f := range files {
+		stats, err := storage.ReadColStatsCached(fs, f)
+		if err != nil {
+			return nil, 0, err
+		}
+		offsets, err := storage.ReadGroupIndexCached(fs, f)
+		if err != nil {
+			return nil, 0, err
+		}
+		for g, stat := range stats {
+			if g >= len(offsets) || !stat.HasZone() {
+				continue
+			}
+			for _, z := range zones {
+				if z.col >= len(stat.Mins) {
+					continue
+				}
+				minV, err1 := storage.ParseValue(z.kind, stat.Mins[z.col])
+				maxV, err2 := storage.ParseValue(z.kind, stat.Maxs[z.col])
+				if err1 != nil || err2 != nil {
+					continue // unparseable zone: never skip on it
+				}
+				if dgf.ZoneDisjoint(minV, maxV, z.r) {
+					if skips == nil {
+						skips = map[string]map[int64]bool{}
+					}
+					if skips[f] == nil {
+						skips[f] = map[int64]bool{}
+					}
+					skips[f][offsets[g]] = true
+					skipped++
+					break
+				}
+			}
+		}
+	}
+	return skips, skipped, nil
+}

@@ -113,6 +113,14 @@ type RCInput struct {
 	// (column-projection pushdown). Records then carry only the decoded
 	// Row — with zero values in unprojected cells — and a nil Data.
 	Project []bool
+	// SkipGroup, when set, prunes row groups by start offset before their
+	// payloads are fetched (zone-map / bitmap pruning). Unlike GroupFilter
+	// rejections, pruned groups are reported via GroupsSkipped.
+	SkipGroup func(path string, offset int64) bool
+	// Vector switches readers to batch delivery: one Record per row group
+	// with Batch set (Row and Data nil). Ignored when RowFilter is set —
+	// row filtering is inherently per-row.
+	Vector bool
 }
 
 // Splits implements InputFormat.
@@ -144,7 +152,7 @@ func (t *RCInput) Open(split InputSplit) (RecordReader, error) {
 	// group may physically straddle a block boundary. The side group index
 	// (the model's stand-in for RCFile sync markers) locates the groups
 	// this split owns.
-	offsets, err := storage.ReadGroupIndex(t.FS, fsplit.Path)
+	offsets, err := storage.ReadGroupIndexCached(t.FS, fsplit.Path)
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: RCInput: missing group index for %s: %w", fsplit.Path, err)
 	}
@@ -154,13 +162,17 @@ func (t *RCInput) Open(split InputSplit) (RecordReader, error) {
 			own = append(own, off)
 		}
 	}
-	return &rcReader{
+	rr := &rcReader{
 		in:     t,
 		r:      r,
 		path:   fsplit.Path,
 		groups: own,
 		schema: t.Schema,
-	}, nil
+	}
+	if t.Vector && t.RowFilter == nil {
+		rr.batch = storage.NewColumnBatch(t.Schema)
+	}
+	return rr, nil
 }
 
 type rcReader struct {
@@ -175,8 +187,10 @@ type rcReader struct {
 	rows      []storage.Row
 	nextRow   int
 	encoded   []byte
+	batch     *storage.ColumnBatch // non-nil selects vectorised delivery
 	bytesRead int64
 	seeks     int64
+	skips     int64
 }
 
 func (t *rcReader) Next() (Record, bool, error) {
@@ -198,19 +212,33 @@ func (t *rcReader) Next() (Record, bool, error) {
 			}
 			return rec, true, nil
 		}
-		// Advance to the next owned group, honouring the group filter.
+		// Advance to the next owned group, honouring the filters.
 		var off int64 = -1
 		for t.next < len(t.groups) {
 			candidate := t.groups[t.next]
 			t.next++
-			if t.in.GroupFilter == nil || t.in.GroupFilter(t.path, candidate) {
-				off = candidate
-				break
+			if t.in.GroupFilter != nil && !t.in.GroupFilter(t.path, candidate) {
+				t.seeks++ // skipping a group forces a reposition
+				continue
 			}
-			t.seeks++ // skipping a group forces a reposition
+			if t.in.SkipGroup != nil && t.in.SkipGroup(t.path, candidate) {
+				t.seeks++
+				t.skips++
+				continue
+			}
+			off = candidate
+			break
 		}
 		if off < 0 {
 			return Record{}, false, nil
+		}
+		if t.batch != nil {
+			read, err := storage.ReadGroupColumns(t.r, off, t.schema, t.in.Project, t.batch)
+			if err != nil {
+				return Record{}, false, err
+			}
+			t.bytesRead += read
+			return Record{Batch: t.batch, Path: t.path, Offset: off}, true, nil
 		}
 		g, read, err := storage.ReadGroupProjected(t.r, off, t.in.Project)
 		if err != nil {
@@ -227,3 +255,6 @@ func (t *rcReader) Next() (Record, bool, error) {
 
 func (t *rcReader) BytesRead() int64 { return t.bytesRead }
 func (t *rcReader) Seeks() int64     { return t.seeks }
+
+// GroupsSkipped implements storage.GroupSkipper: the groups SkipGroup pruned.
+func (t *rcReader) GroupsSkipped() int64 { return t.skips }

@@ -36,6 +36,10 @@ type Record struct {
 	// (RCFile readers). Map functions should prefer it over re-parsing
 	// Data; cells of columns excluded by a projection hold zero values.
 	Row storage.Row
+	// Batch is one whole decoded row group (vectorised RCFile readers; Row
+	// and Data are nil). The reader reuses the batch across records, so a
+	// map function must finish with it before returning.
+	Batch *storage.ColumnBatch
 	// Path is the input file the record came from (INPUT_FILE_NAME in
 	// Hive's index-population query, Listing 1 of the paper).
 	Path string
@@ -130,7 +134,10 @@ type Stats struct {
 	InputBytes   int64
 	InputRecords int64
 	Seeks        int64
-	ShuffleBytes int64
+	// GroupsSkipped counts row groups pruned by zone maps or bitmap
+	// sidecars before their payloads were fetched (vectorised scans).
+	GroupsSkipped int64
+	ShuffleBytes  int64
 	ShufflePairs int64
 	OutputPairs  int64
 
@@ -155,6 +162,7 @@ func (s *Stats) Add(other Stats) {
 	s.InputBytes += other.InputBytes
 	s.InputRecords += other.InputRecords
 	s.Seeks += other.Seeks
+	s.GroupsSkipped += other.GroupsSkipped
 	s.ShuffleBytes += other.ShuffleBytes
 	s.ShufflePairs += other.ShufflePairs
 	s.OutputPairs += other.OutputPairs
@@ -178,6 +186,7 @@ type mapResult struct {
 	bytes   int64
 	records int64
 	seeks   int64
+	skips   int64 // row groups pruned before reading
 	emitted int64 // shuffle bytes from this task
 	err     error
 	ran     bool
@@ -303,8 +312,13 @@ feed:
 		stats.InputBytes += r.bytes
 		stats.InputRecords += r.records
 		stats.Seeks += r.seeks
+		stats.GroupsSkipped += r.skips
 		stats.ShuffleBytes += r.emitted
-		sp.Eventf("split %s: %d records, %d bytes", splits[i].Label(), r.records, r.bytes)
+		if r.skips > 0 {
+			sp.Eventf("split %s: %d records, %d bytes, %d groups skipped", splits[i].Label(), r.records, r.bytes, r.skips)
+		} else {
+			sp.Eventf("split %s: %d records, %d bytes", splits[i].Label(), r.records, r.bytes)
+		}
 		mapTimes = append(mapTimes, cfg.ScanTaskSeconds(r.bytes, r.records, r.seeks))
 	}
 	// Splits/MapTasks report the splits actually consumed: fewer than
@@ -436,7 +450,11 @@ func runMapTask(job *Job, split InputSplit, numReducers int, hasReduce bool, out
 		if !ok {
 			break
 		}
-		res.records++
+		if rec.Batch != nil {
+			res.records += int64(rec.Batch.Rows)
+		} else {
+			res.records++
+		}
 		if err := job.Map(rec, emit); err != nil {
 			res.err = err
 			return res
@@ -444,6 +462,9 @@ func runMapTask(job *Job, split InputSplit, numReducers int, hasReduce bool, out
 	}
 	res.bytes = reader.BytesRead()
 	res.seeks = reader.Seeks()
+	if gs, ok := reader.(storage.GroupSkipper); ok {
+		res.skips = gs.GroupsSkipped()
+	}
 	if hasReduce && job.Combine != nil {
 		for p := range res.parts {
 			res.parts[p], res.emitted = combinePartition(job.Combine, res.parts[p], res.emitted)

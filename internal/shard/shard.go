@@ -591,6 +591,9 @@ func (r *Router) explainScatter(s *hive.SelectStmt, opts hive.ExecOptions, targe
 		merged.InnerCells += p.InnerCells
 		merged.BoundaryCells += p.BoundaryCells
 		merged.MissingCells += p.MissingCells
+		merged.GroupsSkipped += p.GroupsSkipped
+		merged.BitmapHits += p.BitmapHits
+		merged.Vectorized = merged.Vectorized && p.Vectorized
 	}
 	return &merged, nil
 }
@@ -603,6 +606,9 @@ func mergeStats(dst *hive.QueryStats, s hive.QueryStats) {
 	dst.BytesRead += s.BytesRead
 	dst.Splits += s.Splits
 	dst.Seeks += s.Seeks
+	dst.GroupsSkipped += s.GroupsSkipped
+	dst.BitmapHits += s.BitmapHits
+	dst.Vectorized = dst.Vectorized && s.Vectorized
 	if s.SimTotalSec() > dst.SimTotalSec() {
 		dst.IndexSimSec, dst.DataSimSec = s.IndexSimSec, s.DataSimSec
 	}

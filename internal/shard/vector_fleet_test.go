@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/smartgrid-oss/dgfindex/internal/hive"
+	"github.com/smartgrid-oss/dgfindex/internal/workload"
+)
+
+// setupVectorFleetTable builds the RCFile meter table with small row groups
+// (so zone maps have several groups per file to prune) on every warehouse
+// behind the loader, then indexes it. The row-group size must be set on
+// each physical warehouse before any data loads.
+func setupVectorFleetTable(t *testing.T, l loader, warehouses []*hive.Warehouse, cfg workload.MeterConfig) {
+	t.Helper()
+	mustExec(t, l, `CREATE TABLE meterdata (userId bigint, regionId bigint, ts timestamp, powerConsumed double) STORED AS RCFILE`)
+	for _, w := range warehouses {
+		tbl, err := w.Table("meterdata")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl.RowGroupRows = 16
+	}
+	if err := l.LoadRowsByName("meterdata", cfg.AllRows()); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, l, `CREATE TABLE userInfo (userId bigint, userName string, regionId bigint, address string)`)
+	if err := l.LoadRowsByName("userInfo", cfg.UserInfoRows()); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, l, `CREATE INDEX idx ON TABLE meterdata(regionId, userId, ts)
+		AS 'dgf' IDXPROPERTIES ('regionId'='1_1', 'userId'='1_8',
+		'ts'='2012-12-01_1d', 'precompute'='sum(powerConsumed);count(*)')`)
+}
+
+// TestShardVectorisedFleetEquivalence is the fleet half of the acceptance
+// criterion: on a 4-shard, 2-replica RCFile fleet — with one replica killed
+// to force failover — the full meter suite answers bit-identically with
+// vectorisation on and off, matches a direct warehouse within float-merge
+// tolerance, and the merged stats report zone-map skips truthfully.
+func TestShardVectorisedFleetEquivalence(t *testing.T) {
+	cfg := testMeterConfig()
+	router, err := New(Config{Shards: 4, Key: "userId", Replicas: 2}, newShardWarehouse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fleet []*hive.Warehouse
+	for i := 0; i < router.NumShards(); i++ {
+		for j := 0; j < router.NumReplicas(); j++ {
+			fleet = append(fleet, router.Replica(i, j))
+		}
+	}
+	setupVectorFleetTable(t, router, fleet, cfg)
+
+	direct := newShardWarehouse(0, 0)
+	setupVectorFleetTable(t, direct, []*hive.Warehouse{direct}, cfg)
+
+	// Scatter must survive a dead replica while staying vectorised.
+	router.Kill(1, 0)
+
+	ctx := context.Background()
+	var sawSkips bool
+	for _, q := range meterQuerySuite(cfg) {
+		vec, err := router.ExecContext(ctx, q, hive.ExecOptions{})
+		if err != nil {
+			t.Fatalf("fleet %q: %v", q, err)
+		}
+		row, err := router.ExecContext(ctx, q, hive.ExecOptions{DisableVectorized: true})
+		if err != nil {
+			t.Fatalf("fleet %q (row path): %v", q, err)
+		}
+		// Same fleet, same shards, same merge order: the two paths must agree
+		// bit for bit, not just within tolerance.
+		wr, gr := renderRows(row.Rows), renderRows(vec.Rows)
+		if strings.Join(wr, "\n") != strings.Join(gr, "\n") {
+			t.Fatalf("%q: vectorised fleet differs from row-path fleet\nrow: %v\nvec: %v", q, wr, gr)
+		}
+		isJoin := strings.Contains(q, "JOIN")
+		if vec.Stats.Vectorized == isJoin {
+			t.Errorf("%q: merged Vectorized = %v, want %v", q, vec.Stats.Vectorized, !isJoin)
+		}
+		if row.Stats.Vectorized || row.Stats.GroupsSkipped != 0 {
+			t.Errorf("%q: DisableVectorized fleet reports vectorised stats: %+v", q, row.Stats)
+		}
+		sawSkips = sawSkips || vec.Stats.GroupsSkipped > 0
+
+		want, err := direct.Exec(q)
+		if err != nil {
+			t.Fatalf("direct %q: %v", q, err)
+		}
+		if err := closeRows(want.Rows, vec.Rows); err != nil {
+			t.Fatalf("%q: %v\ndirect: %v\nfleet: %v", q, err, want.Rows, vec.Rows)
+		}
+	}
+	if !sawSkips {
+		t.Error("no suite query skipped a row group anywhere in the fleet")
+	}
+}

@@ -1,0 +1,258 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+)
+
+// Per-file value bitmaps: for a low-cardinality column, one bitset per
+// distinct value marking the row groups that contain it. An equality
+// predicate on such a column prunes every group whose bit is clear — finer
+// than a zone map when values interleave (min/max straddle the probe but the
+// value itself is absent from most groups). Built at index-build time by the
+// DGF segment writer for columns named in the 'bitmap' IDXPROPERTIES key,
+// and stored in a "_bitmaps" side file next to "_groups"/"_colstats".
+
+// bitmapCardinalityCap bounds distinct values tracked per column per file.
+// A column that overflows it is dropped from the sidecar (no pruning, still
+// correct) — matching the "low-cardinality columns only" contract.
+const bitmapCardinalityCap = 4096
+
+// Bitset is a fixed-purpose bitset over row-group ordinals.
+type Bitset struct {
+	Words []uint64
+}
+
+// Set marks bit i.
+func (b *Bitset) Set(i int) {
+	w := i >> 6
+	for len(b.Words) <= w {
+		b.Words = append(b.Words, 0)
+	}
+	b.Words[w] |= 1 << (uint(i) & 63)
+}
+
+// Has reports whether bit i is set.
+func (b *Bitset) Has(i int) bool {
+	w := i >> 6
+	if w >= len(b.Words) {
+		return false
+	}
+	return b.Words[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	n := 0
+	for _, w := range b.Words {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// BitmapSidecar holds the value bitmaps of one data file: column index →
+// value text rendering → bitset over the file's row-group ordinals.
+type BitmapSidecar struct {
+	Groups int
+	Cols   map[int]map[string]*Bitset
+}
+
+// Lookup returns the bitset for the value's text rendering in column col;
+// ok is false when the column is not covered by the sidecar. A covered
+// column with an absent value returns an empty bitset (every group prunes).
+func (s *BitmapSidecar) Lookup(col int, valueText string) (*Bitset, bool) {
+	if s == nil {
+		return nil, false
+	}
+	vals, ok := s.Cols[col]
+	if !ok {
+		return nil, false
+	}
+	bs, ok := vals[valueText]
+	if !ok {
+		return &Bitset{}, true
+	}
+	return bs, true
+}
+
+// bitmapBuilder accumulates per-group distinct values while an RCWriter
+// flushes groups, dropping any column that overflows the cardinality cap.
+type bitmapBuilder struct {
+	cols  []int
+	group int
+	cur   []map[string]struct{} // pending group's distinct values, per tracked col
+	out   map[int]map[string]*Bitset
+}
+
+func newBitmapBuilder(cols []int) *bitmapBuilder {
+	b := &bitmapBuilder{
+		cols: append([]int(nil), cols...),
+		cur:  make([]map[string]struct{}, len(cols)),
+		out:  make(map[int]map[string]*Bitset, len(cols)),
+	}
+	for i, c := range b.cols {
+		b.cur[i] = make(map[string]struct{})
+		b.out[c] = make(map[string]*Bitset)
+	}
+	return b
+}
+
+func (b *bitmapBuilder) observe(row Row) {
+	for i, c := range b.cols {
+		if c < 0 {
+			continue // dropped
+		}
+		b.cur[i][row[c].String()] = struct{}{}
+	}
+}
+
+// cut closes the pending group: its observed values get the group's bit.
+func (b *bitmapBuilder) cut() {
+	for i, c := range b.cols {
+		if c < 0 {
+			continue
+		}
+		vals := b.out[c]
+		for v := range b.cur[i] {
+			bs := vals[v]
+			if bs == nil {
+				bs = &Bitset{}
+				vals[v] = bs
+			}
+			bs.Set(b.group)
+			delete(b.cur[i], v)
+		}
+		if len(vals) > bitmapCardinalityCap {
+			delete(b.out, c)
+			b.cols[i] = -1
+		}
+	}
+	b.group++
+}
+
+// sidecar returns the finished sidecar; ok=false when no column survived.
+func (b *bitmapBuilder) sidecar() (*BitmapSidecar, bool) {
+	if len(b.out) == 0 {
+		return nil, false
+	}
+	return &BitmapSidecar{Groups: b.group, Cols: b.out}, true
+}
+
+// BitmapPath returns the side-file path holding the value bitmaps of the
+// RCFile at dataPath.
+func BitmapPath(dataPath string) string { return sideFilePath(dataPath, "_bitmaps") }
+
+const bitmapMagic = 'B'
+
+// WriteBitmapSidecar persists the sidecar of the RCFile at dataPath.
+func WriteBitmapSidecar(fs *dfs.FS, dataPath string, sc *BitmapSidecar) error {
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	buf.WriteByte(bitmapMagic)
+	put(uint64(sc.Groups))
+	put(uint64(len(sc.Cols)))
+	cols := make([]int, 0, len(sc.Cols))
+	for c := range sc.Cols {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	for _, c := range cols {
+		vals := sc.Cols[c]
+		put(uint64(c))
+		put(uint64(len(vals)))
+		texts := make([]string, 0, len(vals))
+		for v := range vals {
+			texts = append(texts, v)
+		}
+		sort.Strings(texts)
+		for _, v := range texts {
+			put(uint64(len(v)))
+			buf.WriteString(v)
+			bs := vals[v]
+			put(uint64(len(bs.Words)))
+			var word [8]byte
+			for _, w := range bs.Words {
+				binary.LittleEndian.PutUint64(word[:], w)
+				buf.Write(word[:])
+			}
+		}
+	}
+	return fs.WriteFile(BitmapPath(dataPath), buf.Bytes())
+}
+
+// ReadBitmapSidecar loads the sidecar of the RCFile at dataPath. ok is false
+// when the file has no sidecar (normal for tables without bitmap columns).
+func ReadBitmapSidecar(fs *dfs.FS, dataPath string) (*BitmapSidecar, bool, error) {
+	data, err := fs.ReadFile(BitmapPath(dataPath))
+	if err != nil {
+		return nil, false, nil
+	}
+	if len(data) == 0 || data[0] != bitmapMagic {
+		return nil, false, fmt.Errorf("storage: corrupt bitmap sidecar for %s", dataPath)
+	}
+	data = data[1:]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("storage: corrupt bitmap sidecar for %s", dataPath)
+		}
+		data = data[n:]
+		return v, nil
+	}
+	groups, err := next()
+	if err != nil {
+		return nil, false, err
+	}
+	nCols, err := next()
+	if err != nil {
+		return nil, false, err
+	}
+	sc := &BitmapSidecar{Groups: int(groups), Cols: make(map[int]map[string]*Bitset, nCols)}
+	for i := uint64(0); i < nCols; i++ {
+		col, err := next()
+		if err != nil {
+			return nil, false, err
+		}
+		nVals, err := next()
+		if err != nil {
+			return nil, false, err
+		}
+		vals := make(map[string]*Bitset, nVals)
+		for j := uint64(0); j < nVals; j++ {
+			vl, err := next()
+			if err != nil {
+				return nil, false, err
+			}
+			if uint64(len(data)) < vl {
+				return nil, false, fmt.Errorf("storage: corrupt bitmap sidecar for %s", dataPath)
+			}
+			text := string(data[:vl])
+			data = data[vl:]
+			nWords, err := next()
+			if err != nil {
+				return nil, false, err
+			}
+			if uint64(len(data)) < nWords*8 {
+				return nil, false, fmt.Errorf("storage: corrupt bitmap sidecar for %s", dataPath)
+			}
+			bs := &Bitset{Words: make([]uint64, nWords)}
+			for w := range bs.Words {
+				bs.Words[w] = binary.LittleEndian.Uint64(data[w*8:])
+			}
+			data = data[nWords*8:]
+			vals[text] = bs
+		}
+		sc.Cols[int(col)] = vals
+	}
+	return sc, true, nil
+}

@@ -43,6 +43,9 @@ type RCWriter struct {
 	off          int64    // file offset of the next group to be flushed
 	groupOffsets []int64
 	groupStats   []GroupStat
+	mins, maxs   []Value // running per-column min/max of the pending group
+	statsInit    bool
+	bm           *bitmapBuilder // optional per-group value bitmaps
 }
 
 // NewRCWriter creates a writer; groupRows <= 0 selects DefaultRowGroupRows.
@@ -55,8 +58,28 @@ func NewRCWriter(w *dfs.FileWriter, schema *Schema, groupRows int) *RCWriter {
 		schema:    schema,
 		groupRows: groupRows,
 		cols:      make([][]byte, schema.Len()),
+		mins:      make([]Value, schema.Len()),
+		maxs:      make([]Value, schema.Len()),
 		off:       w.Size(),
 	}
+}
+
+// TrackBitmaps turns on per-group value-bitmap accumulation for the given
+// column indices; the collected BitmapSidecar is available after Close.
+func (w *RCWriter) TrackBitmaps(cols []int) {
+	if len(cols) > 0 {
+		w.bm = newBitmapBuilder(cols)
+	}
+}
+
+// BitmapSidecar returns the accumulated per-group value bitmaps, or ok=false
+// when TrackBitmaps was never called or every tracked column overflowed the
+// cardinality cap.
+func (w *RCWriter) BitmapSidecar() (*BitmapSidecar, bool) {
+	if w.bm == nil {
+		return nil, false
+	}
+	return w.bm.sidecar()
 }
 
 // Offset returns the file offset of the row group that the *next* written
@@ -78,6 +101,23 @@ func (w *RCWriter) WriteRow(row Row) error {
 		}
 		w.cols[i] = v.AppendText(w.cols[i])
 	}
+	if !w.statsInit {
+		copy(w.mins, row)
+		copy(w.maxs, row)
+		w.statsInit = true
+	} else {
+		for i, v := range row {
+			if Compare(v, w.mins[i]) < 0 {
+				w.mins[i] = v
+			}
+			if Compare(v, w.maxs[i]) > 0 {
+				w.maxs[i] = v
+			}
+		}
+	}
+	if w.bm != nil {
+		w.bm.observe(row)
+	}
 	w.pending++
 	if w.pending >= w.groupRows {
 		return w.flushGroup()
@@ -96,21 +136,32 @@ func (w *RCWriter) flushGroup() error {
 	buf.Write(tmp[:n])
 	n = binary.PutUvarint(tmp[:], uint64(len(w.cols)))
 	buf.Write(tmp[:n])
-	stat := GroupStat{Rows: w.pending, ColLens: make([]int64, len(w.cols))}
+	stat := GroupStat{
+		Rows:    w.pending,
+		ColLens: make([]int64, len(w.cols)),
+		Mins:    make([]string, len(w.cols)),
+		Maxs:    make([]string, len(w.cols)),
+	}
 	for i := range w.cols {
 		n = binary.PutUvarint(tmp[:], uint64(len(w.cols[i])))
 		buf.Write(tmp[:n])
 		buf.Write(w.cols[i])
 		stat.ColLens[i] = int64(len(w.cols[i]))
+		stat.Mins[i] = w.mins[i].String()
+		stat.Maxs[i] = w.maxs[i].String()
 		w.cols[i] = w.cols[i][:0]
 	}
 	w.groupOffsets = append(w.groupOffsets, w.off)
 	w.groupStats = append(w.groupStats, stat)
+	if w.bm != nil {
+		w.bm.cut()
+	}
 	if _, err := w.w.Write(buf.Bytes()); err != nil {
 		return err
 	}
 	w.off += int64(buf.Len())
 	w.pending = 0
+	w.statsInit = false
 	return nil
 }
 
@@ -172,28 +223,68 @@ func (g *RowGroup) DecodeRows(schema *Schema) ([]Row, error) {
 // columns whose project flag is set (nil keeps every column). Cells of
 // unprojected columns carry the column kind's zero value — callers that push
 // a projection down promise never to read them.
+//
+// All cells live in one flat arena sliced into rows, and each column payload
+// is copied into a single string the cells slice into, so decoding a group
+// costs a fixed handful of allocations — rows, arena, one string per decoded
+// column — independent of the row count.
 func (g *RowGroup) DecodeRowsProjected(schema *Schema, project []bool) ([]Row, error) {
-	cols := make([][]string, schema.Len())
-	for i := range cols {
-		if project == nil || (i < len(project) && project[i]) {
-			cols[i] = g.Column(i)
-		}
-	}
+	width := schema.Len()
 	rows := make([]Row, g.Rows)
-	for r := 0; r < g.Rows; r++ {
-		row := make(Row, schema.Len())
-		for c := 0; c < schema.Len(); c++ {
-			if cols[c] == nil {
-				row[c] = ZeroValue(schema.Col(c).Kind)
-				continue
+	if g.Rows == 0 {
+		return rows, nil
+	}
+	arena := make([]Value, g.Rows*width)
+	for r := range rows {
+		rows[r] = Row(arena[r*width : (r+1)*width : (r+1)*width])
+	}
+	for c := 0; c < width; c++ {
+		kind := schema.Col(c).Kind
+		if project != nil && (c >= len(project) || !project[c]) {
+			zv := ZeroValue(kind)
+			for r := range rows {
+				rows[r][c] = zv
 			}
-			v, err := ParseValue(schema.Col(c).Kind, cols[c][r])
-			if err != nil {
-				return nil, err
-			}
-			row[c] = v
+			continue
 		}
-		rows[r] = row
+		if g.columns[c] == nil {
+			panic(fmt.Sprintf("storage: column %d was not read (projected row group)", c))
+		}
+		err := forEachField(string(g.columns[c]), g.Rows, func(r int, field string) error {
+			switch kind {
+			case KindInt64:
+				if n, ok := parseIntStr(field); ok {
+					rows[r][c] = Int64(n)
+					return nil
+				}
+				return fmt.Errorf("storage: parse bigint %q", field)
+			case KindTime:
+				if n, ok := parseIntStr(field); ok {
+					rows[r][c] = TimeUnix(n)
+					return nil
+				}
+				if n, ok := parseTimeStr(field); ok {
+					rows[r][c] = TimeUnix(n)
+					return nil
+				}
+				v, err := ParseTime(field)
+				if err != nil {
+					return err
+				}
+				rows[r][c] = v
+				return nil
+			default:
+				v, err := ParseValue(kind, field)
+				if err != nil {
+					return err
+				}
+				rows[r][c] = v
+				return nil
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	return rows, nil
 }
@@ -356,14 +447,22 @@ func ReadGroupIndex(fs *dfs.FS, dataPath string) ([]int64, error) {
 	return out, nil
 }
 
-// GroupStat records the shape of one flushed row group: its row count and
-// the payload size of every column. Together with the group's offset it
-// makes the cost of a projected read exactly computable without touching the
-// data file, which is how the DGFIndex planner attributes projected bytes.
+// GroupStat records the shape of one flushed row group: its row count, the
+// payload size of every column, and the group's per-column zone map (min and
+// max value, stored as their text renderings). Together with the group's
+// offset it makes the cost of a projected read exactly computable without
+// touching the data file, and lets planners skip groups whose zone is
+// disjoint from a predicate's range. Mins/Maxs are nil for stats written
+// before zone maps existed; such groups are never skipped.
 type GroupStat struct {
 	Rows    int
 	ColLens []int64
+	Mins    []string
+	Maxs    []string
 }
+
+// HasZone reports whether the group carries a zone map.
+func (g GroupStat) HasZone() bool { return len(g.Mins) == len(g.ColLens) && len(g.Mins) > 0 }
 
 func uvarintLen(v uint64) int64 {
 	var tmp [binary.MaxVarintLen64]byte
@@ -397,7 +496,14 @@ func (g GroupStat) ProjectedSize(project []bool) int64 {
 // statistics of the RCFile at dataPath (sibling of the "_groups" index).
 func ColStatsPath(dataPath string) string { return sideFilePath(dataPath, "_colstats") }
 
+// colStatsV2Magic opens the versioned colstats encoding. It is unambiguous
+// against the legacy stream, whose first varint is a group's row count and
+// therefore never zero.
+const colStatsV2Magic = 0x00
+
 // WriteColStats persists the per-group statistics of the RCFile at dataPath.
+// The v2 encoding adds per-group zone maps; ReadColStats still understands
+// the legacy (lengths-only) stream for files written before zone maps.
 func WriteColStats(fs *dfs.FS, dataPath string, stats []GroupStat) error {
 	var buf bytes.Buffer
 	var tmp [binary.MaxVarintLen64]byte
@@ -405,22 +511,45 @@ func WriteColStats(fs *dfs.FS, dataPath string, stats []GroupStat) error {
 		n := binary.PutUvarint(tmp[:], v)
 		buf.Write(tmp[:n])
 	}
+	putStr := func(s string) {
+		put(uint64(len(s)))
+		buf.WriteString(s)
+	}
+	buf.WriteByte(colStatsV2Magic)
+	buf.WriteByte(2) // version
 	for _, g := range stats {
 		put(uint64(g.Rows))
 		put(uint64(len(g.ColLens)))
 		for _, l := range g.ColLens {
 			put(uint64(l))
 		}
+		if g.HasZone() {
+			buf.WriteByte(1)
+			for c := range g.ColLens {
+				putStr(g.Mins[c])
+				putStr(g.Maxs[c])
+			}
+		} else {
+			buf.WriteByte(0)
+		}
 	}
 	return fs.WriteFile(ColStatsPath(dataPath), buf.Bytes())
 }
 
 // ReadColStats loads the per-group statistics of the RCFile at dataPath, in
-// group order (aligned with ReadGroupIndex).
+// group order (aligned with ReadGroupIndex). Stats from legacy files carry
+// no zone maps (Mins/Maxs nil).
 func ReadColStats(fs *dfs.FS, dataPath string) ([]GroupStat, error) {
 	data, err := fs.ReadFile(ColStatsPath(dataPath))
 	if err != nil {
 		return nil, err
+	}
+	v2 := len(data) > 0 && data[0] == colStatsV2Magic
+	if v2 {
+		if len(data) < 2 || data[1] != 2 {
+			return nil, fmt.Errorf("storage: unknown column stats version for %s", dataPath)
+		}
+		data = data[2:]
 	}
 	next := func() (uint64, error) {
 		v, n := binary.Uvarint(data)
@@ -429,6 +558,18 @@ func ReadColStats(fs *dfs.FS, dataPath string) ([]GroupStat, error) {
 		}
 		data = data[n:]
 		return v, nil
+	}
+	nextStr := func() (string, error) {
+		l, err := next()
+		if err != nil {
+			return "", err
+		}
+		if uint64(len(data)) < l {
+			return "", fmt.Errorf("storage: corrupt column stats for %s", dataPath)
+		}
+		s := string(data[:l])
+		data = data[l:]
+		return s, nil
 	}
 	var out []GroupStat
 	for len(data) > 0 {
@@ -447,6 +588,25 @@ func ReadColStats(fs *dfs.FS, dataPath string) ([]GroupStat, error) {
 				return nil, err
 			}
 			g.ColLens[c] = int64(l)
+		}
+		if v2 {
+			if len(data) == 0 {
+				return nil, fmt.Errorf("storage: corrupt column stats for %s", dataPath)
+			}
+			hasZone := data[0] == 1
+			data = data[1:]
+			if hasZone {
+				g.Mins = make([]string, cols)
+				g.Maxs = make([]string, cols)
+				for c := range g.ColLens {
+					if g.Mins[c], err = nextStr(); err != nil {
+						return nil, err
+					}
+					if g.Maxs[c], err = nextStr(); err != nil {
+						return nil, err
+					}
+				}
+			}
 		}
 		out = append(out, g)
 	}

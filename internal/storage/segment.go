@@ -26,11 +26,21 @@ type SegmentRecord struct {
 	// Row is the decoded record (RCFile; nil for TextFile). Cells of
 	// columns excluded by the reader's projection hold zero values.
 	Row Row
+	// Batch is one whole decoded row group (RCFile vectorised mode; nil
+	// otherwise). The reader reuses the batch across groups, so consumers
+	// must finish with it before calling Next again.
+	Batch *ColumnBatch
 	// Offset is the record position Hive's indexes would record: the line
 	// start for TextFile, the row-group start for RCFile.
 	Offset int64
 	// RowInGroup is the record's position within its row group (RCFile).
 	RowInGroup int
+}
+
+// GroupSkipper is implemented by readers that can prune whole row groups
+// (zone maps / bitmap sidecars); GroupsSkipped counts the pruned groups.
+type GroupSkipper interface {
+	GroupsSkipped() int64
 }
 
 // SegmentReader streams the records of one byte range of a data file.
@@ -56,6 +66,14 @@ type SegmentOptions struct {
 	// loaded once per file via ReadGroupIndex and shared by the file's
 	// segments).
 	GroupOffsets []int64
+	// Vector switches the RCFile reader to vectorised delivery: one record
+	// per row group with Batch set (Row nil), columns decoded into reusable
+	// typed vectors.
+	Vector bool
+	// SkipGroup, when non-nil, is consulted before each row group is
+	// fetched (RCFile only); a true return drops the group without reading
+	// its payloads — the zone-map/bitmap pruning hook.
+	SkipGroup func(offset int64) bool
 }
 
 // NewSegmentReader opens the records of [start, end) of file r in the given
@@ -69,7 +87,17 @@ func NewSegmentReader(r *dfs.FileReader, schema *Schema, format Format, start, e
 		offs := opts.GroupOffsets
 		lo := sort.Search(len(offs), func(i int) bool { return offs[i] >= start })
 		hi := sort.Search(len(offs), func(i int) bool { return offs[i] >= end })
-		return &rcSegmentReader{r: r, schema: schema, offsets: offs[lo:hi], project: opts.Project}
+		sr := &rcSegmentReader{
+			r:       r,
+			schema:  schema,
+			offsets: offs[lo:hi],
+			project: opts.Project,
+			skip:    opts.SkipGroup,
+		}
+		if opts.Vector {
+			sr.batch = NewColumnBatch(schema)
+		}
+		return sr
 	}
 	return &textSegmentReader{lr: NewLineReaderOpts(r, start, end, opts.SkipFirst, opts.InclusiveEnd)}
 }
@@ -93,12 +121,15 @@ type rcSegmentReader struct {
 	schema  *Schema
 	offsets []int64
 	project []bool
+	skip    func(offset int64) bool
+	batch   *ColumnBatch // non-nil selects vectorised delivery
 
 	next      int // next index into offsets
 	group     *RowGroup
 	rows      []Row
 	nextRow   int
 	bytesRead int64
+	skipped   int64
 }
 
 func (t *rcSegmentReader) Next() (SegmentRecord, bool, error) {
@@ -113,6 +144,18 @@ func (t *rcSegmentReader) Next() (SegmentRecord, bool, error) {
 		}
 		off := t.offsets[t.next]
 		t.next++
+		if t.skip != nil && t.skip(off) {
+			t.skipped++
+			continue
+		}
+		if t.batch != nil {
+			read, err := ReadGroupColumns(t.r, off, t.schema, t.project, t.batch)
+			if err != nil {
+				return SegmentRecord{}, false, err
+			}
+			t.bytesRead += read
+			return SegmentRecord{Batch: t.batch, Offset: off}, true, nil
+		}
 		g, read, err := ReadGroupProjected(t.r, off, t.project)
 		if err != nil {
 			return SegmentRecord{}, false, err
@@ -127,6 +170,9 @@ func (t *rcSegmentReader) Next() (SegmentRecord, bool, error) {
 }
 
 func (t *rcSegmentReader) BytesRead() int64 { return t.bytesRead }
+
+// GroupsSkipped returns how many row groups the SkipGroup hook pruned.
+func (t *rcSegmentReader) GroupsSkipped() int64 { return t.skipped }
 
 // SegmentWriter writes the encoded records of one data file sequentially and
 // exposes positions at the format's slice granularity, so one index-build
@@ -150,15 +196,29 @@ type SegmentWriter interface {
 	Close() error
 }
 
+// SegmentWriterOptions tunes optional side metadata a segment writer emits.
+type SegmentWriterOptions struct {
+	// BitmapCols lists the column indices to build per-group value bitmaps
+	// for (RCFile only; persisted as a "_bitmaps" sidecar on Close).
+	BitmapCols []int
+}
+
 // NewSegmentWriter creates the file at path and returns a writer for the
 // format. groupRows sizes RCFile row groups (<= 0 selects the default).
 func NewSegmentWriter(fs *dfs.FS, path string, schema *Schema, format Format, groupRows int) (SegmentWriter, error) {
+	return NewSegmentWriterOpts(fs, path, schema, format, groupRows, SegmentWriterOptions{})
+}
+
+// NewSegmentWriterOpts is NewSegmentWriter with side-metadata options.
+func NewSegmentWriterOpts(fs *dfs.FS, path string, schema *Schema, format Format, groupRows int, opts SegmentWriterOptions) (SegmentWriter, error) {
 	w, err := fs.Create(path)
 	if err != nil {
 		return nil, err
 	}
 	if format == RCFile {
-		return &rcSegmentWriter{fs: fs, path: path, schema: schema, rw: NewRCWriter(w, schema, groupRows)}, nil
+		rw := NewRCWriter(w, schema, groupRows)
+		rw.TrackBitmaps(opts.BitmapCols)
+		return &rcSegmentWriter{fs: fs, path: path, schema: schema, rw: rw}, nil
 	}
 	return &textSegmentWriter{tw: NewTextWriter(w)}, nil
 }
@@ -197,5 +257,11 @@ func (t *rcSegmentWriter) Close() error {
 	if err := WriteGroupIndex(t.fs, t.path, t.rw.GroupOffsets()); err != nil {
 		return err
 	}
-	return WriteColStats(t.fs, t.path, t.rw.GroupStats())
+	if err := WriteColStats(t.fs, t.path, t.rw.GroupStats()); err != nil {
+		return err
+	}
+	if sc, ok := t.rw.BitmapSidecar(); ok {
+		return WriteBitmapSidecar(t.fs, t.path, sc)
+	}
+	return nil
 }

@@ -191,6 +191,59 @@ func ParseTime(s string) (Value, error) {
 	return Value{}, fmt.Errorf("storage: parse timestamp %q", s)
 }
 
+// parseTimeStr parses the two layouts the writer emits ("2006-01-02" and
+// "2006-01-02 15:04:05") without going through time.Parse, whose failed
+// layout attempts allocate an error per call — that error was the dominant
+// per-cell allocation when decoding timestamp columns. ok is false for
+// anything the fast path cannot prove equivalent (wrong shape, invalid
+// calendar date); callers fall back to ParseTime, which keeps its exact
+// semantics for arbitrary input.
+func parseTimeStr(s string) (int64, bool) {
+	if len(s) != len(dateLayout) && len(s) != len(dateTimeLayout) {
+		return 0, false
+	}
+	digits := func(from, to int) (int, bool) {
+		n := 0
+		for i := from; i < to; i++ {
+			d := s[i]
+			if d < '0' || d > '9' {
+				return 0, false
+			}
+			n = n*10 + int(d-'0')
+		}
+		return n, true
+	}
+	if s[4] != '-' || s[7] != '-' {
+		return 0, false
+	}
+	year, okY := digits(0, 4)
+	month, okM := digits(5, 7)
+	day, okD := digits(8, 10)
+	if !okY || !okM || !okD || month < 1 || month > 12 {
+		return 0, false
+	}
+	var hour, min, sec int
+	if len(s) == len(dateTimeLayout) {
+		if s[10] != ' ' || s[13] != ':' || s[16] != ':' {
+			return 0, false
+		}
+		var okH, okMin, okS bool
+		hour, okH = digits(11, 13)
+		min, okMin = digits(14, 16)
+		sec, okS = digits(17, 19)
+		if !okH || !okMin || !okS || hour > 23 || min > 59 || sec > 59 {
+			return 0, false
+		}
+	}
+	t := time.Date(year, time.Month(month), day, hour, min, sec, 0, time.UTC)
+	if t.Day() != day {
+		// time.Date normalises impossible dates (Feb 30 → Mar 2) where
+		// time.Parse rejects them; defer those to the strict parser.
+		return 0, false
+	}
+	return t.Unix(), true
+}
+
 // Compare orders two values of the same kind: -1, 0 or +1. Comparing values
 // of different kinds compares their float renderings, which is how Hive's
 // lenient comparisons behave for the numeric predicates in the paper.

@@ -1,0 +1,240 @@
+package storage
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+)
+
+// This file is the vectorised half of the RCFile model: instead of
+// materialising one Row per record, a reader decodes a whole row group into
+// typed column vectors (one slice per projected column) and predicate
+// kernels run over those slices before any row exists. The batch and its
+// vectors are reused across groups, so the steady-state decode loop
+// allocates once per column payload (the bytes→string copy cells slice
+// into), never per cell.
+
+// ColumnVector holds one column of a decoded row group in its natural
+// representation: int64 for bigint and timestamp columns, float64 for
+// double, string for string. Only the slice matching Kind is populated.
+type ColumnVector struct {
+	Kind Kind
+	// Valid is false for columns the projection skipped; their slices are
+	// empty and callers must substitute the kind's zero value.
+	Valid  bool
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+}
+
+// Value materialises cell row of the vector (zero value when !Valid).
+func (v *ColumnVector) Value(row int) Value {
+	if !v.Valid {
+		return ZeroValue(v.Kind)
+	}
+	switch v.Kind {
+	case KindFloat64:
+		return Float64(v.Floats[row])
+	case KindString:
+		return Str(v.Strs[row])
+	case KindTime:
+		return TimeUnix(v.Ints[row])
+	default:
+		return Int64(v.Ints[row])
+	}
+}
+
+// ColumnBatch is one row group decoded column-wise. Readers reuse the same
+// batch (and its vectors' backing arrays) for every group they deliver, so a
+// consumer must finish with a batch before asking for the next one.
+type ColumnBatch struct {
+	// Rows is the number of rows in the group.
+	Rows int
+	// Cols holds one vector per schema column, aligned by position.
+	Cols []ColumnVector
+
+	sel []int // selection-vector scratch, reused per group
+	row Row   // row-materialisation scratch, reused per group
+}
+
+// NewColumnBatch sizes a batch for the schema (vectors fill lazily).
+func NewColumnBatch(schema *Schema) *ColumnBatch {
+	b := &ColumnBatch{Cols: make([]ColumnVector, schema.Len())}
+	for i := range b.Cols {
+		b.Cols[i].Kind = schema.Col(i).Kind
+	}
+	return b
+}
+
+// Sel returns the batch's selection-vector scratch reset to length zero.
+func (b *ColumnBatch) Sel() []int {
+	if cap(b.sel) < b.Rows {
+		b.sel = make([]int, 0, b.Rows)
+	}
+	return b.sel[:0]
+}
+
+// MaterialiseRow fills the batch's scratch row with the cells of row ri
+// (zero values in unprojected columns) and returns it. The same backing
+// slice is returned every call; callers that retain rows must copy.
+func (b *ColumnBatch) MaterialiseRow(ri int) Row {
+	if len(b.row) != len(b.Cols) {
+		b.row = make(Row, len(b.Cols))
+	}
+	for c := range b.Cols {
+		b.row[c] = b.Cols[c].Value(ri)
+	}
+	return b.row
+}
+
+// parseIntStr parses a decimal int64 from field without allocating; ok is
+// false for anything that is not a plain optionally-signed integer.
+func parseIntStr(field string) (int64, bool) {
+	if len(field) == 0 {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if field[0] == '-' || field[0] == '+' {
+		neg = field[0] == '-'
+		i++
+		if i == len(field) {
+			return 0, false
+		}
+	}
+	var n int64
+	for ; i < len(field); i++ {
+		d := field[i]
+		if d < '0' || d > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(d-'0')
+		if n < 0 {
+			return 0, false // overflow
+		}
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+// forEachField walks the '\n'-joined cells of one column payload. The
+// payload is handed in as a string — converted from the raw bytes once per
+// column — so the field substrings passed to fn share its backing and cost
+// nothing, and a string cell can keep its field without copying.
+func forEachField(payload string, rows int, fn func(r int, field string) error) error {
+	start := 0
+	for r := 0; r < rows; r++ {
+		field := payload[start:]
+		if r+1 < rows {
+			k := strings.IndexByte(field, '\n')
+			if k < 0 {
+				return fmt.Errorf("storage: column payload has %d rows, expected %d", r+1, rows)
+			}
+			field = field[:k]
+			start += k + 1
+		}
+		if err := fn(r, field); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeColumn fills vector v from the column's raw payload, reusing its
+// backing arrays. The payload is copied into one string per column; every
+// cell then parses from a substring of it, so the per-cell loop does not
+// allocate for any column kind.
+func decodeColumn(v *ColumnVector, payload []byte, rows int) error {
+	v.Valid = true
+	text := string(payload)
+	switch v.Kind {
+	case KindFloat64:
+		if cap(v.Floats) < rows {
+			v.Floats = make([]float64, rows)
+		}
+		v.Floats = v.Floats[:rows]
+		return forEachField(text, rows, func(r int, field string) error {
+			f, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return fmt.Errorf("storage: parse double %q: %w", field, err)
+			}
+			v.Floats[r] = f
+			return nil
+		})
+	case KindString:
+		if cap(v.Strs) < rows {
+			v.Strs = make([]string, rows)
+		}
+		v.Strs = v.Strs[:rows]
+		return forEachField(text, rows, func(r int, field string) error {
+			v.Strs[r] = field
+			return nil
+		})
+	case KindTime:
+		if cap(v.Ints) < rows {
+			v.Ints = make([]int64, rows)
+		}
+		v.Ints = v.Ints[:rows]
+		return forEachField(text, rows, func(r int, field string) error {
+			if n, ok := parseIntStr(field); ok {
+				v.Ints[r] = n
+				return nil
+			}
+			if n, ok := parseTimeStr(field); ok {
+				v.Ints[r] = n
+				return nil
+			}
+			pv, err := ParseTime(field)
+			if err != nil {
+				return err
+			}
+			v.Ints[r] = pv.I
+			return nil
+		})
+	default: // KindInt64
+		if cap(v.Ints) < rows {
+			v.Ints = make([]int64, rows)
+		}
+		v.Ints = v.Ints[:rows]
+		return forEachField(text, rows, func(r int, field string) error {
+			n, ok := parseIntStr(field)
+			if !ok {
+				return fmt.Errorf("storage: parse bigint %q", field)
+			}
+			v.Ints[r] = n
+			return nil
+		})
+	}
+}
+
+// ReadGroupColumns decodes the row group starting at offset into batch,
+// fetching and decoding only the columns whose project flag is set (nil
+// decodes all). The batch's vectors are reused across calls. The returned
+// byte count is the same logical read volume ReadGroupProjected reports.
+func ReadGroupColumns(r *dfs.FileReader, offset int64, schema *Schema, project []bool, batch *ColumnBatch) (int64, error) {
+	g, read, err := ReadGroupProjected(r, offset, project)
+	if err != nil {
+		return 0, err
+	}
+	if len(g.columns) != len(batch.Cols) {
+		return 0, fmt.Errorf("storage: group at %d has %d columns, schema wants %d", offset, len(g.columns), len(batch.Cols))
+	}
+	batch.Rows = g.Rows
+	for c := range batch.Cols {
+		v := &batch.Cols[c]
+		v.Kind = schema.Col(c).Kind
+		if g.columns[c] == nil {
+			v.Valid = false
+			v.Ints, v.Floats, v.Strs = v.Ints[:0], v.Floats[:0], v.Strs[:0]
+			continue
+		}
+		if err := decodeColumn(v, g.columns[c], g.Rows); err != nil {
+			return 0, fmt.Errorf("storage: group at %d column %d: %w", offset, c, err)
+		}
+	}
+	return read, nil
+}

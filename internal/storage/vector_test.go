@@ -1,0 +1,341 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+)
+
+// TestColStatsV2ZoneRoundTrip: zone maps written by the RCFile writer come
+// back exactly through the v2 colstats encoding, including a zone-less group
+// interleaved with zoned ones.
+func TestColStatsV2ZoneRoundTrip(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	s := meterSchema()
+	rows := sampleRows(10)
+	if _, err := WriteRCRows(fs, "/tbl/zones", s, rows, 4); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ReadColStats(fs, "/tbl/zones")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("got %d groups, want 3", len(stats))
+	}
+	for gi, g := range stats {
+		if !g.HasZone() {
+			t.Fatalf("group %d lost its zone map", gi)
+		}
+	}
+	// Group 0 holds rows 0..3: userId 1..4, note meter-0..meter-3.
+	if stats[0].Mins[0] != "1" || stats[0].Maxs[0] != "4" {
+		t.Errorf("group 0 userId zone = [%s,%s], want [1,4]", stats[0].Mins[0], stats[0].Maxs[0])
+	}
+	if stats[0].Mins[4] != "meter-0" || stats[0].Maxs[4] != "meter-3" {
+		t.Errorf("group 0 note zone = [%s,%s]", stats[0].Mins[4], stats[0].Maxs[4])
+	}
+	// Final short group holds rows 8..9: userId 9..10.
+	if stats[2].Mins[0] != "9" || stats[2].Maxs[0] != "10" {
+		t.Errorf("group 2 userId zone = [%s,%s], want [9,10]", stats[2].Mins[0], stats[2].Maxs[0])
+	}
+
+	// A zone-less stat (hand-built, Mins/Maxs nil) survives the round trip
+	// as zone-less rather than growing empty zones.
+	mixed := []GroupStat{stats[0], {Rows: 4, ColLens: []int64{1, 1, 1, 1, 1}}}
+	if err := WriteColStats(fs, "/tbl/mixed", mixed); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadColStats(fs, "/tbl/mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || !back[0].HasZone() || back[1].HasZone() {
+		t.Fatalf("mixed zone flags wrong: %+v", back)
+	}
+	if back[0].Mins[0] != stats[0].Mins[0] || back[0].Maxs[4] != stats[0].Maxs[4] {
+		t.Errorf("zones did not round-trip: %+v", back[0])
+	}
+}
+
+// TestColStatsLegacyFallback: a legacy (pre-zone-map) colstats stream still
+// parses, yielding stats without zones so planners never skip on them.
+func TestColStatsLegacyFallback(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	// Two groups, two columns each: the legacy layout is just
+	// rows, colCount, lens... with no magic and no zone flag.
+	for _, g := range [][]uint64{{5, 2, 40, 40}, {3, 2, 24, 30}} {
+		for _, v := range g {
+			put(v)
+		}
+	}
+	if err := fs.WriteFile(ColStatsPath("/tbl/legacy"), buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ReadColStats(fs, "/tbl/legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("got %d groups, want 2", len(stats))
+	}
+	if stats[0].Rows != 5 || stats[0].ColLens[1] != 40 || stats[1].Rows != 3 || stats[1].ColLens[1] != 30 {
+		t.Fatalf("legacy stats decoded wrong: %+v", stats)
+	}
+	for gi, g := range stats {
+		if g.HasZone() {
+			t.Errorf("legacy group %d claims a zone map", gi)
+		}
+	}
+}
+
+// TestBitmapSidecarRoundTrip: per-group value bitmaps built by the writer
+// persist and answer lookups — present values map to exactly the groups that
+// hold them, absent values on a covered column yield an empty (all-pruning)
+// bitset, and uncovered columns report not-covered.
+func TestBitmapSidecarRoundTrip(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	s := NewSchema(Column{"id", KindInt64}, Column{"tag", KindString})
+	w, err := fs.Create("/tbl/bm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := NewRCWriter(w, s, 2)
+	rw.TrackBitmaps([]int{1})
+	// Groups of 2: {a,a} {a,b} {b,b}.
+	for _, tag := range []string{"a", "a", "a", "b", "b", "b"} {
+		if err := rw.WriteRow(Row{Int64(1), Str(tag)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc, ok := rw.BitmapSidecar()
+	if !ok {
+		t.Fatal("no sidecar despite TrackBitmaps")
+	}
+	if err := WriteBitmapSidecar(fs, "/tbl/bm", sc); err != nil {
+		t.Fatal(err)
+	}
+	back, ok, err := ReadBitmapSidecar(fs, "/tbl/bm")
+	if err != nil || !ok {
+		t.Fatalf("ReadBitmapSidecar: ok=%v err=%v", ok, err)
+	}
+	if back.Groups != 3 {
+		t.Fatalf("sidecar covers %d groups, want 3", back.Groups)
+	}
+	checks := []struct {
+		val  string
+		want []bool // per group
+	}{
+		{"a", []bool{true, true, false}},
+		{"b", []bool{false, true, true}},
+		{"z", []bool{false, false, false}}, // absent value: prunes everything
+	}
+	for _, c := range checks {
+		bs, ok := back.Lookup(1, c.val)
+		if !ok {
+			t.Fatalf("column 1 not covered for %q", c.val)
+		}
+		for g, want := range c.want {
+			if bs.Has(g) != want {
+				t.Errorf("Lookup(1,%q).Has(%d) = %v, want %v", c.val, g, bs.Has(g), want)
+			}
+		}
+	}
+	if _, ok := back.Lookup(0, "1"); ok {
+		t.Error("untracked column reports covered")
+	}
+	// Absence of the side file is normal, not an error.
+	if _, ok, err := ReadBitmapSidecar(fs, "/tbl/missing"); ok || err != nil {
+		t.Fatalf("missing sidecar: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestBitmapCardinalityCap: a column exceeding the per-file cardinality cap
+// is dropped from the sidecar rather than ballooning it; when it was the only
+// tracked column the writer reports no sidecar at all.
+func TestBitmapCardinalityCap(t *testing.T) {
+	fs := dfs.New(1 << 24)
+	s := NewSchema(Column{"id", KindInt64}, Column{"tag", KindString})
+	w, err := fs.Create("/tbl/cap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := NewRCWriter(w, s, 64)
+	rw.TrackBitmaps([]int{0, 1}) // id is unique per row → overflows the cap
+	for i := 0; i < bitmapCardinalityCap+10; i++ {
+		if err := rw.WriteRow(Row{Int64(int64(i)), Str(fmt.Sprintf("t%d", i%3))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc, ok := rw.BitmapSidecar()
+	if !ok {
+		t.Fatal("sidecar dropped entirely; tag column should survive")
+	}
+	if _, ok := sc.Lookup(0, "0"); ok {
+		t.Error("over-cardinality column kept its bitmaps")
+	}
+	if _, ok := sc.Lookup(1, "t0"); !ok {
+		t.Error("low-cardinality column lost its bitmaps")
+	}
+}
+
+// TestReadGroupColumnsMatchesRowDecode: the vectorised group decode yields,
+// cell for cell, the same values as the row-at-a-time decode — including
+// projected reads (zero values in skipped columns) — and the reused batch
+// stays correct across groups of different sizes.
+func TestReadGroupColumnsMatchesRowDecode(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	s := meterSchema()
+	rows := sampleRows(10)
+	if _, err := WriteRCRows(fs, "/tbl/vec", s, rows, 4); err != nil {
+		t.Fatal(err)
+	}
+	offsets, err := ReadGroupIndex(fs, "/tbl/vec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open("/tbl/vec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, project := range [][]bool{nil, {true, false, true, true, false}} {
+		batch := NewColumnBatch(s)
+		for _, off := range offsets {
+			read, err := ReadGroupColumns(r, off, s, project, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, wantRead, err := ReadGroupProjected(r, off, project)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if read != wantRead {
+				t.Errorf("group %d: vector read %d bytes, row read %d", off, read, wantRead)
+			}
+			want, err := g.DecodeRowsProjected(s, project)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batch.Rows != len(want) {
+				t.Fatalf("group %d: batch has %d rows, want %d", off, batch.Rows, len(want))
+			}
+			for ri := range want {
+				got := batch.MaterialiseRow(ri)
+				for c := range want[ri] {
+					if Compare(got[c], want[ri][c]) != 0 || got[c].Kind != want[ri][c].Kind {
+						t.Fatalf("group %d row %d col %d: %v vs %v", off, ri, c, got[c], want[ri][c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeRowsProjectedAllocs guards the hot decode loop's allocation
+// profile: a numeric-only projection must allocate a constant handful of
+// slices (rows header plus the flat cell arena), not one Value box per cell.
+func TestDecodeRowsProjectedAllocs(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	s := meterSchema()
+	if _, err := WriteRCRows(fs, "/tbl/allocs", s, sampleRows(64), 64); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open("/tbl/allocs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	project := []bool{true, true, true, true, false} // numeric columns only
+	g, _, err := ReadGroupProjected(r, 0, project)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := g.DecodeRowsProjected(s, project); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// rows slice + cell arena + small fixed overhead; anything near one
+	// alloc per row (64) means the per-cell fast paths regressed.
+	if allocs > 8 {
+		t.Errorf("DecodeRowsProjected allocates %.0f times per 64-row group, want <= 8", allocs)
+	}
+
+	// The vectorised decode into a reused batch must likewise stay near
+	// zero steady-state allocations for numeric columns.
+	batch := NewColumnBatch(s)
+	if _, err := ReadGroupColumns(r, 0, s, project, batch); err != nil {
+		t.Fatal(err) // warm the vectors
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		if _, err := ReadGroupColumns(r, 0, s, project, batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// ReadGroupProjected's header/payload buffers remain; the decode
+	// itself must not add per-row allocations.
+	if allocs > 12 {
+		t.Errorf("ReadGroupColumns allocates %.0f times per 64-row group, want <= 12", allocs)
+	}
+}
+
+// BenchmarkDecodeRowsProjected reports allocs/op for the hot decode loop.
+func BenchmarkDecodeRowsProjected(b *testing.B) {
+	fs := dfs.New(1 << 24)
+	s := meterSchema()
+	if _, err := WriteRCRows(fs, "/tbl/bench", s, sampleRows(1024), 1024); err != nil {
+		b.Fatal(err)
+	}
+	r, err := fs.Open("/tbl/bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	project := []bool{true, true, true, true, false}
+	g, _, err := ReadGroupProjected(r, 0, project)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.DecodeRowsProjected(s, project); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadGroupColumns reports allocs/op for the vectorised decode.
+func BenchmarkReadGroupColumns(b *testing.B) {
+	fs := dfs.New(1 << 24)
+	s := meterSchema()
+	if _, err := WriteRCRows(fs, "/tbl/benchvec", s, sampleRows(1024), 1024); err != nil {
+		b.Fatal(err)
+	}
+	r, err := fs.Open("/tbl/benchvec")
+	if err != nil {
+		b.Fatal(err)
+	}
+	project := []bool{true, true, true, true, false}
+	batch := NewColumnBatch(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadGroupColumns(r, 0, s, project, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
