@@ -1,0 +1,212 @@
+// BenchmarkEncodedScan measures what dictionary/RLE column encoding buys on
+// a low-cardinality equality/IN workload: the same data is loaded twice —
+// once with the default encoding writer, once with encoding disabled (the
+// prior vectorised layout) — and the same vectorised queries run over both.
+// The encoded table's kernels compare dictionary codes and whole runs
+// instead of cell text, and its dict/RLE columns store several times
+// smaller. Results are written machine-readably to BENCH_encoded_scan.json
+// at the repository root.
+package dgfindex_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	dgfindex "github.com/smartgrid-oss/dgfindex"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// encodedScanPath is one layout's measurement in BENCH_encoded_scan.json.
+type encodedScanPath struct {
+	NsPerQuery        int64   `json:"ns_per_query"`
+	ScannedRowsPerSec float64 `json:"scanned_rows_per_sec"`
+	BytesRead         int64   `json:"bytes_read"`
+	RecordsRead       int64   `json:"records_read"`
+	DictProbes        int64   `json:"dict_probes"`
+	RunsSkipped       int64   `json:"runs_skipped"`
+}
+
+// encodedBenchRows: unique id, a 64-value city column of long vendor names
+// (a per-group dictionary in every group) and a ts advancing every 5000 rows
+// (long runs, RLE), plus a float reading.
+func encodedBenchRows(n int) []dgfindex.Row {
+	base := time.Date(2012, 12, 1, 0, 0, 0, 0, time.UTC)
+	rows := make([]dgfindex.Row, n)
+	for i := range rows {
+		rows[i] = dgfindex.Row{
+			dgfindex.Int64(int64(i + 1)),
+			dgfindex.Str(fmt.Sprintf("meter-vendor-%02d-of-smartgrid-consortium", i%64)),
+			dgfindex.Time(base.AddDate(0, 0, i/5000)),
+			dgfindex.Float64(float64(i%97) * 0.25),
+		}
+	}
+	return rows
+}
+
+func BenchmarkEncodedScan(b *testing.B) {
+	const tableRows = 150_000
+	rows := encodedBenchRows(tableRows)
+
+	w := dgfindex.New()
+	setup := func(name string, disableEncoding bool) {
+		if _, err := w.Exec(fmt.Sprintf(`CREATE TABLE %s (id bigint, city string,
+			ts timestamp, v double) STORED AS RCFILE`, name)); err != nil {
+			b.Fatal(err)
+		}
+		tbl, err := w.Table(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tbl.RowGroupRows = 512
+		tbl.DisableEncoding = disableEncoding
+		if err := w.LoadRows(tbl, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	setup("encmeter", false)
+	setup("plainmeter", true)
+
+	// Equality and IN on the dictionary column: every group holds all 64
+	// city values, so zone maps prune nothing — the win is the kernels
+	// binary-searching the per-group dictionary once and comparing codes,
+	// where the plain layout must split and compare 150k 38-byte strings.
+	// count(*) keeps the measured work on the predicate column itself.
+	queries := []string{
+		`SELECT count(*) FROM %s WHERE city='meter-vendor-03-of-smartgrid-consortium'`,
+		`SELECT count(*) FROM %s WHERE city IN ('meter-vendor-01-of-smartgrid-consortium','meter-vendor-33-of-smartgrid-consortium','meter-vendor-60-of-smartgrid-consortium')`,
+	}
+
+	measure := func(table string, reps int) (encodedScanPath, []string) {
+		b.Helper()
+		var p encodedScanPath
+		var rendered []string
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			p.BytesRead, p.RecordsRead, p.DictProbes, p.RunsSkipped = 0, 0, 0, 0
+			rendered = rendered[:0]
+			for _, q := range queries {
+				res, err := w.Exec(fmt.Sprintf(q, table))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Stats.Vectorized {
+					b.Fatalf("%s: query left the vectorised path", table)
+				}
+				p.BytesRead += res.Stats.BytesRead
+				p.RecordsRead += res.Stats.RecordsRead
+				p.DictProbes += res.Stats.DictProbes
+				p.RunsSkipped += res.Stats.RunsSkipped
+				for _, r := range res.Rows {
+					rendered = append(rendered, fmt.Sprint(r))
+				}
+			}
+		}
+		per := time.Since(t0) / time.Duration(reps)
+		p.NsPerQuery = per.Nanoseconds()
+		if s := per.Seconds(); s > 0 {
+			p.ScannedRowsPerSec = float64(tableRows*len(queries)) / s
+		}
+		return p, rendered
+	}
+
+	const reps = 10
+	measure("encmeter", 2) // warm both layouts' side-file caches
+	measure("plainmeter", 2)
+	plainPath, plainRows := measure("plainmeter", reps)
+	encPath, encRows := measure("encmeter", reps)
+
+	if len(encRows) != len(plainRows) {
+		b.Fatalf("result cardinality differs: %d encoded vs %d plain", len(encRows), len(plainRows))
+	}
+	for i := range encRows {
+		if encRows[i] != plainRows[i] {
+			b.Fatalf("row %d differs: %s encoded vs %s plain", i, encRows[i], plainRows[i])
+		}
+	}
+	if encPath.DictProbes == 0 {
+		b.Fatal("encoded table answered without dictionary probes: encoding never engaged")
+	}
+	if plainPath.DictProbes != 0 {
+		b.Fatal("unencoded table reports dictionary probes")
+	}
+
+	speedup := float64(plainPath.NsPerQuery) / float64(encPath.NsPerQuery)
+	if speedup < 1.5 {
+		b.Fatalf("encoded speedup %.2fx, want >= 1.5x (encoded %v, plain %v)",
+			speedup, time.Duration(encPath.NsPerQuery), time.Duration(plainPath.NsPerQuery))
+	}
+
+	// On-disk shrink of the encodable columns (city dict, ts rle), summed
+	// over every row group from the colstats sidecars.
+	colBytes := func(table string) (city, ts int64) {
+		b.Helper()
+		tbl, err := w.Table(table)
+		if err != nil {
+			b.Fatal(err)
+		}
+		files, err := w.FS.ListFiles(tbl.Dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range files {
+			stats, err := storage.ReadColStats(w.FS, f.Path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, g := range stats {
+				city += g.ColLens[1]
+				ts += g.ColLens[2]
+			}
+		}
+		return city, ts
+	}
+	encCity, encTs := colBytes("encmeter")
+	plainCity, plainTs := colBytes("plainmeter")
+	cityRatio := float64(plainCity) / float64(encCity)
+	tsRatio := float64(plainTs) / float64(encTs)
+	if cityRatio < 3 || tsRatio < 3 {
+		b.Fatalf("encoded columns not >= 3x smaller: city %.2fx (%d vs %d), ts %.2fx (%d vs %d)",
+			cityRatio, encCity, plainCity, tsRatio, encTs, plainTs)
+	}
+
+	out := struct {
+		Benchmark string          `json:"benchmark"`
+		Queries   []string        `json:"queries"`
+		TableRows int64           `json:"table_rows"`
+		Encoded   encodedScanPath `json:"encoded"`
+		Plain     encodedScanPath `json:"plain"`
+		Speedup   float64         `json:"speedup"`
+		CityRatio float64         `json:"city_bytes_ratio_plain_over_encoded"`
+		TsRatio   float64         `json:"ts_bytes_ratio_plain_over_encoded"`
+	}{
+		Benchmark: "BenchmarkEncodedScan",
+		Queries:   queries,
+		TableRows: tableRows,
+		Encoded:   encPath,
+		Plain:     plainPath,
+		Speedup:   speedup,
+		CityRatio: cityRatio,
+		TsRatio:   tsRatio,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_encoded_scan.json", append(data, '\n'), 0644); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Exec(fmt.Sprintf(queries[0], "encmeter")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(speedup, "speedup-vs-plain")
+	b.ReportMetric(cityRatio, "city-shrink")
+	b.ReportMetric(tsRatio, "ts-shrink")
+}

@@ -1,0 +1,84 @@
+// benchgate guards the committed benchmark baselines: it compares the
+// "speedup" field of a freshly generated BENCH_*.json against the committed
+// copy and fails when the fresh run regressed by more than the tolerance.
+//
+//	benchgate [-tolerance 0.15] baseline.json=current.json [more pairs...]
+//
+// Each positional argument is a baseline=current pair of JSON files, both in
+// the shape the repository's benchmarks write (an object with a top-level
+// "speedup" number). The gate only fails on regressions — a faster run than
+// the committed baseline always passes, so baselines need refreshing only
+// when the code genuinely speeds up and the new number should become the
+// floor.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func speedupOf(path string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc struct {
+		Benchmark string   `json:"benchmark"`
+		Speedup   *float64 `json:"speedup"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Speedup == nil {
+		return 0, fmt.Errorf("%s: no \"speedup\" field", path)
+	}
+	if *doc.Speedup <= 0 {
+		return 0, fmt.Errorf("%s: speedup %v is not positive", path, *doc.Speedup)
+	}
+	return *doc.Speedup, nil
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional regression before failing")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-tolerance 0.15] baseline.json=current.json [...]")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, pair := range flag.Args() {
+		basePath, curPath, ok := strings.Cut(pair, "=")
+		if !ok || basePath == "" || curPath == "" {
+			fmt.Fprintf(os.Stderr, "benchgate: bad pair %q (want baseline.json=current.json)\n", pair)
+			os.Exit(2)
+		}
+
+		base, err := speedupOf(basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := speedupOf(curPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+
+		floor := base * (1 - *tolerance)
+		if cur < floor {
+			fmt.Printf("FAIL %s: speedup %.2fx fell below %.2fx (baseline %.2fx - %.0f%% tolerance)\n",
+				curPath, cur, floor, base, *tolerance*100)
+			failed = true
+		} else {
+			fmt.Printf("ok   %s: speedup %.2fx vs baseline %.2fx (floor %.2fx)\n",
+				curPath, cur, base, floor)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

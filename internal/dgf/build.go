@@ -3,6 +3,7 @@ package dgf
 import (
 	"fmt"
 	"path"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -21,6 +22,10 @@ type BuildStats struct {
 	Entries      int   // GFU pairs written by this run
 	IndexBytes   int64 // index size after the run
 	KVSimSeconds float64
+	// BitmapDisabled names the bitmap columns this run dropped for exceeding
+	// storage.BitmapCardinalityCap in some output file (no pruning there,
+	// still correct) — CREATE INDEX surfaces them instead of failing.
+	BitmapDisabled []string
 }
 
 // SimTotalSec is the simulated construction time: the reorganisation job
@@ -44,6 +49,9 @@ type Source struct {
 	// GroupRows sizes the reorganised data's RCFile row groups (<= 0
 	// selects storage.DefaultRowGroupRows). Ignored for TextFile.
 	GroupRows int
+	// GroupBytes, when positive, switches row-group sizing to a byte budget
+	// (GroupRows stays the row-count cap). Ignored for TextFile.
+	GroupBytes int64
 }
 
 // input builds the MapReduce input format reading the source's records.
@@ -75,11 +83,12 @@ func Build(cfg *cluster.Config, fs *dfs.FS, kv *kvstore.Store, spec Spec,
 		KV:        kv,
 		Spec:      spec,
 		Schema:    schema,
-		DataDir:   dataDir,
-		Format:    src.Format,
-		GroupRows: src.GroupRows,
-		minCell:   make([]int64, len(spec.Policy.Dims)),
-		maxCell:   make([]int64, len(spec.Policy.Dims)),
+		DataDir:    dataDir,
+		Format:     src.Format,
+		GroupRows:  src.GroupRows,
+		GroupBytes: src.GroupBytes,
+		minCell:    make([]int64, len(spec.Policy.Dims)),
+		maxCell:    make([]int64, len(spec.Policy.Dims)),
 	}
 	if ix.Format == storage.RCFile && ix.GroupRows <= 0 {
 		ix.GroupRows = storage.DefaultRowGroupRows
@@ -122,6 +131,7 @@ func (ix *Index) runBuildJob(cfg *cluster.Config, input mapreduce.InputFormat, f
 	var boundsMu sync.Mutex
 	boundsInit := !fresh // appends extend existing bounds
 	var entries int
+	droppedCols := map[int]bool{} // bitmap columns overflowed in some output file
 
 	// A distinct file-name generation per build run keeps append output
 	// separate from prior runs.
@@ -168,7 +178,7 @@ func (ix *Index) runBuildJob(cfg *cluster.Config, input mapreduce.InputFormat, f
 			}
 			name := path.Join(ix.DataDir, fmt.Sprintf("part-%d-r-%05d", gen, task))
 			sw, err := storage.NewSegmentWriterOpts(ix.FS, name, ix.Schema, ix.Format, ix.GroupRows,
-				storage.SegmentWriterOptions{BitmapCols: ix.bitmapCols})
+				storage.SegmentWriterOptions{BitmapCols: ix.bitmapCols, GroupBytes: ix.GroupBytes})
 			if err != nil {
 				return err
 			}
@@ -196,10 +206,17 @@ func (ix *Index) runBuildJob(cfg *cluster.Config, input mapreduce.InputFormat, f
 			if err := sw.Close(); err != nil {
 				return err
 			}
+			var overflowed []int
+			if rep, ok := sw.(storage.BitmapOverflowReporter); ok {
+				overflowed = rep.BitmapOverflows()
+			}
 			// Merge with any existing pairs (late data for a known cell).
 			ix.mergePairs(pairs)
 			boundsMu.Lock()
 			entries += len(pairs)
+			for _, c := range overflowed {
+				droppedCols[c] = true
+			}
 			boundsMu.Unlock()
 			return nil
 		},
@@ -208,13 +225,35 @@ func (ix *Index) runBuildJob(cfg *cluster.Config, input mapreduce.InputFormat, f
 	if err != nil {
 		return nil, err
 	}
+	// Fold this run's overflowed bitmap columns into the index's persistent
+	// disabled set (sorted column names, deduplicated across runs).
+	var runDropped []string
+	if len(droppedCols) > 0 {
+		seen := map[string]bool{}
+		for _, name := range ix.BitmapDisabled {
+			seen[name] = true
+		}
+		for c := range droppedCols {
+			name := ix.Schema.Col(c).Name
+			runDropped = append(runDropped, name)
+			seen[name] = true
+		}
+		sort.Strings(runDropped)
+		all := make([]string, 0, len(seen))
+		for name := range seen {
+			all = append(all, name)
+		}
+		sort.Strings(all)
+		ix.BitmapDisabled = all
+	}
 	ix.saveMeta()
 	kvDelta := ix.KV.Stats().Sub(kvBefore)
 	return &BuildStats{
-		Job:          *jobStats,
-		Entries:      entries,
-		IndexBytes:   ix.SizeBytes(),
-		KVSimSeconds: kvDelta.SimSeconds(cfg),
+		Job:            *jobStats,
+		Entries:        entries,
+		IndexBytes:     ix.SizeBytes(),
+		KVSimSeconds:   kvDelta.SimSeconds(cfg),
+		BitmapDisabled: runDropped,
 	}, nil
 }
 

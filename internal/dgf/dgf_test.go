@@ -309,6 +309,23 @@ func TestOpenRoundTrip(t *testing.T) {
 			t.Errorf("bounds dim %d: [%d,%d] want [%d,%d]", i, lo[i], hi[i], wantLo[i], wantHi[i])
 		}
 	}
+
+	// The adaptive group budget and the bitmap-overflow column list persist
+	// through the metadata, so Appends cut segments identically and EXPLAIN
+	// keeps reporting disabled sidecars after a reopen.
+	ix.GroupBytes = 4096
+	ix.BitmapDisabled = []string{"B"}
+	ix.saveMeta()
+	again, err := Open(ix.FS, ix.KV, ix.Spec.Name, ix.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.GroupBytes != 4096 {
+		t.Errorf("GroupBytes = %d, want 4096", again.GroupBytes)
+	}
+	if len(again.BitmapDisabled) != 1 || again.BitmapDisabled[0] != "B" {
+		t.Errorf("BitmapDisabled = %v, want [B]", again.BitmapDisabled)
+	}
 }
 
 func TestAppendExtendsIndex(t *testing.T) {

@@ -26,7 +26,9 @@ const (
 	metaGen        = "meta/generation"
 	metaFormat     = "meta/format"
 	metaGroupRows  = "meta/grouprows"
+	metaGroupBytes = "meta/groupbytes"
 	metaBitmapCols = "meta/bitmapcols"
+	metaBitmapDrop = "meta/bitmapdisabled"
 )
 
 // SliceLoc locates one Slice: a contiguous run of records of a single GFU
@@ -165,6 +167,15 @@ type Index struct {
 	Format storage.Format
 	// GroupRows sizes the reorganised data's RCFile row groups.
 	GroupRows int
+	// GroupBytes, when positive, switches the reorganised data's row-group
+	// sizing to a byte budget measured from the incoming rows' column widths
+	// (GroupRows stays the row-count cap). Persisted so appends cut groups
+	// the same way the build did.
+	GroupBytes int64
+	// BitmapDisabled names the bitmap columns dropped during builds for
+	// exceeding storage.BitmapCardinalityCap in some data file — they prune
+	// nothing there, which EXPLAIN surfaces as bitmap_disabled.
+	BitmapDisabled []string
 
 	dimCols    []int   // schema column index per policy dimension
 	aggCols    [][]int // schema column indexes (product factors) per precompute spec; nil for count
@@ -301,7 +312,9 @@ func (ix *Index) saveMeta() {
 	ix.KV.Put(metaDataDir, []byte(ix.DataDir))
 	ix.KV.Put(metaFormat, []byte(strings.ToLower(ix.Format.String())))
 	ix.KV.Put(metaGroupRows, []byte(strconv.Itoa(ix.GroupRows)))
+	ix.KV.Put(metaGroupBytes, []byte(strconv.FormatInt(ix.GroupBytes, 10)))
 	ix.KV.Put(metaBitmapCols, []byte(strings.Join(ix.Spec.BitmapCols, ";")))
+	ix.KV.Put(metaBitmapDrop, []byte(strings.Join(ix.BitmapDisabled, ";")))
 	for i := range ix.Spec.Policy.Dims {
 		ix.KV.Put(metaMinPrefix+strconv.Itoa(i), []byte(strconv.FormatInt(ix.minCell[i], 10)))
 		ix.KV.Put(metaMaxPrefix+strconv.Itoa(i), []byte(strconv.FormatInt(ix.maxCell[i], 10)))
@@ -346,8 +359,17 @@ func Open(fs *dfs.FS, kv *kvstore.Store, name string, schema *storage.Schema) (*
 			return nil, fmt.Errorf("dgf: index %q has corrupt group-rows metadata %q", name, gData)
 		}
 	}
+	if gData, ok := kv.Get(metaGroupBytes); ok && len(gData) > 0 {
+		ix.GroupBytes, err = strconv.ParseInt(string(gData), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dgf: index %q has corrupt group-bytes metadata %q", name, gData)
+		}
+	}
 	if bData, ok := kv.Get(metaBitmapCols); ok && len(bData) > 0 {
 		ix.Spec.BitmapCols = strings.Split(string(bData), ";")
+	}
+	if bData, ok := kv.Get(metaBitmapDrop); ok && len(bData) > 0 {
+		ix.BitmapDisabled = strings.Split(string(bData), ";")
 	}
 	for i := range policy.Dims {
 		lo, ok1 := kv.Get(metaMinPrefix + strconv.Itoa(i))

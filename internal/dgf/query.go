@@ -31,6 +31,11 @@ type PlanOptions struct {
 	// groups are recorded in Plan.SkipGroups so executed skips match the
 	// plan exactly.
 	ZoneSkip bool
+	// Members holds, per column name, the value texts of the query's IN
+	// predicates. With ZoneSkip set they probe value-bitmap sidecars: a
+	// group none of whose member values' bitsets mark it is pruned (the
+	// per-value bitsets OR together; separate predicates AND).
+	Members map[string][]string
 }
 
 // Plan is the outcome of Algorithm 3: the pre-aggregated inner result (for
@@ -207,7 +212,7 @@ func (ix *Index) Plan(cfg *cluster.Config, ranges map[string]gridfile.Range, wan
 	if !fullProjection(opts.Project, ix.Schema.Len()) {
 		plan.Project = opts.Project
 	}
-	if err := ix.attributeProjectedBytes(plan, ranges, opts.ZoneSkip); err != nil {
+	if err := ix.attributeProjectedBytes(plan, ranges, opts.Members, opts.ZoneSkip); err != nil {
 		return nil, err
 	}
 	plan.KVSimSeconds = kvOps.SimSeconds(cfg)
@@ -250,10 +255,10 @@ func ZoneDisjoint(minV, maxV storage.Value, r gridfile.Range) bool {
 // the per-group column statistics the build wrote next to each data file —
 // the same numbers the projected readers will report having fetched. With
 // zoneSkip set it additionally drops every row group whose zone map is
-// disjoint from a predicate range — or, for equality predicates on bitmap
-// columns, whose value bitmap rules the group out — recording the pruned
-// groups in plan.SkipGroups for the readers.
-func (ix *Index) attributeProjectedBytes(plan *Plan, ranges map[string]gridfile.Range, zoneSkip bool) error {
+// disjoint from a predicate range — or, for equality and IN predicates on
+// bitmap columns, whose value bitmaps rule the group out — recording the
+// pruned groups in plan.SkipGroups for the readers.
+func (ix *Index) attributeProjectedBytes(plan *Plan, ranges map[string]gridfile.Range, members map[string][]string, zoneSkip bool) error {
 	if ix.Format != storage.RCFile || (plan.Project == nil && !zoneSkip) {
 		// Full-width reads fetch the slices whole; the build's Cut
 		// invariant aligns every slice on row-group boundaries, so the
@@ -271,8 +276,8 @@ func (ix *Index) attributeProjectedBytes(plan *Plan, ranges map[string]gridfile.
 		r    gridfile.Range
 	}
 	type bitmapProbe struct {
-		col  int
-		text string
+		col   int
+		texts []string // a group survives when any text's bitset marks it
 	}
 	var zones []colRange
 	var probes []bitmapProbe
@@ -286,8 +291,21 @@ func (ix *Index) attributeProjectedBytes(plan *Plan, ranges map[string]gridfile.
 			if !r.LoUnbounded && !r.HiUnbounded && !r.LoOpen && !r.HiOpen && storage.Compare(r.Lo, r.Hi) == 0 {
 				for _, bc := range ix.bitmapCols {
 					if bc == c {
-						probes = append(probes, bitmapProbe{col: c, text: r.Lo.String()})
+						probes = append(probes, bitmapProbe{col: c, texts: []string{r.Lo.String()}})
 					}
+				}
+			}
+		}
+		// IN membership sets probe the sidecars too: within one set the
+		// per-value bitsets OR, and the set ANDs with every other predicate.
+		for name, texts := range members {
+			c := ix.Schema.ColIndex(name)
+			if c < 0 || len(texts) == 0 {
+				continue
+			}
+			for _, bc := range ix.bitmapCols {
+				if bc == c {
+					probes = append(probes, bitmapProbe{col: c, texts: texts})
 				}
 			}
 		}
@@ -344,7 +362,20 @@ func (ix *Index) attributeProjectedBytes(plan *Plan, ranges map[string]gridfile.
 			}
 			if !skip && fs.bitmaps != nil {
 				for _, p := range probes {
-					if bs, ok := fs.bitmaps.Lookup(p.col, p.text); ok && !bs.Has(g) {
+					hit, covered := false, false
+					for _, text := range p.texts {
+						bs, ok := fs.bitmaps.Lookup(p.col, text)
+						if !ok {
+							covered = false
+							break
+						}
+						covered = true
+						if bs.Has(g) {
+							hit = true
+							break
+						}
+					}
+					if covered && !hit {
 						skip, byBitmap = true, true
 						break
 					}

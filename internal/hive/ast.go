@@ -135,11 +135,13 @@ type AggCall struct {
 func (AggCall) expr() {}
 
 // Comparison is col OP literal (the predicate shape of all the paper's
-// queries). Op is one of < <= > >= = !=.
+// queries). Op is one of < <= > >= = != IN. For IN, Vals holds the value
+// list and Val is unused; a row matches when its cell equals any of them.
 type Comparison struct {
-	Col ColRef
-	Op  string
-	Val storage.Value
+	Col  ColRef
+	Op   string
+	Val  storage.Value
+	Vals []storage.Value
 }
 
 func (CreateTableStmt) stmt() {}

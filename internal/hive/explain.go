@@ -59,8 +59,17 @@ type ExplainPlan struct {
 	// Execution reports the same number in QueryStats.GroupsSkipped.
 	GroupsSkipped int64 `json:"groups_skipped,omitempty"`
 	// BitmapHits is the subset of GroupsSkipped only a bitmap sidecar could
-	// rule out (equality predicates on DGF bitmap columns).
+	// rule out (equality and IN predicates on DGF bitmap columns).
 	BitmapHits int64 `json:"bitmap_hits,omitempty"`
+	// EncodedColumns lists the table columns stored encoded in at least one
+	// row group, with the encodings seen ("regionId(dict)", "ts(rle)");
+	// kernels over them compare dictionary codes or whole runs instead of
+	// cells. RCFile paths only.
+	EncodedColumns []string `json:"encoded_columns,omitempty"`
+	// BitmapDisabled names the DGF bitmap columns dropped at build time for
+	// exceeding storage.BitmapCardinalityCap — declared in IDXPROPERTIES but
+	// pruning nothing.
+	BitmapDisabled []string `json:"bitmap_disabled,omitempty"`
 	// ShardsTotal/ShardsTargeted/TargetShards describe a router plan: how
 	// many shards exist, how many the routing-key predicate left in the
 	// fan-out, and which. Zero ShardsTotal means the plan came from a bare
@@ -102,6 +111,12 @@ func (p *ExplainPlan) Render() *Result {
 	if p.Vectorized {
 		add("groups_skipped", strconv.FormatInt(p.GroupsSkipped, 10))
 		add("bitmap_hits", strconv.FormatInt(p.BitmapHits, 10))
+	}
+	if len(p.EncodedColumns) > 0 {
+		add("encoded_columns", strings.Join(p.EncodedColumns, ","))
+	}
+	if len(p.BitmapDisabled) > 0 {
+		add("bitmap_disabled", strings.Join(p.BitmapDisabled, ","))
 	}
 	if strings.HasPrefix(p.AccessPath, "dgfindex") || strings.Contains(p.AccessPath, ":dgfindex") {
 		add("gfu_slices", strconv.Itoa(p.GFUSlices))
@@ -179,6 +194,16 @@ func (w *Warehouse) explainLocked(stmt *SelectStmt, opts ExecOptions) (*ExplainP
 		ep.ProjectedBytes = plan.ProjectedBytes
 		ep.GroupsSkipped = plan.GroupsSkipped
 		ep.BitmapHits = plan.BitmapHits
+		ep.BitmapDisabled = q.left.Dgf.BitmapDisabled
+		if q.left.Dgf.Format == storage.RCFile {
+			files, err := listFilePaths(w, q.left.Dgf.DataDir)
+			if err != nil {
+				return nil, err
+			}
+			if ep.EncodedColumns, err = encodedColumnNames(w, files, q.left.Schema); err != nil {
+				return nil, err
+			}
+		}
 	case pathHiveIndex:
 		if choice.aggRewrite {
 			ep.AccessPath = "aggindex-rewrite:" + choice.ix.Name
@@ -240,12 +265,13 @@ func (w *Warehouse) explainScanLocked(q *compiledQuery, ep *ExplainPlan) error {
 				return err
 			}
 		}
-		// The vectorised scan prunes zone-disjoint row groups, so their
-		// bytes never hit the readers: exclude them here the same way
-		// prepareSelectLocked's skip set excludes them from execution.
+		// The vectorised scan prunes zone-disjoint (and bitmap-refuted) row
+		// groups, so their bytes never hit the readers: exclude them here the
+		// same way prepareSelectLocked's skip set excludes them from
+		// execution.
 		var skips map[string]map[int64]bool
 		if ep.Vectorized {
-			skips, ep.GroupsSkipped, err = scanGroupSkips(w.FS, files, q.left.Schema, q.leftRanges)
+			skips, ep.GroupsSkipped, ep.BitmapHits, err = scanGroupSkips(w.FS, files, q.left.Schema, q.leftRanges, q.leftMembers)
 			if err != nil {
 				return err
 			}
@@ -268,7 +294,8 @@ func (w *Warehouse) explainScanLocked(q *compiledQuery, ep *ExplainPlan) error {
 				ep.ProjectedBytes += g.ProjectedSize(project)
 			}
 		}
-		return nil
+		ep.EncodedColumns, err = encodedColumnNames(w, files, q.left.Schema)
+		return err
 	default:
 		ep.ProjectedBytes = -1
 		return nil
@@ -285,6 +312,47 @@ func listFilePaths(w *Warehouse, dir string) ([]string, error) {
 		paths[i] = fi.Path
 	}
 	return paths, nil
+}
+
+// encodedColumnNames unions the per-column encodings recorded in the files'
+// row-group stats and renders, in schema order, every column stored non-plain
+// in at least one group — "regionId(dict)", "ts(rle)", or "city(dict,rle)"
+// when groups disagree.
+func encodedColumnNames(w *Warehouse, files []string, schema *storage.Schema) ([]string, error) {
+	nCols := len(schema.Cols)
+	seen := make(map[int]map[byte]bool)
+	for _, f := range files {
+		stats, err := storage.ReadColStatsCached(w.FS, f)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range stats {
+			for c := 0; c < nCols; c++ {
+				if enc := g.Enc(c); enc != storage.EncPlain {
+					if seen[c] == nil {
+						seen[c] = map[byte]bool{}
+					}
+					seen[c][enc] = true
+				}
+			}
+		}
+	}
+	var out []string
+	for c := 0; c < nCols; c++ {
+		encs := seen[c]
+		if len(encs) == 0 {
+			continue
+		}
+		var names []string
+		// Fixed dict-then-rle order keeps the rendering deterministic.
+		for _, enc := range []byte{storage.EncDict, storage.EncRLE} {
+			if encs[enc] {
+				names = append(names, storage.EncodingName(enc))
+			}
+		}
+		out = append(out, schema.Cols[c].Name+"("+strings.Join(names, ",")+")")
+	}
+	return out, nil
 }
 
 // projectedColumnNames renders the referenced-column set in schema order.

@@ -38,7 +38,7 @@ var keywords = map[string]bool{
 	"TABLES": true, "DESCRIBE": true, "LIMIT": true, "WITH": true,
 	"DEFERRED": true, "REBUILD": true, "DROP": true, "INDEXES": true,
 	"BETWEEN": true, "ORDER": true, "ASC": true, "DESC": true,
-	"PARTITIONED": true, "EXPLAIN": true, "TRACE": true,
+	"PARTITIONED": true, "EXPLAIN": true, "TRACE": true, "IN": true,
 }
 
 type lexer struct {

@@ -491,14 +491,34 @@ func (p *parser) parseColRef() (ColRef, error) {
 	return ColRef{Name: name}, nil
 }
 
-// parseComparison parses col OP literal, literal OP col, or col BETWEEN a
-// AND b (rewritten to two comparisons).
+// parseComparison parses col OP literal, literal OP col, col BETWEEN a AND b
+// (rewritten to two comparisons), or col IN (v1, ..., vn).
 func (p *parser) parseComparison() ([]Comparison, error) {
 	// Left side: column or literal.
 	if p.cur().kind == tokIdent {
 		col, err := p.parseColRef()
 		if err != nil {
 			return nil, err
+		}
+		if p.accept(tokKeyword, "IN") {
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			var vals []storage.Value
+			for {
+				v, err := p.literal()
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, v)
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return []Comparison{{Col: col, Op: "IN", Vals: vals}}, nil
 		}
 		if p.accept(tokKeyword, "BETWEEN") {
 			lo, err := p.literal()

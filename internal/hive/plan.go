@@ -70,6 +70,15 @@ type compiledQuery struct {
 	joinRight  int // join column index in right schema
 	filters    []cfilter
 	leftRanges map[string]gridfile.Range
+	// leftMembers holds, per left column, the coerced value texts of its IN
+	// predicates — the membership sets planners probe against value-bitmap
+	// sidecars (per-value bitsets OR; predicates AND).
+	leftMembers map[string][]string
+	// rangesExact reports that leftRanges carries the WHERE conjunction
+	// exactly. A != predicate (never folded) or a multi-value IN (folded to
+	// its bounding box, a superset) clears it; header-precompute and
+	// aggregate-index rewrites must then not trust ranges alone.
+	rangesExact bool
 	// leftRefCols flags every left-schema column the query references
 	// (filters, projections, group keys, aggregate arguments, join key) —
 	// the set pushed down into columnar readers.
@@ -108,6 +117,8 @@ func (w *Warehouse) compile(stmt *SelectStmt) (*compiledQuery, error) {
 		left:        left,
 		leftRef:     stmt.From,
 		leftRanges:  map[string]gridfile.Range{},
+		leftMembers: map[string][]string{},
+		rangesExact: true,
 		leftRefCols: map[int]bool{},
 	}
 	if stmt.Join != nil {
@@ -245,9 +256,17 @@ func (q *compiledQuery) compileComparison(cmp Comparison) (cfilter, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cmp.Op == "IN" {
+		return q.compileIn(cmp, s, idx, kind)
+	}
 	val, err := coerce(cmp.Val, kind)
 	if err != nil {
 		return nil, fmt.Errorf("hive: predicate on %s: %v", cmp.Col.String(), err)
+	}
+	if cmp.Op == "!=" {
+		// != never folds into a range, so leftRanges describes a superset of
+		// the conjunction from here on.
+		q.rangesExact = false
 	}
 	// Fold left-table constraints into the index range map.
 	if s == sideLeft && cmp.Op != "!=" {
@@ -278,6 +297,59 @@ func (q *compiledQuery) compileComparison(cmp Comparison) (cfilter, error) {
 		default:
 			return false
 		}
+	}, nil
+}
+
+// compileIn lowers col IN (v1, ..., vn): the row filter keeps any-equal
+// rows; for index pruning the value set folds to its bounding box (an exact
+// range for one value, a sound superset otherwise) and is recorded as a
+// membership set for bitmap-sidecar probing.
+func (q *compiledQuery) compileIn(cmp Comparison, s side, idx int, kind storage.Kind) (cfilter, error) {
+	if len(cmp.Vals) == 0 {
+		return nil, fmt.Errorf("hive: IN on %s needs at least one value", cmp.Col.String())
+	}
+	vals := make([]storage.Value, len(cmp.Vals))
+	for i, raw := range cmp.Vals {
+		v, err := coerce(raw, kind)
+		if err != nil {
+			return nil, fmt.Errorf("hive: predicate on %s: %v", cmp.Col.String(), err)
+		}
+		vals[i] = v
+	}
+	if s == sideLeft {
+		lo, hi := vals[0], vals[0]
+		texts := make([]string, len(vals))
+		for i, v := range vals {
+			texts[i] = v.String()
+			if storage.Compare(v, lo) < 0 {
+				lo = v
+			}
+			if storage.Compare(v, hi) > 0 {
+				hi = v
+			}
+		}
+		name := strings.ToLower(q.left.Schema.Col(idx).Name)
+		r := gridfile.Range{Lo: lo, Hi: hi}
+		if prev, ok := q.leftRanges[name]; ok {
+			r = prev.Intersect(r)
+		}
+		q.leftRanges[name] = r
+		q.leftMembers[name] = append(q.leftMembers[name], texts...)
+	}
+	if len(vals) > 1 {
+		// The bounding box admits values between the set's members, so the
+		// ranges are a superset of the predicate.
+		q.rangesExact = false
+	}
+	get := colExpr(s, idx)
+	return func(l, r storage.Row) bool {
+		cell := get(l, r)
+		for _, v := range vals {
+			if storage.Compare(cell, v) == 0 {
+				return true
+			}
+		}
+		return false
 	}, nil
 }
 
@@ -493,18 +565,56 @@ func WhereRanges(stmt *SelectStmt, schema *storage.Schema) map[string]gridfile.R
 		if idx < 0 {
 			continue
 		}
-		val, err := coerce(cmp.Val, schema.Col(idx).Kind)
-		if err != nil {
-			continue
-		}
+		kind := schema.Col(idx).Kind
 		name := strings.ToLower(schema.Col(idx).Name)
-		r := rangeFromOp(cmp.Op, val)
+		var r gridfile.Range
+		if cmp.Op == "IN" {
+			// Fold the value set to its bounding box — a superset, which only
+			// ever keeps extra shards in the scatter.
+			box, ok := inBox(cmp.Vals, kind)
+			if !ok {
+				continue
+			}
+			r = box
+		} else {
+			val, err := coerce(cmp.Val, kind)
+			if err != nil {
+				continue
+			}
+			r = rangeFromOp(cmp.Op, val)
+		}
 		if prev, ok := out[name]; ok {
 			r = prev.Intersect(r)
 		}
 		out[name] = r
 	}
 	return out
+}
+
+// inBox folds an IN value list to its [min, max] bounding range; ok is false
+// when the list is empty or a value fails to coerce.
+func inBox(vals []storage.Value, kind storage.Kind) (gridfile.Range, bool) {
+	if len(vals) == 0 {
+		return gridfile.Range{}, false
+	}
+	var lo, hi storage.Value
+	for i, raw := range vals {
+		v, err := coerce(raw, kind)
+		if err != nil {
+			return gridfile.Range{}, false
+		}
+		if i == 0 {
+			lo, hi = v, v
+			continue
+		}
+		if storage.Compare(v, lo) < 0 {
+			lo = v
+		}
+		if storage.Compare(v, hi) > 0 {
+			hi = v
+		}
+	}
+	return gridfile.Range{Lo: lo, Hi: hi}, true
 }
 
 // dgfWantSpecs returns the pre-compute specs covering every aggregate, or

@@ -1,7 +1,9 @@
 package hive
 
 import (
+	"sort"
 	"strings"
+	"sync/atomic"
 
 	"github.com/smartgrid-oss/dgfindex/internal/dfs"
 	"github.com/smartgrid-oss/dgfindex/internal/dgf"
@@ -14,17 +16,32 @@ import (
 // shrink a selection vector, plus the zone-map consultation the full-scan
 // path uses to drop whole row groups before their payloads are fetched.
 // Rows are only materialised for the positions that survive every kernel.
+//
+// Kernels are encoding-aware. A dictionary column is never expanded to
+// per-row strings: the literal is binary-searched in the group's sorted
+// dictionary once and every row compares as a code ordinal — an equality or
+// IN probe whose value is absent kills the group on that single search. A
+// run-length column evaluates the predicate once per run and accepts or
+// rejects every selected row of the run wholesale.
 
 // vecPred narrows sel to the rows of b that satisfy one predicate. Kernels
 // filter in place (the returned slice aliases sel's backing array).
 type vecPred func(b *storage.ColumnBatch, sel []int) []int
 
+// vecStats counts encoding-aware kernel work across a query's map tasks
+// (which run concurrently, hence the atomics): dictionary binary searches
+// performed and whole runs rejected without per-row compares.
+type vecStats struct {
+	dictProbes  atomic.Int64
+	runsSkipped atomic.Int64
+}
+
 // compileVecFilters lowers the statement's WHERE conjunction to vectorised
 // kernels, one per comparison, in the same order the row path applies its
 // filters. Each kernel reproduces compileComparison's semantics exactly —
-// storage.Compare of the cell against the coerced literal — so the two paths
-// keep identical row sets on every input.
-func (q *compiledQuery) compileVecFilters() ([]vecPred, error) {
+// storage.Compare of the cell against the coerced literal(s) — so the two
+// paths keep identical row sets on every input.
+func (q *compiledQuery) compileVecFilters(st *vecStats) ([]vecPred, error) {
 	var out []vecPred
 	for _, cmp := range q.stmt.Where {
 		// The vectorised path only runs join-free, so every column resolves
@@ -33,11 +50,23 @@ func (q *compiledQuery) compileVecFilters() ([]vecPred, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cmp.Op == "IN" {
+			vals := make([]storage.Value, len(cmp.Vals))
+			for i, raw := range cmp.Vals {
+				v, err := coerce(raw, kind)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			out = append(out, compileVecIn(idx, kind, vals, st))
+			continue
+		}
 		val, err := coerce(cmp.Val, kind)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, compileVecComparison(idx, kind, cmp.Op, val))
+		out = append(out, compileVecComparison(idx, kind, cmp.Op, val, st))
 	}
 	return out, nil
 }
@@ -80,7 +109,7 @@ func compareFloats(a, b float64) int {
 // paths read the column's vector directly; any combination they do not cover
 // falls back to materialising single cells through the exact comparison the
 // row path uses.
-func compileVecComparison(col int, kind storage.Kind, op string, val storage.Value) vecPred {
+func compileVecComparison(col int, kind storage.Kind, op string, val storage.Value, st *vecStats) vecPred {
 	keep := opKeep(op)
 	switch {
 	case kind == storage.KindString && val.Kind == storage.KindString:
@@ -89,6 +118,14 @@ func compileVecComparison(col int, kind storage.Kind, op string, val storage.Val
 			v := &b.Cols[col]
 			if !v.Valid {
 				return genericFilter(v, val, keep, sel)
+			}
+			if v.Enc == storage.EncDict {
+				return dictFilter(v, s, op, keep, sel, st)
+			}
+			if v.Enc == storage.EncRLE && len(v.RunEnds) > 0 {
+				return rleFilter(v, sel, st, func(r int) bool {
+					return keep(strings.Compare(v.Strs[r], s))
+				})
 			}
 			out := sel[:0]
 			for _, i := range sel {
@@ -105,6 +142,11 @@ func compileVecComparison(col int, kind storage.Kind, op string, val storage.Val
 			if !v.Valid {
 				return genericFilter(v, val, keep, sel)
 			}
+			if v.Enc == storage.EncRLE && len(v.RunEnds) > 0 {
+				return rleFilter(v, sel, st, func(r int) bool {
+					return keep(compareFloats(v.Floats[r], f))
+				})
+			}
 			out := sel[:0]
 			for _, i := range sel {
 				if keep(compareFloats(v.Floats[i], f)) {
@@ -120,6 +162,11 @@ func compileVecComparison(col int, kind storage.Kind, op string, val storage.Val
 			if !v.Valid {
 				return genericFilter(v, val, keep, sel)
 			}
+			if v.Enc == storage.EncRLE && len(v.RunEnds) > 0 {
+				return rleFilter(v, sel, st, func(r int) bool {
+					return keep(compareFloats(float64(v.Ints[r]), f))
+				})
+			}
 			out := sel[:0]
 			for _, i := range sel {
 				// Ints vs a float literal compares as floats, exactly like
@@ -132,9 +179,123 @@ func compileVecComparison(col int, kind storage.Kind, op string, val storage.Val
 		}
 	default:
 		return func(b *storage.ColumnBatch, sel []int) []int {
-			return genericFilter(&b.Cols[col], val, keep, sel)
+			v := &b.Cols[col]
+			if v.Valid && v.Enc == storage.EncRLE && len(v.RunEnds) > 0 {
+				return rleFilter(v, sel, st, func(r int) bool {
+					return keep(storage.Compare(v.Value(r), val))
+				})
+			}
+			return genericFilter(v, val, keep, sel)
 		}
 	}
+}
+
+// compileVecIn builds the kernel for col IN (v1, ..., vn): keep a row when
+// its cell equals any of the coerced values. Over a dictionary column the
+// value set resolves to a code set with one binary search per value — an IN
+// whose values are all absent kills the group without touching a row.
+func compileVecIn(col int, kind storage.Kind, vals []storage.Value, st *vecStats) vecPred {
+	return func(b *storage.ColumnBatch, sel []int) []int {
+		v := &b.Cols[col]
+		if !v.Valid {
+			return genericInFilter(v, vals, sel)
+		}
+		if v.Enc == storage.EncDict && kind == storage.KindString {
+			st.dictProbes.Add(int64(len(vals)))
+			codes := make([]uint32, 0, len(vals))
+			for _, val := range vals {
+				pos := sort.SearchStrings(v.Dict, val.S)
+				if pos < len(v.Dict) && v.Dict[pos] == val.S {
+					codes = append(codes, uint32(pos))
+				}
+			}
+			if len(codes) == 0 {
+				return sel[:0] // no value present: the group dies on the probes alone
+			}
+			out := sel[:0]
+			for _, i := range sel {
+				c := v.Codes[i]
+				for _, k := range codes {
+					if c == k {
+						out = append(out, i)
+						break
+					}
+				}
+			}
+			return out
+		}
+		if v.Enc == storage.EncRLE && len(v.RunEnds) > 0 {
+			return rleFilter(v, sel, st, func(r int) bool {
+				cell := v.Value(r)
+				for _, val := range vals {
+					if storage.Compare(cell, val) == 0 {
+						return true
+					}
+				}
+				return false
+			})
+		}
+		return genericInFilter(v, vals, sel)
+	}
+}
+
+// dictFilter compares every selected row of a dictionary column against one
+// string literal using code ordinals. The dictionary is sorted ascending, so
+// one binary search fixes the literal's rank and each row's three-way result
+// follows from its code alone — no per-row string compare.
+func dictFilter(v *storage.ColumnVector, s, op string, keep func(int) bool, sel []int, st *vecStats) []int {
+	st.dictProbes.Add(1)
+	pos := sort.SearchStrings(v.Dict, s)
+	found := pos < len(v.Dict) && v.Dict[pos] == s
+	if !found {
+		switch op {
+		case "=":
+			return sel[:0] // value absent from the group: kill it outright
+		case "!=":
+			return sel // value absent: every row differs
+		}
+	}
+	out := sel[:0]
+	for _, i := range sel {
+		c := 1
+		if int(v.Codes[i]) < pos {
+			c = -1
+		} else if found && int(v.Codes[i]) == pos {
+			c = 0
+		}
+		if keep(c) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// rleFilter narrows sel over a run-length column by evaluating keepRow once
+// per run (at the run's first row — the value is constant within it) and
+// applying that verdict to every selected row the run covers. Runs rejected
+// wholesale are counted as skipped.
+func rleFilter(v *storage.ColumnVector, sel []int, st *vecStats, keepRow func(r int) bool) []int {
+	out := sel[:0]
+	run, start := 0, 0
+	decided, verdict := false, false
+	for _, i := range sel {
+		for int32(i) >= v.RunEnds[run] {
+			start = int(v.RunEnds[run])
+			run++
+			decided = false
+		}
+		if !decided {
+			verdict = keepRow(start)
+			decided = true
+			if !verdict {
+				st.runsSkipped.Add(1)
+			}
+		}
+		if verdict {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // genericFilter is the cell-at-a-time fallback: identical to the row path's
@@ -150,6 +311,22 @@ func genericFilter(v *storage.ColumnVector, val storage.Value, keep func(int) bo
 	return out
 }
 
+// genericInFilter is the cell-at-a-time IN fallback, the exact semantics of
+// the row path's any-value-equal filter.
+func genericInFilter(v *storage.ColumnVector, vals []storage.Value, sel []int) []int {
+	out := sel[:0]
+	for _, i := range sel {
+		cell := v.Value(i)
+		for _, val := range vals {
+			if storage.Compare(cell, val) == 0 {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
 // scanZoneCol is one WHERE range resolved against the scanned table's schema.
 type scanZoneCol struct {
 	col  int
@@ -157,13 +334,23 @@ type scanZoneCol struct {
 	r    gridfile.Range
 }
 
-// scanGroupSkips consults the per-row-group zone maps of the given RCFile
-// data files and returns, per file, the start offsets of the groups whose
-// zones are disjoint from a predicate range — the full-scan counterpart of
-// the DGF planner's double pruning. The count is the total planned skips.
-// Files whose column statistics predate zone maps contribute nothing (their
+// scanMemberCol is one IN value set resolved against the scanned table's
+// schema, probed against value-bitmap sidecars where built.
+type scanMemberCol struct {
+	col   int
+	texts []string
+}
+
+// scanGroupSkips consults the per-row-group zone maps — and, for IN
+// predicates, the value-bitmap sidecars — of the given RCFile data files and
+// returns, per file, the start offsets of the groups that cannot contain a
+// matching row: zones disjoint from a predicate range, or membership sets
+// none of whose values' bitsets mark the group (the per-value bitsets OR
+// together; predicates AND). The counts are the total planned skips and how
+// many of them only a bitmap could rule out. Files whose column statistics
+// predate zone maps, or that carry no sidecar, contribute nothing (their
 // groups are never skipped), so results stay correct on mixed data.
-func scanGroupSkips(fs *dfs.FS, files []string, schema *storage.Schema, ranges map[string]gridfile.Range) (map[string]map[int64]bool, int64, error) {
+func scanGroupSkips(fs *dfs.FS, files []string, schema *storage.Schema, ranges map[string]gridfile.Range, members map[string][]string) (map[string]map[int64]bool, int64, int64, error) {
 	var zones []scanZoneCol
 	for name, r := range ranges {
 		idx := schema.ColIndex(name)
@@ -172,46 +359,93 @@ func scanGroupSkips(fs *dfs.FS, files []string, schema *storage.Schema, ranges m
 		}
 		zones = append(zones, scanZoneCol{col: idx, kind: schema.Col(idx).Kind, r: r})
 	}
-	if len(zones) == 0 {
-		return nil, 0, nil
+	var probes []scanMemberCol
+	for name, texts := range members {
+		idx := schema.ColIndex(name)
+		if idx < 0 {
+			continue
+		}
+		probes = append(probes, scanMemberCol{col: idx, texts: texts})
+	}
+	if len(zones) == 0 && len(probes) == 0 {
+		return nil, 0, 0, nil
 	}
 	var skips map[string]map[int64]bool
-	var skipped int64
+	var skipped, bitmapHits int64
 	for _, f := range files {
 		stats, err := storage.ReadColStatsCached(fs, f)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		offsets, err := storage.ReadGroupIndexCached(fs, f)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
+		}
+		var bitmaps *storage.BitmapSidecar
+		if len(probes) > 0 {
+			if sc, ok, err := storage.ReadBitmapSidecarCached(fs, f); err != nil {
+				return nil, 0, 0, err
+			} else if ok {
+				bitmaps = sc
+			}
 		}
 		for g, stat := range stats {
-			if g >= len(offsets) || !stat.HasZone() {
+			if g >= len(offsets) {
 				continue
 			}
-			for _, z := range zones {
-				if z.col >= len(stat.Mins) {
-					continue
-				}
-				minV, err1 := storage.ParseValue(z.kind, stat.Mins[z.col])
-				maxV, err2 := storage.ParseValue(z.kind, stat.Maxs[z.col])
-				if err1 != nil || err2 != nil {
-					continue // unparseable zone: never skip on it
-				}
-				if dgf.ZoneDisjoint(minV, maxV, z.r) {
-					if skips == nil {
-						skips = map[string]map[int64]bool{}
+			skip, byBitmap := false, false
+			if stat.HasZone() {
+				for _, z := range zones {
+					if z.col >= len(stat.Mins) {
+						continue
 					}
-					if skips[f] == nil {
-						skips[f] = map[int64]bool{}
+					minV, err1 := storage.ParseValue(z.kind, stat.Mins[z.col])
+					maxV, err2 := storage.ParseValue(z.kind, stat.Maxs[z.col])
+					if err1 != nil || err2 != nil {
+						continue // unparseable zone: never skip on it
 					}
-					skips[f][offsets[g]] = true
-					skipped++
-					break
+					if dgf.ZoneDisjoint(minV, maxV, z.r) {
+						skip = true
+						break
+					}
+				}
+			}
+			if !skip && bitmaps != nil {
+				for _, p := range probes {
+					hit := false
+					covered := false
+					for _, text := range p.texts {
+						bs, ok := bitmaps.Lookup(p.col, text)
+						if !ok {
+							covered = false
+							break
+						}
+						covered = true
+						if bs.Has(g) {
+							hit = true
+							break
+						}
+					}
+					if covered && !hit {
+						skip, byBitmap = true, true
+						break
+					}
+				}
+			}
+			if skip {
+				if skips == nil {
+					skips = map[string]map[int64]bool{}
+				}
+				if skips[f] == nil {
+					skips[f] = map[int64]bool{}
+				}
+				skips[f][offsets[g]] = true
+				skipped++
+				if byBitmap {
+					bitmapHits++
 				}
 			}
 		}
 	}
-	return skips, skipped, nil
+	return skips, skipped, bitmapHits, nil
 }

@@ -49,6 +49,15 @@ type Table struct {
 	Dir string
 	// RowGroupRows sizes RCFile row groups.
 	RowGroupRows int
+	// RowGroupBytes, when positive, switches RCFile row-group sizing to a
+	// byte budget: a group is cut when its encoded payload reaches the
+	// budget, so dense (well-encoded) data packs more rows per group. The
+	// budget is inherited by a DGFIndex built on the table, persisted in its
+	// metadata, and honoured by later Appends.
+	RowGroupBytes int64
+	// DisableEncoding forces plain-text row groups (no dictionary/RLE column
+	// encoding); benchmarks use it to measure the unencoded baseline.
+	DisableEncoding bool
 	// PartitionBy names the partitioning column; data files then live under
 	// one "<col>=<value>" directory per distinct value (Hive partitioning,
 	// the paper's Section 2.2 "coarse-grained index"). Empty means
@@ -287,7 +296,8 @@ func (w *Warehouse) loadRowsLocked(t *Table, rows []storage.Row) error {
 	t.fileSeq++
 	switch t.Format {
 	case hiveindex.RCFile:
-		_, err := storage.WriteRCRows(w.FS, name, t.Schema, rows, t.RowGroupRows)
+		_, err := storage.WriteRCRowsOpts(w.FS, name, t.Schema, rows, t.RowGroupRows,
+			storage.RCWriteOptions{GroupBytes: t.RowGroupBytes, DisableEncoding: t.DisableEncoding})
 		return err
 	default:
 		return storage.WriteTextRows(w.FS, name, rows)
@@ -310,7 +320,8 @@ func (w *Warehouse) loadPartitionedLocked(t *Table, rows []storage.Row) error {
 		t.fileSeq++
 		var err error
 		if t.Format == hiveindex.RCFile {
-			_, err = storage.WriteRCRows(w.FS, name, t.Schema, part, t.RowGroupRows)
+			_, err = storage.WriteRCRowsOpts(w.FS, name, t.Schema, part, t.RowGroupRows,
+				storage.RCWriteOptions{GroupBytes: t.RowGroupBytes, DisableEncoding: t.DisableEncoding})
 		} else {
 			err = storage.WriteTextRows(w.FS, name, part)
 		}
@@ -443,7 +454,7 @@ func (w *Warehouse) buildDgfIndexLocked(t *Table, spec dgf.Spec) (*dgf.BuildStat
 	// row-group-granular slices and its reads push column projections down.
 	kv := kvstore.New()
 	dataDir := t.Dir + "_dgf"
-	src := dgf.Source{Dir: t.Dir, Format: t.Format, GroupRows: t.RowGroupRows}
+	src := dgf.Source{Dir: t.Dir, Format: t.Format, GroupRows: t.RowGroupRows, GroupBytes: t.RowGroupBytes}
 	ix, stats, err := dgf.Build(w.Cluster, w.FS, kv, spec, t.Schema, src, dataDir)
 	if err != nil {
 		return nil, err
@@ -488,9 +499,10 @@ func (w *Warehouse) buildHiveIndexStatsLocked(t *Table, name string, kind hivein
 		Name: name, Kind: kind,
 		BaseDir: t.Dir, BaseFormat: t.Format,
 		Schema: t.Schema, Cols: cols,
-		IndexDir:     path.Join(w.Root, "_idx_"+strings.ToLower(t.Name)+"_"+strings.ToLower(name)),
-		IndexFormat:  indexFormat,
-		RowGroupRows: t.RowGroupRows,
+		IndexDir:        path.Join(w.Root, "_idx_"+strings.ToLower(t.Name)+"_"+strings.ToLower(name)),
+		IndexFormat:     indexFormat,
+		RowGroupRows:    t.RowGroupRows,
+		DisableEncoding: t.DisableEncoding,
 	})
 	if err != nil {
 		return nil, 0, err

@@ -90,6 +90,11 @@ type Options struct {
 	IndexFormat Format
 	// RowGroupRows sizes RCFile row groups of the index table.
 	RowGroupRows int
+	// DisableEncoding writes the index table with plain-text row groups (no
+	// dictionary/RLE column encoding). The paper-scale experiments set it so
+	// Table 2's index-size comparison measures the same unencoded layout the
+	// paper measured.
+	DisableEncoding bool
 }
 
 // Index is a built Hive-style index.
@@ -234,6 +239,9 @@ func (ix *Index) writeIndexFile(fs *dfs.FS, task int, groups []mapreduce.Group) 
 	var rw *storage.RCWriter
 	if ix.IndexFormat == RCFile {
 		rw = storage.NewRCWriter(w, ix.indexSchema, ix.RowGroupRows)
+		if ix.DisableEncoding {
+			rw.DisableEncoding()
+		}
 	} else {
 		tw = storage.NewTextWriter(w)
 	}

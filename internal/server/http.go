@@ -34,18 +34,44 @@ type queryRequest struct {
 	Trace bool `json:"trace,omitempty"`
 }
 
-// queryStatsJSON renders hive.QueryStats in the paper's terms.
+// queryStatsJSON renders hive.QueryStats in the paper's terms, plus the
+// vectorised-path counters (omitted when zero / on the row path).
 type queryStatsJSON struct {
-	AccessPath  string  `json:"access_path,omitempty"`
-	IndexSimSec float64 `json:"index_sim_sec"`
-	DataSimSec  float64 `json:"data_sim_sec"`
-	SimTotalSec float64 `json:"sim_total_sec"`
-	RecordsRead int64   `json:"records_read"`
-	BytesRead   int64   `json:"bytes_read"`
-	Splits      int     `json:"splits"`
-	Seeks       int64   `json:"seeks"`
-	RowsOut     int     `json:"rows_out"`
-	WallMs      float64 `json:"wall_ms"`
+	AccessPath    string  `json:"access_path,omitempty"`
+	IndexSimSec   float64 `json:"index_sim_sec"`
+	DataSimSec    float64 `json:"data_sim_sec"`
+	SimTotalSec   float64 `json:"sim_total_sec"`
+	RecordsRead   int64   `json:"records_read"`
+	BytesRead     int64   `json:"bytes_read"`
+	Splits        int     `json:"splits"`
+	Seeks         int64   `json:"seeks"`
+	RowsOut       int     `json:"rows_out"`
+	WallMs        float64 `json:"wall_ms"`
+	Vectorized    bool    `json:"vectorized,omitempty"`
+	GroupsSkipped int64   `json:"groups_skipped,omitempty"`
+	BitmapHits    int64   `json:"bitmap_hits,omitempty"`
+	DictProbes    int64   `json:"dict_probes,omitempty"`
+	RunsSkipped   int64   `json:"runs_skipped,omitempty"`
+}
+
+func newQueryStatsJSON(s hive.QueryStats) queryStatsJSON {
+	return queryStatsJSON{
+		AccessPath:    s.AccessPath,
+		IndexSimSec:   s.IndexSimSec,
+		DataSimSec:    s.DataSimSec,
+		SimTotalSec:   s.SimTotalSec(),
+		RecordsRead:   s.RecordsRead,
+		BytesRead:     s.BytesRead,
+		Splits:        s.Splits,
+		Seeks:         s.Seeks,
+		RowsOut:       s.RowsOut,
+		WallMs:        float64(s.Wall.Microseconds()) / 1e3,
+		Vectorized:    s.Vectorized,
+		GroupsSkipped: s.GroupsSkipped,
+		BitmapHits:    s.BitmapHits,
+		DictProbes:    s.DictProbes,
+		RunsSkipped:   s.RunsSkipped,
+	}
 }
 
 type queryResponse struct {
@@ -163,18 +189,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Session:  resp.Session,
 		WallMs:   float64(resp.Wall.Microseconds()) / 1e3,
 		Trace:    resp.Trace,
-		Stats: queryStatsJSON{
-			AccessPath:  res.Stats.AccessPath,
-			IndexSimSec: res.Stats.IndexSimSec,
-			DataSimSec:  res.Stats.DataSimSec,
-			SimTotalSec: res.Stats.SimTotalSec(),
-			RecordsRead: res.Stats.RecordsRead,
-			BytesRead:   res.Stats.BytesRead,
-			Splits:      res.Stats.Splits,
-			Seeks:       res.Stats.Seeks,
-			RowsOut:     res.Stats.RowsOut,
-			WallMs:      float64(res.Stats.Wall.Microseconds()) / 1e3,
-		},
+		Stats:    newQueryStatsJSON(res.Stats),
 	}
 	for _, row := range res.Rows {
 		out.Rows = append(out.Rows, jsonRow(row))
@@ -247,18 +262,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request, req q
 		Done:     true,
 		RowCount: rows,
 		WallMs:   float64(time.Since(start).Microseconds()) / 1e3,
-		Stats: queryStatsJSON{
-			AccessPath:  stats.AccessPath,
-			IndexSimSec: stats.IndexSimSec,
-			DataSimSec:  stats.DataSimSec,
-			SimTotalSec: stats.SimTotalSec(),
-			RecordsRead: stats.RecordsRead,
-			BytesRead:   stats.BytesRead,
-			Splits:      stats.Splits,
-			Seeks:       stats.Seeks,
-			RowsOut:     stats.RowsOut,
-			WallMs:      float64(stats.Wall.Microseconds()) / 1e3,
-		},
+		Stats:    newQueryStatsJSON(stats),
 	}
 	if err := st.Err(); err != nil {
 		trailer.Done = false

@@ -17,10 +17,14 @@ import (
 // DGF segment writer for columns named in the 'bitmap' IDXPROPERTIES key,
 // and stored in a "_bitmaps" side file next to "_groups"/"_colstats".
 
-// bitmapCardinalityCap bounds distinct values tracked per column per file.
+// BitmapCardinalityCap bounds distinct values tracked per column per file.
 // A column that overflows it is dropped from the sidecar (no pruning, still
-// correct) — matching the "low-cardinality columns only" contract.
-const bitmapCardinalityCap = 4096
+// correct) — matching the "low-cardinality columns only" contract. Builders
+// surface the dropped columns (CREATE INDEX output, EXPLAIN's
+// bitmap_disabled) instead of failing.
+const BitmapCardinalityCap = 4096
+
+const bitmapCardinalityCap = BitmapCardinalityCap
 
 // Bitset is a fixed-purpose bitset over row-group ordinals.
 type Bitset struct {
@@ -84,10 +88,11 @@ func (s *BitmapSidecar) Lookup(col int, valueText string) (*Bitset, bool) {
 // bitmapBuilder accumulates per-group distinct values while an RCWriter
 // flushes groups, dropping any column that overflows the cardinality cap.
 type bitmapBuilder struct {
-	cols  []int
-	group int
-	cur   []map[string]struct{} // pending group's distinct values, per tracked col
-	out   map[int]map[string]*Bitset
+	cols    []int
+	group   int
+	cur     []map[string]struct{} // pending group's distinct values, per tracked col
+	out     map[int]map[string]*Bitset
+	dropped []int // column indices that overflowed the cardinality cap
 }
 
 func newBitmapBuilder(cols []int) *bitmapBuilder {
@@ -131,6 +136,7 @@ func (b *bitmapBuilder) cut() {
 		if len(vals) > bitmapCardinalityCap {
 			delete(b.out, c)
 			b.cols[i] = -1
+			b.dropped = append(b.dropped, c)
 		}
 	}
 	b.group++

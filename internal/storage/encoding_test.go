@@ -1,0 +1,412 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/dfs"
+)
+
+// encodableSchema shapes the dictionary/RLE test data: a unique id (stays
+// plain), a low-cardinality city (dictionary candidate), a day-major ts
+// (constant per group, RLE candidate) and a float reading.
+func encodableSchema() *Schema {
+	return NewSchema(
+		Column{"id", KindInt64},
+		Column{"city", KindString},
+		Column{"ts", KindTime},
+		Column{"val", KindFloat64},
+	)
+}
+
+var testCities = []string{"amsterdam", "berlin", "cairo", "delhi"}
+
+// encodableRows: with 16-row groups, city alternates through 4 values (dict
+// wins) and ts is constant within each group (one RLE run).
+func encodableRows(n int) []Row {
+	base := time.Date(2012, 12, 1, 0, 0, 0, 0, time.UTC)
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{
+			Int64(int64(i + 1)),
+			Str(testCities[i%len(testCities)]),
+			Time(base.AddDate(0, 0, i/16)),
+			Float64(float64(i) * 0.5),
+		}
+	}
+	return rows
+}
+
+// TestEncodedGroupsRoundTrip: dictionary and RLE columns decode back to the
+// exact source rows through both the row-at-a-time and the vectorised
+// readers, and the group stats record which encoding each column got.
+func TestEncodedGroupsRoundTrip(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	s := encodableSchema()
+	rows := encodableRows(64)
+	if _, err := WriteRCRows(fs, "/tbl/enc", s, rows, 16); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ReadColStats(fs, "/tbl/enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 4 {
+		t.Fatalf("got %d groups, want 4", len(stats))
+	}
+	for gi, g := range stats {
+		if g.Enc(0) != EncPlain || g.Enc(3) != EncPlain {
+			t.Errorf("group %d: unique columns encoded: id=%s val=%s",
+				gi, EncodingName(g.Enc(0)), EncodingName(g.Enc(3)))
+		}
+		if g.Enc(1) != EncDict {
+			t.Errorf("group %d: city encoding = %s, want dict", gi, EncodingName(g.Enc(1)))
+		}
+		if g.Enc(2) != EncRLE {
+			t.Errorf("group %d: ts encoding = %s, want rle", gi, EncodingName(g.Enc(2)))
+		}
+	}
+
+	offsets, err := ReadGroupIndex(fs, "/tbl/enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open("/tbl/enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := NewColumnBatch(s)
+	next := 0
+	for _, off := range offsets {
+		g, _, err := ReadGroupProjected(r, off, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.DecodeRows(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadGroupColumns(r, off, s, nil, batch); err != nil {
+			t.Fatal(err)
+		}
+		if batch.Rows != len(got) {
+			t.Fatalf("group %d: batch %d rows vs decode %d", off, batch.Rows, len(got))
+		}
+		for ri, row := range got {
+			want := rows[next]
+			next++
+			vec := batch.MaterialiseRow(ri)
+			for c := range row {
+				if Compare(row[c], want[c]) != 0 || row[c].Kind != want[c].Kind {
+					t.Fatalf("row decode: group %d row %d col %d: %v vs %v", off, ri, c, row[c], want[c])
+				}
+				if Compare(vec[c], want[c]) != 0 || vec[c].Kind != want[c].Kind {
+					t.Fatalf("vector decode: group %d row %d col %d: %v vs %v", off, ri, c, vec[c], want[c])
+				}
+			}
+		}
+		// The dictionary column decodes into codes + dictionary, not
+		// materialised strings; the RLE column records its run boundaries.
+		if batch.Cols[1].Enc != EncDict || len(batch.Cols[1].Dict) != len(testCities) || len(batch.Cols[1].Strs) != 0 {
+			t.Errorf("city vector: enc=%s dict=%d strs=%d, want dict/%d/0",
+				EncodingName(batch.Cols[1].Enc), len(batch.Cols[1].Dict), len(batch.Cols[1].Strs), len(testCities))
+		}
+		if batch.Cols[2].Enc != EncRLE || len(batch.Cols[2].RunEnds) != 1 {
+			t.Errorf("ts vector: enc=%s runs=%d, want rle/1",
+				EncodingName(batch.Cols[2].Enc), len(batch.Cols[2].RunEnds))
+		}
+	}
+	if next != len(rows) {
+		t.Fatalf("decoded %d rows, want %d", next, len(rows))
+	}
+}
+
+// TestEncodingShrinksColumns is the size half of the acceptance criterion:
+// the dictionary and RLE columns store at least 3x smaller than their plain
+// layout for low-cardinality / constant-run data.
+func TestEncodingShrinksColumns(t *testing.T) {
+	fs := dfs.New(1 << 22)
+	s := encodableSchema()
+	rows := encodableRows(4096)
+	if _, err := WriteRCRows(fs, "/tbl/enc", s, rows, 256); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteRCRowsOpts(fs, "/tbl/plain", s, rows, 256, RCWriteOptions{DisableEncoding: true}); err != nil {
+		t.Fatal(err)
+	}
+	colBytes := func(path string) ([]int64, int64) {
+		t.Helper()
+		stats, err := ReadColStats(fs, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums := make([]int64, s.Len())
+		for _, g := range stats {
+			for c, l := range g.ColLens {
+				sums[c] += l
+			}
+		}
+		return sums, int64(len(stats))
+	}
+	enc, groups := colBytes("/tbl/enc")
+	plain, _ := colBytes("/tbl/plain")
+	for _, c := range []int{1, 2} { // city (dict), ts (rle)
+		if enc[c]*3 > plain[c] {
+			t.Errorf("column %s: encoded %d bytes vs plain %d, want >= 3x smaller",
+				s.Cols[c].Name, enc[c], plain[c])
+		}
+	}
+	// The unencodable columns must not grow beyond the one tag byte each
+	// column of an encoded ('E') group carries.
+	for _, c := range []int{0, 3} {
+		if enc[c] > plain[c]+groups {
+			t.Errorf("column %s: %d bytes encoded vs %d plain (+%d tag bytes allowed)",
+				s.Cols[c].Name, enc[c], plain[c], groups)
+		}
+	}
+}
+
+// TestUnencodableDataBitIdentical: data where plain wins every column (unique
+// strings, unit-run numerics) produces byte-identical files with and without
+// encoding enabled — the legacy 'R' layout is preserved exactly.
+func TestUnencodableDataBitIdentical(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	s := meterSchema()
+	rows := sampleRows(40)
+	if _, err := WriteRCRows(fs, "/tbl/auto", s, rows, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteRCRowsOpts(fs, "/tbl/off", s, rows, 16, RCWriteOptions{DisableEncoding: true}); err != nil {
+		t.Fatal(err)
+	}
+	auto, err := fs.ReadFile("/tbl/auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := fs.ReadFile("/tbl/off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(auto, off) {
+		t.Fatal("all-plain data files differ between encoding on and off")
+	}
+	stats, err := ReadColStats(fs, "/tbl/auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, g := range stats {
+		for c := 0; c < s.Len(); c++ {
+			if g.Enc(c) != EncPlain {
+				t.Errorf("group %d col %d claims %s on unencodable data", gi, c, EncodingName(g.Enc(c)))
+			}
+		}
+	}
+}
+
+// TestColStatsV3EncodingRoundTrip: the v3 colstats sidecar carries the
+// per-group encoding tags through a write/read cycle, including groups
+// without encodings interleaved with encoded ones.
+func TestColStatsV3EncodingRoundTrip(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	s := encodableSchema()
+	if _, err := WriteRCRows(fs, "/tbl/enc", s, encodableRows(48), 16); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ReadColStats(fs, "/tbl/enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a hand-built plain group (nil Encs) and round-trip the mix.
+	mixed := append(append([]GroupStat{}, stats...),
+		GroupStat{Rows: 4, ColLens: []int64{1, 2, 3, 4}})
+	if err := WriteColStats(fs, "/tbl/mixed", mixed); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadColStats(fs, "/tbl/mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(mixed) {
+		t.Fatalf("got %d groups, want %d", len(back), len(mixed))
+	}
+	for gi, g := range back {
+		for c := 0; c < s.Len(); c++ {
+			if g.Enc(c) != mixed[gi].Enc(c) {
+				t.Errorf("group %d col %d: enc %s, want %s",
+					gi, c, EncodingName(g.Enc(c)), EncodingName(mixed[gi].Enc(c)))
+			}
+		}
+		if g.HasZone() != mixed[gi].HasZone() {
+			t.Errorf("group %d: zone flag flipped", gi)
+		}
+	}
+}
+
+// TestLegacyColStatsWithEncodedData is the compatibility criterion: a legacy
+// v1 sidecar (no zones, no encodings) paired with an encoded data file still
+// reads exactly — the data file is self-describing — and reports no zones, so
+// planners can never skip on stale metadata.
+func TestLegacyColStatsWithEncodedData(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	s := encodableSchema()
+	rows := encodableRows(48)
+	if _, err := WriteRCRows(fs, "/tbl/enc", s, rows, 16); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ReadColStats(fs, "/tbl/enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the sidecar in the v1 layout: rows, colCount, lens — no magic,
+	// no zones, no encodings.
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:n])
+	}
+	for _, g := range stats {
+		put(uint64(g.Rows))
+		put(uint64(len(g.ColLens)))
+		for _, l := range g.ColLens {
+			put(uint64(l))
+		}
+	}
+	if err := fs.Remove(ColStatsPath("/tbl/enc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ColStatsPath("/tbl/enc"), buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := ReadColStats(fs, "/tbl/enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, g := range legacy {
+		if g.HasZone() {
+			t.Errorf("v1 group %d claims a zone map", gi)
+		}
+		if g.Encs != nil {
+			t.Errorf("v1 group %d claims encodings", gi)
+		}
+		if g.Rows != stats[gi].Rows {
+			t.Errorf("v1 group %d rows %d, want %d", gi, g.Rows, stats[gi].Rows)
+		}
+	}
+	// The data still decodes bit-identically: encodings live in the file.
+	offsets, err := ReadGroupIndex(fs, "/tbl/enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open("/tbl/enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for _, off := range offsets {
+		g, _, err := ReadGroupProjected(r, off, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.DecodeRows(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range got {
+			for c := range row {
+				if Compare(row[c], rows[next][c]) != 0 {
+					t.Fatalf("row %d col %d: %v vs %v", next, c, row[c], rows[next][c])
+				}
+			}
+			next++
+		}
+	}
+	if next != len(rows) {
+		t.Fatalf("decoded %d rows, want %d", next, len(rows))
+	}
+}
+
+// TestGroupBytesBudget: a byte budget cuts groups when the pending payload
+// reaches it, regardless of the row-count ceiling, and the file reads back
+// complete.
+func TestGroupBytesBudget(t *testing.T) {
+	fs := dfs.New(1 << 20)
+	s := encodableSchema()
+	rows := encodableRows(256)
+	if _, err := WriteRCRowsOpts(fs, "/tbl/budget", s, rows, 1<<20, RCWriteOptions{GroupBytes: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ReadColStats(fs, "/tbl/budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) < 2 {
+		t.Fatalf("byte budget produced %d groups, want several", len(stats))
+	}
+	total := 0
+	for _, g := range stats {
+		total += g.Rows
+	}
+	if total != len(rows) {
+		t.Fatalf("groups hold %d rows, want %d", total, len(rows))
+	}
+	// Every full group stays in the budget's neighbourhood: the cut happens
+	// at the first row that reaches the budget, so no group doubles it.
+	for gi, g := range stats[:len(stats)-1] {
+		var raw int64
+		for _, l := range g.ColLens {
+			raw += l
+		}
+		if raw > 2*2048 {
+			t.Errorf("group %d holds %d payload bytes, far over the 2048 budget", gi, raw)
+		}
+	}
+	back, err := ReadRCRows(fs, "/tbl/budget", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("read %d rows, want %d", len(back), len(rows))
+	}
+	for i := range back {
+		for c := range back[i] {
+			if Compare(back[i][c], rows[i][c]) != 0 {
+				t.Fatalf("row %d col %d: %v vs %v", i, c, back[i][c], rows[i][c])
+			}
+		}
+	}
+}
+
+// BenchmarkEncodedDecode compares the vectorised group decode over encoded
+// and plain layouts of the same low-cardinality data.
+func BenchmarkEncodedDecode(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"encoded", false}, {"plain", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			fs := dfs.New(1 << 24)
+			s := encodableSchema()
+			rows := encodableRows(1024)
+			path := fmt.Sprintf("/tbl/bench-%s", mode.name)
+			if _, err := WriteRCRowsOpts(fs, path, s, rows, 1024, RCWriteOptions{DisableEncoding: mode.disable}); err != nil {
+				b.Fatal(err)
+			}
+			r, err := fs.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := NewColumnBatch(s)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ReadGroupColumns(r, 0, s, nil, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

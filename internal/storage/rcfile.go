@@ -38,14 +38,18 @@ type RCWriter struct {
 	w            *dfs.FileWriter
 	schema       *Schema
 	groupRows    int
+	groupBytes   int64    // flush when pending payload bytes reach this (0 = rows only)
 	cols         [][]byte // pending column payloads
 	pending      int      // rows buffered
+	pendingBytes int64    // plain payload bytes buffered
 	off          int64    // file offset of the next group to be flushed
 	groupOffsets []int64
 	groupStats   []GroupStat
 	mins, maxs   []Value // running per-column min/max of the pending group
 	statsInit    bool
 	bm           *bitmapBuilder // optional per-group value bitmaps
+	noEncode     bool
+	cellScratch  []rawCell
 }
 
 // NewRCWriter creates a writer; groupRows <= 0 selects DefaultRowGroupRows.
@@ -63,6 +67,18 @@ func NewRCWriter(w *dfs.FileWriter, schema *Schema, groupRows int) *RCWriter {
 		off:       w.Size(),
 	}
 }
+
+// SetGroupBytes switches the writer to adaptive row-group sizing: a group
+// flushes once its buffered plain payload reaches budget bytes (measured
+// column widths, not a fixed row count), with groupRows still capping the
+// row count. Readers need no signal — the exact group boundaries are
+// persisted in the "_groups" side file as always. budget <= 0 keeps the
+// row-count-only behaviour.
+func (w *RCWriter) SetGroupBytes(budget int64) { w.groupBytes = budget }
+
+// DisableEncoding forces every flushed group into the legacy plain-text 'R'
+// layout (benchmark baselines and compatibility tests).
+func (w *RCWriter) DisableEncoding() { w.noEncode = true }
 
 // TrackBitmaps turns on per-group value-bitmap accumulation for the given
 // column indices; the collected BitmapSidecar is available after Close.
@@ -82,6 +98,16 @@ func (w *RCWriter) BitmapSidecar() (*BitmapSidecar, bool) {
 	return w.bm.sidecar()
 }
 
+// BitmapOverflows returns the tracked column indices whose distinct-value
+// count exceeded BitmapCardinalityCap: their sidecars were dropped and
+// equality/membership probes on them fall back to zone maps only.
+func (w *RCWriter) BitmapOverflows() []int {
+	if w.bm == nil {
+		return nil
+	}
+	return w.bm.dropped
+}
+
 // Offset returns the file offset of the row group that the *next* written
 // row will belong to. This is the offset Hive's indexes record for a row.
 func (w *RCWriter) Offset() int64 { return w.off }
@@ -96,10 +122,12 @@ func (w *RCWriter) WriteRow(row Row) error {
 		return fmt.Errorf("storage: row has %d fields, schema wants %d", len(row), w.schema.Len())
 	}
 	for i, v := range row {
+		before := len(w.cols[i])
 		if w.pending > 0 {
 			w.cols[i] = append(w.cols[i], '\n')
 		}
 		w.cols[i] = v.AppendText(w.cols[i])
+		w.pendingBytes += int64(len(w.cols[i]) - before)
 	}
 	if !w.statsInit {
 		copy(w.mins, row)
@@ -119,7 +147,7 @@ func (w *RCWriter) WriteRow(row Row) error {
 		w.bm.observe(row)
 	}
 	w.pending++
-	if w.pending >= w.groupRows {
+	if w.pending >= w.groupRows || (w.groupBytes > 0 && w.pendingBytes >= w.groupBytes) {
 		return w.flushGroup()
 	}
 	return nil
@@ -129,8 +157,29 @@ func (w *RCWriter) flushGroup() error {
 	if w.pending == 0 {
 		return nil
 	}
+	// Pick the cheapest per-column representation. The group stays in the
+	// legacy 'R' layout (no tags) when every column is plain, so data the
+	// encodings cannot compress round-trips bit-identically with files
+	// written before encodings existed.
+	tags := make([]byte, len(w.cols))
+	bodies := make([][]byte, len(w.cols))
+	encoded := false
+	for i := range w.cols {
+		tags[i], bodies[i] = EncPlain, w.cols[i]
+		if !w.noEncode {
+			w.cellScratch = splitRawCells(w.cols[i], w.pending, w.cellScratch)
+			tags[i], bodies[i] = encodeColumnBody(w.schema.Col(i).Kind, w.cols[i], w.pending, w.cellScratch)
+			if tags[i] != EncPlain {
+				encoded = true
+			}
+		}
+	}
 	var buf bytes.Buffer
-	buf.WriteByte(rcMagic)
+	if encoded {
+		buf.WriteByte(rcEncodedMagic)
+	} else {
+		buf.WriteByte(rcMagic)
+	}
 	var tmp [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(tmp[:], uint64(w.pending))
 	buf.Write(tmp[:n])
@@ -142,11 +191,21 @@ func (w *RCWriter) flushGroup() error {
 		Mins:    make([]string, len(w.cols)),
 		Maxs:    make([]string, len(w.cols)),
 	}
+	if encoded {
+		stat.Encs = tags
+	}
 	for i := range w.cols {
-		n = binary.PutUvarint(tmp[:], uint64(len(w.cols[i])))
+		plen := len(bodies[i])
+		if encoded {
+			plen++ // the encoding tag byte is part of the payload
+		}
+		n = binary.PutUvarint(tmp[:], uint64(plen))
 		buf.Write(tmp[:n])
-		buf.Write(w.cols[i])
-		stat.ColLens[i] = int64(len(w.cols[i]))
+		if encoded {
+			buf.WriteByte(tags[i])
+		}
+		buf.Write(bodies[i])
+		stat.ColLens[i] = int64(plen)
 		stat.Mins[i] = w.mins[i].String()
 		stat.Maxs[i] = w.maxs[i].String()
 		w.cols[i] = w.cols[i][:0]
@@ -161,6 +220,7 @@ func (w *RCWriter) flushGroup() error {
 	}
 	w.off += int64(buf.Len())
 	w.pending = 0
+	w.pendingBytes = 0
 	w.statsInit = false
 	return nil
 }
@@ -190,7 +250,16 @@ type RowGroup struct {
 	Offset  int64
 	Size    int64 // encoded size in bytes
 	Rows    int
-	columns [][]byte // raw column payloads; values split lazily
+	columns [][]byte // raw column payload bodies; values split lazily
+	encs    []byte   // per-column encoding tags; nil for legacy 'R' groups
+}
+
+// Enc returns column i's encoding tag (EncPlain for legacy 'R' groups).
+func (g *RowGroup) Enc(i int) byte {
+	if g.encs == nil {
+		return EncPlain
+	}
+	return g.encs[i]
 }
 
 // Column returns the text values of column i, one per row. Column panics for
@@ -202,15 +271,14 @@ func (g *RowGroup) Column(i int) []string {
 	if g.columns[i] == nil {
 		panic(fmt.Sprintf("storage: column %d was not read (projected row group)", i))
 	}
-	payload := g.columns[i]
 	out := make([]string, 0, g.Rows)
-	start := 0
-	for j := 0; j+1 < g.Rows; j++ {
-		k := bytes.IndexByte(payload[start:], '\n')
-		out = append(out, string(payload[start:start+k]))
-		start += k + 1
+	err := forEachCell(g.Enc(i), g.columns[i], g.Rows, func(r int, field string) error {
+		out = append(out, field)
+		return nil
+	})
+	if err != nil {
+		panic(err)
 	}
-	out = append(out, string(payload[start:]))
 	return out
 }
 
@@ -250,7 +318,7 @@ func (g *RowGroup) DecodeRowsProjected(schema *Schema, project []bool) ([]Row, e
 		if g.columns[c] == nil {
 			panic(fmt.Sprintf("storage: column %d was not read (projected row group)", c))
 		}
-		err := forEachField(string(g.columns[c]), g.Rows, func(r int, field string) error {
+		err := forEachCell(g.Enc(c), g.columns[c], g.Rows, func(r int, field string) error {
 			switch kind {
 			case KindInt64:
 				if n, ok := parseIntStr(field); ok {
@@ -347,9 +415,10 @@ func ReadGroupProjected(r *dfs.FileReader, offset int64, project []bool) (*RowGr
 		return nil, 0, fmt.Errorf("storage: rcfile header at %d: %w", offset, err)
 	}
 	hdr = hdr[:n]
-	if hdr[0] != rcMagic {
+	if hdr[0] != rcMagic && hdr[0] != rcEncodedMagic {
 		return nil, 0, fmt.Errorf("storage: bad rcfile magic %q at offset %d", hdr[0], offset)
 	}
+	encoded := hdr[0] == rcEncodedMagic
 	p := 1
 	rowCount, w := binary.Uvarint(hdr[p:])
 	if w <= 0 {
@@ -363,6 +432,9 @@ func ReadGroupProjected(r *dfs.FileReader, offset int64, project []bool) (*RowGr
 	p += w
 
 	g := &RowGroup{Offset: offset, Rows: int(rowCount), columns: make([][]byte, colCount)}
+	if encoded {
+		g.encs = make([]byte, colCount)
+	}
 	pos := offset + int64(p)
 	read := int64(p)
 	for c := 0; c < int(colCount); c++ {
@@ -388,6 +460,14 @@ func ReadGroupProjected(r *dfs.FileReader, offset int64, project []bool) (*RowGr
 			if _, err := r.ReadAt(payload, pos); err != nil && err != io.EOF {
 				return nil, 0, err
 			}
+		}
+		if encoded {
+			// Encoded payloads open with their one-byte encoding tag.
+			if plen == 0 {
+				return nil, 0, fmt.Errorf("storage: encoded rcfile column %d has empty payload", c)
+			}
+			g.encs[c] = payload[0]
+			payload = payload[1:]
 		}
 		g.columns[c] = payload
 		pos += int64(plen)
@@ -459,10 +539,22 @@ type GroupStat struct {
 	ColLens []int64
 	Mins    []string
 	Maxs    []string
+	// Encs holds the group's per-column encoding tags (EncPlain/EncDict/
+	// EncRLE); nil for plain 'R' groups and stats written before encodings
+	// existed (colstats v1/v2).
+	Encs []byte
 }
 
 // HasZone reports whether the group carries a zone map.
 func (g GroupStat) HasZone() bool { return len(g.Mins) == len(g.ColLens) && len(g.Mins) > 0 }
+
+// Enc returns column c's encoding tag (EncPlain when the group is plain).
+func (g GroupStat) Enc(c int) byte {
+	if g.Encs == nil {
+		return EncPlain
+	}
+	return g.Encs[c]
+}
 
 func uvarintLen(v uint64) int64 {
 	var tmp [binary.MaxVarintLen64]byte
@@ -502,8 +594,9 @@ func ColStatsPath(dataPath string) string { return sideFilePath(dataPath, "_cols
 const colStatsV2Magic = 0x00
 
 // WriteColStats persists the per-group statistics of the RCFile at dataPath.
-// The v2 encoding adds per-group zone maps; ReadColStats still understands
-// the legacy (lengths-only) stream for files written before zone maps.
+// The v3 encoding carries zone maps (added in v2) plus per-group column
+// encoding tags; ReadColStats still understands v2 and the legacy
+// (lengths-only) v1 stream for files written before either existed.
 func WriteColStats(fs *dfs.FS, dataPath string, stats []GroupStat) error {
 	var buf bytes.Buffer
 	var tmp [binary.MaxVarintLen64]byte
@@ -516,7 +609,7 @@ func WriteColStats(fs *dfs.FS, dataPath string, stats []GroupStat) error {
 		buf.WriteString(s)
 	}
 	buf.WriteByte(colStatsV2Magic)
-	buf.WriteByte(2) // version
+	buf.WriteByte(3) // version
 	for _, g := range stats {
 		put(uint64(g.Rows))
 		put(uint64(len(g.ColLens)))
@@ -532,6 +625,12 @@ func WriteColStats(fs *dfs.FS, dataPath string, stats []GroupStat) error {
 		} else {
 			buf.WriteByte(0)
 		}
+		if len(g.Encs) == len(g.ColLens) && len(g.Encs) > 0 {
+			buf.WriteByte(1)
+			buf.Write(g.Encs)
+		} else {
+			buf.WriteByte(0)
+		}
 	}
 	return fs.WriteFile(ColStatsPath(dataPath), buf.Bytes())
 }
@@ -544,11 +643,12 @@ func ReadColStats(fs *dfs.FS, dataPath string) ([]GroupStat, error) {
 	if err != nil {
 		return nil, err
 	}
-	v2 := len(data) > 0 && data[0] == colStatsV2Magic
-	if v2 {
-		if len(data) < 2 || data[1] != 2 {
+	version := byte(1)
+	if len(data) > 0 && data[0] == colStatsV2Magic {
+		if len(data) < 2 || data[1] < 2 || data[1] > 3 {
 			return nil, fmt.Errorf("storage: unknown column stats version for %s", dataPath)
 		}
+		version = data[1]
 		data = data[2:]
 	}
 	next := func() (uint64, error) {
@@ -589,7 +689,7 @@ func ReadColStats(fs *dfs.FS, dataPath string) ([]GroupStat, error) {
 			}
 			g.ColLens[c] = int64(l)
 		}
-		if v2 {
+		if version >= 2 {
 			if len(data) == 0 {
 				return nil, fmt.Errorf("storage: corrupt column stats for %s", dataPath)
 			}
@@ -608,18 +708,51 @@ func ReadColStats(fs *dfs.FS, dataPath string) ([]GroupStat, error) {
 				}
 			}
 		}
+		if version >= 3 {
+			if len(data) == 0 {
+				return nil, fmt.Errorf("storage: corrupt column stats for %s", dataPath)
+			}
+			hasEncs := data[0] == 1
+			data = data[1:]
+			if hasEncs {
+				if uint64(len(data)) < cols {
+					return nil, fmt.Errorf("storage: corrupt column stats for %s", dataPath)
+				}
+				g.Encs = append([]byte(nil), data[:cols]...)
+				data = data[cols:]
+			}
+		}
 		out = append(out, g)
 	}
 	return out, nil
 }
 
+// RCWriteOptions tunes WriteRCRowsOpts.
+type RCWriteOptions struct {
+	// GroupBytes switches row-group sizing to a byte budget (0 = row count).
+	GroupBytes int64
+	// DisableEncoding writes plain-text row groups unconditionally.
+	DisableEncoding bool
+}
+
 // WriteRCRows writes rows to a new RCFile at path.
 func WriteRCRows(fs *dfs.FS, path string, schema *Schema, rows []Row, groupRows int) ([]int64, error) {
+	return WriteRCRowsOpts(fs, path, schema, rows, groupRows, RCWriteOptions{})
+}
+
+// WriteRCRowsOpts is WriteRCRows with writer options.
+func WriteRCRowsOpts(fs *dfs.FS, path string, schema *Schema, rows []Row, groupRows int, opts RCWriteOptions) ([]int64, error) {
 	w, err := fs.Create(path)
 	if err != nil {
 		return nil, err
 	}
 	rw := NewRCWriter(w, schema, groupRows)
+	if opts.GroupBytes > 0 {
+		rw.SetGroupBytes(opts.GroupBytes)
+	}
+	if opts.DisableEncoding {
+		rw.DisableEncoding()
+	}
 	for _, r := range rows {
 		if err := rw.WriteRow(r); err != nil {
 			return nil, err

@@ -201,6 +201,21 @@ type SegmentWriterOptions struct {
 	// BitmapCols lists the column indices to build per-group value bitmaps
 	// for (RCFile only; persisted as a "_bitmaps" sidecar on Close).
 	BitmapCols []int
+	// GroupBytes switches RCFile row-group sizing to a byte budget measured
+	// from the incoming rows' column widths; Cut still lands slice
+	// boundaries exactly, and the resulting variable group boundaries are
+	// persisted in "_groups" as always. 0 keeps row-count sizing.
+	GroupBytes int64
+	// DisableEncoding writes plain-text row groups even where dictionary or
+	// run-length encoding would be smaller (baselines, compat tests).
+	DisableEncoding bool
+}
+
+// BitmapOverflowReporter is implemented by segment writers that can report,
+// after Close, which bitmap-tracked columns were dropped for exceeding
+// BitmapCardinalityCap.
+type BitmapOverflowReporter interface {
+	BitmapOverflows() []int
 }
 
 // NewSegmentWriter creates the file at path and returns a writer for the
@@ -218,6 +233,12 @@ func NewSegmentWriterOpts(fs *dfs.FS, path string, schema *Schema, format Format
 	if format == RCFile {
 		rw := NewRCWriter(w, schema, groupRows)
 		rw.TrackBitmaps(opts.BitmapCols)
+		if opts.GroupBytes > 0 {
+			rw.SetGroupBytes(opts.GroupBytes)
+		}
+		if opts.DisableEncoding {
+			rw.DisableEncoding()
+		}
 		return &rcSegmentWriter{fs: fs, path: path, schema: schema, rw: rw}, nil
 	}
 	return &textSegmentWriter{tw: NewTextWriter(w)}, nil
@@ -249,6 +270,10 @@ func (t *rcSegmentWriter) WriteRecord(line []byte) error {
 
 func (t *rcSegmentWriter) Offset() int64 { return t.rw.Offset() }
 func (t *rcSegmentWriter) Cut() error    { return t.rw.Flush() }
+
+// BitmapOverflows reports the bitmap columns the writer dropped for
+// exceeding the cardinality cap.
+func (t *rcSegmentWriter) BitmapOverflows() []int { return t.rw.BitmapOverflows() }
 
 func (t *rcSegmentWriter) Close() error {
 	if err := t.rw.Close(); err != nil {

@@ -19,6 +19,14 @@ import (
 // ColumnVector holds one column of a decoded row group in its natural
 // representation: int64 for bigint and timestamp columns, float64 for
 // double, string for string. Only the slice matching Kind is populated.
+//
+// Encoded columns keep their encoded shape instead of expanding to one
+// value per row where that wins work: a dictionary column (Enc == EncDict)
+// fills Dict and Codes and leaves Strs empty — predicate kernels compare
+// codes against one binary search of the dictionary instead of per-row
+// strings. A run-length column (Enc == EncRLE) expands into the typed slice
+// (one parse per run) and additionally records the run boundaries in
+// RunEnds so kernels can accept or reject whole runs.
 type ColumnVector struct {
 	Kind Kind
 	// Valid is false for columns the projection skipped; their slices are
@@ -27,6 +35,15 @@ type ColumnVector struct {
 	Ints   []int64
 	Floats []float64
 	Strs   []string
+	// Enc is the column's storage encoding for this group.
+	Enc byte
+	// Dict and Codes carry a dictionary column: Dict is sorted ascending,
+	// Codes holds one dictionary ordinal per row.
+	Dict  []string
+	Codes []uint32
+	// RunEnds holds the exclusive end row of each run of a run-length
+	// column (empty otherwise).
+	RunEnds []int32
 }
 
 // Value materialises cell row of the vector (zero value when !Valid).
@@ -38,6 +55,9 @@ func (v *ColumnVector) Value(row int) Value {
 	case KindFloat64:
 		return Float64(v.Floats[row])
 	case KindString:
+		if v.Enc == EncDict {
+			return Str(v.Dict[v.Codes[row]])
+		}
 		return Str(v.Strs[row])
 	case KindTime:
 		return TimeUnix(v.Ints[row])
@@ -144,13 +164,44 @@ func forEachField(payload string, rows int, fn func(r int, field string) error) 
 	return nil
 }
 
-// decodeColumn fills vector v from the column's raw payload, reusing its
-// backing arrays. The payload is copied into one string per column; every
-// cell then parses from a substring of it, so the per-cell loop does not
+// decodeColumn fills vector v from the column's raw payload body under its
+// encoding tag, reusing the vector's backing arrays. The payload is copied
+// into one string per column; every cell (or dictionary entry, or run
+// value) then parses from a substring of it, so the per-cell loop does not
 // allocate for any column kind.
-func decodeColumn(v *ColumnVector, payload []byte, rows int) error {
+func decodeColumn(v *ColumnVector, enc byte, payload []byte, rows int) error {
 	v.Valid = true
+	v.Enc = enc
+	v.Dict, v.Codes, v.RunEnds = v.Dict[:0], v.Codes[:0], v.RunEnds[:0]
 	text := string(payload)
+	switch enc {
+	case EncDict:
+		if v.Kind != KindString {
+			return fmt.Errorf("storage: dictionary encoding on non-string column")
+		}
+		var pos int
+		var err error
+		v.Dict, pos, err = dictHeader(text, v.Dict)
+		if err != nil {
+			return err
+		}
+		if cap(v.Codes) < rows {
+			v.Codes = make([]uint32, rows)
+		}
+		v.Codes = v.Codes[:rows]
+		for r := 0; r < rows; r++ {
+			code, w := uvarintStr(text, pos)
+			if w <= 0 || code >= uint64(len(v.Dict)) {
+				return fmt.Errorf("storage: corrupt dictionary column")
+			}
+			v.Codes[r] = uint32(code)
+			pos += w
+		}
+		v.Strs = v.Strs[:0]
+		return nil
+	case EncRLE:
+		return v.decodeRLE(text, rows)
+	}
 	switch v.Kind {
 	case KindFloat64:
 		if cap(v.Floats) < rows {
@@ -211,6 +262,85 @@ func decodeColumn(v *ColumnVector, payload []byte, rows int) error {
 	}
 }
 
+// decodeRLE expands a run-length body into the vector's typed slice — one
+// parse per run, not per row — and records run boundaries in RunEnds.
+func (v *ColumnVector) decodeRLE(text string, rows int) error {
+	switch v.Kind {
+	case KindFloat64:
+		if cap(v.Floats) < rows {
+			v.Floats = make([]float64, rows)
+		}
+		v.Floats = v.Floats[:rows]
+	case KindString:
+		if cap(v.Strs) < rows {
+			v.Strs = make([]string, rows)
+		}
+		v.Strs = v.Strs[:rows]
+	default:
+		if cap(v.Ints) < rows {
+			v.Ints = make([]int64, rows)
+		}
+		v.Ints = v.Ints[:rows]
+	}
+	pos, r := 0, 0
+	for r < rows {
+		count, w := uvarintStr(text, pos)
+		if w <= 0 {
+			return fmt.Errorf("storage: corrupt run-length column")
+		}
+		pos += w
+		l, w := uvarintStr(text, pos)
+		if w <= 0 || pos+w+int(l) > len(text) {
+			return fmt.Errorf("storage: corrupt run-length column")
+		}
+		pos += w
+		val := text[pos : pos+int(l)]
+		pos += int(l)
+		end := r + int(count)
+		if end > rows {
+			end = rows
+		}
+		switch v.Kind {
+		case KindFloat64:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return fmt.Errorf("storage: parse double %q: %w", val, err)
+			}
+			for ; r < end; r++ {
+				v.Floats[r] = f
+			}
+		case KindString:
+			for ; r < end; r++ {
+				v.Strs[r] = val
+			}
+		case KindTime:
+			n, ok := parseIntStr(val)
+			if !ok {
+				if n, ok = parseTimeStr(val); !ok {
+					pv, err := ParseTime(val)
+					if err != nil {
+						return err
+					}
+					n = pv.I
+				}
+			}
+			for ; r < end; r++ {
+				v.Ints[r] = n
+			}
+		default:
+			n, ok := parseIntStr(val)
+			if !ok {
+				return fmt.Errorf("storage: parse bigint %q", val)
+			}
+			for ; r < end; r++ {
+				v.Ints[r] = n
+			}
+		}
+		v.RunEnds = append(v.RunEnds, int32(end))
+	}
+	return nil
+}
+
 // ReadGroupColumns decodes the row group starting at offset into batch,
 // fetching and decoding only the columns whose project flag is set (nil
 // decodes all). The batch's vectors are reused across calls. The returned
@@ -229,10 +359,12 @@ func ReadGroupColumns(r *dfs.FileReader, offset int64, schema *Schema, project [
 		v.Kind = schema.Col(c).Kind
 		if g.columns[c] == nil {
 			v.Valid = false
+			v.Enc = EncPlain
 			v.Ints, v.Floats, v.Strs = v.Ints[:0], v.Floats[:0], v.Strs[:0]
+			v.Dict, v.Codes, v.RunEnds = v.Dict[:0], v.Codes[:0], v.RunEnds[:0]
 			continue
 		}
-		if err := decodeColumn(v, g.columns[c], g.Rows); err != nil {
+		if err := decodeColumn(v, g.Enc(c), g.columns[c], g.Rows); err != nil {
 			return 0, fmt.Errorf("storage: group at %d column %d: %w", offset, c, err)
 		}
 	}
