@@ -8,6 +8,7 @@
 //	dgfserver -demo -addr :8080
 //	dgfserver -demo -shards 4 -shard-key userId -addr :8080
 //	dgfserver -demo -shards 4 -replicas 2 -addr :8080   # per-shard failover
+//	dgfserver -demo -shards 4 -replicas 2 -wal-dir /tmp/dgf-wal -fsync interval   # durable ingest
 //
 // then query it:
 //
@@ -22,6 +23,10 @@
 //
 //	curl -s 'localhost:8080/load' --data '{"table":"meterdata",
 //	  "rows":[[17,1,"2013-01-01 00:15:00",1.25]]}'
+//
+// With -wal-dir set, /load acks once the rows are durable in every live
+// replica's log ("durability":"logged"); add ?sync=1 to wait until they are
+// applied and queryable.
 //
 // SIGINT/SIGTERM drains in-flight queries before exiting; SIGQUIT dumps the
 // slow-query flight recorder to the log and keeps serving.
@@ -65,6 +70,9 @@ func main() {
 	shardKey := flag.String("shard-key", "userId", "routing column for sharded mode")
 	shardStrategy := flag.String("shard-strategy", "hash", "shard routing: hash or range")
 	shardBounds := flag.String("shard-bounds", "", "comma-separated ascending split points for range routing (shards-1 values; -demo derives them when omitted)")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory; enables durable ingest (loads ack once logged, appliers drain in the background, revived replicas catch up by log replay)")
+	fsync := flag.String("fsync", "interval", "WAL append durability: always, interval, or off (with -wal-dir)")
+	maxLoadBytes := flag.Int64("max-load-bytes", 32<<20, "largest accepted POST /load body in bytes (negative = unlimited)")
 	demo := flag.Bool("demo", false, "preload generated meter data with a DGFIndex")
 	demoUsers := flag.Int("demo-users", 2000, "users in the demo dataset")
 	drainWait := flag.Duration("drain", 30*time.Second, "max wait for in-flight queries on shutdown")
@@ -75,7 +83,9 @@ func main() {
 	cc := dgfindex.DefaultCluster().Scaled(500000)
 	var be dgfindex.Backend
 	var demoTarget backend
-	if *shards > 1 || *replicas > 1 {
+	if *shards > 1 || *replicas > 1 || *walDir != "" {
+		// Durable ingest needs the shard router's WAL surface, so -wal-dir
+		// forces the fleet path even for a single shard.
 		strategy, err := dgfindex.ParseShardStrategy(*shardStrategy)
 		if err != nil {
 			log.Fatal(err)
@@ -111,7 +121,16 @@ func main() {
 		SimPacing:      *pacing,
 		SlowQueryMs:    *slowMs,
 		TraceRingSize:  *traceRing,
+		WALDir:         *walDir,
+		FsyncPolicy:    *fsync,
+		MaxLoadBytes:   *maxLoadBytes,
 	})
+	if err := srv.WALError(); err != nil {
+		log.Fatal(err)
+	}
+	if *walDir != "" {
+		log.Printf("durable ingest enabled: wal-dir=%s fsync=%s (logged records replayed on boot)", *walDir, *fsync)
+	}
 
 	// SIGQUIT dumps the slow-query flight recorder and keeps serving (this
 	// replaces Go's default stack dump for that signal; use SIGABRT for

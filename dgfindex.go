@@ -54,6 +54,7 @@ import (
 	"github.com/smartgrid-oss/dgfindex/internal/shard"
 	"github.com/smartgrid-oss/dgfindex/internal/storage"
 	"github.com/smartgrid-oss/dgfindex/internal/trace"
+	"github.com/smartgrid-oss/dgfindex/internal/wal"
 	"github.com/smartgrid-oss/dgfindex/internal/workload"
 )
 
@@ -283,6 +284,40 @@ const (
 
 // ParseShardStrategy reads "hash" or "range" (CLI flags).
 var ParseShardStrategy = shard.ParseStrategy
+
+// Durable ingest: a per-shard per-replica write-ahead log in front of the
+// fleet. Loads ack once logged on every live replica, background appliers
+// drain the logs in micro-batches, and a revived replica catches up by
+// replaying the records it missed. See ShardRouter.EnableWAL and
+// ServerConfig.WALDir.
+type (
+	// WALConfig configures ShardRouter.EnableWAL.
+	WALConfig = shard.WALConfig
+	// LoadAck describes one durably-acknowledged load.
+	LoadAck = shard.LoadAck
+	// LoadResult is the serving-layer load acknowledgement
+	// (Server.LoadRowsCtx).
+	LoadResult = server.LoadResult
+	// WALFsyncPolicy selects append durability (always/interval/off).
+	WALFsyncPolicy = wal.Policy
+	// WALShardStats is one shard's log state (/stats "wal" section).
+	WALShardStats = wal.ShardStats
+	// WALReplicaStats is one replica's log positions and backlog.
+	WALReplicaStats = wal.ReplicaStats
+)
+
+// WAL fsync policies.
+const (
+	// FsyncAlways syncs the log on every append (strongest durability).
+	FsyncAlways = wal.PolicyAlways
+	// FsyncInterval syncs on a short timer (default; bounded loss window).
+	FsyncInterval = wal.PolicyInterval
+	// FsyncOff never syncs explicitly (tests and bulk restores).
+	FsyncOff = wal.PolicyOff
+)
+
+// ParseFsyncPolicy reads "always", "interval", or "off" (CLI flags).
+var ParseFsyncPolicy = wal.ParsePolicy
 
 // NewSharded creates a shard router over cfg.Shards shards of cfg.Replicas
 // fresh in-memory warehouses each, every one with the default cluster model

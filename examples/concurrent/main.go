@@ -21,11 +21,19 @@
 // R identical copies, and the demo kills one replica mid-traffic to show
 // reads failing over while every client keeps getting answers.
 //
-// Run: go run ./examples/concurrent [-clients 8] [-queries 40] [-users 1000] [-shards 4] [-replicas 2]
+// With -ingest the demo switches to durable streaming ingest: a 4-shard,
+// 2-replica fleet with a write-ahead log accepts a stream of POST /load
+// batches that ack at log-durability speed, one replica is killed and
+// revived mid-stream (hinted handoff, then catch-up by log replay), and at
+// the end every replica's applied log position agrees and a count(*)
+// confirms no acknowledged row was lost.
+//
+// Run: go run ./examples/concurrent [-clients 8] [-queries 40] [-users 1000] [-shards 4] [-replicas 2] [-ingest]
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +41,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -54,7 +63,13 @@ func main() {
 	shards := flag.Int("shards", 1, "warehouse shards behind the server (1 = unsharded)")
 	replicas := flag.Int("replicas", 1, "warehouse replicas per shard (sharded mode)")
 	pacing := flag.Duration("pacing", 2*time.Millisecond, "wall time per simulated cluster-second")
+	ingest := flag.Bool("ingest", false, "run the durable streaming-ingest demo instead (WAL, kill/revive mid-stream)")
 	flag.Parse()
+
+	if *ingest {
+		runIngestDemo(*users)
+		return
+	}
 
 	// --- build the backend: one month of meter data plus a DGFIndex, on
 	// one warehouse or routed across a sharded fleet ---
@@ -195,6 +210,146 @@ func main() {
 		fmt.Printf("  %-9s: %3d queries, %3d cache hits, %.1f sim-seconds\n",
 			id, m.Queries, m.CacheHits, m.SimClusterSeconds)
 	}
+}
+
+// runIngestDemo streams durable loads into a 4-shard, 2-replica WAL fleet
+// over HTTP while one replica dies and comes back mid-stream.
+func runIngestDemo(users int) {
+	const shards, replicas, batches = 4, 2, 12
+	cfg := dgfindex.DefaultMeterConfig()
+	cfg.Users = users
+	cfg.OtherMetrics = 0
+
+	router, err := dgfindex.NewSharded(dgfindex.ShardConfig{Shards: shards, Replicas: replicas, Key: "userId"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(router.Exec(`CREATE TABLE meterdata (userId bigint, regionId bigint, ts timestamp, powerConsumed double)`))
+	if err := router.LoadRowsByName("meterdata", cfg.AllRows()); err != nil {
+		log.Fatal(err)
+	}
+	must(router.Exec(fmt.Sprintf(`CREATE INDEX idx ON TABLE meterdata(regionId, userId, ts)
+		AS 'dgf' IDXPROPERTIES ('regionId'='1_1', 'userId'='1_%d',
+		'ts'='2012-12-01_1d', 'precompute'='sum(powerConsumed);count(*)')`, max(users/50, 1))))
+	base := int64(cfg.Rows())
+
+	walDir, err := os.MkdirTemp("", "dgf-wal-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(walDir)
+	srv := dgfindex.NewServerWithBackend(router, dgfindex.ServerConfig{
+		WALDir:      walDir,
+		FsyncPolicy: "interval",
+	})
+	if err := srv.WALError(); err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("DGFServe on %s: %d shards x %d replicas, durable ingest (wal-dir %s)\n\n",
+		ts.URL, shards, replicas, walDir)
+
+	// Stream one batch per "collection interval"; shard 1 replica 0 dies a
+	// third of the way in and revives two thirds in — its shard keeps
+	// accepting loads on the surviving replica's log the whole time.
+	loaded := int64(0)
+	for b := 0; b < batches; b++ {
+		switch b {
+		case batches / 3:
+			router.Kill(1, 0)
+			fmt.Println("-- shard 1 replica 0 killed: its loads now hint to the survivor's log")
+		case 2 * batches / 3:
+			router.Revive(1, 0)
+			fmt.Println("-- shard 1 replica 0 revived: catching up by log replay")
+		}
+		day := cfg
+		day.Days = 1
+		day.Start = cfg.Start.AddDate(0, 0, cfg.Days+b)
+		rows := day.AllRows()
+		body, _ := json.Marshal(map[string]any{"table": "meterdata", "rows": jsonRows(rows)})
+		resp, err := http.Post(ts.URL+"/load", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ack struct {
+			RowsLoaded int    `json:"rows_loaded"`
+			Durability string `json:"durability"`
+			LSN        uint64 `json:"lsn"`
+			Error      string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&ack)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("batch %d: HTTP %d: %s", b, resp.StatusCode, ack.Error)
+		}
+		loaded += int64(ack.RowsLoaded)
+		fmt.Printf("batch %2d: %5d rows acked %-7s (lsn %d)\n", b, ack.RowsLoaded, ack.Durability, ack.LSN)
+	}
+
+	// Wait for the revived replica to finish replaying, then drain the
+	// appliers so every acknowledged row is queryable.
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		catching := 0
+		for _, sh := range router.Health() {
+			catching += sh.CatchingUp
+		}
+		if catching == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("catch-up did not settle")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := router.DrainWAL(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nafter catch-up and drain, per-replica log positions agree:")
+	replayed := int64(0)
+	for _, sh := range srv.WALStats() {
+		fmt.Printf("  shard %d:", sh.Shard)
+		for _, rep := range sh.Replicas {
+			fmt.Printf("  r%d applied=%d/%d", rep.Replica, rep.AppliedLSN, rep.LastLSN)
+			replayed += rep.ReplayedRows
+			if rep.AppliedLSN != rep.LastLSN || rep.AppliedLSN != sh.NextLSN-1 {
+				log.Fatalf("shard %d replica %d lags: applied %d, log tail %d, shard head %d",
+					sh.Shard, rep.Replica, rep.AppliedLSN, rep.LastLSN, sh.NextLSN-1)
+			}
+		}
+		fmt.Println()
+	}
+	res := must(router.Exec(`SELECT count(*) FROM meterdata`))
+	got := int64(res.Rows[0][0].AsFloat())
+	fmt.Printf("\ncount(*) = %d (base %d + %d streamed), %d rows replayed into the revived replica\n",
+		got, base, loaded, replayed)
+	if got != base+loaded {
+		log.Fatalf("acknowledged rows missing: count %d, want %d", got, base+loaded)
+	}
+	fmt.Println("every acknowledged batch survived the outage")
+}
+
+// jsonRows renders storage rows as JSON-encodable cells for POST /load.
+func jsonRows(rows []dgfindex.Row) [][]any {
+	out := make([][]any, len(rows))
+	for i, row := range rows {
+		cells := make([]any, len(row))
+		for j, v := range row {
+			switch v.Kind {
+			case dgfindex.KindInt64, dgfindex.KindTime:
+				cells[j] = v.I
+			case dgfindex.KindFloat64:
+				cells[j] = v.F
+			default:
+				cells[j] = v.S
+			}
+		}
+		out[i] = cells
+	}
+	return out
 }
 
 // buildQueryMix renders n meter queries of varied selectivity as HiveQL.

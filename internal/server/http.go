@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/smartgrid-oss/dgfindex/internal/hive"
+	"github.com/smartgrid-oss/dgfindex/internal/shard"
 	"github.com/smartgrid-oss/dgfindex/internal/storage"
 	"github.com/smartgrid-oss/dgfindex/internal/trace"
 )
@@ -361,19 +362,51 @@ type loadResponse struct {
 	Table       string `json:"table"`
 	RowsLoaded  int    `json:"rows_loaded"`
 	Invalidated int    `json:"invalidated"`
+	// Durability is "applied" when the rows are queryable at ack time (the
+	// synchronous path, or ?sync=1 on a WAL fleet) and "logged" when they
+	// are durable in the write-ahead log but still draining into the
+	// warehouses.
+	Durability string `json:"durability"`
+	// LSN is the load's highest log sequence number (WAL path only).
+	LSN uint64 `json:"lsn,omitempty"`
+}
+
+// readLoadBody reads at most limit bytes of the request body, failing with
+// a distinguishable error when the body exceeds the bound (rather than
+// silently truncating, which would load a prefix of the rows).
+var errBodyTooLarge = errors.New("request body too large")
+
+func readLoadBody(r io.Reader, limit int64) ([]byte, error) {
+	if limit <= 0 { // unlimited
+		return io.ReadAll(r)
+	}
+	body, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) > limit {
+		return nil, fmt.Errorf("%w: exceeds the %d-byte limit (MaxLoadBytes); split the load into smaller batches", errBodyTooLarge, limit)
+	}
+	return body, nil
 }
 
 // handleLoad is the push half of streaming ingest: collectors POST readings
 // over HTTP instead of going through the CLI, and the server routes them
-// through LoadRows so metrics and cache invalidation stay exact.
+// through LoadRowsCtx so metrics and cache invalidation stay exact. With
+// durable ingest enabled the handler acks at log-durability speed;
+// ?sync=1 waits until the rows are applied and queryable.
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 32<<20))
+	body, err := readLoadBody(r.Body, s.cfg.MaxLoadBytes)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		code := http.StatusBadRequest
+		if errors.Is(err, errBodyTooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, code, errorResponse{Error: err.Error()})
 		return
 	}
 
@@ -428,12 +461,23 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		rows[i] = row
 	}
 
-	invalidated, err := s.LoadRows(table, rows)
+	syncParam := r.URL.Query().Get("sync")
+	res, err := s.LoadRowsCtx(r.Context(), table, rows, syncParam == "1" || syncParam == "true")
 	if err != nil {
 		writeJSON(w, httpStatusOf(err), errorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, loadResponse{Table: table, RowsLoaded: len(rows), Invalidated: invalidated})
+	out := loadResponse{
+		Table:       table,
+		RowsLoaded:  len(rows),
+		Invalidated: res.Invalidated,
+		Durability:  "applied",
+		LSN:         res.LSN,
+	}
+	if res.Durable && !res.Applied {
+		out.Durability = "logged"
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // decodeLoadRow coerces one wire row (JSON cells or CSV fields) to the
@@ -484,14 +528,55 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // healthzResponse is the /healthz body. For a replicated fleet it carries
 // the per-shard live-replica counts, and DeadShards names shards with no
-// live replica left — those fail scatters, so the endpoint reports 503
+// replica left at all — those fail scatters, so the endpoint reports 503
 // "degraded" and a load balancer can stop routing here until they recover.
+// A shard whose only unavailable replicas are replaying missed WAL records
+// is listed in CatchingUpShards instead: it is repairing, not dead, and the
+// status is "catching_up" (still 503 when no replica can serve reads, so
+// balancers hold traffic, but operators see recovery is in progress).
 type healthzResponse struct {
-	Status      string `json:"status"`
-	Shards      int    `json:"shards,omitempty"`
-	Replicas    int    `json:"replicas,omitempty"`
-	LiveByShard []int  `json:"live_by_shard,omitempty"`
-	DeadShards  []int  `json:"dead_shards,omitempty"`
+	Status           string `json:"status"`
+	Shards           int    `json:"shards,omitempty"`
+	Replicas         int    `json:"replicas,omitempty"`
+	LiveByShard      []int  `json:"live_by_shard,omitempty"`
+	CatchingUp       int    `json:"catching_up,omitempty"`
+	CatchingUpShards []int  `json:"catching_up_shards,omitempty"`
+	DeadShards       []int  `json:"dead_shards,omitempty"`
+}
+
+// buildHealthz classifies a fleet health snapshot into the /healthz body
+// and its HTTP status. Pure so the catching_up-versus-dead distinction is
+// unit-testable without racing a live catch-up.
+func buildHealthz(health []shard.SetHealth) (healthzResponse, int) {
+	resp := healthzResponse{Status: "ok"}
+	resp.Shards = len(health)
+	unservable := false
+	for _, sh := range health {
+		if sh.Replicas > resp.Replicas {
+			resp.Replicas = sh.Replicas
+		}
+		resp.LiveByShard = append(resp.LiveByShard, sh.Live)
+		resp.CatchingUp += sh.CatchingUp
+		if sh.Live > 0 {
+			continue
+		}
+		unservable = true
+		if sh.CatchingUp > 0 {
+			resp.CatchingUpShards = append(resp.CatchingUpShards, sh.Shard)
+		} else {
+			resp.DeadShards = append(resp.DeadShards, sh.Shard)
+		}
+	}
+	switch {
+	case len(resp.DeadShards) > 0:
+		resp.Status = "degraded"
+	case unservable:
+		resp.Status = "catching_up"
+	}
+	if unservable {
+		return resp, http.StatusServiceUnavailable
+	}
+	return resp, http.StatusOK
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -499,23 +584,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, healthzResponse{Status: "draining"})
 		return
 	}
-	resp := healthzResponse{Status: "ok"}
-	if health := s.ShardHealth(); len(health) > 0 {
-		resp.Shards = len(health)
-		for _, sh := range health {
-			if sh.Replicas > resp.Replicas {
-				resp.Replicas = sh.Replicas
-			}
-			resp.LiveByShard = append(resp.LiveByShard, sh.Live)
-			if sh.Live == 0 {
-				resp.DeadShards = append(resp.DeadShards, sh.Shard)
-			}
-		}
-	}
-	if len(resp.DeadShards) > 0 {
-		resp.Status = "degraded"
-		writeJSON(w, http.StatusServiceUnavailable, resp)
+	health := s.ShardHealth()
+	if len(health) == 0 {
+		writeJSON(w, http.StatusOK, healthzResponse{Status: "ok"})
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	resp, code := buildHealthz(health)
+	writeJSON(w, code, resp)
 }

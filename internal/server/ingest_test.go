@@ -1,0 +1,423 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/shard"
+	"github.com/smartgrid-oss/dgfindex/internal/trace"
+)
+
+// postLoad POSTs a body to /load and returns the status code and decoded
+// JSON body (loadResponse fields on success, {"error": ...} on failure).
+func postLoad(t *testing.T, url, contentType string, body []byte) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("non-JSON /load response (%d): %s", resp.StatusCode, raw)
+	}
+	return resp.StatusCode, out
+}
+
+// jsonLoadBody renders n meterdata rows as a POST /load JSON body.
+func jsonLoadBody(t *testing.T, firstUser, n int) []byte {
+	t.Helper()
+	rows := meterRows(firstUser, n, 4, 1)
+	req := loadRequest{Table: "meterdata"}
+	for _, row := range rows {
+		req.Rows = append(req.Rows, []any{row[0].I, row[1].I, row[2].I, row[3].F})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// csvLoadBody renders n meterdata rows as CSV lines for ?table=meterdata.
+func csvLoadBody(firstUser, n int) []byte {
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		u := firstUser + i
+		fmt.Fprintf(&b, "%d,%d,%d,%g\n", u, u%4+1, 1354320000+i, 3.25)
+	}
+	return b.Bytes()
+}
+
+// TestLoadBodyTooLarge: bodies above Config.MaxLoadBytes are refused with
+// 413 and a clear error on both the JSON and CSV paths — never silently
+// truncated to a loadable prefix.
+func TestLoadBodyTooLarge(t *testing.T) {
+	s := New(testWarehouse(t), Config{MaxLoadBytes: 512})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	big := jsonLoadBody(t, 1000, 100)
+	if int64(len(big)) <= 512 {
+		t.Fatalf("test body is only %d bytes, need > 512", len(big))
+	}
+	code, out := postLoad(t, ts.URL+"/load", "application/json", big)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized JSON load: status %d, want 413 (%v)", code, out)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "512-byte limit") {
+		t.Fatalf("413 error should name the limit, got %q", out["error"])
+	}
+
+	bigCSV := csvLoadBody(1000, 100)
+	if int64(len(bigCSV)) <= 512 {
+		t.Fatalf("test CSV body is only %d bytes, need > 512", len(bigCSV))
+	}
+	code, out = postLoad(t, ts.URL+"/load?table=meterdata", "text/csv", bigCSV)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized CSV load: status %d, want 413 (%v)", code, out)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "request body too large") {
+		t.Fatalf("CSV 413 error unclear: %q", out["error"])
+	}
+
+	// Nothing was loaded by the refused requests.
+	if got := s.Stats().RowsLoaded; got != 0 {
+		t.Fatalf("refused loads still loaded %d rows", got)
+	}
+
+	// A body under the bound passes on both paths.
+	small := jsonLoadBody(t, 2000, 2)
+	if code, out := postLoad(t, ts.URL+"/load", "application/json", small); code != http.StatusOK {
+		t.Fatalf("small JSON load: status %d (%v)", code, out)
+	}
+	if code, out := postLoad(t, ts.URL+"/load?table=meterdata", "text/csv", csvLoadBody(2100, 2)); code != http.StatusOK {
+		t.Fatalf("small CSV load: status %d (%v)", code, out)
+	}
+	if got := s.Stats().RowsLoaded; got != 4 {
+		t.Fatalf("loaded %d rows, want 4", got)
+	}
+}
+
+// walServer builds a sharded server with durable ingest enabled over a
+// temp log dir.
+func walServer(t *testing.T, cfg Config) (*Server, *shard.Router) {
+	t.Helper()
+	cfg.WALDir = t.TempDir()
+	if cfg.FsyncPolicy == "" {
+		cfg.FsyncPolicy = "off"
+	}
+	s, r := shardedServer(t, cfg)
+	if err := s.WALError(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
+	return s, r
+}
+
+// TestLoadSyncAndAsyncOverHTTP: POST /load on a WAL fleet acks as "logged"
+// with an LSN; ?sync=1 acks "applied" and the rows are immediately
+// queryable. After draining, every async-acked row is visible too.
+func TestLoadSyncAndAsyncOverHTTP(t *testing.T) {
+	s, r := walServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	base := mustQuery(t, s, `SELECT count(*) FROM meterdata`).Result.Rows[0][0].AsFloat()
+
+	code, out := postLoad(t, ts.URL+"/load", "application/json", jsonLoadBody(t, 500, 8))
+	if code != http.StatusOK {
+		t.Fatalf("async load: status %d (%v)", code, out)
+	}
+	if out["durability"] != "logged" {
+		t.Fatalf("async load durability = %v, want logged", out["durability"])
+	}
+	if lsn, _ := out["lsn"].(float64); lsn < 1 {
+		t.Fatalf("async load lsn = %v, want >= 1", out["lsn"])
+	}
+
+	code, out = postLoad(t, ts.URL+"/load?sync=1", "application/json", jsonLoadBody(t, 600, 8))
+	if code != http.StatusOK {
+		t.Fatalf("sync load: status %d (%v)", code, out)
+	}
+	if out["durability"] != "applied" {
+		t.Fatalf("sync load durability = %v, want applied", out["durability"])
+	}
+
+	// The sync-acked batch is queryable now; after a drain both are.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := r.DrainWAL(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got := mustQuery(t, s, `SELECT count(*) FROM meterdata`).Result.Rows[0][0].AsFloat()
+	if want := base + 16; got != want {
+		t.Fatalf("count after drain = %v, want %v", got, want)
+	}
+}
+
+// TestCacheInvalidationAtApplyTime: an async-acked load must not leave a
+// stale cached count behind once its rows apply — the OnApply hook evicts
+// dependent results when the rows actually land.
+func TestCacheInvalidationAtApplyTime(t *testing.T) {
+	s, r := walServer(t, Config{})
+	base := mustQuery(t, s, `SELECT count(*) FROM meterdata`).Result.Rows[0][0].AsFloat()
+
+	if _, err := s.LoadRowsCtx(context.Background(), "meterdata", meterRows(700, 10, 4, 1), false); err != nil {
+		t.Fatal(err)
+	}
+	// Query immediately: may race the appliers and cache a pre-apply count.
+	mustQuery(t, s, `SELECT count(*) FROM meterdata`)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := r.DrainWAL(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// OnApply fires just after the applied watermark advances, so give the
+	// eviction a moment; the cached pre-apply count must not survive it.
+	want := base + 10
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := mustQuery(t, s, `SELECT count(*) FROM meterdata`).Result.Rows[0][0].AsFloat()
+		if got == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("count stuck at %v, want %v (stale cache not invalidated at apply time)", got, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := s.Stats().RowsApplied; got < 10 {
+		t.Fatalf("rows_applied = %d, want >= 10 (OnApply hook did not run)", got)
+	}
+}
+
+// TestBuildHealthz: the pure classifier behind /healthz. A shard with no
+// readable replica is "catching_up" (repairing) when its missing replicas
+// are replaying the WAL, and "degraded" (dead) only when they are not.
+func TestBuildHealthz(t *testing.T) {
+	set := func(shardID, replicas, live, catching int) shard.SetHealth {
+		return shard.SetHealth{Shard: shardID, Replicas: replicas, Live: live, CatchingUp: catching}
+	}
+	cases := []struct {
+		name       string
+		health     []shard.SetHealth
+		status     string
+		code       int
+		dead       []int
+		catchingUp []int
+	}{
+		{
+			name:   "all live",
+			health: []shard.SetHealth{set(0, 2, 2, 0), set(1, 2, 2, 0)},
+			status: "ok", code: http.StatusOK,
+		},
+		{
+			name:   "one replica catching up, shard still readable",
+			health: []shard.SetHealth{set(0, 2, 1, 1), set(1, 2, 2, 0)},
+			status: "ok", code: http.StatusOK,
+		},
+		{
+			name:   "whole shard catching up",
+			health: []shard.SetHealth{set(0, 2, 0, 2), set(1, 2, 2, 0)},
+			status: "catching_up", code: http.StatusServiceUnavailable,
+			catchingUp: []int{0},
+		},
+		{
+			name:   "whole shard dead",
+			health: []shard.SetHealth{set(0, 2, 0, 0), set(1, 2, 2, 0)},
+			status: "degraded", code: http.StatusServiceUnavailable,
+			dead: []int{0},
+		},
+		{
+			name:   "dead shard outranks catching-up shard",
+			health: []shard.SetHealth{set(0, 2, 0, 1), set(1, 2, 0, 0)},
+			status: "degraded", code: http.StatusServiceUnavailable,
+			dead: []int{1}, catchingUp: []int{0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, code := buildHealthz(tc.health)
+			if resp.Status != tc.status || code != tc.code {
+				t.Fatalf("status %q/%d, want %q/%d", resp.Status, code, tc.status, tc.code)
+			}
+			if fmt.Sprint(resp.DeadShards) != fmt.Sprint(tc.dead) && (len(resp.DeadShards) != 0 || len(tc.dead) != 0) {
+				t.Fatalf("DeadShards = %v, want %v", resp.DeadShards, tc.dead)
+			}
+			if fmt.Sprint(resp.CatchingUpShards) != fmt.Sprint(tc.catchingUp) && (len(resp.CatchingUpShards) != 0 || len(tc.catchingUp) != 0) {
+				t.Fatalf("CatchingUpShards = %v, want %v", resp.CatchingUpShards, tc.catchingUp)
+			}
+		})
+	}
+}
+
+// TestHealthzCatchingUpEndToEnd: kill a replica on a WAL fleet, revive it,
+// and confirm /healthz never calls the fleet dead while its only
+// unavailable replicas are repairing.
+func TestHealthzCatchingUpEndToEnd(t *testing.T) {
+	s, r := walServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func() (int, healthzResponse) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out healthzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	if code, out := get(); code != http.StatusOK || out.Status != "ok" {
+		t.Fatalf("healthy fleet: %d %+v", code, out)
+	}
+
+	r.Kill(1, 0)
+	if code, out := get(); code != http.StatusOK {
+		t.Fatalf("one dead replica of two should stay ok: %d %+v", code, out)
+	}
+	if _, err := s.LoadRowsCtx(context.Background(), "meterdata", meterRows(800, 8, 4, 1), false); err != nil {
+		t.Fatalf("load with a dead replica should hint, not fail: %v", err)
+	}
+	r.Revive(1, 0)
+
+	// While (and after) catch-up, the fleet must never classify shard 1 as
+	// dead: its second replica is live the whole time.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, out := get()
+		if len(out.DeadShards) > 0 {
+			t.Fatalf("shard listed dead during catch-up: %d %+v", code, out)
+		}
+		if code == http.StatusOK && out.CatchingUp == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("catch-up never settled: %d %+v", code, out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStatsAndMetricsExposeWAL: /stats carries the per-replica WAL
+// positions and /metrics exposes the WAL families in valid exposition
+// format, agreeing with the snapshot.
+func TestStatsAndMetricsExposeWAL(t *testing.T) {
+	s, r := walServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if _, err := s.LoadRowsCtx(context.Background(), "meterdata", meterRows(900, 12, 4, 1), true); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := r.DrainWAL(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Execute one query so the per-path families have samples (the text
+	// parser rejects a declared family with none).
+	mustQuery(t, s, `SELECT count(*) FROM meterdata`)
+
+	snap := s.Stats()
+	if len(snap.WAL) != 4 {
+		t.Fatalf("/stats wal section has %d shards, want 4", len(snap.WAL))
+	}
+	var committed uint64
+	for _, sh := range snap.WAL {
+		if len(sh.Replicas) != 2 {
+			t.Fatalf("shard %d has %d replica entries, want 2", sh.Shard, len(sh.Replicas))
+		}
+		committed += sh.NextLSN - 1
+		for _, rep := range sh.Replicas {
+			if rep.AppliedLSN != rep.LastLSN {
+				t.Fatalf("drained replica %d/%d lags: applied %d, last %d", sh.Shard, rep.Replica, rep.AppliedLSN, rep.LastLSN)
+			}
+		}
+	}
+	if committed == 0 {
+		t.Fatal("no shard committed any WAL record")
+	}
+	// OnApply fires once per replica apply, so each row counts once per
+	// replica that applied it.
+	if snap.RowsApplied != 24 {
+		t.Fatalf("rows_applied = %d, want 24 (12 rows x 2 replicas)", snap.RowsApplied)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	fams, err := trace.ParseMetrics(string(body))
+	if err != nil {
+		t.Fatalf("/metrics is not valid Prometheus exposition: %v\n%s", err, body)
+	}
+	if got := famValue(t, fams, "dgf_wal_rows_applied_total"); got != float64(snap.RowsApplied) {
+		t.Fatalf("dgf_wal_rows_applied_total = %v, /stats says %v", got, snap.RowsApplied)
+	}
+	for _, name := range []string{"dgf_wal_pending_records", "dgf_wal_last_lsn", "dgf_wal_applied_lsn", "dgf_wal_replica_catching_up"} {
+		fam := fams[name]
+		if fam == nil {
+			t.Fatalf("metric family %s missing", name)
+		}
+		if len(fam.Samples) != 8 {
+			t.Fatalf("%s has %d samples, want 8 (4 shards x 2 replicas)", name, len(fam.Samples))
+		}
+		for _, sm := range fam.Samples {
+			if sm.Labels["shard"] == "" || sm.Labels["replica"] == "" {
+				t.Fatalf("%s sample lacks shard/replica labels: %+v", name, sm)
+			}
+		}
+	}
+	// Every replica drained, so pending depth and lag are zero everywhere.
+	for _, sm := range fams["dgf_wal_pending_records"].Samples {
+		if sm.Value != 0 {
+			t.Fatalf("pending records nonzero after drain: %+v", sm)
+		}
+	}
+}
+
+// TestWALRequiresRouterBackend: Config.WALDir on a plain single-warehouse
+// backend defers a clear failure into WALError and every load, instead of
+// silently running without durability.
+func TestWALRequiresRouterBackend(t *testing.T) {
+	s := New(testWarehouse(t), Config{WALDir: t.TempDir()})
+	err := s.WALError()
+	if err == nil || !strings.Contains(err.Error(), "shard-router backend") {
+		t.Fatalf("WALError = %v, want shard-router complaint", err)
+	}
+	if _, err := s.LoadRows("meterdata", meterRows(1, 1, 4, 1)); err == nil || !strings.Contains(err.Error(), "durable ingest unavailable") {
+		t.Fatalf("load on a mis-configured server = %v, want durable-ingest refusal", err)
+	}
+
+	// A bad fsync policy is the same class of boot error.
+	s2, _ := shardedServer(t, Config{WALDir: t.TempDir(), FsyncPolicy: "sometimes"})
+	if err := s2.WALError(); err == nil || !strings.Contains(err.Error(), "sometimes") {
+		t.Fatalf("WALError = %v, want bad-policy complaint", err)
+	}
+}

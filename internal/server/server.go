@@ -29,12 +29,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/smartgrid-oss/dgfindex/internal/hive"
 	"github.com/smartgrid-oss/dgfindex/internal/shard"
 	"github.com/smartgrid-oss/dgfindex/internal/storage"
 	"github.com/smartgrid-oss/dgfindex/internal/trace"
+	"github.com/smartgrid-oss/dgfindex/internal/wal"
 )
 
 // Backend is the query store a Server fronts: a single *hive.Warehouse or a
@@ -111,6 +113,18 @@ type Config struct {
 	// disables the recorder entirely (queries are then only traced on
 	// request via Request.Trace).
 	TraceRingSize int
+	// WALDir enables durable streaming ingest when non-empty: loads append
+	// to per-shard write-ahead logs under this directory and background
+	// appliers drain them (the backend must be a shard router). Empty
+	// keeps the synchronous load path.
+	WALDir string
+	// FsyncPolicy selects WAL append durability: "always", "interval"
+	// (default), or "off". Ignored without WALDir.
+	FsyncPolicy string
+	// MaxLoadBytes bounds a POST /load request body; larger bodies are
+	// rejected with 413. Zero uses the default 32 MiB; negative disables
+	// the bound.
+	MaxLoadBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +161,9 @@ func (c Config) withDefaults() Config {
 		c.TraceRingSize = 64
 	case c.TraceRingSize < 0:
 		c.TraceRingSize = 0
+	}
+	if c.MaxLoadBytes == 0 {
+		c.MaxLoadBytes = 32 << 20
 	}
 	return c
 }
@@ -230,6 +247,13 @@ type Server struct {
 	metrics  *metricSet
 	recorder *trace.Recorder // nil when TraceRingSize < 0
 	started  time.Time
+
+	// Durable ingest (Config.WALDir). walBE is the backend's WAL surface
+	// when enabled; walErr records an attach failure — loads then fail with
+	// it instead of silently falling back to a non-durable path.
+	walBE       durableBackend
+	walErr      error
+	rowsApplied atomic.Int64 // rows drained by WAL appliers into warehouses
 }
 
 // New wraps a warehouse in a server. The warehouse stays usable directly —
@@ -241,7 +265,9 @@ func New(w *hive.Warehouse, cfg Config) *Server {
 }
 
 // NewWithBackend wraps any Backend — a bare warehouse or a shard router —
-// in a server.
+// in a server. With Config.WALDir set it also enables durable ingest on the
+// backend; an attach failure is deferred into WALError (and every load)
+// rather than panicking, because construction has no error return.
 func NewWithBackend(b Backend, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -256,7 +282,63 @@ func NewWithBackend(b Backend, cfg Config) *Server {
 		started:  time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.WALDir != "" {
+		s.attachWAL(cfg)
+	}
 	return s
+}
+
+// durableBackend is the optional Backend extension durable ingest needs —
+// the shard router implements it. A Backend without it cannot take a WAL.
+type durableBackend interface {
+	EnableWAL(shard.WALConfig) error
+	LoadRowsDurable(ctx context.Context, table string, rows []storage.Row, sync bool) (shard.LoadAck, error)
+	WALStats() []wal.ShardStats
+	DrainWAL(ctx context.Context) error
+	CloseWAL() error
+}
+
+func (s *Server) attachWAL(cfg Config) {
+	db, ok := s.b.(durableBackend)
+	if !ok {
+		s.walErr = fmt.Errorf("server: Config.WALDir requires a shard-router backend (got %T); run even a 1-shard fleet through shard.New", s.b)
+		return
+	}
+	policy, err := wal.ParsePolicy(cfg.FsyncPolicy)
+	if err != nil {
+		s.walErr = err
+		return
+	}
+	err = db.EnableWAL(shard.WALConfig{
+		Dir:   cfg.WALDir,
+		Fsync: policy,
+		// Invalidation at apply time: a cached result only goes stale when
+		// rows actually land in the warehouse, which is also the moment
+		// table versions move.
+		OnApply: func(table string, rows int) {
+			s.results.invalidateTables([]string{strings.ToLower(table)})
+			s.rowsApplied.Add(int64(rows))
+		},
+		Recorder: s.recorder,
+	})
+	if err != nil {
+		s.walErr = err
+		return
+	}
+	s.walBE = db
+}
+
+// WALError reports why durable ingest could not be enabled (nil when it is
+// working or was never requested). Daemons should treat a non-nil value as
+// a boot failure: loads will refuse rather than degrade to non-durable.
+func (s *Server) WALError() error { return s.walErr }
+
+// WALStats snapshots the backend's per-shard WAL state (nil without a WAL).
+func (s *Server) WALStats() []wal.ShardStats {
+	if s.walBE == nil {
+		return nil
+	}
+	return s.walBE.WALStats()
 }
 
 // Backend returns the wrapped backend.
@@ -775,6 +857,63 @@ func (s *Server) QueryStream(ctx context.Context, req Request) (*Stream, error) 
 	}, nil
 }
 
+// LoadResult describes one acknowledged load.
+type LoadResult struct {
+	// Invalidated is how many cached results the load evicted at ack time
+	// (with a WAL, eviction mostly happens later, at apply time).
+	Invalidated int
+	// Durable is true when the load went through the write-ahead log.
+	Durable bool
+	// Applied is true once the rows are confirmed queryable: always for the
+	// synchronous path, only for sync=true acks on the WAL path.
+	Applied bool
+	// LSN is the highest log sequence number the load was assigned (WAL
+	// path only).
+	LSN uint64
+}
+
+// LoadRowsCtx appends rows to the named table through the server, counting
+// the load in the serving metrics and evicting dependent cache entries.
+// With durable ingest enabled the call returns once the rows are logged on
+// every live replica (sync=false) or applied everywhere (sync=true, bounded
+// by ctx); without a WAL it applies synchronously and sync is moot.
+func (s *Server) LoadRowsCtx(ctx context.Context, table string, rows []storage.Row, sync bool) (LoadResult, error) {
+	if err := s.admit(); err != nil {
+		return LoadResult{}, err
+	}
+	defer s.release()
+	if s.walErr != nil {
+		return LoadResult{}, fmt.Errorf("server: durable ingest unavailable: %w", s.walErr)
+	}
+	var out LoadResult
+	if s.walBE != nil {
+		var span *trace.Span
+		if s.recorder != nil && trace.FromContext(ctx) == nil {
+			span = trace.New("load")
+			span.Set("table", table)
+			span.Set("rows", len(rows))
+			ctx = trace.NewContext(ctx, span)
+			defer span.Finish()
+		}
+		ack, err := s.walBE.LoadRowsDurable(ctx, table, rows, sync)
+		if err != nil {
+			return LoadResult{}, err
+		}
+		out = LoadResult{Durable: true, Applied: ack.Applied, LSN: ack.MaxLSN}
+	} else {
+		if err := s.b.LoadRowsByName(table, rows); err != nil {
+			return LoadResult{}, err
+		}
+		out.Applied = true
+	}
+	out.Invalidated = s.results.invalidateTables([]string{strings.ToLower(table)})
+	s.mu.Lock()
+	s.loads++
+	s.rowsLoaded += int64(len(rows))
+	s.mu.Unlock()
+	return out, nil
+}
+
 // LoadRows appends rows to the named table through the server, so the load
 // is counted in the serving metrics (Snapshot.Loads, Snapshot.RowsLoaded)
 // and dependent cache entries are evicted eagerly. (Loads made directly on
@@ -782,19 +921,8 @@ func (s *Server) QueryStream(ctx context.Context, req Request) (*Stream, error) 
 // data — but bypass both.) It returns how many cached results the load
 // invalidated, so operators can watch invalidation churn under load.
 func (s *Server) LoadRows(table string, rows []storage.Row) (int, error) {
-	if err := s.admit(); err != nil {
-		return 0, err
-	}
-	defer s.release()
-	if err := s.b.LoadRowsByName(table, rows); err != nil {
-		return 0, err
-	}
-	invalidated := s.results.invalidateTables([]string{strings.ToLower(table)})
-	s.mu.Lock()
-	s.loads++
-	s.rowsLoaded += int64(len(rows))
-	s.mu.Unlock()
-	return invalidated, nil
+	res, err := s.LoadRowsCtx(context.Background(), table, rows, false)
+	return res.Invalidated, err
 }
 
 // Invalidate evicts cached results that read any of the named tables. Call
@@ -810,7 +938,10 @@ func (s *Server) Invalidate(tables ...string) int {
 // Close stops admitting new queries and waits until every admitted query —
 // queued, running, or abandoned by a timed-out caller — has finished, or
 // until ctx expires (the context's error is returned and workers keep
-// draining in the background).
+// draining in the background). With durable ingest enabled it then drains
+// the WAL — every acknowledged load is applied — and closes the logs;
+// records it could not apply before ctx expired stay logged and replay on
+// the next boot.
 func (s *Server) Close(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -827,10 +958,17 @@ func (s *Server) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+	if s.walBE != nil {
+		if err := s.walBE.DrainWAL(ctx); err != nil {
+			s.walBE.CloseWAL() // flushes; undrained records replay on reboot
+			return err
+		}
+		return s.walBE.CloseWAL()
+	}
+	return nil
 }
 
 // Draining reports whether Close has been called.
@@ -858,20 +996,27 @@ type Snapshot struct {
 	// ResultInvalidations counts cached results evicted because a table
 	// they read mutated (LOAD, DDL, or explicit Invalidate) — the
 	// invalidation churn of the serving fleet.
-	ResultInvalidations int64                      `json:"result_invalidations"`
+	ResultInvalidations int64 `json:"result_invalidations"`
 	// SlowTraces counts flight-recorder records ever taken (including
 	// records the ring has since evicted).
-	SlowTraces    int64 `json:"slow_traces"`
-	MaxConcurrent int   `json:"max_concurrent"`
-	MaxQueue      int   `json:"max_queue"`
-	Server              MetricsSnapshot            `json:"server"`
-	Sessions            map[string]MetricsSnapshot `json:"sessions"`
-	ResultCache         CacheStats                 `json:"result_cache"`
-	PlanCache           CacheStats                 `json:"plan_cache"`
+	SlowTraces    int64                      `json:"slow_traces"`
+	MaxConcurrent int                        `json:"max_concurrent"`
+	MaxQueue      int                        `json:"max_queue"`
+	Server        MetricsSnapshot            `json:"server"`
+	Sessions      map[string]MetricsSnapshot `json:"sessions"`
+	ResultCache   CacheStats                 `json:"result_cache"`
+	PlanCache     CacheStats                 `json:"plan_cache"`
 	// Shards reports per-shard replica-set health when the backend is a
 	// replicated shard router (absent otherwise): replicas per shard, how
 	// many are live, and each replica's failure/ejection record.
 	Shards []shard.SetHealth `json:"shards,omitempty"`
+	// RowsApplied counts rows the WAL appliers have drained into the
+	// warehouses, once per replica that applied them (absent without
+	// durable ingest).
+	RowsApplied int64 `json:"rows_applied,omitempty"`
+	// WAL reports per-shard per-replica log positions — depth, applied LSN
+	// lag, hinted and replayed records — when durable ingest is enabled.
+	WAL []wal.ShardStats `json:"wal,omitempty"`
 }
 
 // Stats snapshots the server-wide and per-session metrics.
@@ -904,5 +1049,7 @@ func (s *Server) Stats() Snapshot {
 		ResultCache:         rc,
 		PlanCache:           CacheStats{Entries: s.plans.len(), Hits: ph, Misses: pm, Evictions: pe},
 		Shards:              s.ShardHealth(),
+		RowsApplied:         s.rowsApplied.Load(),
+		WAL:                 s.WALStats(),
 	}
 }

@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+	"github.com/smartgrid-oss/dgfindex/internal/trace"
+	"github.com/smartgrid-oss/dgfindex/internal/wal"
+)
+
+// WALConfig configures durable ingest for a Router (see EnableWAL).
+type WALConfig struct {
+	// Dir is the log root; each replica logs to Dir/shard-NNN/replica-N.wal.
+	Dir string
+	// Fsync selects the append durability policy (default interval).
+	Fsync wal.Policy
+	// SyncEvery overrides the interval-policy flush period (default 25ms).
+	SyncEvery time.Duration
+	// MaxBatchRows caps rows per apply micro-batch (default 8192).
+	MaxBatchRows int
+	// MaxPendingRows bounds a replica's unapplied backlog before commits
+	// block (default 1<<20).
+	MaxPendingRows int
+	// OnApply runs after each successful apply batch (the serving layer
+	// hooks result-cache invalidation here).
+	OnApply func(table string, rows int)
+	// Recorder receives apply/catch-up trace spans when set.
+	Recorder *trace.Recorder
+}
+
+// EnableWAL turns on durable ingest: every subsequent load appends a
+// checksummed record to each replica's append-only log before it is
+// acknowledged, background appliers drain the logs into the warehouses
+// (running incremental index maintenance at apply time), and Kill/Revive
+// switch from fail-fast to hinted handoff with catch-up by log replay.
+//
+// Call it after the fleet's tables exist: the catalog (DDL) is not logged,
+// so on restart tables must be recreated before the engine replays loads.
+// Records already in Dir's logs from a previous run are replayed into the
+// (fresh, in-memory) warehouses before new loads commit.
+func (r *Router) EnableWAL(cfg WALConfig) error {
+	if r.wal.Load() != nil {
+		return fmt.Errorf("shard: WAL already enabled")
+	}
+	if cfg.Dir == "" {
+		return fmt.Errorf("shard: WALConfig.Dir is required")
+	}
+	stores := make([][]wal.Store, len(r.sets))
+	for i, rs := range r.sets {
+		for _, rep := range rs.reps {
+			stores[i] = append(stores[i], rep.w)
+		}
+	}
+	e, err := wal.Open(wal.Options{
+		Dir:            cfg.Dir,
+		Fsync:          cfg.Fsync,
+		SyncEvery:      cfg.SyncEvery,
+		MaxBatchRows:   cfg.MaxBatchRows,
+		MaxPendingRows: cfg.MaxPendingRows,
+		OnApply:        cfg.OnApply,
+		Recorder:       cfg.Recorder,
+	}, stores)
+	if err != nil {
+		return err
+	}
+	if !r.wal.CompareAndSwap(nil, e) {
+		e.Close()
+		return fmt.Errorf("shard: WAL already enabled")
+	}
+	return nil
+}
+
+// WALEnabled reports whether EnableWAL has been called.
+func (r *Router) WALEnabled() bool { return r.wal.Load() != nil }
+
+// LoadAck describes a durably-acknowledged load.
+type LoadAck struct {
+	// MaxLSN is the highest log sequence number the load was assigned
+	// across the shards it touched.
+	MaxLSN uint64
+	// Applied is true when the rows were confirmed applied (sync acks, or
+	// any load on a fleet without a WAL); false means logged-but-pending.
+	Applied bool
+	// Shards is how many shards received a non-empty slice of the load.
+	Shards int
+}
+
+// LoadRowsDurable is the WAL write path: rows route to their shards, each
+// shard's slice commits to its live replicas' logs (dead replicas are owed
+// the records via hinted handoff), and the call acks at log-durability
+// speed. With sync=true it additionally waits — context-bounded — until
+// every live replica of each touched shard has applied its slice.
+// Without a WAL enabled it falls back to the synchronous replicated load.
+func (r *Router) LoadRowsDurable(ctx context.Context, table string, rows []storage.Row, sync bool) (LoadAck, error) {
+	e := r.wal.Load()
+	if e == nil {
+		return LoadAck{Applied: true}, r.LoadRowsByName(table, rows)
+	}
+	// Validate before logging: a record that can never apply would stall
+	// its replica's applier forever.
+	schema, err := r.TableSchema(table)
+	if err != nil {
+		return LoadAck{}, err
+	}
+	for i, row := range rows {
+		if len(row) != schema.Len() {
+			return LoadAck{}, fmt.Errorf("shard: row %d has %d columns, table %q has %d", i, len(row), table, schema.Len())
+		}
+	}
+	batches, err := r.loadBatches(table, rows)
+	if err != nil {
+		return LoadAck{}, err
+	}
+	var ack LoadAck
+	lsns := make([]uint64, len(batches))
+	errs := make([]error, len(batches))
+	for si, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		ack.Shards++
+		lsn, err := e.Commit(ctx, si, table, batch)
+		if err != nil {
+			errs[si] = err
+			continue
+		}
+		lsns[si] = lsn
+		if lsn > ack.MaxLSN {
+			ack.MaxLSN = lsn
+		}
+	}
+	if err := r.loadOutcome(errs); err != nil {
+		return ack, err
+	}
+	if sync {
+		for si, lsn := range lsns {
+			if lsn == 0 {
+				continue
+			}
+			if err := e.WaitApplied(ctx, si, lsn); err != nil {
+				return ack, err
+			}
+		}
+		ack.Applied = true
+	}
+	return ack, nil
+}
+
+// WALStats snapshots the engine's per-shard per-replica log positions (nil
+// when the WAL is disabled).
+func (r *Router) WALStats() []wal.ShardStats {
+	if e := r.wal.Load(); e != nil {
+		return e.Stats()
+	}
+	return nil
+}
+
+// DrainWAL blocks until every live replica has applied everything
+// committed so far, then flushes the logs. No-op without a WAL.
+func (r *Router) DrainWAL(ctx context.Context) error {
+	if e := r.wal.Load(); e != nil {
+		return e.Drain(ctx)
+	}
+	return nil
+}
+
+// CloseWAL stops the appliers, flushes, and closes the logs. Unapplied
+// records stay logged and replay on the next EnableWAL over the same Dir.
+func (r *Router) CloseWAL() error {
+	if e := r.wal.Swap(nil); e != nil {
+		return e.Close()
+	}
+	return nil
+}
+
+// AbortWAL hard-stops the engine without the final flush — the crash model
+// for recovery tests.
+func (r *Router) AbortWAL() {
+	if e := r.wal.Swap(nil); e != nil {
+		e.Abort()
+	}
+}

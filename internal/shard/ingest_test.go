@@ -1,0 +1,450 @@
+package shard
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/hive"
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+	"github.com/smartgrid-oss/dgfindex/internal/wal"
+)
+
+// tearLastRecord truncates one replica's log keep bytes into its final
+// record's payload — the torn frame a crash mid-append leaves behind.
+func tearLastRecord(t *testing.T, dir string, shard, replica, keep int) {
+	t.Helper()
+	path := filepath.Join(dir, fmt.Sprintf("shard-%03d", shard), fmt.Sprintf("replica-%d.wal", replica))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, last := 0, -1
+	for off+8 <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if off+8+n > len(data) {
+			break
+		}
+		last = off
+		off += 8 + n
+	}
+	if last < 0 {
+		t.Fatalf("no complete record in %s", path)
+	}
+	if err := os.Truncate(path, int64(last+8+keep)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// extraMeterRows builds a deterministic batch of meterdata rows beyond the
+// workload generator's range, routed across every shard by userId.
+func extraMeterRows(batch, n int) []storage.Row {
+	rows := make([]storage.Row, 0, n)
+	for i := 0; i < n; i++ {
+		u := int64(1 + (batch*7+i*3)%40)
+		rows = append(rows, storage.Row{
+			storage.Int64(u),
+			storage.Int64(1 + u%4),
+			storage.TimeUnix(1354406400 + int64(batch)*3600 + int64(i)*60),
+			storage.Float64(float64(batch) + float64(i)*0.25),
+		})
+	}
+	return rows
+}
+
+// runSuiteWarehouse renders the meter query suite against one replica
+// warehouse exactly — the per-replica half of the bit-identical checks.
+func runSuiteWarehouse(t *testing.T, w *hive.Warehouse) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, q := range meterQuerySuite(testMeterConfig()) {
+		res, err := w.Exec(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		out[q] = strings.Join(res.Columns, ",") + "\n" + strings.Join(renderRows(res.Rows), "\n") +
+			fmt.Sprintf("\nrecords=%d bytes=%d path=%s", res.Stats.RecordsRead, res.Stats.BytesRead, res.Stats.AccessPath)
+	}
+	return out
+}
+
+// waitFleetSettled polls until no replica is catching up, then drains the
+// WAL so every logged record is applied.
+func waitFleetSettled(t *testing.T, r *Router) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		catching := 0
+		for _, sh := range r.Health() {
+			catching += sh.CatchingUp
+		}
+		if catching == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("catch-up never completed: %+v", r.Health())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := r.DrainWAL(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// enableTestWAL turns on the WAL with single-record apply batches so the
+// applier's file layout matches a synchronous load's exactly — the
+// bit-identical comparisons include scan stats, which see part files.
+func enableTestWAL(t *testing.T, r *Router, dir string) {
+	t.Helper()
+	if err := r.EnableWAL(WALConfig{Dir: dir, Fsync: wal.PolicyOff, MaxBatchRows: 1}); err != nil {
+		t.Fatalf("enable wal: %v", err)
+	}
+}
+
+// TestIngestChaosKillLoadReviveCatchUp is the acceptance chaos test: with
+// Replicas:2 and the WAL on, kill a replica, keep loading (every load
+// succeeds — hinted handoff), revive it, and after catch-up both replicas
+// of every shard answer the full query suite bit-identically: no
+// duplicated and no dropped rows.
+func TestIngestChaosKillLoadReviveCatchUp(t *testing.T) {
+	r := replicatedRouter(t, 4, 2, true)
+	t.Cleanup(func() { r.CloseWAL() })
+	enableTestWAL(t, r, t.TempDir())
+
+	loaded := 0
+	load := func(batch int) {
+		t.Helper()
+		rows := extraMeterRows(batch, 6)
+		if err := r.LoadRowsByName("meterdata", rows); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		loaded += len(rows)
+	}
+
+	load(0)
+	r.Kill(1, 0)
+	for b := 1; b <= 5; b++ {
+		load(b) // loads must keep succeeding with a dead replica
+	}
+	// Reads fail over to the surviving replica meanwhile.
+	if _, err := r.Exec(`SELECT count(*) FROM meterdata`); err != nil {
+		t.Fatalf("query during outage: %v", err)
+	}
+	// The dead replica is owed records in the hint queue.
+	hinted := int64(0)
+	for _, ss := range r.WALStats() {
+		for _, rs := range ss.Replicas {
+			hinted += rs.HintedRecords
+		}
+	}
+	if hinted == 0 {
+		t.Fatal("no hinted records while a replica was dead")
+	}
+
+	r.Revive(1, 0)
+	for b := 6; b <= 8; b++ {
+		load(b) // loads during catch-up commit to the revived log too
+	}
+	waitFleetSettled(t, r)
+
+	for _, sh := range r.Health() {
+		if sh.Live != 2 {
+			t.Fatalf("shard %d not fully live after catch-up: %+v", sh.Shard, sh)
+		}
+	}
+	for si := 0; si < r.NumShards(); si++ {
+		want := runSuiteWarehouse(t, r.Replica(si, 0))
+		got := runSuiteWarehouse(t, r.Replica(si, 1))
+		for q, w := range want {
+			if got[q] != w {
+				t.Fatalf("shard %d replicas diverged on %q:\nreplica 0: %s\nreplica 1: %s", si, q, w, got[q])
+			}
+		}
+	}
+	// No dropped or duplicated rows fleet-wide.
+	total := mustExec(t, r, `SELECT count(*) FROM meterdata`).Rows[0][0].AsFloat()
+	base := float64(len(testMeterConfig().AllRows()))
+	if total != base+float64(loaded) {
+		t.Fatalf("count(*) = %v, want %v base + %d loaded", total, base, loaded)
+	}
+	st := r.WALStats()
+	if rep := st[1].Replicas[0]; rep.ReplayedRows == 0 {
+		t.Fatalf("revived replica replayed nothing: %+v", rep)
+	}
+}
+
+// TestIngestWALFailoverSuiteGreen re-runs the kill/revive failover shape
+// with the WAL enabled: queries stay bit-identical with a replica down,
+// and after revive + catch-up the whole fleet matches the healthy suite.
+func TestIngestWALFailoverSuiteGreen(t *testing.T) {
+	r := replicatedRouter(t, 4, 2, true)
+	t.Cleanup(func() { r.CloseWAL() })
+	enableTestWAL(t, r, t.TempDir())
+	healthy := runSuite(t, r)
+
+	for si := 0; si < r.NumShards(); si++ {
+		r.Kill(si, si%2)
+	}
+	degraded := runSuite(t, r)
+	for q, want := range healthy {
+		if got := degraded[q]; got != want {
+			t.Fatalf("%q:\nhealthy : %s\ndegraded: %s", q, want, got)
+		}
+	}
+	for si := 0; si < r.NumShards(); si++ {
+		r.Revive(si, si%2)
+	}
+	waitFleetSettled(t, r)
+	revived := runSuite(t, r)
+	for q, want := range healthy {
+		if got := revived[q]; got != want {
+			t.Fatalf("after revive %q:\nhealthy: %s\nrevived: %s", q, want, got)
+		}
+	}
+}
+
+// TestIngestSyncAckVisibility: a sync load is queryable the moment the call
+// returns; an async load is durable immediately and visible after drain.
+func TestIngestSyncAckVisibility(t *testing.T) {
+	r := replicatedRouter(t, 2, 2, false)
+	t.Cleanup(func() { r.CloseWAL() })
+	enableTestWAL(t, r, t.TempDir())
+	before := mustExec(t, r, `SELECT count(*) FROM meterdata`).Rows[0][0].AsFloat()
+
+	ack, err := r.LoadRowsDurable(context.Background(), "meterdata", extraMeterRows(0, 8), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Applied || ack.MaxLSN == 0 {
+		t.Fatalf("sync ack: %+v", ack)
+	}
+	if got := mustExec(t, r, `SELECT count(*) FROM meterdata`).Rows[0][0].AsFloat(); got != before+8 {
+		t.Fatalf("sync load not visible: %v, want %v", got, before+8)
+	}
+
+	ack, err = r.LoadRowsDurable(context.Background(), "meterdata", extraMeterRows(1, 4), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Applied {
+		t.Fatalf("async ack claims applied: %+v", ack)
+	}
+	waitFleetSettled(t, r)
+	if got := mustExec(t, r, `SELECT count(*) FROM meterdata`).Rows[0][0].AsFloat(); got != before+12 {
+		t.Fatalf("async load lost: %v, want %v", got, before+12)
+	}
+}
+
+// TestIngestConcurrentLoadersWithKill hammers the WAL from concurrent
+// loaders while a replica dies and revives mid-stream; afterwards both
+// replicas of every shard agree on count and sum (default micro-batching,
+// so coalescing itself is exercised under -race).
+func TestIngestConcurrentLoadersWithKill(t *testing.T) {
+	r := replicatedRouter(t, 2, 2, false)
+	t.Cleanup(func() { r.CloseWAL() })
+	if err := r.EnableWAL(WALConfig{Dir: t.TempDir(), Fsync: wal.PolicyOff}); err != nil {
+		t.Fatal(err)
+	}
+	const loaders, batches, rowsPer = 4, 10, 5
+	var wg sync.WaitGroup
+	errCh := make(chan error, loaders)
+	for l := 0; l < loaders; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				if err := r.LoadRowsByName("meterdata", extraMeterRows(l*100+b, rowsPer)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(l)
+	}
+	time.Sleep(2 * time.Millisecond)
+	r.Kill(0, 1)
+	time.Sleep(5 * time.Millisecond)
+	r.Revive(0, 1)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("loader failed: %v", err)
+	}
+	waitFleetSettled(t, r)
+
+	base := float64(len(testMeterConfig().AllRows()))
+	want := base + float64(loaders*batches*rowsPer)
+	if got := mustExec(t, r, `SELECT count(*) FROM meterdata`).Rows[0][0].AsFloat(); got != want {
+		t.Fatalf("count(*) = %v, want %v", got, want)
+	}
+	for si := 0; si < r.NumShards(); si++ {
+		var counts [2]string
+		for ri := 0; ri < 2; ri++ {
+			res, err := r.Replica(si, ri).Exec(`SELECT count(*), sum(powerConsumed) FROM meterdata`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[ri] = strings.Join(renderRows(res.Rows), "|")
+		}
+		if counts[0] != counts[1] {
+			t.Fatalf("shard %d replicas disagree: %s vs %s", si, counts[0], counts[1])
+		}
+	}
+}
+
+// TestIngestCrashRecoveryBitIdentical is the crash test: load through the
+// WAL, hard-stop the engine mid-apply, tear the tail of one shard's logs
+// inside the final record, then rebuild a fresh fleet over the same WAL
+// dir. Replay must reconstruct state bit-identical to a fleet that loaded
+// the durable batches synchronously — the torn record (never durable, so
+// never acked as applied-and-synced) is dropped everywhere, not partially.
+func TestIngestCrashRecoveryBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testMeterConfig()
+
+	mkFleet := func() *Router {
+		r, err := New(Config{Shards: 4, Replicas: 2, Key: "userId"}, newShardWarehouse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		setupMeter(t, r, cfg, true)
+		return r
+	}
+
+	// Fleet 1: WAL on (fsync always — every batch durable), load batches,
+	// crash without draining.
+	r1 := mkFleet()
+	if err := r1.EnableWAL(WALConfig{Dir: dir, Fsync: wal.PolicyAlways, MaxBatchRows: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var durable [][]storage.Row
+	for b := 0; b < 6; b++ {
+		rows := extraMeterRows(b, 5)
+		if err := r1.LoadRowsByName("meterdata", rows); err != nil {
+			t.Fatal(err)
+		}
+		durable = append(durable, rows)
+	}
+	// One more load whose record we tear below: a single row with a known
+	// routing target.
+	doomed := storage.Row{storage.Int64(9), storage.Int64(2), storage.TimeUnix(1354500000), storage.Float64(99.5)}
+	if err := r1.LoadRowsByName("meterdata", []storage.Row{doomed}); err != nil {
+		t.Fatal(err)
+	}
+	m := r1.meta("meterdata")
+	doomedShard := r1.route(doomed[m.keyIdx], m.schema.Col(m.keyIdx).Kind)
+	r1.AbortWAL() // hard crash: appliers stop wherever they are
+
+	// Tear the final record on BOTH replica logs of the doomed shard at an
+	// arbitrary byte, as a crash mid-append would.
+	for ri := 0; ri < 2; ri++ {
+		tearLastRecord(t, dir, doomedShard, ri, 3)
+	}
+
+	// Fleet 2: fresh (empty) warehouses, same DDL, same WAL dir — replay.
+	r2 := mkFleet()
+	t.Cleanup(func() { r2.CloseWAL() })
+	if err := r2.EnableWAL(WALConfig{Dir: dir, Fsync: wal.PolicyOff, MaxBatchRows: 1}); err != nil {
+		t.Fatal(err)
+	}
+	waitFleetSettled(t, r2)
+
+	// Baseline: synchronous loads of exactly the durable batches.
+	baseline := mkFleet()
+	for _, rows := range durable {
+		if err := baseline.LoadRowsByName("meterdata", rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := runSuite(t, baseline)
+	got := runSuite(t, r2)
+	for q, w := range want {
+		if got[q] != w {
+			t.Fatalf("replayed fleet diverged on %q:\nbaseline: %s\nreplayed: %s", q, w, got[q])
+		}
+	}
+	for si := 0; si < r2.NumShards(); si++ {
+		a := runSuiteWarehouse(t, r2.Replica(si, 0))
+		b := runSuiteWarehouse(t, r2.Replica(si, 1))
+		for q, w := range a {
+			if b[q] != w {
+				t.Fatalf("shard %d replicas diverged after replay on %q", si, q)
+			}
+		}
+	}
+}
+
+// TestEachShardLoadErrorEnumeratesShards is the regression test for the
+// load path's error accounting: a load that fails on one shard names that
+// shard and enumerates the shards that applied, the way broadcast DDL
+// already does, with the root cause still reachable via errors.Is.
+func TestEachShardLoadErrorEnumeratesShards(t *testing.T) {
+	r := replicatedRouter(t, 4, 2, false)
+	r.Kill(2, 0)
+	err := r.LoadRowsByName("meterdata", extraMeterRows(0, 40))
+	if err == nil {
+		t.Fatal("load with a dead replica succeeded without a WAL")
+	}
+	for _, want := range []string{"shard 2/4 failed", "shards 0,1,3 applied"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not contain %q", err, want)
+		}
+	}
+	if !errors.Is(err, ErrReplicaDown) {
+		t.Fatalf("root cause lost: %v", err)
+	}
+
+	// Kill the other shards too: the fold must say no shard applied.
+	for si := 0; si < 4; si++ {
+		r.Kill(si, 1)
+	}
+	err = r.LoadRowsByName("meterdata", extraMeterRows(1, 40))
+	if err == nil || !strings.Contains(err.Error(), "no shard applied") {
+		t.Fatalf("fully-failed load error = %v, want 'no shard applied'", err)
+	}
+}
+
+// TestIngestLoadFailsWhenWholeShardDead: hinted handoff still refuses a
+// load no replica can log.
+func TestIngestLoadFailsWhenWholeShardDead(t *testing.T) {
+	r := replicatedRouter(t, 2, 2, false)
+	t.Cleanup(func() { r.CloseWAL() })
+	enableTestWAL(t, r, t.TempDir())
+	r.Kill(0, 0)
+	r.Kill(0, 1)
+	err := r.LoadRowsByName("meterdata", extraMeterRows(0, 40))
+	if err == nil || !strings.Contains(err.Error(), "no live replica") {
+		t.Fatalf("err = %v, want no-live-replica commit failure", err)
+	}
+}
+
+// TestIngestValidatesRowShapeBeforeLogging: a malformed row is rejected at
+// the ack, not logged to stall the applier forever.
+func TestIngestValidatesRowShapeBeforeLogging(t *testing.T) {
+	r := replicatedRouter(t, 2, 1, false)
+	t.Cleanup(func() { r.CloseWAL() })
+	enableTestWAL(t, r, t.TempDir())
+	_, err := r.LoadRowsDurable(context.Background(), "meterdata",
+		[]storage.Row{{storage.Int64(1)}}, false)
+	if err == nil || !strings.Contains(err.Error(), "columns") {
+		t.Fatalf("short row accepted: %v", err)
+	}
+	if _, err := r.LoadRowsDurable(context.Background(), "nosuch", extraMeterRows(0, 1), false); err == nil {
+		t.Fatal("load into unknown table accepted")
+	}
+	st := r.WALStats()
+	for _, ss := range st {
+		if ss.NextLSN != 1 {
+			t.Fatalf("invalid load consumed an LSN: %+v", ss)
+		}
+	}
+}

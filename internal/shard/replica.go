@@ -47,6 +47,10 @@ type replica struct {
 	ejectedUntil time.Time // zero when not ejected
 	killed       bool
 	killCh       chan struct{} // closed while killed; replaced on Revive
+	// catchingUp: revived but still replaying the WAL records it missed.
+	// Excluded from read selection (its data is stale) yet distinct from
+	// killed in health reporting — the replica is repairing, not dead.
+	catchingUp bool
 }
 
 func newReplica(shard, idx int, w *hive.Warehouse) *replica {
@@ -65,6 +69,7 @@ func (rep *replica) kill() {
 		rep.killed = true
 		close(rep.killCh)
 	}
+	rep.catchingUp = false // dead trumps repairing
 }
 
 // revive brings a killed replica back and clears its health record, modelling
@@ -84,6 +89,34 @@ func (rep *replica) isKilled() bool {
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
 	return rep.killed
+}
+
+// beginCatchUp revives the replica into the catching-up state: back in the
+// fleet (commits append to its WAL again) but excluded from reads until the
+// replay completes.
+func (rep *replica) beginCatchUp() {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if rep.killed {
+		rep.killed = false
+		rep.killCh = make(chan struct{})
+	}
+	rep.fails = 0
+	rep.ejectedUntil = time.Time{}
+	rep.catchingUp = true
+}
+
+// endCatchUp returns the replica to full read eligibility.
+func (rep *replica) endCatchUp() {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	rep.catchingUp = false
+}
+
+func (rep *replica) isCatchingUp() bool {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	return rep.catchingUp
 }
 
 // downErr is the immediate failure a killed replica returns without touching
@@ -236,11 +269,11 @@ func (rs *replicaSet) noteFailure(rep *replica) bool {
 }
 
 // live reports whether rep is currently eligible for selection (healthy,
-// not ejected).
+// not ejected, not replaying missed WAL records).
 func (rs *replicaSet) live(rep *replica) bool {
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
-	return rep.ejectedUntil.IsZero()
+	return rep.ejectedUntil.IsZero() && !rep.catchingUp
 }
 
 // tryClaimProbe claims rep's re-probe if its ejection window has elapsed:
@@ -287,7 +320,8 @@ func (rs *replicaSet) pick(tried []bool) *replica {
 		return best
 	}
 	// Every untried replica is ejected and not yet due: probe the one due
-	// back soonest.
+	// back soonest. A catching-up replica is never probed — it would answer
+	// from stale data, not fail.
 	var when time.Time
 	for i, rep := range rs.reps {
 		if tried[i] {
@@ -295,7 +329,11 @@ func (rs *replicaSet) pick(tried []bool) *replica {
 		}
 		rep.mu.Lock()
 		until := rep.ejectedUntil
+		catching := rep.catchingUp
 		rep.mu.Unlock()
+		if catching {
+			continue
+		}
 		if best == nil || until.Before(when) {
 			best, when = rep, until
 		}
@@ -318,6 +356,11 @@ func (rs *replicaSet) index(rep *replica) int {
 // An unreplicated shard returns the failure untouched, keeping a Replicas:1
 // router's errors identical to an unreplicated one's.
 func (rs *replicaSet) exhaustedErr(last error) error {
+	if last == nil {
+		// Nothing was even tried: every replica is excluded from selection
+		// without failing (all catching up after a revive).
+		return fmt.Errorf("shard %d: no readable replica: replicas are catching up", rs.shard)
+	}
 	if len(rs.reps) == 1 {
 		return last
 	}
@@ -477,6 +520,9 @@ type ReplicaHealth struct {
 	Live bool `json:"live"`
 	// Killed: down via Kill (operator- or test-injected outage).
 	Killed bool `json:"killed,omitempty"`
+	// CatchingUp: revived and replaying missed WAL records; excluded from
+	// reads until the replay completes, but repairing rather than dead.
+	CatchingUp bool `json:"catching_up,omitempty"`
 	// ConsecutiveFailures since the last success.
 	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
 	// EjectedForMs is how long until the next re-probe (0 when not ejected).
@@ -491,8 +537,10 @@ type SetHealth struct {
 	Replicas int `json:"replicas"`
 	// Live counts replicas currently eligible for reads; 0 means the shard
 	// cannot answer and scatters over it will fail.
-	Live   int             `json:"live"`
-	Detail []ReplicaHealth `json:"detail"`
+	Live int `json:"live"`
+	// CatchingUp counts replicas replaying missed WAL records.
+	CatchingUp int             `json:"catching_up,omitempty"`
+	Detail     []ReplicaHealth `json:"detail"`
 }
 
 // health snapshots the set.
@@ -504,16 +552,20 @@ func (rs *replicaSet) health() SetHealth {
 		h := ReplicaHealth{
 			Replica:             i,
 			Killed:              rep.killed,
+			CatchingUp:          rep.catchingUp,
 			ConsecutiveFailures: rep.fails,
 			Inflight:            rep.inflight.Load(),
 		}
 		if !rep.ejectedUntil.IsZero() && now.Before(rep.ejectedUntil) {
 			h.EjectedForMs = rep.ejectedUntil.Sub(now).Milliseconds()
 		}
-		h.Live = !rep.killed && h.EjectedForMs == 0
+		h.Live = !rep.killed && !rep.catchingUp && h.EjectedForMs == 0
 		rep.mu.Unlock()
 		if h.Live {
 			sh.Live++
+		}
+		if h.CatchingUp {
+			sh.CatchingUp++
 		}
 		sh.Detail = append(sh.Detail, h)
 	}

@@ -26,12 +26,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/smartgrid-oss/dgfindex/internal/gridfile"
 	"github.com/smartgrid-oss/dgfindex/internal/hive"
 	"github.com/smartgrid-oss/dgfindex/internal/storage"
 	"github.com/smartgrid-oss/dgfindex/internal/trace"
+	"github.com/smartgrid-oss/dgfindex/internal/wal"
 )
 
 // Strategy selects how a routing-key value maps to a shard.
@@ -154,6 +156,10 @@ type Router struct {
 	cfg  Config
 	sets []*replicaSet
 
+	// wal, when set by EnableWAL, makes loads durable: commits append to
+	// per-replica logs and background appliers drain them (see ingest.go).
+	wal atomic.Pointer[wal.Engine]
+
 	mu     sync.RWMutex
 	tables map[string]*tableMeta
 }
@@ -200,14 +206,32 @@ func (r *Router) Replica(i, j int) *hive.Warehouse { return r.sets[i].reps[j].w 
 // Kill marks one replica down, as if the store crashed: new requests to it
 // fail immediately, and in-flight reads and DDL abort at their next split
 // boundary (an in-flight load runs to completion — loads are not
-// context-aware). Reads fail over to the shard's surviving replicas; writes
-// fail until Revive (replicas are kept exactly consistent — there is no
-// hinted handoff).
-func (r *Router) Kill(shard, replica int) { r.sets[shard].reps[replica].kill() }
+// context-aware). Reads fail over to the shard's surviving replicas. Writes:
+// without a WAL the whole load fails until Revive (replicas are kept exactly
+// consistent); with EnableWAL the load commits to the surviving replicas'
+// logs and the dead one is owed the records (hinted handoff).
+func (r *Router) Kill(shard, replica int) {
+	r.sets[shard].reps[replica].kill()
+	if e := r.wal.Load(); e != nil {
+		e.MarkDown(shard, replica)
+	}
+}
 
 // Revive brings a killed replica back into selection with a clean health
-// record.
-func (r *Router) Revive(shard, replica int) { r.sets[shard].reps[replica].revive() }
+// record. With the WAL enabled the replica first replays every record it
+// missed (health reports it catching_up, not live, until the replay's
+// high-water mark is reached) — the divergence fail-fast loads used to
+// leave behind is repaired instead.
+func (r *Router) Revive(shard, replica int) {
+	rep := r.sets[shard].reps[replica]
+	e := r.wal.Load()
+	if e == nil {
+		rep.revive()
+		return
+	}
+	rep.beginCatchUp()
+	e.CatchUp(shard, replica, rep.endCatchUp)
+}
 
 // Health snapshots every shard's replica-set health (the serving layer's
 // /stats and /healthz surface this).
@@ -734,30 +758,49 @@ func coerceKey(v storage.Value, kind storage.Kind) storage.Value {
 	}
 }
 
-// LoadRowsByName appends rows, routing each row to its shard by the key
-// column (tables without the key column replicate the batch to every
-// shard). A shard's batch is written to every one of its replicas, so the
-// copies stay exactly consistent — a down replica therefore fails the load
-// (no hinted handoff; Revive and re-load, or rebuild the replica). Loads run
-// concurrently; each warehouse's own write lock keeps its load atomic.
-func (r *Router) LoadRowsByName(table string, rows []storage.Row) error {
+// loadBatches routes rows into per-shard batches by the key column. An
+// unrouted table (created behind the router) batches everything to shard 0;
+// a table without the key column replicates the full batch to every shard.
+func (r *Router) loadBatches(table string, rows []storage.Row) ([][]storage.Row, error) {
+	batches := make([][]storage.Row, len(r.sets))
 	m := r.meta(table)
 	switch {
 	case m == nil:
-		return r.loadShardReplicas(r.sets[0], table, rows)
+		batches[0] = rows
+		return batches, nil
 	case m.keyIdx < 0:
-		return r.eachShard(func(rs *replicaSet) error {
-			return r.loadShardReplicas(rs, table, rows)
-		})
+		for i := range batches {
+			batches[i] = rows
+		}
+		return batches, nil
 	}
 	kind := m.schema.Col(m.keyIdx).Kind
-	batches := make([][]storage.Row, len(r.sets))
 	for _, row := range rows {
 		if m.keyIdx >= len(row) {
-			return fmt.Errorf("shard: row has %d columns; routing key %q is column %d", len(row), r.cfg.Key, m.keyIdx+1)
+			return nil, fmt.Errorf("shard: row has %d columns; routing key %q is column %d", len(row), r.cfg.Key, m.keyIdx+1)
 		}
 		si := r.route(row[m.keyIdx], kind)
 		batches[si] = append(batches[si], row)
+	}
+	return batches, nil
+}
+
+// LoadRowsByName appends rows, routing each row to its shard by the key
+// column (tables without the key column replicate the batch to every
+// shard). Without a WAL, a shard's batch is written synchronously to every
+// one of its replicas, so the copies stay exactly consistent — a down
+// replica therefore fails the load. With EnableWAL the load commits to the
+// replicas' logs (skipping dead replicas, which catch up on Revive) and
+// background appliers apply it. Loads run concurrently; each warehouse's
+// own write lock keeps its load atomic.
+func (r *Router) LoadRowsByName(table string, rows []storage.Row) error {
+	if r.wal.Load() != nil {
+		_, err := r.LoadRowsDurable(context.Background(), table, rows, false)
+		return err
+	}
+	batches, err := r.loadBatches(table, rows)
+	if err != nil {
+		return err
 	}
 	return r.eachShard(func(rs *replicaSet) error {
 		if len(batches[rs.shard]) == 0 {
@@ -772,11 +815,12 @@ func (r *Router) LoadRowsByName(table string, rows []storage.Row) error {
 // A replica known to be down fails the load before any copy is written, so
 // the surviving replicas do not silently diverge from the dead one (a
 // replica dying mid-load can still leave copies diverged; the returned
-// error names the store to rebuild).
+// error names the store to rebuild — or enable the WAL, whose log replay
+// repairs exactly this).
 func (r *Router) loadShardReplicas(rs *replicaSet, table string, rows []storage.Row) error {
 	for _, rep := range rs.reps {
 		if rep.isKilled() {
-			return fmt.Errorf("shard %d: load rejected: %w", rs.shard, rep.downErr())
+			return fmt.Errorf("load rejected: %w", rep.downErr())
 		}
 	}
 	errs := make([]error, len(rs.reps))
@@ -796,7 +840,7 @@ func (r *Router) loadShardReplicas(rs *replicaSet, table string, rows []storage.
 	for j, err := range errs {
 		if err != nil {
 			if len(rs.reps) > 1 {
-				return fmt.Errorf("shard %d replica %d: load failed: %w", rs.shard, j, err)
+				return fmt.Errorf("replica %d: load failed: %w", j, err)
 			}
 			return err
 		}
@@ -804,8 +848,10 @@ func (r *Router) loadShardReplicas(rs *replicaSet, table string, rows []storage.
 	return nil
 }
 
-// eachShard runs fn on every shard's replica set concurrently and returns
-// the first error.
+// eachShard runs fn on every shard's replica set concurrently and folds the
+// per-shard outcomes into one error that enumerates every failed shard and
+// the shards that applied (see loadOutcome) — the same accounting broadcast
+// gives DDL, so a partially-applied load names exactly which shards took it.
 func (r *Router) eachShard(fn func(rs *replicaSet) error) error {
 	errs := make([]error, len(r.sets))
 	var wg sync.WaitGroup
@@ -817,13 +863,53 @@ func (r *Router) eachShard(fn func(rs *replicaSet) error) error {
 		}(i, rs)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	return r.loadOutcome(errs)
+}
+
+// loadOutcome folds per-shard load errors into a single error naming every
+// failed shard and the shards that applied, mirroring broadcastOutcome. A
+// single-shard fleet passes its error through untouched, keeping a 1-shard
+// router's errors identical to a bare warehouse's.
+func (r *Router) loadOutcome(errs []error) error {
+	if len(errs) == 1 {
+		return errs[0]
+	}
+	var failed []string
+	var applied []string
+	for i, err := range errs {
 		if err != nil {
-			return err
+			failed = append(failed, fmt.Sprintf("shard %d/%d failed: %v", i, len(errs), err))
+		} else {
+			applied = append(applied, strconv.Itoa(i))
 		}
 	}
-	return nil
+	if failed == nil {
+		return nil
+	}
+	msg := strings.Join(failed, "; ")
+	if len(applied) > 0 {
+		msg += "; shards " + strings.Join(applied, ",") + " applied"
+	} else {
+		msg += "; no shard applied"
+	}
+	var causes []error
+	for _, err := range errs {
+		if err != nil {
+			causes = append(causes, err)
+		}
+	}
+	return &fleetLoadError{msg: "shard: load diverged the fleet: " + msg, causes: causes}
 }
+
+// fleetLoadError enumerates a partially-applied load's per-shard failures
+// while keeping every cause reachable through errors.Is/As.
+type fleetLoadError struct {
+	msg    string
+	causes []error
+}
+
+func (e *fleetLoadError) Error() string   { return e.msg }
+func (e *fleetLoadError) Unwrap() []error { return e.causes }
 
 // TableVersions sums the shards' per-table mutation counters. A shard's
 // counter is the max across its replicas (replicas apply every write, so

@@ -1,0 +1,688 @@
+package wal
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+	"github.com/smartgrid-oss/dgfindex/internal/trace"
+)
+
+// Store is the apply target for one replica — in production the replica's
+// *hive.Warehouse, whose LoadRowsByName already bumps table versions and
+// runs incremental DGF index maintenance (dgf.Append) per batch.
+type Store interface {
+	LoadRowsByName(table string, rows []storage.Row) error
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Dir is the WAL root; logs live at Dir/shard-NNN/replica-N.wal.
+	Dir string
+	// Fsync selects the durability/latency trade-off for appends.
+	Fsync Policy
+	// SyncEvery is the PolicyInterval flush period. Default 25ms.
+	SyncEvery time.Duration
+	// MaxBatchRows caps rows coalesced into one apply call. Default 8192.
+	MaxBatchRows int
+	// MaxPendingRows is the per-replica backpressure bound: commits block
+	// (context-aware) while a live replica has this many unapplied rows.
+	// Default 1<<20.
+	MaxPendingRows int
+	// SlowApplyMs: applies slower than this are recorded in the flight
+	// recorder (errored applies and catch-ups always are). Default 500.
+	SlowApplyMs float64
+	// OnApply, when set, runs after every successful apply batch — the
+	// server hooks result-cache invalidation here so cached answers are
+	// evicted when rows land, not when they are enqueued.
+	OnApply func(table string, rows int)
+	// Recorder, when set, receives apply/catchup trace spans (slow or
+	// errored applies; every catch-up).
+	Recorder *trace.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 25 * time.Millisecond
+	}
+	if o.MaxBatchRows <= 0 {
+		o.MaxBatchRows = 8192
+	}
+	if o.MaxPendingRows <= 0 {
+		o.MaxPendingRows = 1 << 20
+	}
+	if o.SlowApplyMs <= 0 {
+		o.SlowApplyMs = 500
+	}
+	return o
+}
+
+// Engine owns the logs and appliers for a whole fleet: one LSN sequencer
+// per shard, one log + applier goroutine per replica.
+type Engine struct {
+	opts   Options
+	shards []*shardWAL
+
+	stopSync chan struct{}
+	wg       sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// shardWAL sequences commits for one shard. All replicas share nextLSN, so
+// every replica's log holds the same records in the same order (modulo a
+// suffix missing while a replica is down).
+type shardWAL struct {
+	idx  int
+	mu   sync.Mutex // serialises commit + catch-up log repair
+	next uint64     // next LSN to assign (1-based)
+	reps []*replicaWAL
+}
+
+// replicaWAL is one replica's log, pending queue, and applier state.
+type replicaWAL struct {
+	eng   *Engine
+	shard int
+	idx   int
+	store Store
+	log   *Log
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	pending      []Record
+	pendingRows  int
+	applied      uint64 // LSN high-water mark: everything <= is in the store
+	replayTarget uint64 // records <= this were recovered/backfilled, not live commits
+	active       bool   // false while the replica is down: no appends, no applies
+	catchingUp   bool
+	closed       bool
+	hinted       int64 // records skipped while down (owed via catch-up)
+	replayedRows int64 // rows applied via recovery or catch-up replay
+	batches      int64 // successful apply batches
+	stalled      string
+}
+
+// Open recovers (or initialises) the WAL under opts.Dir for a fleet shaped
+// like stores: stores[shard][replica]. Recovered records are queued for
+// re-apply — the stores are in-memory, so a process restart means every
+// logged record replays from LSN 1. Replica logs of the same shard are
+// repaired to a common tail before appliers start, so even a fleet that
+// crashed mid-commit comes back prefix-identical.
+func Open(opts Options, stores [][]Store) (*Engine, error) {
+	opts = opts.withDefaults()
+	e := &Engine{opts: opts, stopSync: make(chan struct{})}
+	for si, reps := range stores {
+		sw := &shardWAL{idx: si}
+		recovered := make([][]Record, len(reps))
+		maxLast := uint64(0)
+		donor := -1
+		for ri, st := range reps {
+			path := filepath.Join(opts.Dir, fmt.Sprintf("shard-%03d", si), fmt.Sprintf("replica-%d.wal", ri))
+			l, recs, err := OpenLog(path)
+			if err != nil {
+				e.closeLogs()
+				return nil, err
+			}
+			rw := &replicaWAL{eng: e, shard: si, idx: ri, store: st, log: l, active: true}
+			rw.cond = sync.NewCond(&rw.mu)
+			sw.reps = append(sw.reps, rw)
+			recovered[ri] = recs
+			if last := l.LastLSN(); last > maxLast {
+				maxLast, donor = last, ri
+			}
+		}
+		// Repair short logs from the longest sibling: a crash between
+		// per-replica appends of one commit leaves tails of different
+		// lengths; all replicas must replay the same history.
+		for ri, rw := range sw.reps {
+			last := rw.log.LastLSN()
+			if donor >= 0 && last < maxLast {
+				for _, rec := range recovered[donor] {
+					if rec.LSN <= last {
+						continue
+					}
+					if err := rw.log.Append(rec, PolicyOff); err != nil {
+						e.closeLogs()
+						return nil, err
+					}
+					recovered[ri] = append(recovered[ri], rec)
+				}
+			}
+			rw.pending = recovered[ri]
+			rw.pendingRows = recordRows(rw.pending)
+			rw.replayTarget = maxLast
+		}
+		sw.next = maxLast + 1
+		e.shards = append(e.shards, sw)
+	}
+	for _, sw := range e.shards {
+		for _, rw := range sw.reps {
+			e.wg.Add(1)
+			go rw.run()
+		}
+	}
+	if opts.Fsync == PolicyInterval {
+		e.wg.Add(1)
+		go e.syncLoop()
+	}
+	return e, nil
+}
+
+func (e *Engine) closeLogs() {
+	for _, sw := range e.shards {
+		for _, rw := range sw.reps {
+			rw.log.Close(PolicyOff)
+		}
+	}
+}
+
+func (e *Engine) syncLoop() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stopSync:
+			return
+		case <-t.C:
+			for _, sw := range e.shards {
+				for _, rw := range sw.reps {
+					rw.log.Sync() // best-effort; append errors surface on commit
+				}
+			}
+		}
+	}
+}
+
+// Commit durably logs one shard's slice of a load and queues it for apply,
+// returning the assigned LSN. Replicas marked down are skipped and owed
+// the record via hinted handoff; if no replica is live the commit fails
+// (nothing was logged). ctx gates only the backpressure wait — once
+// appending starts the commit always completes.
+func (e *Engine) Commit(ctx context.Context, shard int, table string, rows []storage.Row) (uint64, error) {
+	if shard < 0 || shard >= len(e.shards) {
+		return 0, fmt.Errorf("wal: commit to unknown shard %d", shard)
+	}
+	sw := e.shards[shard]
+	// Backpressure before taking the commit lock: a replica drowning in
+	// unapplied rows should slow producers, not grow without bound.
+	for _, rw := range sw.reps {
+		if err := rw.waitCapacity(ctx, e.opts.MaxPendingRows); err != nil {
+			return 0, err
+		}
+	}
+	var span *trace.Span
+	if parent := trace.FromContext(ctx); parent != nil {
+		span = parent.Child("wal_append")
+		defer span.Finish()
+	}
+
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0, fmt.Errorf("wal: engine closed")
+	}
+	e.mu.Unlock()
+
+	rec := Record{LSN: sw.next, Table: table, Rows: rows}
+	logged := 0
+	for _, rw := range sw.reps {
+		rw.mu.Lock()
+		if !rw.active {
+			rw.hinted++
+			rw.mu.Unlock()
+			continue
+		}
+		rw.mu.Unlock()
+		if err := rw.log.Append(rec, e.opts.Fsync); err != nil {
+			// A replica whose log cannot take writes is as good as down:
+			// demote it (it will be owed the record like any dead replica)
+			// and keep the commit alive on its siblings.
+			rw.mu.Lock()
+			rw.active = false
+			rw.hinted++
+			rw.stalled = err.Error()
+			rw.cond.Broadcast()
+			rw.mu.Unlock()
+			continue
+		}
+		rw.mu.Lock()
+		rw.pending = append(rw.pending, rec)
+		rw.pendingRows += len(rows)
+		rw.cond.Broadcast()
+		rw.mu.Unlock()
+		logged++
+	}
+	if logged == 0 {
+		return 0, fmt.Errorf("wal: shard %d: no live replica log accepted the record", shard)
+	}
+	sw.next++
+	if span != nil {
+		span.Set("shard", shard)
+		span.Set("lsn", rec.LSN)
+		span.Set("rows", len(rows))
+		span.Set("replicas_logged", logged)
+		span.Set("fsync", e.opts.Fsync.String())
+	}
+	return rec.LSN, nil
+}
+
+// waitCapacity blocks while the replica is live and over the pending-rows
+// bound. Down replicas don't exert backpressure (they aren't applying).
+func (rw *replicaWAL) waitCapacity(ctx context.Context, maxRows int) error {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if rw.pendingRows < maxRows || !rw.active || rw.closed {
+		return nil
+	}
+	stop := watchCtx(ctx, rw.cond)
+	defer stop()
+	for rw.pendingRows >= maxRows && rw.active && !rw.closed {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("wal: backpressure wait: %w", err)
+		}
+		rw.cond.Wait()
+	}
+	return nil
+}
+
+// watchCtx broadcasts on cond when ctx is cancelled so cond.Wait loops can
+// observe the cancellation. Returns a stop func; no-op for contexts that
+// can never be cancelled.
+func watchCtx(ctx context.Context, cond *sync.Cond) func() {
+	done := ctx.Done()
+	if done == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			cond.L.Lock()
+			cond.Broadcast()
+			cond.L.Unlock()
+		case <-quit:
+		}
+	}()
+	return func() { close(quit) }
+}
+
+// run is the per-replica applier: it drains pending records in LSN order,
+// coalescing contiguous same-table records into micro-batches, and applies
+// them to the store. Strict order keeps part-file naming — and therefore
+// scan row order — identical across replicas.
+func (rw *replicaWAL) run() {
+	defer rw.eng.wg.Done()
+	backoff := 10 * time.Millisecond
+	for {
+		rw.mu.Lock()
+		for !rw.closed && (!rw.active || len(rw.pending) == 0) {
+			rw.cond.Wait()
+		}
+		if rw.closed {
+			rw.mu.Unlock()
+			return
+		}
+		table := rw.pending[0].Table
+		maxRows := rw.eng.opts.MaxBatchRows
+		n, rows, replay := 0, 0, 0
+		var lastLSN uint64
+		for n < len(rw.pending) && rw.pending[n].Table == table {
+			r := len(rw.pending[n].Rows)
+			if n > 0 && rows+r > maxRows {
+				break
+			}
+			rows += r
+			if rw.pending[n].LSN <= rw.replayTarget {
+				replay += r
+			}
+			lastLSN = rw.pending[n].LSN
+			n++
+		}
+		batch := make([]storage.Row, 0, rows)
+		for i := 0; i < n; i++ {
+			batch = append(batch, rw.pending[i].Rows...)
+		}
+		rw.mu.Unlock()
+
+		span := trace.New("apply")
+		span.Set("shard", rw.shard)
+		span.Set("replica", rw.idx)
+		span.Set("table", table)
+		span.Set("records", n)
+		span.Set("rows", rows)
+		span.Set("lsn", lastLSN)
+		err := rw.store.LoadRowsByName(table, batch)
+		span.Finish()
+
+		if err != nil {
+			// Never drop a logged record: surface the stall, back off, and
+			// retry. The record is durable; the operator can see the error
+			// in /stats and the flight recorder.
+			rw.mu.Lock()
+			rw.stalled = err.Error()
+			rw.mu.Unlock()
+			rw.record(span, fmt.Sprintf("WAL apply shard %d replica %d table %s", rw.shard, rw.idx, table), err)
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = 10 * time.Millisecond
+
+		rw.mu.Lock()
+		rw.pending = rw.pending[n:]
+		rw.pendingRows -= rows
+		rw.applied = lastLSN
+		rw.batches++
+		rw.replayedRows += int64(replay)
+		rw.stalled = ""
+		rw.cond.Broadcast()
+		rw.mu.Unlock()
+
+		if cb := rw.eng.opts.OnApply; cb != nil {
+			cb(table, rows)
+		}
+		if wall := span.Wall(); float64(wall)/float64(time.Millisecond) >= rw.eng.opts.SlowApplyMs {
+			rw.record(span, fmt.Sprintf("WAL apply shard %d replica %d table %s", rw.shard, rw.idx, table), nil)
+		}
+	}
+}
+
+func (rw *replicaWAL) record(span *trace.Span, what string, err error) {
+	rec := rw.eng.opts.Recorder
+	if rec == nil {
+		return
+	}
+	tr := trace.Record{
+		Time:   time.Now(),
+		SQL:    what,
+		WallMs: float64(span.Wall()) / float64(time.Millisecond),
+		Trace:  span.Snapshot(),
+	}
+	if err != nil {
+		tr.Error = err.Error()
+	} else {
+		tr.Slow = true
+	}
+	rec.Add(tr)
+}
+
+// MarkDown pauses a replica: commits stop appending to its log (hinting
+// instead) and its applier idles. Pending records stay queued so an
+// in-process revive never replays a record twice.
+func (e *Engine) MarkDown(shard, replica int) {
+	rw := e.replica(shard, replica)
+	if rw == nil {
+		return
+	}
+	rw.mu.Lock()
+	rw.active = false
+	rw.catchingUp = false
+	rw.cond.Broadcast()
+	rw.mu.Unlock()
+}
+
+// CatchUp repairs a revived replica by log replay: records the live
+// siblings committed while it was down (LSN > its log tail) are copied
+// from the most advanced sibling's log into its own log and pending
+// queue, the applier resumes, and onDone fires once the replica's applied
+// high-water mark reaches the repair target. The catching-up window is
+// observable via Stats (CatchingUp=true). Runs asynchronously.
+func (e *Engine) CatchUp(shard, replica int, onDone func()) {
+	rw := e.replica(shard, replica)
+	if rw == nil {
+		if onDone != nil {
+			onDone()
+		}
+		return
+	}
+	sw := e.shards[shard]
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		span := trace.New("catchup")
+		span.Set("shard", shard)
+		span.Set("replica", replica)
+
+		// Under the shard commit lock: no new LSNs can land mid-repair, so
+		// "donor tail" is a stable target.
+		sw.mu.Lock()
+		var donor *replicaWAL
+		for _, sib := range sw.reps {
+			if sib == rw {
+				continue
+			}
+			sib.mu.Lock()
+			ok := sib.active
+			sib.mu.Unlock()
+			if ok && (donor == nil || sib.log.LastLSN() > donor.log.LastLSN()) {
+				donor = sib
+			}
+		}
+		mine := rw.log.LastLSN()
+		var missed []Record
+		var scanErr error
+		if donor != nil && donor.log.LastLSN() > mine {
+			missed, scanErr = donor.log.ScanFrom(mine)
+		}
+		if scanErr == nil {
+			for _, rec := range missed {
+				if err := rw.log.Append(rec, PolicyOff); err != nil {
+					scanErr = err
+					break
+				}
+			}
+		}
+		rw.mu.Lock()
+		if scanErr != nil {
+			rw.stalled = scanErr.Error()
+		}
+		for _, rec := range missed {
+			rw.pending = append(rw.pending, rec)
+			rw.pendingRows += len(rec.Rows)
+		}
+		target := mine
+		if n := len(missed); n > 0 {
+			target = missed[n-1].LSN
+		}
+		if target > rw.replayTarget {
+			rw.replayTarget = target
+		}
+		rw.active = true
+		rw.catchingUp = true
+		rw.hinted = 0
+		rw.cond.Broadcast()
+		rw.mu.Unlock()
+		sw.mu.Unlock()
+
+		span.Set("from_lsn", mine)
+		span.Set("to_lsn", target)
+		span.Set("records", len(missed))
+		span.Set("rows", recordRows(missed))
+		if scanErr != nil {
+			span.Eventf("log repair failed: %v", scanErr)
+		}
+
+		// Wait until the replica has applied the full repaired history (or
+		// went down / closed again first).
+		rw.mu.Lock()
+		for rw.applied < target && rw.active && !rw.closed {
+			rw.cond.Wait()
+		}
+		reached := rw.applied >= target
+		if reached {
+			rw.catchingUp = false
+		}
+		rw.mu.Unlock()
+		span.Finish()
+		rw.record(span, fmt.Sprintf("WAL catchup shard %d replica %d", shard, replica), scanErr)
+		if reached && onDone != nil {
+			onDone()
+		}
+	}()
+}
+
+// WaitApplied blocks until every live replica of shard has applied through
+// lsn, the context expires, or the engine closes. Used for ?sync=1 acks.
+func (e *Engine) WaitApplied(ctx context.Context, shard int, lsn uint64) error {
+	if shard < 0 || shard >= len(e.shards) {
+		return fmt.Errorf("wal: wait on unknown shard %d", shard)
+	}
+	for _, rw := range e.shards[shard].reps {
+		rw.mu.Lock()
+		stop := watchCtx(ctx, rw.cond)
+		for rw.applied < lsn && rw.active && !rw.closed && ctx.Err() == nil {
+			rw.cond.Wait()
+		}
+		err := ctx.Err()
+		rw.mu.Unlock()
+		stop()
+		if err != nil {
+			return fmt.Errorf("wal: sync ack wait: %w", err)
+		}
+	}
+	return nil
+}
+
+// Drain blocks until every live replica has applied everything committed
+// so far (ctx-bounded), then flushes the logs.
+func (e *Engine) Drain(ctx context.Context) error {
+	for _, sw := range e.shards {
+		sw.mu.Lock()
+		target := sw.next - 1
+		sw.mu.Unlock()
+		if err := e.WaitApplied(ctx, sw.idx, target); err != nil {
+			return err
+		}
+	}
+	return e.SyncAll()
+}
+
+// SyncAll fsyncs every log (no-op per log when clean).
+func (e *Engine) SyncAll() error {
+	var first error
+	for _, sw := range e.shards {
+		for _, rw := range sw.reps {
+			if err := rw.log.Sync(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Close stops appliers and the fsync ticker, flushes, and closes the logs.
+// Pending-but-unapplied records stay in the logs and replay on next Open.
+func (e *Engine) Close() error {
+	return e.shutdown(true)
+}
+
+// Abort is Close without the final flush — it models a hard crash for
+// recovery tests: appliers stop where they are, descriptors close, and
+// whatever the OS buffered is whatever survives.
+func (e *Engine) Abort() {
+	e.shutdown(false)
+}
+
+func (e *Engine) shutdown(flush bool) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.stopSync)
+	for _, sw := range e.shards {
+		for _, rw := range sw.reps {
+			rw.mu.Lock()
+			rw.closed = true
+			rw.cond.Broadcast()
+			rw.mu.Unlock()
+		}
+	}
+	e.wg.Wait()
+	var first error
+	policy := e.opts.Fsync
+	if !flush {
+		policy = PolicyOff
+	}
+	for _, sw := range e.shards {
+		for _, rw := range sw.reps {
+			if err := rw.log.Close(policy); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+func (e *Engine) replica(shard, rep int) *replicaWAL {
+	if shard < 0 || shard >= len(e.shards) {
+		return nil
+	}
+	sw := e.shards[shard]
+	if rep < 0 || rep >= len(sw.reps) {
+		return nil
+	}
+	return sw.reps[rep]
+}
+
+// ReplicaStats is one replica's WAL position for /stats and /metrics.
+type ReplicaStats struct {
+	Replica        int    `json:"replica"`
+	LastLSN        uint64 `json:"last_lsn"`
+	AppliedLSN     uint64 `json:"applied_lsn"`
+	PendingRecords int    `json:"pending_records"`
+	PendingRows    int    `json:"pending_rows"`
+	Active         bool   `json:"active"`
+	CatchingUp     bool   `json:"catching_up,omitempty"`
+	HintedRecords  int64  `json:"hinted_records,omitempty"`
+	ReplayedRows   int64  `json:"replayed_rows,omitempty"`
+	AppliedBatches int64  `json:"applied_batches"`
+	Stalled        string `json:"stalled,omitempty"`
+}
+
+// ShardStats is one shard's WAL state.
+type ShardStats struct {
+	Shard    int            `json:"shard"`
+	NextLSN  uint64         `json:"next_lsn"`
+	Replicas []ReplicaStats `json:"replicas"`
+}
+
+// Stats snapshots the whole engine.
+func (e *Engine) Stats() []ShardStats {
+	out := make([]ShardStats, 0, len(e.shards))
+	for _, sw := range e.shards {
+		sw.mu.Lock()
+		ss := ShardStats{Shard: sw.idx, NextLSN: sw.next}
+		sw.mu.Unlock()
+		for _, rw := range sw.reps {
+			rw.mu.Lock()
+			ss.Replicas = append(ss.Replicas, ReplicaStats{
+				Replica:        rw.idx,
+				LastLSN:        rw.log.LastLSN(),
+				AppliedLSN:     rw.applied,
+				PendingRecords: len(rw.pending),
+				PendingRows:    rw.pendingRows,
+				Active:         rw.active,
+				CatchingUp:     rw.catchingUp,
+				HintedRecords:  rw.hinted,
+				ReplayedRows:   rw.replayedRows,
+				AppliedBatches: rw.batches,
+				Stalled:        rw.stalled,
+			})
+			rw.mu.Unlock()
+		}
+		out = append(out, ss)
+	}
+	return out
+}

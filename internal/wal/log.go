@@ -1,0 +1,218 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Policy selects when appends are flushed to stable storage.
+type Policy uint8
+
+const (
+	// PolicyInterval fsyncs on a background ticker (Engine.Options.SyncEvery).
+	// A crash can lose at most the last interval's acks. The default.
+	PolicyInterval Policy = iota
+	// PolicyAlways fsyncs every append before the load is acknowledged.
+	PolicyAlways
+	// PolicyOff never fsyncs; durability is whatever the OS page cache
+	// survives. Useful for tests and throwaway fleets.
+	PolicyOff
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyAlways:
+		return "always"
+	case PolicyOff:
+		return "off"
+	default:
+		return "interval"
+	}
+}
+
+// ParsePolicy maps the user-facing -fsync / Config.FsyncPolicy strings.
+// The empty string selects the default (interval).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "interval":
+		return PolicyInterval, nil
+	case "always":
+		return PolicyAlways, nil
+	case "off", "none":
+		return PolicyOff, nil
+	}
+	return PolicyInterval, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// Log is one replica's append-only record file. Appends are serialised by
+// an internal mutex; reads of historical records (ScanFrom) open their own
+// descriptor so they never disturb the append offset.
+type Log struct {
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	lastLSN uint64 // highest LSN ever appended (0 when empty)
+	dirty   bool   // bytes written since the last fsync
+	buf     []byte // reusable frame scratch
+}
+
+// OpenLog opens (creating if needed) the log at path, validates every
+// record, truncates any torn tail, and returns the log positioned for
+// appends plus every intact record in LSN order.
+func OpenLog(path string) (*Log, []Record, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: create log dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open log: %w", err)
+	}
+	recs, goodEnd, err := scanRecords(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > goodEnd {
+		// Torn tail from a crash mid-append: drop it so the next append
+		// starts a clean frame.
+		if err := f.Truncate(goodEnd); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(goodEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: seek to log end: %w", err)
+	}
+	l := &Log{path: path, f: f}
+	if n := len(recs); n > 0 {
+		l.lastLSN = recs[n-1].LSN
+	}
+	return l, recs, nil
+}
+
+// scanRecords reads records from the start of f, stopping at the first
+// frame that is short, oversized, or fails its checksum. It returns the
+// intact records and the byte offset just past the last good frame.
+func scanRecords(r io.Reader) ([]Record, int64, error) {
+	var recs []Record
+	var off int64
+	header := make([]byte, frameHeaderLen)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, header); err != nil {
+			return recs, off, nil // clean EOF or torn header — stop here
+		}
+		n := binary.LittleEndian.Uint32(header)
+		sum := binary.LittleEndian.Uint32(header[4:])
+		if n == 0 || n > maxPayloadLen {
+			return recs, off, nil
+		}
+		if uint32(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return recs, off, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off, nil // corrupt frame
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return recs, off, nil // framing ok but body mangled — treat as torn
+		}
+		recs = append(recs, rec)
+		off += frameHeaderLen + int64(n)
+	}
+}
+
+// Append writes rec at the log tail. With PolicyAlways the record is
+// fsynced before Append returns; other policies only buffer in the OS.
+func (l *Log) Append(rec Record, p Policy) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf = encodeFrame(l.buf[:0], rec)
+	if _, err := l.f.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: append lsn %d: %w", rec.LSN, err)
+	}
+	l.lastLSN = rec.LSN
+	if p == PolicyAlways {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync lsn %d: %w", rec.LSN, err)
+		}
+		return nil
+	}
+	l.dirty = true
+	return nil
+}
+
+// Sync flushes buffered appends to stable storage if any are pending.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.dirty = false
+	return nil
+}
+
+// LastLSN reports the highest LSN appended to (or recovered from) the log.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastLSN
+}
+
+// ScanFrom re-reads the log from disk and returns every intact record with
+// LSN > after. It opens a private descriptor, so concurrent appends to the
+// same *Log are safe (callers serialise against commits at a higher level
+// to get a stable upper bound).
+func (l *Log) ScanFrom(after uint64) ([]Record, error) {
+	f, err := os.Open(l.path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reopen for replay: %w", err)
+	}
+	defer f.Close()
+	recs, _, err := scanRecords(f)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for i < len(recs) && recs[i].LSN <= after {
+		i++
+	}
+	return recs[i:], nil
+}
+
+// Close fsyncs pending bytes (unless the policy is off) and releases the
+// descriptor.
+func (l *Log) Close(p Policy) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if l.dirty && p != PolicyOff {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// Path reports the log's file path (for stats and error messages).
+func (l *Log) Path() string { return l.path }

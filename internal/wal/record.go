@@ -1,0 +1,178 @@
+// Package wal implements durable streaming ingest: a per-shard-per-replica
+// append-only write-ahead log plus a micro-batching applier engine.
+//
+// A load is acknowledged once its record — a monotonic LSN, the target
+// table, and the encoded rows — is appended (and, policy permitting,
+// fsynced) to the log of every live replica of each shard it touches.
+// Background appliers drain the logs into the warehouses afterwards, so
+// acks run at log-durability speed while index maintenance happens at
+// apply time. Replicas that were down during a commit are repaired by
+// log replay (hinted handoff): see Engine.CatchUp.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"github.com/smartgrid-oss/dgfindex/internal/storage"
+)
+
+// Record is one durable ingest unit: every row of one load that routed to
+// one shard, stamped with that shard's next log sequence number. All
+// replicas of a shard share a single LSN sequence, so any replica's log is
+// a prefix-complete history the others can be repaired from.
+type Record struct {
+	LSN   uint64
+	Table string
+	Rows  []storage.Row
+}
+
+// rowCount is a small helper used by batching and stats paths.
+func recordRows(recs []Record) int {
+	n := 0
+	for _, r := range recs {
+		n += len(r.Rows)
+	}
+	return n
+}
+
+// On-disk framing: u32 payload length | u32 CRC-32 (IEEE) of payload |
+// payload. The payload is:
+//
+//	u64   LSN (little-endian)
+//	uvar  len(table) | table bytes
+//	uvar  row count
+//	rows  — each: uvar cell count, then cells
+//	cell  — kind byte, then kind-specific encoding:
+//	        int64/time: signed varint; float64: 8-byte LE bits;
+//	        string: uvar length + bytes
+//
+// A torn tail (partial header, short payload, or CRC mismatch) marks the
+// end of the recoverable log; OpenLog truncates it away.
+const frameHeaderLen = 8
+
+// maxPayloadLen guards recovery against a torn header that happens to
+// decode as an absurd length: anything larger is treated as corruption.
+const maxPayloadLen = 1 << 30
+
+func appendValue(dst []byte, v storage.Value) []byte {
+	dst = append(dst, byte(v.Kind))
+	switch v.Kind {
+	case storage.KindFloat64:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.F))
+		dst = append(dst, b[:]...)
+	case storage.KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+		dst = append(dst, v.S...)
+	default: // int64, time (unix seconds in I), and any future I-backed kind
+		dst = binary.AppendVarint(dst, v.I)
+	}
+	return dst
+}
+
+func decodeValue(buf []byte) (storage.Value, int, error) {
+	if len(buf) < 1 {
+		return storage.Value{}, 0, fmt.Errorf("wal: truncated cell")
+	}
+	v := storage.Value{Kind: storage.Kind(buf[0])}
+	off := 1
+	switch v.Kind {
+	case storage.KindFloat64:
+		if len(buf) < off+8 {
+			return storage.Value{}, 0, fmt.Errorf("wal: truncated float cell")
+		}
+		v.F = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	case storage.KindString:
+		n, sz := binary.Uvarint(buf[off:])
+		if sz <= 0 || uint64(len(buf)-off-sz) < n {
+			return storage.Value{}, 0, fmt.Errorf("wal: truncated string cell")
+		}
+		off += sz
+		v.S = string(buf[off : off+int(n)])
+		off += int(n)
+	default:
+		i, sz := binary.Varint(buf[off:])
+		if sz <= 0 {
+			return storage.Value{}, 0, fmt.Errorf("wal: truncated int cell")
+		}
+		v.I = i
+		off += sz
+	}
+	return v, off, nil
+}
+
+// encodePayload renders rec's payload (without framing) into dst.
+func encodePayload(dst []byte, rec Record) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], rec.LSN)
+	dst = append(dst, b[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(rec.Table)))
+	dst = append(dst, rec.Table...)
+	dst = binary.AppendUvarint(dst, uint64(len(rec.Rows)))
+	for _, row := range rec.Rows {
+		dst = binary.AppendUvarint(dst, uint64(len(row)))
+		for _, v := range row {
+			dst = appendValue(dst, v)
+		}
+	}
+	return dst
+}
+
+// decodePayload parses one record payload produced by encodePayload.
+func decodePayload(buf []byte) (Record, error) {
+	var rec Record
+	if len(buf) < 8 {
+		return rec, fmt.Errorf("wal: payload too short for LSN")
+	}
+	rec.LSN = binary.LittleEndian.Uint64(buf)
+	off := 8
+	tl, sz := binary.Uvarint(buf[off:])
+	if sz <= 0 || uint64(len(buf)-off-sz) < tl {
+		return rec, fmt.Errorf("wal: truncated table name")
+	}
+	off += sz
+	rec.Table = string(buf[off : off+int(tl)])
+	off += int(tl)
+	rows, sz := binary.Uvarint(buf[off:])
+	if sz <= 0 {
+		return rec, fmt.Errorf("wal: truncated row count")
+	}
+	off += sz
+	rec.Rows = make([]storage.Row, 0, rows)
+	for i := uint64(0); i < rows; i++ {
+		cells, sz := binary.Uvarint(buf[off:])
+		if sz <= 0 {
+			return rec, fmt.Errorf("wal: truncated cell count (row %d)", i)
+		}
+		off += sz
+		row := make(storage.Row, 0, cells)
+		for c := uint64(0); c < cells; c++ {
+			v, n, err := decodeValue(buf[off:])
+			if err != nil {
+				return rec, fmt.Errorf("wal: row %d: %w", i, err)
+			}
+			off += n
+			row = append(row, v)
+		}
+		rec.Rows = append(rec.Rows, row)
+	}
+	if off != len(buf) {
+		return rec, fmt.Errorf("wal: %d trailing bytes after record", len(buf)-off)
+	}
+	return rec, nil
+}
+
+// encodeFrame renders the full framed record (header + payload) into dst.
+func encodeFrame(dst []byte, rec Record) []byte {
+	headerAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = encodePayload(dst, rec)
+	payload := dst[headerAt+frameHeaderLen:]
+	binary.LittleEndian.PutUint32(dst[headerAt:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[headerAt+4:], crc32.ChecksumIEEE(payload))
+	return dst
+}
