@@ -187,7 +187,7 @@ func rangeBounds(spec string, shards int, demo bool, demoUsers int) ([]float64, 
 		for _, part := range strings.Split(spec, ",") {
 			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 			if err != nil {
-				return nil, fmt.Errorf("-shard-bounds: bad split point %q: %v", part, err)
+				return nil, fmt.Errorf("-shard-bounds: bad split point %q: %w", part, err)
 			}
 			out = append(out, f)
 		}

@@ -1,0 +1,137 @@
+// Package analysistest runs a dgflint analyzer over testdata packages
+// and checks its diagnostics against "// want" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the stdlib-only
+// framework in internal/analysis.
+//
+// Layout: <testdata>/src/<pkgpath>/*.go, one directory per package.
+// A line expecting diagnostics carries one expectation per finding:
+//
+//	ctx := context.Background() // want `context\.Background`
+//
+// Each quoted or backquoted regexp after "want" must match exactly one
+// diagnostic reported on that line, and every diagnostic must be
+// claimed by an expectation.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/smartgrid-oss/dgfindex/internal/analysis"
+)
+
+// Run loads each package (dependencies first, in the listed order),
+// runs the analyzer, and diffs findings against want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := analysis.NewDirLoader(filepath.Join(testdata, "src"))
+	var pkgs []*analysis.Package
+	for _, p := range pkgPaths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatalf("load %s: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings, err := analysis.Run([]*analysis.Analyzer{a}, loader.Fset, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, loader.Fset, pkgs)
+	matched := make([]bool, len(findings))
+	for _, w := range wants {
+		found := false
+		for i, f := range findings {
+			if matched[i] || f.Pos.Filename != w.file || f.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, pat := range splitPatterns(t, pos.String(), rest) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns extracts the quoted ("...") and backquoted (`...`)
+// regexps of one want comment.
+func splitPatterns(t *testing.T, at, s string) []string {
+	t.Helper()
+	var pats []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			end := i + 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end >= len(s) {
+				t.Fatalf("%s: unterminated want pattern", at)
+			}
+			unq, err := strconv.Unquote(s[i : end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %s: %v", at, s[i:end+1], err)
+			}
+			pats = append(pats, unq)
+			i = end
+		case '`':
+			end := strings.IndexByte(s[i+1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern", at)
+			}
+			pats = append(pats, s[i+1:i+1+end])
+			i += end + 1
+		}
+	}
+	if len(pats) == 0 {
+		t.Fatalf("%s: want comment with no pattern", at)
+	}
+	return pats
+}

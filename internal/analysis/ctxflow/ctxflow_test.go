@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"github.com/smartgrid-oss/dgfindex/internal/analysis/analysistest"
+	"github.com/smartgrid-oss/dgfindex/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "../testdata", ctxflow.Analyzer, "ctxflow/hive", "ctxflow/util")
+}

@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one post-suppression diagnostic with its source position
+// resolved, ready for printing or test comparison.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// suppression is one parsed "//dgflint:ignore <analyzer> <reason>"
+// directive. It silences matching diagnostics on its own line or the
+// line directly below (directive-above-statement style).
+type suppression struct {
+	file     string
+	line     int
+	analyzer string // "all" matches every analyzer
+}
+
+const (
+	directiveIgnore   = "dgflint:ignore"
+	directiveCompat   = "dgflint:compat"
+	directiveRegistry = "dgflint:metric-registry"
+	directiveLabels   = "dgflint:metric-labels"
+)
+
+// Run executes every analyzer over every package, applies suppression
+// directives, and returns the surviving findings sorted by position.
+// Malformed directives (a dgflint:ignore or dgflint:compat with no
+// reason) are themselves findings: unexplained suppressions defeat the
+// point of machine-checked invariants.
+func Run(analyzers []*Analyzer, fset *token.FileSet, pkgs []*Package) ([]Finding, error) {
+	world := buildWorld(pkgs)
+	var sups []suppression
+	var findings []Finding
+	for _, pkg := range pkgs {
+		s, bad := scanDirectives(fset, pkg)
+		sups = append(sups, s...)
+		findings = append(findings, bad...)
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				PkgPath:   pkg.Path,
+				TypesInfo: pkg.Info,
+				World:     world,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := fset.Position(d.Pos)
+				if suppressed(sups, a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+func suppressed(sups []suppression, analyzer string, pos token.Position) bool {
+	for _, s := range sups {
+		if s.file != pos.Filename {
+			continue
+		}
+		if s.line != pos.Line && s.line != pos.Line-1 {
+			continue
+		}
+		if s.analyzer == "all" || s.analyzer == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// buildWorld assembles the cross-package state every pass shares:
+// compat-marked functions, the metric registries, and the package map.
+func buildWorld(pkgs []*Package) *World {
+	w := &World{
+		CompatFuncs:    map[types.Object]string{},
+		MetricFamilies: map[string]bool{},
+		MetricLabels:   map[string]bool{},
+		Packages:       map[string]*Package{},
+	}
+	for _, pkg := range pkgs {
+		w.Packages[pkg.Path] = pkg
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if reason, ok := directiveIn(d.Doc, directiveCompat); ok {
+						if obj := pkg.Info.Defs[d.Name]; obj != nil {
+							w.CompatFuncs[obj] = reason
+						}
+					}
+				case *ast.GenDecl:
+					if d.Tok != token.CONST {
+						continue
+					}
+					into := w.MetricFamilies
+					if _, ok := directiveIn(d.Doc, directiveLabels); ok {
+						into = w.MetricLabels
+					} else if _, ok := directiveIn(d.Doc, directiveRegistry); !ok {
+						continue
+					}
+					for _, spec := range d.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, name := range vs.Names {
+							c, ok := pkg.Info.Defs[name].(*types.Const)
+							if ok && c.Val().Kind() == constant.String {
+								into[constant.StringVal(c.Val())] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return w
+}
+
+// directiveIn reports whether a comment group carries the given
+// directive and returns the rest of that line (the reason).
+func directiveIn(doc *ast.CommentGroup, directive string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(text), directive); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// scanDirectives collects the suppression directives of one package and
+// flags malformed ones (no analyzer name, or no reason: an unexplained
+// suppression is itself a violation).
+func scanDirectives(fset *token.FileSet, pkg *Package) ([]suppression, []Finding) {
+	var sups []suppression
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, directiveIgnore)
+				if !ok {
+					if r, ok := strings.CutPrefix(text, directiveCompat); ok && strings.TrimSpace(r) == "" {
+						bad = append(bad, Finding{
+							Analyzer: "dgflint",
+							Pos:      fset.Position(c.Pos()),
+							Message:  "dgflint:compat directive needs a reason explaining why the wrapper may mint its own context",
+						})
+					}
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "dgflint",
+						Pos:      fset.Position(c.Pos()),
+						Message:  "dgflint:ignore needs an analyzer name and a reason: //dgflint:ignore <analyzer> <why this is safe>",
+					})
+					continue
+				}
+				sups = append(sups, suppression{
+					file:     fset.Position(c.Pos()).Filename,
+					line:     fset.Position(c.Pos()).Line,
+					analyzer: fields[0],
+				})
+			}
+		}
+	}
+	return sups, bad
+}

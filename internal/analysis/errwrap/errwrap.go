@@ -1,0 +1,113 @@
+// Package errwrap enforces the error-wrapping contract the server's
+// ctxError classifier (PR 4) depends on: an error formatted into
+// another error must be wrapped with %w, never flattened with %v/%s,
+// so errors.Is/As — and therefore timeout/cancel classification on
+// mid-scan aborts — keep seeing the cause chain.
+//
+// Deliberate flattening (e.g. replica kill-aborts that must NOT look
+// like caller cancellations) is annotated at the call site with
+// "//dgflint:ignore errwrap <reason>".
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+
+	"github.com/smartgrid-oss/dgfindex/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf must wrap error arguments with %w so errors.Is/As keep working",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := analysis.FuncFor(pass.TypesInfo, call)
+			if f == nil || f.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			verbs := argVerbs(constant.StringVal(tv.Value), len(call.Args)-1)
+			for i, arg := range call.Args[1:] {
+				at, ok := pass.TypesInfo.Types[arg]
+				if !ok || at.Type == nil {
+					continue
+				}
+				if !types.Implements(at.Type, errType) {
+					continue
+				}
+				if i < len(verbs) && verbs[i] != 'w' && verbs[i] != 0 {
+					pass.Reportf(arg.Pos(),
+						"error argument formatted with %%%c: use %%w so callers can unwrap it (or //dgflint:ignore errwrap with the reason flattening is intended)",
+						verbs[i])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// argVerbs maps fmt.Errorf argument index (0-based, after the format)
+// to the verb that consumes it. Width/precision stars consume an
+// argument and are recorded as '*'; unconsumed trailing args get 0.
+func argVerbs(format string, nargs int) []byte {
+	verbs := make([]byte, nargs)
+	arg := 0
+	record := func(v byte) {
+		if arg < nargs {
+			verbs[arg] = v
+		}
+		arg++
+	}
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// flags, width, precision, and explicit argument indexes
+		done := false
+		for i < len(format) && !done {
+			c := format[i]
+			switch {
+			case c == '*':
+				record('*')
+				i++
+			case c == '[':
+				// explicit index %[n]v
+				j := i + 1
+				for j < len(format) && format[j] != ']' {
+					j++
+				}
+				if n, err := strconv.Atoi(format[i+1 : min(j, len(format))]); err == nil {
+					arg = n - 1
+				}
+				i = j + 1
+			case c == '#' || c == '+' || c == '-' || c == ' ' || c == '0' ||
+				(c >= '1' && c <= '9') || c == '.':
+				i++
+			default:
+				record(c)
+				done = true
+			}
+		}
+		i--
+	}
+	return verbs
+}

@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"github.com/smartgrid-oss/dgfindex/internal/analysis/analysistest"
+	"github.com/smartgrid-oss/dgfindex/internal/analysis/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, "../testdata", errwrap.Analyzer, "errwrap/wrapx")
+}

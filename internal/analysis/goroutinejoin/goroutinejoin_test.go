@@ -1,0 +1,13 @@
+package goroutinejoin_test
+
+import (
+	"testing"
+
+	"github.com/smartgrid-oss/dgfindex/internal/analysis/analysistest"
+	"github.com/smartgrid-oss/dgfindex/internal/analysis/goroutinejoin"
+)
+
+func TestGoroutineJoin(t *testing.T) {
+	analysistest.Run(t, "../testdata", goroutinejoin.Analyzer,
+		"goroutinejoin/shard", "goroutinejoin/util")
+}

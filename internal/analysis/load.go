@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages, resolving intra-repo imports
+// itself (so every pass shares one type universe and object identities
+// line up across packages) and delegating everything else — in practice
+// only the standard library — to the stdlib source importer.
+type Loader struct {
+	Fset *token.FileSet
+	// resolve maps an import path to a source directory for packages
+	// the loader owns; anything it declines falls through to std.
+	resolve  func(path string) (string, bool)
+	std      types.Importer
+	pkgs     map[string]*Package
+	checking map[string]bool
+}
+
+func newLoader(resolve func(string) (string, bool)) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:     fset,
+		resolve:  resolve,
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     map[string]*Package{},
+		checking: map[string]bool{},
+	}
+}
+
+// NewModuleLoader returns a loader rooted at the module directory
+// containing go.mod, plus the import paths of every package in the
+// module (sorted, testdata and _test.go files excluded).
+func NewModuleLoader(root string) (*Loader, []string, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	paths := make([]string, 0, len(dirs))
+	byPath := make(map[string]string, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		p := modPath
+		if rel != "." {
+			p = modPath + "/" + filepath.ToSlash(rel)
+		}
+		paths = append(paths, p)
+		byPath[p] = dir
+	}
+	sort.Strings(paths)
+	l := newLoader(func(path string) (string, bool) {
+		dir, ok := byPath[path]
+		return dir, ok
+	})
+	return l, paths, nil
+}
+
+// NewDirLoader returns a loader for analysistest-style trees: srcRoot
+// holds one directory per package, and the directory's path relative to
+// srcRoot is the package's import path. Local packages shadow the
+// standard library, so test fixtures may use any name.
+func NewDirLoader(srcRoot string) *Loader {
+	return newLoader(func(path string) (string, bool) {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+		return "", false
+	})
+}
+
+// Load parses and type-checks the package at the given import path
+// (loading its intra-repo dependencies first) and caches the result.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir, ok := l.resolve(path)
+	if !ok {
+		return nil, fmt.Errorf("analysis: package %s not found", path)
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	files, err := parseDir(l.Fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			if _, ok := l.resolve(imp); ok {
+				p, err := l.Load(imp)
+				if err != nil {
+					return nil, err
+				}
+				return p.Types, nil
+			}
+			return l.std.Import(imp)
+		}),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		if firstErr != nil {
+			err = firstErr
+		}
+		return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// parseDir parses every non-test .go file of dir, in name order.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// packageDirs walks root collecting every directory holding at least
+// one non-test .go file, skipping testdata, hidden, and underscore
+// directories.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			n := d.Name()
+			if path != root && (n == "testdata" || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			if dir := filepath.Dir(path); !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}

@@ -1,0 +1,12 @@
+package lockedcalls_test
+
+import (
+	"testing"
+
+	"github.com/smartgrid-oss/dgfindex/internal/analysis/analysistest"
+	"github.com/smartgrid-oss/dgfindex/internal/analysis/lockedcalls"
+)
+
+func TestLockedCalls(t *testing.T) {
+	analysistest.Run(t, "../testdata", lockedcalls.Analyzer, "lockedcalls/cat")
+}

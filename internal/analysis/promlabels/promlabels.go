@@ -1,0 +1,316 @@
+// Package promlabels keeps /metrics cardinality bounded, the invariant
+// PR 6's observability layer was built around: every Prometheus family
+// name and label name written through trace.PromWriter must be a
+// compile-time constant drawn from the fixed registry const blocks
+// (marked "//dgflint:metric-registry" and "//dgflint:metric-labels" in
+// internal/trace). A fmt.Sprintf-built family or a per-request label
+// name would make scrape size grow with traffic.
+//
+// Helper functions that forward a name parameter into a PromWriter
+// method (e.g. writePathVec) are resolved one level: their call sites
+// must pass registry constants too. Label maps built by same-package
+// helpers (e.g. replicaLabels) are checked at the helper's return
+// statements.
+package promlabels
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"github.com/smartgrid-oss/dgfindex/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "promlabels",
+	Doc:  "Prometheus family and label names must be constants from the dgflint:metric-registry const set (bounded /metrics cardinality)",
+	Run:  run,
+}
+
+// writerMethods maps PromWriter method names to the indexes of their
+// family-name argument and, where present, label-bearing arguments.
+type methodShape struct {
+	nameArg  int
+	labelMap int // index of a map[string]string labels arg, -1 if none
+	labelArg int // index of a single label-name string arg, -1 if none
+}
+
+var writerMethods = map[string]methodShape{
+	"Counter":    {nameArg: 0, labelMap: 2, labelArg: -1},
+	"Gauge":      {nameArg: 0, labelMap: 2, labelArg: -1},
+	"CounterVec": {nameArg: 0, labelMap: -1, labelArg: 2},
+	"GaugeRow":   {nameArg: 0, labelMap: 1, labelArg: -1},
+	"GaugeHead":  {nameArg: 0, labelMap: -1, labelArg: -1},
+	"Histogram":  {nameArg: 0, labelMap: -1, labelArg: -1},
+}
+
+func run(pass *analysis.Pass) error {
+	// forwarders maps a same-package function object to the parameter
+	// indexes that flow into a family-name position. Iterate to a
+	// fixpoint so helpers wrapping helpers are still covered.
+	forwarders := map[types.Object]map[int]bool{}
+	for {
+		grew := false
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if checkBody(pass, fd, forwarders, false) {
+					grew = true
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	// Final pass actually reports (the discovery passes stay silent so
+	// a call site feeding a forwarder is not double-flagged while the
+	// forwarder set is still growing).
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd, forwarders, true)
+		}
+	}
+	return nil
+}
+
+// checkBody scans one function; in discovery mode (report=false) it
+// only grows the forwarder set and reports nothing. Returns whether the
+// forwarder set grew.
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, forwarders map[types.Object]map[int]bool, report bool) bool {
+	grew := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var namePositions []int
+		var shape methodShape
+		isWriter := false
+		if m, ok := writerMethod(pass, call); ok {
+			shape = m
+			namePositions = []int{m.nameArg}
+			isWriter = true
+		} else if f := analysis.FuncFor(pass.TypesInfo, call); f != nil {
+			if idxs, ok := forwarders[f]; ok {
+				for i := range idxs {
+					namePositions = append(namePositions, i)
+				}
+			}
+		}
+		for _, idx := range namePositions {
+			if idx >= len(call.Args) {
+				continue
+			}
+			if checkNameArg(pass, fd, call.Args[idx], forwarders, report) {
+				grew = true
+			}
+		}
+		if isWriter {
+			if shape.labelArg >= 0 && shape.labelArg < len(call.Args) {
+				checkLabelName(pass, call.Args[shape.labelArg], report)
+			}
+			if shape.labelMap >= 0 && shape.labelMap < len(call.Args) {
+				checkLabelMap(pass, call.Args[shape.labelMap], report)
+			}
+		}
+		return true
+	})
+	return grew
+}
+
+// writerMethod matches calls to PromWriter's family-writing methods.
+// The receiver is matched by type name so analysistest stubs work.
+func writerMethod(pass *analysis.Pass, call *ast.CallExpr) (methodShape, bool) {
+	f := analysis.FuncFor(pass.TypesInfo, call)
+	if f == nil {
+		return methodShape{}, false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return methodShape{}, false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "PromWriter" {
+		return methodShape{}, false
+	}
+	m, ok := writerMethods[f.Name()]
+	return m, ok
+}
+
+// checkNameArg validates one family-name argument. Returns whether the
+// forwarder set grew.
+func checkNameArg(pass *analysis.Pass, fd *ast.FuncDecl, arg ast.Expr, forwarders map[types.Object]map[int]bool, report bool) bool {
+	if v, ok := constString(pass, arg); ok {
+		if report && len(pass.World.MetricFamilies) > 0 && !pass.World.MetricFamilies[v] {
+			pass.Reportf(arg.Pos(),
+				"metric family %q is not in the dgflint:metric-registry const set: register it (bounded cardinality is the contract)", v)
+		}
+		return false
+	}
+	// A non-constant name is tolerable only when it is a parameter of
+	// the enclosing function — then every caller is checked instead.
+	if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			if idx, ok := paramIndex(pass, fd, obj); ok {
+				fobj := pass.TypesInfo.Defs[fd.Name]
+				if fobj != nil {
+					if forwarders[fobj] == nil {
+						forwarders[fobj] = map[int]bool{}
+					}
+					if !forwarders[fobj][idx] {
+						forwarders[fobj][idx] = true
+						return true
+					}
+				}
+				return false
+			}
+		}
+	}
+	if report {
+		pass.Reportf(arg.Pos(), "dynamically built metric family name: use a constant from the dgflint:metric-registry const set")
+	}
+	return false
+}
+
+func checkLabelName(pass *analysis.Pass, arg ast.Expr, report bool) {
+	if !report {
+		return
+	}
+	v, ok := constString(pass, arg)
+	if !ok {
+		pass.Reportf(arg.Pos(), "dynamically built label name: use a constant from the dgflint:metric-labels const set")
+		return
+	}
+	if len(pass.World.MetricLabels) > 0 && !pass.World.MetricLabels[v] {
+		pass.Reportf(arg.Pos(), "label name %q is not in the dgflint:metric-labels const set", v)
+	}
+}
+
+// checkLabelMap validates a map[string]string labels argument: nil, a
+// composite literal with registered constant keys, or a call to a
+// same-package helper whose returns are such literals.
+func checkLabelMap(pass *analysis.Pass, arg ast.Expr, report bool) {
+	if !report {
+		return
+	}
+	arg = ast.Unparen(arg)
+	switch a := arg.(type) {
+	case *ast.Ident:
+		if a.Name == "nil" {
+			return
+		}
+	case *ast.CompositeLit:
+		checkLabelKeys(pass, a)
+		return
+	case *ast.CallExpr:
+		f := analysis.FuncFor(pass.TypesInfo, a)
+		if f != nil {
+			if fd, fpass := findFuncDecl(pass, f); fd != nil {
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if ret, ok := n.(*ast.ReturnStmt); ok {
+						for _, res := range ret.Results {
+							if cl, ok := ast.Unparen(res).(*ast.CompositeLit); ok {
+								checkLabelKeysIn(pass, fpass, cl)
+							}
+						}
+					}
+					return true
+				})
+				return
+			}
+		}
+	}
+	pass.Reportf(arg.Pos(), "label set is not a literal with registered keys (or a local helper returning one): labels must come from the dgflint:metric-labels const set")
+}
+
+func checkLabelKeys(pass *analysis.Pass, cl *ast.CompositeLit) {
+	checkLabelKeysIn(pass, pass, cl)
+}
+
+// checkLabelKeysIn checks a map literal that may live in another
+// package (declPass) while reporting against the calling pass.
+func checkLabelKeysIn(pass *analysis.Pass, declPass *analysis.Pass, cl *ast.CompositeLit) {
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		tv, ok := declPass.TypesInfo.Types[kv.Key]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			pass.Reportf(kv.Key.Pos(), "dynamically built label name: use a constant from the dgflint:metric-labels const set")
+			continue
+		}
+		v := constant.StringVal(tv.Value)
+		if len(pass.World.MetricLabels) > 0 && !pass.World.MetricLabels[v] {
+			pass.Reportf(kv.Key.Pos(), "label name %q is not in the dgflint:metric-labels const set", v)
+		}
+	}
+}
+
+// findFuncDecl locates the declaration of f among the loaded packages,
+// returning a pass-shaped view of its package for type info.
+func findFuncDecl(pass *analysis.Pass, f *types.Func) (*ast.FuncDecl, *analysis.Pass) {
+	pkgPath := pass.PkgPath
+	if f.Pkg() != nil {
+		pkgPath = f.Pkg().Path()
+	}
+	pkg, ok := pass.World.Packages[pkgPath]
+	if !ok {
+		return nil, nil
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if pkg.Info.Defs[fd.Name] == f {
+				shadow := *pass
+				shadow.TypesInfo = pkg.Info
+				return fd, &shadow
+			}
+		}
+	}
+	return nil, nil
+}
+
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// paramIndex finds obj among fd's parameters.
+func paramIndex(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object) (int, bool) {
+	if fd.Type.Params == nil {
+		return 0, false
+	}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range field.Names {
+			if pass.TypesInfo.Defs[name] == obj {
+				return idx, true
+			}
+			idx++
+		}
+	}
+	return 0, false
+}

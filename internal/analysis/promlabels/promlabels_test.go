@@ -1,0 +1,13 @@
+package promlabels_test
+
+import (
+	"testing"
+
+	"github.com/smartgrid-oss/dgfindex/internal/analysis/analysistest"
+	"github.com/smartgrid-oss/dgfindex/internal/analysis/promlabels"
+)
+
+func TestPromLabels(t *testing.T) {
+	analysistest.Run(t, "../testdata", promlabels.Analyzer,
+		"promlabels/trace", "promlabels/server")
+}

@@ -1,0 +1,195 @@
+// Package shadow is the stock-vet-style shadowed-variable check,
+// re-implemented on the stdlib framework because x/tools (which ships
+// the reference "shadow" analyzer) is not available to this
+// dependency-free module. It flags a declaration that shadows a
+// same-named, same-typed variable of an enclosing function scope when
+// the shadowed variable is READ after the shadowing scope ends without
+// being rewritten first — the stale-read pattern where a reader
+// believes the outer variable (classically err or ctx) was updated,
+// but a shadow swallowed the assignment.
+//
+// Two deliberate narrowings versus the x/tools analyzer keep the
+// check default-on without drowning idiomatic code:
+//
+//   - function and func-literal parameters are exempt: a parameter
+//     shadowing a loop variable is the visible capture idiom
+//     (go func(i int){...}(i)) and cannot swallow an assignment;
+//   - a later `x, err := ...` or `err = ...` that rewrites the outer
+//     variable before its next read clears the hazard, so the
+//     ubiquitous `if err := f(); err != nil { return err }` guard is
+//     not flagged. The read/write ordering is positional, the same
+//     source-order approximation stock vet heuristics use.
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"github.com/smartgrid-oss/dgfindex/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "flags declarations that shadow an enclosing function-scoped variable of identical type read after the inner scope ends without an intervening write",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	targets, effects := writePositions(pass)
+	// reads maps each variable to the sorted positions where it is read
+	// (any use that is not an assignment target).
+	reads := map[types.Object][]token.Pos{}
+	for id, obj := range info.Uses {
+		if _, ok := obj.(*types.Var); !ok {
+			continue
+		}
+		if targets[obj][id.Pos()] {
+			continue
+		}
+		reads[obj] = append(reads[obj], id.Pos())
+	}
+	for _, ps := range reads {
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	}
+	params := paramObjects(pass)
+	for id, obj := range info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || v.Name() == "_" || params[obj] {
+			continue
+		}
+		inner := v.Parent()
+		if inner == nil || inner.Parent() == nil {
+			continue
+		}
+		if inner == pass.Pkg.Scope() {
+			continue
+		}
+		_, outerObj := inner.Parent().LookupParent(v.Name(), id.Pos())
+		ov, ok := outerObj.(*types.Var)
+		if !ok || ov == v || ov.IsField() || params[ov] {
+			continue
+		}
+		outerScope := ov.Parent()
+		if outerScope == nil || outerScope == pass.Pkg.Scope() || outerScope == types.Universe {
+			continue
+		}
+		if !types.Identical(v.Type(), ov.Type()) {
+			continue
+		}
+		// Report only a stale read: the outer variable read after the
+		// shadow's scope closes with no write in between.
+		if !staleReadAfter(inner.End(), reads[ov], effects[ov]) {
+			continue
+		}
+		pass.Reportf(id.Pos(), "declaration of %q shadows declaration at %s",
+			v.Name(), pass.Fset.Position(ov.Pos()))
+	}
+	return nil
+}
+
+// staleReadAfter reports whether some read position after end has no
+// write taking effect between end and the read.
+func staleReadAfter(end token.Pos, reads []token.Pos, wps []token.Pos) bool {
+	for _, r := range reads {
+		if r <= end {
+			continue
+		}
+		rewritten := false
+		for _, w := range wps {
+			if w > end && w < r {
+				rewritten = true
+				break
+			}
+		}
+		if !rewritten {
+			return true
+		}
+	}
+	return false
+}
+
+// writePositions collects, per variable, the ident positions where it
+// is an assignment target (=, :=, range clause) — reused `:=` targets
+// land in info.Uses, so without this they would masquerade as reads —
+// and the positions where each write takes effect. The effect position
+// is the END of the assignment statement: in
+// `x, err := f(func() { ... })` the write to err lands after the
+// closure argument has been evaluated, so ordering by the ident's own
+// position would wrongly place the write before scopes inside the RHS.
+func writePositions(pass *analysis.Pass) (targets map[types.Object]map[token.Pos]bool, effects map[types.Object][]token.Pos) {
+	info := pass.TypesInfo
+	targets = map[types.Object]map[token.Pos]bool{}
+	effects = map[types.Object][]token.Pos{}
+	add := func(e ast.Expr, effect token.Pos) {
+		if e == nil {
+			return
+		}
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj == nil {
+			return
+		}
+		if targets[obj] == nil {
+			targets[obj] = map[token.Pos]bool{}
+		}
+		targets[obj][id.Pos()] = true
+		effects[obj] = append(effects[obj], effect)
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					add(lhs, n.End())
+				}
+			case *ast.RangeStmt:
+				add(n.Key, n.X.End())
+				add(n.Value, n.X.End())
+			}
+			return true
+		})
+	}
+	for _, ps := range effects {
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	}
+	return targets, effects
+}
+
+// paramObjects collects every function and func-literal parameter.
+func paramObjects(pass *analysis.Pass) map[types.Object]bool {
+	info := pass.TypesInfo
+	params := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft = n.Type
+			case *ast.FuncLit:
+				ft = n.Type
+			default:
+				return true
+			}
+			if ft.Params != nil {
+				for _, f := range ft.Params.List {
+					for _, name := range f.Names {
+						if obj := info.Defs[name]; obj != nil {
+							params[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return params
+}

@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"github.com/smartgrid-oss/dgfindex/internal/analysis/analysistest"
+	"github.com/smartgrid-oss/dgfindex/internal/analysis/shadow"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, "../testdata", shadow.Analyzer, "shadow/vars")
+}

@@ -1,0 +1,28 @@
+// Package context is a hermetic stand-in for the standard library's
+// context package, so analyzer fixtures type-check without invoking the
+// source importer. The loader resolves local testdata packages before
+// the standard library, and the analyzers match on the import path
+// "context", which this package shares.
+package context
+
+// Context mirrors the shape the analyzers inspect.
+type Context interface {
+	Done() <-chan struct{}
+	Err() error
+}
+
+type background struct{}
+
+func (background) Done() <-chan struct{} { return nil }
+func (background) Err() error            { return nil }
+
+func Background() Context { return background{} }
+
+func TODO() Context { return background{} }
+
+// CancelFunc mirrors context.CancelFunc.
+type CancelFunc func()
+
+func WithCancel(parent Context) (Context, CancelFunc) {
+	return parent, func() {}
+}

@@ -1,0 +1,12 @@
+// Fixture for the ctxflow analyzer: "util" is not one of the scoped
+// subsystem segments, so nothing here is flagged — utilities and entry
+// points may mint their own contexts.
+package util
+
+import "context"
+
+func Standalone() error {
+	ctx := context.Background() // ok: out of ctxflow's scope
+	_ = ctx
+	return nil
+}

@@ -1,0 +1,43 @@
+// Fixture for the errwrap analyzer: fmt.Errorf with error arguments.
+package wrapx
+
+import "fmt"
+
+type codeError struct{ code int }
+
+func (e *codeError) Error() string { return "code" }
+
+func flattenV(err error) error {
+	return fmt.Errorf("open: %v", err) // want `error argument formatted with %v: use %w`
+}
+
+func flattenS(err error) error {
+	return fmt.Errorf("open: %s", err) // want `error argument formatted with %s: use %w`
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("open: %w", err) // ok
+}
+
+func nonError(n int) error {
+	return fmt.Errorf("count: %d", n) // ok: no error argument
+}
+
+func mixed(path string, err error) error {
+	return fmt.Errorf("read %s attempt %d: %w", path, 2, err) // ok: the error gets %w
+}
+
+// Explicit argument indexes still map verbs to arguments.
+func indexed(name string, err error) error {
+	return fmt.Errorf("%[2]v from %[1]s", name, err) // want `error argument formatted with %v`
+}
+
+// Concrete error types count, not just the error interface.
+func concrete(e *codeError) error {
+	return fmt.Errorf("op failed: %v", e) // want `error argument formatted with %v`
+}
+
+func deliberate(err error) error {
+	//dgflint:ignore errwrap fixture: classification must not leak the cause chain
+	return fmt.Errorf("deliberately flat: %v", err)
+}

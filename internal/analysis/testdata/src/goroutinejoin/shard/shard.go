@@ -1,0 +1,71 @@
+// Fixture for the goroutinejoin analyzer: the package path contains
+// the "shard" segment, so it is in scope.
+package shard
+
+import (
+	"context"
+	"sync"
+)
+
+type pump struct {
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (p *pump) run() {}
+
+// A goroutine with no visible join: flagged.
+func naked(p *pump) {
+	go p.run() // want `goroutine launched by naked is fire-and-forget`
+}
+
+// wg.Add paired with the launch: the Done lives inside the spawned
+// method and the Wait in whoever owns the group.
+func addPaired(p *pump) {
+	p.wg.Add(1)
+	go p.run()
+}
+
+// Done in the body, Wait in the function.
+func waitPaired() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Completion channel: the goroutine closes what the function receives.
+func closeJoin() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+// Quit channel: the goroutine receives from what the function closes.
+func quitJoin() {
+	quit := make(chan struct{})
+	go func() {
+		<-quit
+	}()
+	close(quit)
+}
+
+// Context bound: the goroutine selects on a context created here; the
+// CancelFunc is the join handle.
+func ctxJoin(ctx context.Context) {
+	kctx, cancel := context.WithCancel(ctx)
+	go func() {
+		<-kctx.Done()
+	}()
+	cancel()
+}
+
+// Structurally joined elsewhere: suppressed with the join point named.
+func annotated(p *pump) {
+	//dgflint:ignore goroutinejoin fixture: joined by Close via p.done
+	go p.run()
+}

@@ -1,0 +1,7 @@
+// Fixture for the goroutinejoin analyzer: "util" is outside the
+// shard/wal scope, so fire-and-forget goroutines are not flagged here.
+package util
+
+func FireAndForget(f func()) {
+	go f() // ok: out of goroutinejoin's scope
+}

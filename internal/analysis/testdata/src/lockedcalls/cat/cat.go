@@ -1,0 +1,44 @@
+// Fixture for the lockedcalls analyzer: the *Locked naming contract.
+package cat
+
+import "sync"
+
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]int
+}
+
+func (c *Catalog) tableLocked(name string) int { return c.tables[name] }
+
+func (c *Catalog) sizeLocked() int { return len(c.tables) }
+
+// Table acquires the lock before calling the Locked helper: allowed.
+func (c *Catalog) Table(name string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tableLocked(name)
+}
+
+// statsLocked is itself *Locked, so calling Locked helpers is allowed.
+func (c *Catalog) statsLocked(name string) (int, int) {
+	return c.tableLocked(name), c.sizeLocked()
+}
+
+// Peek calls a Locked helper with no visible acquisition: flagged.
+func (c *Catalog) Peek(name string) int {
+	return c.tableLocked(name) // want `call to tableLocked from Peek, which neither is \*Locked nor acquires a lock`
+}
+
+// reindexLocked locks its own receiver's mutex despite the *Locked
+// contract saying the caller already holds it: flagged.
+func (c *Catalog) reindexLocked() {
+	c.mu.Lock() // want `reindexLocked acquires c\.\.\.Lock inside a \*Locked function`
+	defer c.mu.Unlock()
+	c.tables = map[string]int{}
+}
+
+// Rebuild is a caller that suppresses the finding with a reason.
+func (c *Catalog) Rebuild() int {
+	//dgflint:ignore lockedcalls fixture: single-goroutine setup phase, no lock needed yet
+	return c.sizeLocked()
+}

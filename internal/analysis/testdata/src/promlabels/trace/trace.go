@@ -1,0 +1,30 @@
+// Fixture writer and registry for the promlabels analyzer, mirroring
+// the real internal/trace layout: the PromWriter methods are matched by
+// receiver type name, and the two const blocks below are the closed
+// family/label universes.
+package trace
+
+type PromWriter struct{}
+
+func (p *PromWriter) Counter(name, help string, labels map[string]string, value float64) {}
+func (p *PromWriter) Gauge(name, help string, labels map[string]string, value float64)   {}
+func (p *PromWriter) CounterVec(name, help, labelName string, values map[string]float64) {}
+func (p *PromWriter) GaugeRow(name string, labels map[string]string, value float64)      {}
+func (p *PromWriter) GaugeHead(name, help string)                                        {}
+func (p *PromWriter) Histogram(name, help string, bounds []float64, counts []int64, sum float64) {
+}
+
+// Families the fixture may expose.
+//
+//dgflint:metric-registry
+const (
+	MetricUp      = "dgf_up"
+	MetricQueries = "dgf_queries_total"
+)
+
+// Labels the fixture may expose.
+//
+//dgflint:metric-labels
+const (
+	LabelShard = "shard"
+)

@@ -1,0 +1,63 @@
+// Fixture for the shadow analyzer: flag stale reads past a shadowing
+// declaration, tolerate the guard idiom and the capture idiom.
+package vars
+
+type file struct{}
+
+func (file) close() error { return nil }
+
+func open() (file, error) { return file{}, nil }
+
+func newErr(s string) error { return errorString(s) }
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// The outer firstErr is read at the return, after the shadowing
+// declaration swallowed what looks like an assignment to it: flagged.
+func process(items []string) error {
+	var firstErr error
+	for _, it := range items {
+		if it == "" {
+			firstErr := newErr("empty item") // want `declaration of "firstErr" shadows declaration at`
+			_ = firstErr
+		}
+	}
+	return firstErr
+}
+
+// The guard idiom: the outer err is never read after the inner scope,
+// so nothing is flagged.
+func guard() error {
+	f, err := open()
+	if err != nil {
+		return err
+	}
+	if err := f.close(); err != nil { // ok
+		return err
+	}
+	return nil
+}
+
+// The outer err is rewritten before its next read, so the shadow
+// cannot cause a stale read: not flagged.
+func rewritten() (file, error) {
+	f, err := open()
+	if err != nil {
+		return f, err
+	}
+	if err := f.close(); err != nil { // ok
+		return f, err
+	}
+	f, err = open()
+	return f, err
+}
+
+// Parameter shadows are the deliberate capture idiom: not flagged.
+func capture(items []string) {
+	for i := range items {
+		func(i int) { _ = i }(i) // ok
+	}
+	_ = items
+}

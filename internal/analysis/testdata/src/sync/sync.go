@@ -1,0 +1,22 @@
+// Package sync is a hermetic stand-in for the standard library's sync,
+// just enough surface for the goroutinejoin and lockedcalls fixtures
+// (both analyzers match method names syntactically).
+package sync
+
+type WaitGroup struct{ n int }
+
+func (w *WaitGroup) Add(delta int) { w.n += delta }
+func (w *WaitGroup) Done()         { w.n-- }
+func (w *WaitGroup) Wait()         {}
+
+type Mutex struct{}
+
+func (*Mutex) Lock()   {}
+func (*Mutex) Unlock() {}
+
+type RWMutex struct{}
+
+func (*RWMutex) Lock()    {}
+func (*RWMutex) Unlock()  {}
+func (*RWMutex) RLock()   {}
+func (*RWMutex) RUnlock() {}

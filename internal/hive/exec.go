@@ -86,11 +86,15 @@ func (o ExecOptions) IsZero() bool {
 
 // Exec parses and executes one HiveQL statement. It is ExecContext under
 // context.Background(): the statement always runs to completion.
+//
+//dgflint:compat ctx-free convenience wrapper; run-to-completion is the documented contract
 func (w *Warehouse) Exec(sql string) (*Result, error) {
 	return w.ExecContext(context.Background(), sql, ExecOptions{})
 }
 
 // ExecOpts is Exec with explicit options.
+//
+//dgflint:compat ctx-free convenience wrapper; run-to-completion is the documented contract
 func (w *Warehouse) ExecOpts(sql string, opts ExecOptions) (*Result, error) {
 	return w.ExecContext(context.Background(), sql, opts)
 }
@@ -110,6 +114,8 @@ func (w *Warehouse) ExecContext(ctx context.Context, sql string, opts ExecOption
 // same statement repeatedly (the serving layer's plan cache) parse once and
 // reuse the Stmt; execution never mutates it, so one parsed statement is
 // safe to run from many goroutines.
+//
+//dgflint:compat ctx-free convenience wrapper over ExecParsedContext
 func (w *Warehouse) ExecParsed(stmt Stmt, opts ExecOptions) (*Result, error) {
 	return w.ExecParsedContext(context.Background(), stmt, opts)
 }
@@ -246,6 +252,8 @@ func (w *Warehouse) createHiveIndexLocked(t *Table, s *CreateIndexStmt, kind hiv
 // Select plans and executes a SELECT. Plain SELECTs share the catalog read
 // lock so any number run in parallel; a SELECT with an INSERT OVERWRITE
 // DIRECTORY sink writes to the filesystem and is serialized as a writer.
+//
+//dgflint:compat ctx-free convenience wrapper over SelectContext
 func (w *Warehouse) Select(stmt *SelectStmt, opts ExecOptions) (*Result, error) {
 	return w.SelectContext(context.Background(), stmt, opts)
 }
@@ -268,6 +276,8 @@ func (w *Warehouse) SelectContext(ctx context.Context, stmt *SelectStmt, opts Ex
 // scatter-gather. Aggregates come back as per-group accumulator state, so
 // any number of shards' partials Merge before one Finalize. INSERT
 // OVERWRITE DIRECTORY sinks cannot be executed partially.
+//
+//dgflint:compat ctx-free convenience wrapper over SelectPartialContext
 func (w *Warehouse) SelectPartial(stmt *SelectStmt, opts ExecOptions) (*PartialResult, error) {
 	return w.SelectPartialContext(context.Background(), stmt, opts)
 }
@@ -435,7 +445,7 @@ type preparedSelect struct {
 // the aggregate-index rewrite, partition pruning. Caller holds w.mu.
 func (w *Warehouse) prepareSelectLocked(stmt *SelectStmt, opts ExecOptions, stream *rowStream) (*preparedSelect, error) {
 	start := time.Now()
-	q, err := w.compile(stmt)
+	q, err := w.compileLocked(stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -509,7 +519,7 @@ func (w *Warehouse) prepareSelectLocked(stmt *SelectStmt, opts ExecOptions, stre
 		}
 		stats.AccessPath = "index:" + ix.Name
 	default:
-		p.input, stats.AccessPath, err = q.scanInput(w)
+		p.input, stats.AccessPath, err = q.scanInputLocked(w)
 		if err != nil {
 			return nil, err
 		}
@@ -639,10 +649,11 @@ func (w *Warehouse) runPreparedSelect(ctx context.Context, p *preparedSelect, st
 	return pr, nil
 }
 
-// scanInput builds the table-scan input, pruning partitions by the
+// scanInputLocked builds the table-scan input (caller holds w.mu; partition
+// pruning reads the catalog), pruning partitions by the
 // predicate on the partition column (Hive's "coarse-grained index",
 // Section 2.2 of the paper).
-func (q *compiledQuery) scanInput(w *Warehouse) (mapreduce.InputFormat, string, error) {
+func (q *compiledQuery) scanInputLocked(w *Warehouse) (mapreduce.InputFormat, string, error) {
 	if q.left.PartitionBy == "" {
 		if q.left.Format == hiveindex.RCFile {
 			return &mapreduce.RCInput{FS: w.FS, Dir: q.left.Dir, Schema: q.left.Schema, Project: q.projection()}, "scan", nil

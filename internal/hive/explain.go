@@ -159,7 +159,7 @@ func (w *Warehouse) Explain(stmt *SelectStmt, opts ExecOptions) (*ExplainPlan, e
 }
 
 func (w *Warehouse) explainLocked(stmt *SelectStmt, opts ExecOptions) (*ExplainPlan, error) {
-	q, err := w.compile(stmt)
+	q, err := w.compileLocked(stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +232,7 @@ func (w *Warehouse) explainLocked(stmt *SelectStmt, opts ExecOptions) (*ExplainP
 // files (always, below one block per file); a split boundary mid-file adds
 // the few re-read bytes of the boundary line.
 func (w *Warehouse) explainScanLocked(q *compiledQuery, ep *ExplainPlan) error {
-	input, label, err := q.scanInput(w)
+	input, label, err := q.scanInputLocked(w)
 	if err != nil {
 		return err
 	}

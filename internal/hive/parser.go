@@ -30,7 +30,13 @@ type parser struct {
 	tokens []token
 	pos    int
 	src    string
+	depth  int // expression nesting, bounded by maxExprDepth
 }
+
+// maxExprDepth bounds expression recursion (aggregate calls nest via
+// parseExpr) so a pathological statement fails with a parse error instead
+// of exhausting the stack. Real queries in the paper's listings nest twice.
+const maxExprDepth = 200
 
 func (p *parser) cur() token  { return p.tokens[p.pos] }
 func (p *parser) next() token { t := p.tokens[p.pos]; p.pos++; return t }
@@ -425,6 +431,11 @@ func (p *parser) parseSelectItem() (SelectItem, error) {
 // parseExpr parses products of primaries (the only scalar operator needed
 // by the paper's queries is '*').
 func (p *parser) parseExpr() (Expr, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxExprDepth {
+		return nil, p.errf("expression nested deeper than %d levels", maxExprDepth)
+	}
 	left, err := p.parsePrimary()
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package hive
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -105,9 +106,9 @@ func (q *compiledQuery) projection() []bool {
 	return out
 }
 
-// compile resolves names, folds the WHERE conjunction into per-column
+// compileLocked resolves names, folds the WHERE conjunction into per-column
 // ranges, and binds aggregates to accumulator slots. Caller holds w.mu.
-func (w *Warehouse) compile(stmt *SelectStmt) (*compiledQuery, error) {
+func (w *Warehouse) compileLocked(stmt *SelectStmt) (*compiledQuery, error) {
 	left, err := w.tableLocked(stmt.From.Table)
 	if err != nil {
 		return nil, err
@@ -132,7 +133,8 @@ func (w *Warehouse) compile(stmt *SelectStmt) (*compiledQuery, error) {
 		lSide, lIdx, _, err1 := q.resolveCol(stmt.Join.Left)
 		rSide, rIdx, _, err2 := q.resolveCol(stmt.Join.Right)
 		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("hive: cannot resolve join columns: %v %v", err1, err2)
+			// Either error may be nil here; Join drops the nil one.
+			return nil, fmt.Errorf("hive: cannot resolve join columns: %w", errors.Join(err1, err2))
 		}
 		if lSide == rSide {
 			return nil, fmt.Errorf("hive: join ON must reference both tables")
@@ -261,7 +263,7 @@ func (q *compiledQuery) compileComparison(cmp Comparison) (cfilter, error) {
 	}
 	val, err := coerce(cmp.Val, kind)
 	if err != nil {
-		return nil, fmt.Errorf("hive: predicate on %s: %v", cmp.Col.String(), err)
+		return nil, fmt.Errorf("hive: predicate on %s: %w", cmp.Col.String(), err)
 	}
 	if cmp.Op == "!=" {
 		// != never folds into a range, so leftRanges describes a superset of
@@ -312,7 +314,7 @@ func (q *compiledQuery) compileIn(cmp Comparison, s side, idx int, kind storage.
 	for i, raw := range cmp.Vals {
 		v, err := coerce(raw, kind)
 		if err != nil {
-			return nil, fmt.Errorf("hive: predicate on %s: %v", cmp.Col.String(), err)
+			return nil, fmt.Errorf("hive: predicate on %s: %w", cmp.Col.String(), err)
 		}
 		vals[i] = v
 	}

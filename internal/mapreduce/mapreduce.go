@@ -194,6 +194,8 @@ type mapResult struct {
 
 // Run executes the job and returns its statistics. It is RunContext under
 // context.Background(): the job always runs to completion.
+//
+//dgflint:compat ctx-free convenience wrapper; run-to-completion is the documented contract
 func Run(cfg *cluster.Config, job *Job) (*Stats, error) {
 	return RunContext(context.Background(), cfg, job)
 }

@@ -504,7 +504,7 @@ func decodeLoadRow(schema *storage.Schema, rec []any) (storage.Row, error) {
 		case string:
 			val, err := storage.ParseValue(kind, v)
 			if err != nil {
-				return nil, fmt.Errorf("column %s: %v", schema.Col(i).Name, err)
+				return nil, fmt.Errorf("column %s: %w", schema.Col(i).Name, err)
 			}
 			row[i] = val
 		case bool:

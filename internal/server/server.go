@@ -628,6 +628,11 @@ func ctxError(err error) error {
 	case errors.Is(err, ErrQueryTimeout):
 		return err
 	case errors.Is(err, context.DeadlineExceeded):
+		// The deadline error is deliberately flattened: ErrQueryTimeout must
+		// be the only sentinel callers can errors.Is against, or retry logic
+		// keyed on context.DeadlineExceeded would fire on server-side
+		// per-query timeouts too.
+		//dgflint:ignore errwrap ErrQueryTimeout must stay the only unwrappable sentinel
 		return fmt.Errorf("%w: %v", ErrQueryTimeout, err)
 	case errors.Is(err, context.Canceled):
 		return fmt.Errorf("server: request canceled: %w", err)
@@ -920,6 +925,8 @@ func (s *Server) LoadRowsCtx(ctx context.Context, table string, rows []storage.R
 // the backend stay correct — version-qualified keys can never serve stale
 // data — but bypass both.) It returns how many cached results the load
 // invalidated, so operators can watch invalidation churn under load.
+//
+//dgflint:compat ctx-free convenience wrapper over LoadRowsCtx
 func (s *Server) LoadRows(table string, rows []storage.Row) (int, error) {
 	res, err := s.LoadRowsCtx(context.Background(), table, rows, false)
 	return res.Invalidated, err

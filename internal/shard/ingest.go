@@ -96,7 +96,7 @@ type LoadAck struct {
 func (r *Router) LoadRowsDurable(ctx context.Context, table string, rows []storage.Row, sync bool) (LoadAck, error) {
 	e := r.wal.Load()
 	if e == nil {
-		return LoadAck{Applied: true}, r.LoadRowsByName(table, rows)
+		return LoadAck{Applied: true}, r.loadRowsReplicated(table, rows)
 	}
 	// Validate before logging: a record that can never apply would stall
 	// its replica's applier forever.

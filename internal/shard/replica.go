@@ -162,6 +162,11 @@ func (rep *replica) classify(parent context.Context, killCh <-chan struct{}, err
 	default:
 	}
 	if killed && isCtxErr(err) && parent.Err() == nil {
+		// The context error is deliberately flattened: the caller's ctx is
+		// still live (parent.Err() == nil), so surfacing a wrapped
+		// cancellation would make the router misclassify a replica kill as
+		// the client giving up instead of failing over.
+		//dgflint:ignore errwrap a wrapped ctx error here would defeat isCtxErr failover classification
 		return fmt.Errorf("%w (shard %d replica %d): aborted in flight: %v", ErrReplicaDown, rep.shard, rep.idx, err)
 	}
 	return err

@@ -272,6 +272,8 @@ func (r *Router) ExecContext(ctx context.Context, sql string, opts hive.ExecOpti
 
 // ExecParsed executes an already-parsed statement. It is ExecParsedContext
 // under context.Background().
+//
+//dgflint:compat ctx-free convenience wrapper over ExecParsedContext
 func (r *Router) ExecParsed(stmt hive.Stmt, opts hive.ExecOptions) (*hive.Result, error) {
 	return r.ExecParsedContext(context.Background(), stmt, opts)
 }
@@ -288,7 +290,7 @@ func (r *Router) ExecParsedContext(ctx context.Context, stmt hive.Stmt, opts hiv
 			// Pass through: bit-identical to a bare warehouse.
 			return r.sets[0].execStmt(ctx, stmt, opts)
 		}
-		plan, err := r.Explain(s.Select, opts)
+		plan, err := r.ExplainContext(ctx, s.Select, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -560,24 +562,34 @@ func (r *Router) scatter(ctx context.Context, s *hive.SelectStmt, opts hive.Exec
 // the single answering warehouse's plan untouched; scatter cases merge the
 // target shards' plans (volumes and slice counts sum — exactly how the
 // executed stats merge) and prefix the access path with the same
-// "sharded(k/n):" label the gather will report.
+// "sharded(k/n):" label the gather will report. It is ExplainContext under
+// context.Background().
+//
+//dgflint:compat ctx-free convenience wrapper over ExplainContext
 func (r *Router) Explain(s *hive.SelectStmt, opts hive.ExecOptions) (*hive.ExplainPlan, error) {
+	return r.ExplainContext(context.Background(), s, opts)
+}
+
+// ExplainContext is Explain under ctx: planning reads index KV state from a
+// live replica per target shard, and the caller's cancellation bounds those
+// reads the same way it bounds execution.
+func (r *Router) ExplainContext(ctx context.Context, s *hive.SelectStmt, opts hive.ExecOptions) (*hive.ExplainPlan, error) {
 	targets, passthrough, err := r.routeSelect(s)
 	if err != nil {
 		return nil, err
 	}
 	if passthrough {
-		plan, _, err := r.sets[0].explain(context.Background(), s, opts)
+		plan, _, err := r.sets[0].explain(ctx, s, opts)
 		return plan, err
 	}
-	return r.explainScatter(s, opts, targets)
+	return r.explainScatter(ctx, s, opts, targets)
 }
 
 // explainScatter merges the per-target-shard plans into the fleet plan.
 // Each shard's plan comes from a live replica (failover included, so EXPLAIN
 // keeps working with a replica down), and the plan records which replica the
 // router chose for each target shard.
-func (r *Router) explainScatter(s *hive.SelectStmt, opts hive.ExecOptions, targets []int) (*hive.ExplainPlan, error) {
+func (r *Router) explainScatter(ctx context.Context, s *hive.SelectStmt, opts hive.ExecOptions, targets []int) (*hive.ExplainPlan, error) {
 	plans := make([]*hive.ExplainPlan, len(targets))
 	chosen := make([]int, len(targets))
 	errs := make([]error, len(targets))
@@ -586,7 +598,7 @@ func (r *Router) explainScatter(s *hive.SelectStmt, opts hive.ExecOptions, targe
 		wg.Add(1)
 		go func(i, si int) {
 			defer wg.Done()
-			plans[i], chosen[i], errs[i] = r.sets[si].explain(context.Background(), s, opts)
+			plans[i], chosen[i], errs[i] = r.sets[si].explain(ctx, s, opts)
 		}(i, si)
 	}
 	wg.Wait()
@@ -793,11 +805,21 @@ func (r *Router) loadBatches(table string, rows []storage.Row) ([][]storage.Row,
 // replicas' logs (skipping dead replicas, which catch up on Revive) and
 // background appliers apply it. Loads run concurrently; each warehouse's
 // own write lock keeps its load atomic.
+//
+//dgflint:compat signature fixed by the server.Backend / wal.Backend interfaces, which are ctx-free
 func (r *Router) LoadRowsByName(table string, rows []storage.Row) error {
 	if r.wal.Load() != nil {
 		_, err := r.LoadRowsDurable(context.Background(), table, rows, false)
 		return err
 	}
+	return r.loadRowsReplicated(table, rows)
+}
+
+// loadRowsReplicated is the non-WAL load: every replica of each routed
+// shard is written synchronously. It takes no Context because the write
+// is not abortable midway — cancelling between replicas would leave the
+// copies of a shard diverged.
+func (r *Router) loadRowsReplicated(table string, rows []storage.Row) error {
 	batches, err := r.loadBatches(table, rows)
 	if err != nil {
 		return err

@@ -153,6 +153,9 @@ func (r *Router) newMergeCursor(ctx context.Context, s *hive.SelectStmt, opts hi
 	// Capture the column set now: the per-shard cursors rotate under
 	// failover, so the consumer must not reach into them.
 	c.cols = c.streams[0].cur.Columns()
+	// The pump is joined structurally, not locally: run defers
+	// close(c.done), and Close drains c.ch then blocks on <-c.done.
+	//dgflint:ignore goroutinejoin joined by scatterCursor.Close via c.done
 	go c.run()
 	return c, nil
 }

@@ -212,7 +212,9 @@ func dictHeader(text string, dst []string) ([]string, int, error) {
 	dst = dst[:0]
 	for i := uint64(0); i < n; i++ {
 		l, w := uvarintStr(text, pos)
-		if w <= 0 || pos+w+int(l) > len(text) {
+		// Compare in uint64: int(l) can wrap negative for absurd lengths
+		// and sail past an int-typed bounds check into a slice panic.
+		if w <= 0 || l > uint64(len(text)-pos-w) {
 			return nil, 0, fmt.Errorf("storage: corrupt dictionary column")
 		}
 		pos += w
@@ -255,7 +257,7 @@ func forEachCell(enc byte, body []byte, rows int, fn func(r int, field string) e
 			}
 			pos += w
 			l, w := uvarintStr(text, pos)
-			if w <= 0 || pos+w+int(l) > len(text) {
+			if w <= 0 || l > uint64(len(text)-pos-w) {
 				return fmt.Errorf("storage: corrupt run-length column")
 			}
 			pos += w

@@ -33,6 +33,11 @@ const DefaultRowGroupRows = 1024
 
 const rcMagic = 'R'
 
+// maxGroupRows guards readers against a corrupt header whose row count
+// would size the decode arena: no writer configuration produces groups
+// anywhere near this large (the default is DefaultRowGroupRows).
+const maxGroupRows = 1 << 20
+
 // RCWriter writes rows to a dfs file in the RCFile model format.
 type RCWriter struct {
 	w            *dfs.FileWriter
@@ -298,6 +303,9 @@ func (g *RowGroup) DecodeRows(schema *Schema) ([]Row, error) {
 // column — independent of the row count.
 func (g *RowGroup) DecodeRowsProjected(schema *Schema, project []bool) ([]Row, error) {
 	width := schema.Len()
+	if len(g.columns) < width {
+		return nil, fmt.Errorf("storage: row group has %d columns, schema wants %d", len(g.columns), width)
+	}
 	rows := make([]Row, g.Rows)
 	if g.Rows == 0 {
 		return rows, nil
@@ -430,6 +438,16 @@ func ReadGroupProjected(r *dfs.FileReader, offset int64, project []bool) (*RowGr
 		return nil, 0, fmt.Errorf("storage: bad rcfile colCount at %d", offset)
 	}
 	p += w
+	// Sanity-bound the claimed shape before allocating by it: every column
+	// costs at least its one-byte length varint, so more columns than bytes
+	// left in the file is corruption, and a row count past maxGroupRows is a
+	// header no writer produces.
+	if rowCount > maxGroupRows {
+		return nil, 0, fmt.Errorf("storage: rcfile rowCount %d at %d exceeds the %d-row group bound", rowCount, offset, maxGroupRows)
+	}
+	if remaining := r.Size() - offset - int64(p); remaining < 0 || colCount > uint64(remaining) {
+		return nil, 0, fmt.Errorf("storage: rcfile colCount %d at %d exceeds file size", colCount, offset)
+	}
 
 	g := &RowGroup{Offset: offset, Rows: int(rowCount), columns: make([][]byte, colCount)}
 	if encoded {
@@ -449,6 +467,11 @@ func ReadGroupProjected(r *dfs.FileReader, offset int64, project []bool) (*RowGr
 		}
 		pos += int64(w)
 		read += int64(w)
+		// A payload cannot extend past the file; reject the claimed length
+		// before it sizes an allocation (or, via int conversion, wraps).
+		if remaining := r.Size() - pos; remaining < 0 || plen > uint64(remaining) {
+			return nil, 0, fmt.Errorf("storage: rcfile column %d payload length %d exceeds file size", c, plen)
+		}
 		if project != nil && (c >= len(project) || !project[c]) {
 			// Column-projection pushdown: skip the payload entirely; the
 			// nil marker tells DecodeRowsProjected the column is absent.

@@ -49,7 +49,7 @@ func ParseMetrics(text string) (map[string]*MetricFamily, error) {
 		}
 		name, labels, value, err := parseSample(line)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
 		fam := familyOf(families, name)
 		if fam == nil {
@@ -187,7 +187,7 @@ func parseSample(line string) (name string, labels map[string]string, value floa
 	}
 	value, err = parsePromFloat(rest)
 	if err != nil {
-		return "", nil, 0, fmt.Errorf("bad value in %q: %v", line, err)
+		return "", nil, 0, fmt.Errorf("bad value in %q: %w", line, err)
 	}
 	return name, labels, value, nil
 }

@@ -114,11 +114,8 @@ func scanRecords(r io.Reader) ([]Record, int64, error) {
 		if n == 0 || n > maxPayloadLen {
 			return recs, off, nil
 		}
-		if uint32(cap(payload)) < n {
-			payload = make([]byte, n)
-		}
-		payload = payload[:n]
-		if _, err := io.ReadFull(r, payload); err != nil {
+		var ok bool
+		if payload, ok = readPayload(r, payload, n); !ok {
 			return recs, off, nil // torn payload
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
@@ -131,6 +128,28 @@ func scanRecords(r io.Reader) ([]Record, int64, error) {
 		recs = append(recs, rec)
 		off += frameHeaderLen + int64(n)
 	}
+}
+
+// readPayload reads exactly n bytes into buf (reusing its capacity),
+// growing in bounded chunks: a torn header that happens to decode as a
+// near-maxPayloadLen length then costs only the bytes actually present in
+// the file, not a gigabyte-sized up-front allocation.
+func readPayload(r io.Reader, buf []byte, n uint32) ([]byte, bool) {
+	const chunk = 1 << 20
+	buf = buf[:0]
+	for remaining := int64(n); remaining > 0; {
+		step := remaining
+		if step > chunk {
+			step = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return buf, false
+		}
+		remaining -= step
+	}
+	return buf, true
 }
 
 // Append writes rec at the log tail. With PolicyAlways the record is

@@ -142,6 +142,12 @@ func decodePayload(buf []byte) (Record, error) {
 		return rec, fmt.Errorf("wal: truncated row count")
 	}
 	off += sz
+	// Every row costs at least one payload byte (its cell-count varint), so
+	// a claimed count beyond the remaining bytes is corruption; rejecting it
+	// here keeps the slice capacity below from being attacker-sized.
+	if rows > uint64(len(buf)-off) {
+		return rec, fmt.Errorf("wal: row count %d exceeds payload", rows)
+	}
 	rec.Rows = make([]storage.Row, 0, rows)
 	for i := uint64(0); i < rows; i++ {
 		cells, sz := binary.Uvarint(buf[off:])
@@ -149,6 +155,10 @@ func decodePayload(buf []byte) (Record, error) {
 			return rec, fmt.Errorf("wal: truncated cell count (row %d)", i)
 		}
 		off += sz
+		// Same bound as the row count: a cell is at least its kind byte.
+		if cells > uint64(len(buf)-off) {
+			return rec, fmt.Errorf("wal: cell count %d exceeds payload (row %d)", cells, i)
+		}
 		row := make(storage.Row, 0, cells)
 		for c := uint64(0); c < cells; c++ {
 			v, n, err := decodeValue(buf[off:])
